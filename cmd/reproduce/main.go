@@ -1,0 +1,44 @@
+// Command reproduce regenerates every measured artifact of the paper's
+// evaluation in one run: Fig 6 (step time + activation peak), Table III
+// (offload amount vs model estimate), Fig 8a (micro-batch breakdown), and
+// Table I (the feature matrix). The projection artifacts (Figs 1, 5, 8b)
+// are printed by cmd/scaling and cmd/lifespan.
+package main
+
+import (
+	"fmt"
+
+	"ssdtrain"
+)
+
+func main() {
+	rows, err := ssdtrain.Fig6(16)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(ssdtrain.Fig6Table(rows))
+
+	t3, err := ssdtrain.Table3()
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("== Table III — offloaded amount, model estimate, PCIe write bandwidth (BERT, B16) ==")
+	for _, r := range t3 {
+		fmt.Printf("H%-6d L%d: offloaded %6.2f GB   estimate %6.2f GB   write BW %6.2f GB/s\n",
+			r.Hidden, r.Layers, r.Offloaded.GBf(), r.Estimate.GBf(), r.WriteBW.GBpsF())
+	}
+	fmt.Println()
+
+	f8a, err := ssdtrain.Fig8a(nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("== Fig 8a — throughput boost from larger micro-batches (BERT H12288 L3, vs B1) ==")
+	for _, r := range f8a {
+		fmt.Printf("B%-3d total %5.1f%%  = weights-update saving %5.1f%% + compute efficiency %5.1f%%\n",
+			r.Batch, r.Improvement*100, r.UpdateSaving*100, r.ComputeEfficiency*100)
+	}
+	fmt.Println()
+
+	fmt.Println(ssdtrain.Table1())
+}

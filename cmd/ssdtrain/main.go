@@ -1,0 +1,60 @@
+// Command ssdtrain runs one training measurement on the simulated testbed
+// and prints step time, memory peaks and offload statistics — one Fig 6
+// column plus its Table III row.
+//
+// Usage:
+//
+//	ssdtrain -model bert -hidden 12288 -layers 3 -batch 16 -strategy ssdtrain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"ssdtrain"
+	"ssdtrain/internal/units"
+)
+
+func main() {
+	model := flag.String("model", "bert", "architecture: gpt | bert | t5")
+	hidden := flag.Int("hidden", 12288, "hidden dimension")
+	layers := flag.Int("layers", 3, "transformer layer count")
+	batch := flag.Int("batch", 16, "micro-batch size in sequences")
+	strategy := flag.String("strategy", "ssdtrain", "placement: ssdtrain | no-offload | recompute | cpu-offload")
+	steps := flag.Int("steps", 3, "measured steps after warmup")
+	verify := flag.Bool("verify", false, "materialize payloads and checksum-verify reloads (slow)")
+	flag.Parse()
+
+	cfg := ssdtrain.PaperConfig(ssdtrain.Arch(*model), *hidden, *layers, *batch)
+	res, err := ssdtrain.Train(ssdtrain.RunConfig{
+		Model:       cfg,
+		Strategy:    ssdtrain.Strategy(*strategy),
+		Steps:       *steps,
+		Materialize: *verify,
+		Verify:      *verify,
+	})
+	if err != nil {
+		log.Fatalf("ssdtrain: %v", err)
+	}
+
+	m := res.Measured
+	fmt.Printf("config               %s, strategy %s\n", cfg, *strategy)
+	fmt.Printf("step time            %v\n", res.StepTime().Round(time.Microsecond))
+	fmt.Printf("model throughput     %s per GPU\n", res.Throughput())
+	fmt.Printf("activation peak      %s\n", m.ActPeak)
+	fmt.Printf("total memory peak    %s (GPU capacity %s)\n", m.TotalPeak, res.Config.GPU.Memory)
+	fmt.Printf("compute stall        %v\n", m.Stats.ComputeStall.Round(time.Microsecond))
+	fmt.Printf("weights              %s (+ equal gradients)\n", res.WeightBytes)
+	if m.IO.Offloaded > 0 || m.IO.Kept > 0 {
+		fmt.Printf("offloaded            %s of %s eligible (budget %s)\n", m.IO.Offloaded, res.EligibleBytes, res.PlannedBudget)
+		fmt.Printf("kept in GPU memory   %s\n", m.IO.Kept)
+		fmt.Printf("forwarded in flight  %s\n", m.IO.Forwarded)
+		fmt.Printf("reloaded from target %s\n", m.IO.Reloaded)
+		fmt.Printf("dedup hits           %d of %d packs\n", m.IO.DedupHits, m.IO.Packs)
+		fmt.Printf("PCIe write bandwidth %s (required: offloaded ÷ half step)\n",
+			units.BandwidthOf(m.IO.Offloaded, res.StepTime()/2))
+		fmt.Printf("SSD peak residency   %s\n", res.SSDPeak)
+	}
+}

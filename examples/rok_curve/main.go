@@ -1,0 +1,52 @@
+// ROK curve study (Fig 7): where do keep, recompute and SSD-offload sit
+// in the (activation peak, throughput) plane, and what batch size does a
+// fixed memory budget buy under each strategy?
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"ssdtrain"
+	"ssdtrain/internal/exp"
+	"ssdtrain/internal/units"
+)
+
+func main() {
+	for _, hidden := range []int{12288, 14336} {
+		pts, err := ssdtrain.Fig7(hidden, []int{4, 8, 16})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("== 3-layer BERT, hidden %d ==\n", hidden)
+		fmt.Printf("%-12s %6s %16s %22s\n", "strategy", "batch", "act peak (GB)", "throughput (TFLOP/s)")
+		for _, p := range pts {
+			fmt.Printf("%-12s %6d %16.2f %22.1f\n",
+				p.Strategy, p.Batch, p.Peak.GBf(), float64(p.Throughput)/1e12)
+		}
+
+		// The §IV-C observation: under the same activation budget, the
+		// offload point fits twice the batch of the keep point.
+		budget := peakOf(pts, ssdtrain.StrategyNoOffload, 8)
+		fmt.Printf("\nwith a %.1f GB budget (keep@B8):\n", budget.GBf())
+		for _, strat := range []ssdtrain.Strategy{ssdtrain.StrategyNoOffload, ssdtrain.StrategySSDTrain} {
+			best := 0
+			for _, p := range pts {
+				if p.Strategy == strat && p.Peak <= budget && p.Batch > best {
+					best = p.Batch
+				}
+			}
+			fmt.Printf("  %-12s largest feasible batch: %d\n", strat, best)
+		}
+		fmt.Println()
+	}
+}
+
+func peakOf(pts []exp.ROKPoint, s ssdtrain.Strategy, b int) units.Bytes {
+	for _, p := range pts {
+		if p.Strategy == s && p.Batch == b {
+			return p.Peak
+		}
+	}
+	return 0
+}

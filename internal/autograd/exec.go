@@ -1,0 +1,579 @@
+package autograd
+
+import (
+	"fmt"
+	"time"
+
+	"ssdtrain/internal/gpu"
+	"ssdtrain/internal/tensor"
+	"ssdtrain/internal/trace"
+	"ssdtrain/internal/units"
+)
+
+// ExecConfig configures the training-step executor.
+type ExecConfig struct {
+	// MicroBatches per step (gradient accumulation); the paper's main
+	// evaluation fixes this at 1 (§IV-A).
+	MicroBatches int
+	// UpdateCost returns the optimizer's per-weight kernel time.
+	UpdateCost func(w *tensor.Tensor) time.Duration
+	// AccumCost returns the per-weight gradient accumulation kernel time,
+	// charged for every micro-batch after the first.
+	AccumCost func(w *tensor.Tensor) time.Duration
+	// Materialize backs saved activations with real deterministic bytes so
+	// offload round-trips can be verified checksum-exactly.
+	Materialize bool
+	// Seed parameterizes materialized payloads.
+	Seed uint64
+}
+
+// savedRef is one graph entry: the packed handle plus executor-side
+// retention bookkeeping for raw (uncached) tensors.
+type savedRef struct {
+	packed      Packed
+	t           *tensor.Tensor
+	rawRetained bool
+}
+
+// opRun records one executed forward op.
+type opRun struct {
+	spec   *OpSpec
+	saved  []savedRef
+	finish time.Duration
+	out    *tensor.Tensor
+}
+
+// blockRun records one executed forward block.
+type blockRun struct {
+	block  *Block
+	ops    []opRun
+	in     *tensor.Tensor
+	extras []*tensor.Tensor
+	out    *tensor.Tensor
+	// inPacked/extraPacked are set for checkpointed blocks: the block
+	// inputs are the only saved tensors (PyTorch checkpointing saves the
+	// function's arguments).
+	inPacked    savedRef
+	extraPacked []savedRef
+}
+
+// Executor drives training steps of a Graph on a Runtime through the
+// Hooks surface. It reproduces the host/device split of the real stack:
+// the host issues kernels ahead of the device, blocks on unpacked tensors
+// that are still loading, and charges hook CPU costs to host time — which
+// is how the paper's "negligible overhead" claim becomes measurable here.
+type Executor struct {
+	rt    *Runtime
+	graph *Graph
+	hooks Hooks
+	cfg   ExecConfig
+
+	clock    time.Duration // start of the next step
+	stepIdx  int
+	seed     uint64
+	gradOf   map[int64]*tensor.Tensor // weight storage seq → grad tensor
+	consumer map[int]int              // block index → forward consumer count
+}
+
+// NewExecutor validates the graph, allocates weights (and their
+// gradient buffers lazily), and returns an executor.
+func NewExecutor(rt *Runtime, g *Graph, hooks Hooks, cfg ExecConfig) (*Executor, error) {
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	if hooks == nil {
+		hooks = NoHooks{}
+	}
+	if cfg.MicroBatches <= 0 {
+		cfg.MicroBatches = 1
+	}
+	if cfg.UpdateCost == nil {
+		cfg.UpdateCost = func(*tensor.Tensor) time.Duration { return 0 }
+	}
+	if cfg.AccumCost == nil {
+		cfg.AccumCost = func(*tensor.Tensor) time.Duration { return 0 }
+	}
+	e := &Executor{
+		rt:     rt,
+		graph:  g,
+		hooks:  hooks,
+		cfg:    cfg,
+		seed:   cfg.Seed,
+		gradOf: make(map[int64]*tensor.Tensor),
+	}
+	for _, w := range g.Weights() {
+		rt.Life.Alloc(0, w.Storage(), gpu.ClassWeights)
+	}
+	e.computeConsumers()
+	return e, nil
+}
+
+// computeConsumers precomputes forward fan-out per block output.
+func (e *Executor) computeConsumers() {
+	e.consumer = make(map[int]int)
+	for bi, b := range e.graph.Blocks {
+		// The chained successor, or the loss/backward seed for the final
+		// block, consumes every block output exactly once.
+		e.consumer[bi]++
+		for _, x := range b.ExtraIn {
+			e.consumer[x]++
+		}
+	}
+}
+
+// StepResult reports one executed step.
+type StepResult struct {
+	Stats trace.StepStats
+	// HostTime is where the host clock ended relative to step start.
+	HostTime time.Duration
+	// UpdateTime is the optimizer phase duration (weight updates).
+	UpdateTime time.Duration
+	// StoreDrain is when outstanding offload writes finish (may exceed
+	// step end; the next step's forward overlaps it).
+	Start time.Duration
+	End   time.Duration
+}
+
+// Run executes one training step and returns its result. Successive calls
+// continue on the same virtual timeline.
+func (e *Executor) Run() StepResult {
+	start := e.clock
+	hostNow := start
+	e.stepIdx++
+	var stall time.Duration
+	var modelFLOPs units.FLOPs
+
+	e.hooks.Phase(PhaseStepStart, 0, hostNow)
+
+	for mb := 0; mb < e.cfg.MicroBatches; mb++ {
+		e.hooks.Phase(PhaseForward, mb, hostNow)
+
+		// Graph input (token ids). It carries a producer ref plus one
+		// consumer ref for the first block.
+		in := tensor.New(fmt.Sprintf("step%d.mb%d.input", e.stepIdx, mb), e.graph.InputShape, e.graph.InputDType, tensor.GPU)
+		e.rt.Life.Alloc(hostNow, in.Storage(), gpu.ClassWorkspace)
+		e.rt.Life.Retain(in.Storage())
+
+		runs := make([]blockRun, len(e.graph.Blocks))
+		outs := make([]*tensor.Tensor, len(e.graph.Blocks))
+		finishes := make([]time.Duration, len(e.graph.Blocks))
+		cur, curFinish := in, hostNow
+		for bi, b := range e.graph.Blocks {
+			extras := make([]*tensor.Tensor, len(b.ExtraIn))
+			extraFinish := make([]time.Duration, len(b.ExtraIn))
+			for k, src := range b.ExtraIn {
+				extras[k] = outs[src]
+				extraFinish[k] = finishes[src]
+			}
+			runs[bi] = e.forwardBlock(b, bi, cur, curFinish, extras, extraFinish, &hostNow, &modelFLOPs)
+			outs[bi] = runs[bi].out
+			finishes[bi] = runs[bi].ops[len(runs[bi].ops)-1].finish
+			cur, curFinish = runs[bi].out, finishes[bi]
+		}
+		// The graph input's producer ref: released after the first block's
+		// first op consumed it.
+		e.rt.Life.Release(in.Storage(), runs[0].ops[0].finish)
+
+		// Backward. The host synchronizes with the device at the
+		// forward→backward boundary: FP16 training engines read the loss
+		// and the loss-scale overflow flag on the host here, which is a
+		// device sync (Megatron-DeepSpeed behaviour). The sync also
+		// anchors the tensor cache's forwarding decisions to real store
+		// progress instead of the host's run-ahead clock.
+		if bu := e.rt.Compute.BusyUntil(); bu > hostNow {
+			hostNow = bu
+		}
+		e.hooks.Phase(PhaseBackward, mb, hostNow)
+		final := outs[len(outs)-1]
+		finalFinish := finishes[len(finishes)-1]
+		// Loss gradient seed, shaped like the final output.
+		grad := tensor.New(fmt.Sprintf("step%d.mb%d.gradseed", e.stepIdx, mb), final.Shape(), final.DType(), tensor.GPU)
+		e.rt.Life.Alloc(hostNow, grad.Storage(), gpu.ClassWorkspace)
+		// The loss consumer ref on the final output: the gradient seed's
+		// computation reads it once the forward output exists.
+		relAt := hostNow
+		if finalFinish > relAt {
+			relAt = finalFinish
+		}
+		e.rt.Life.Release(final.Storage(), relAt)
+
+		var bwdEnd time.Duration
+		for bi := len(runs) - 1; bi >= 0; bi-- {
+			grad, bwdEnd = e.backwardBlock(&runs[bi], grad, &hostNow, &stall, mb)
+		}
+		// The gradient wrt the graph input is discarded once its producing
+		// kernel completes.
+		e.rt.Life.Release(grad.Storage(), bwdEnd)
+		for bi := range runs {
+			modelFLOPs += e.backwardFLOPs(runs[bi].block)
+		}
+	}
+
+	// Optimizer.
+	bwdEndAll := e.rt.Compute.BusyUntil()
+	e.hooks.Phase(PhaseOptimizer, 0, hostNow)
+	for _, w := range e.graph.Weights() {
+		hostNow += e.rt.Spec.HostIssue
+		e.rt.Compute.Submit(hostNow, e.cfg.UpdateCost(w), nil)
+	}
+	end := e.rt.Compute.BusyUntil()
+	if hostNow > end {
+		end = hostNow
+	}
+	e.hooks.Phase(PhaseStepEnd, 0, end)
+	e.clock = end
+
+	return StepResult{
+		Stats: trace.StepStats{
+			StepTime:     end - start,
+			ModelFLOPs:   modelFLOPs,
+			ComputeStall: stall,
+		},
+		HostTime:   hostNow - start,
+		UpdateTime: end - bwdEndAll,
+		Start:      start,
+		End:        end,
+	}
+}
+
+func (e *Executor) backwardFLOPs(b *Block) units.FLOPs {
+	var f units.FLOPs
+	for i := range b.Ops {
+		f += b.Ops[i].BwdFLOPs
+	}
+	return f
+}
+
+// materialize optionally backs a tensor with deterministic bytes.
+func (e *Executor) materialize(t *tensor.Tensor) {
+	if e.cfg.Materialize && t.Storage().Data() == nil {
+		e.seed++
+		t.Storage().Materialize(e.seed)
+	}
+}
+
+// pack routes a tensor through the pack hook and applies the executor's
+// retention rule for raw returns: non-weight GPU tensors stored raw on
+// the graph are kept alive by the graph until consumed.
+func (e *Executor) pack(t *tensor.Tensor, producedAt time.Duration, hostNow *time.Duration) savedRef {
+	e.materialize(t)
+	*hostNow += e.hooks.HostCost()
+	p := e.hooks.Pack(t, producedAt, *hostNow)
+	ref := savedRef{packed: p, t: t}
+	if raw, ok := p.(*tensor.Tensor); ok {
+		if !raw.IsWeight() && !raw.IsCPU() {
+			e.rt.Life.Retain(raw.Storage())
+			ref.rawRetained = true
+		}
+	}
+	e.rt.Counters.Add("exec.packs", 1)
+	return ref
+}
+
+// unpackAll resolves an op's saved refs, blocking host time on reloads,
+// and returns the data-ready lower bound for the backward kernel.
+func (e *Executor) unpackAll(saved []savedRef, hostNow *time.Duration, stall *time.Duration) ([]*tensor.Tensor, time.Duration) {
+	base := *hostNow
+	if bu := e.rt.Compute.BusyUntil(); bu > base {
+		base = bu
+	}
+	dataReady := *hostNow
+	tensors := make([]*tensor.Tensor, len(saved))
+	for i := range saved {
+		*hostNow += e.hooks.HostCost()
+		t, ready := e.hooks.Unpack(saved[i].packed, *hostNow)
+		if t == nil {
+			panic(fmt.Sprintf("autograd: unpack returned nil for %v", saved[i].t))
+		}
+		tensors[i] = t
+		if ready > dataReady {
+			dataReady = ready
+		}
+		if ready > *hostNow {
+			*hostNow = ready // host blocks until the load completes
+		}
+		e.rt.Counters.Add("exec.unpacks", 1)
+	}
+	if dataReady > base {
+		*stall += dataReady - base
+	}
+	return tensors, dataReady
+}
+
+// consumeAll releases an op's saved refs after its backward kernel
+// finished at the given time.
+func (e *Executor) consumeAll(saved []savedRef, at time.Duration) {
+	for i := range saved {
+		e.hooks.Consumed(saved[i].packed, at)
+		if saved[i].rawRetained {
+			e.rt.Life.Release(saved[i].t.Storage(), at)
+		}
+	}
+}
+
+// forwardBlock executes one block's forward pass. inFinish/extraFinish
+// are when the inputs' producing kernels complete (transfer-ready times).
+func (e *Executor) forwardBlock(b *Block, bi int, blockIn *tensor.Tensor, inFinish time.Duration, extras []*tensor.Tensor, extraFinish []time.Duration, hostNow *time.Duration, modelFLOPs *units.FLOPs) blockRun {
+	e.hooks.ForwardPre(b.Module, *hostNow)
+	run := blockRun{block: b, in: blockIn, extras: extras, ops: make([]opRun, len(b.Ops))}
+
+	if b.Checkpoint {
+		// Only the block inputs are registered for backward.
+		run.inPacked = e.pack(blockIn, inFinish, hostNow)
+		for k := range extras {
+			run.extraPacked = append(run.extraPacked, e.pack(extras[k], extraFinish[k], hostNow))
+		}
+	}
+
+	// Prepass: the last forward consumer of every op output, of the block
+	// input, and of each extra input, so producer references can be
+	// released at exactly the right kernel completion.
+	n := len(b.Ops)
+	lastOut := make([]int, n)
+	for j := range lastOut {
+		lastOut[j] = -1
+	}
+	lastIn := 0
+	lastExtra := make([]int, len(extras))
+	for k := range lastExtra {
+		lastExtra[k] = -1
+	}
+	for oi := range b.Ops {
+		op := &b.Ops[oi]
+		if j := b.InputIndex(oi); j >= 0 {
+			if oi > lastOut[j] {
+				lastOut[j] = oi
+			}
+		} else if oi > lastIn {
+			lastIn = oi
+		}
+		if s := op.SaveOther1 - 1; s >= 0 && oi > lastOut[s] {
+			lastOut[s] = oi
+		}
+		if op.SaveBlockInput && oi > lastIn {
+			lastIn = oi
+		}
+		if k := op.SaveExtra1 - 1; k >= 0 && oi > lastExtra[k] {
+			lastExtra[k] = oi
+		}
+	}
+
+	outs := make([]*tensor.Tensor, n)
+	for oi := range b.Ops {
+		op := &b.Ops[oi]
+		input := blockIn
+		if j := b.InputIndex(oi); j >= 0 {
+			input = outs[j]
+		}
+		*hostNow += e.rt.Spec.HostIssue
+		finish := e.rt.Compute.Submit(*hostNow, op.FwdTime, nil)
+		start := finish - op.FwdTime
+		*modelFLOPs += op.FwdFLOPs
+
+		out := tensor.New(fmt.Sprintf("s%d.%s.%s", e.stepIdx, b.Module.Path(), op.Name),
+			op.OutShape, op.OutDType, tensor.GPU)
+		e.rt.Life.Alloc(start, out.Storage(), gpu.ClassActivations)
+		outs[oi] = out
+		rec := opRun{spec: op, finish: finish, out: out}
+
+		if !b.Checkpoint {
+			rec.saved = e.saveForBackward(b, oi, input, blockIn, extras, outs, start, finish, hostNow)
+		}
+
+		// Weight transpose views are registered on the graph by linear
+		// layers even under checkpointing (PyTorch re-registers during
+		// recomputation; net effect on the cache is identical).
+		if op.Weight != nil && !b.Checkpoint {
+			wt := op.Weight.Transpose()
+			rec.saved = append(rec.saved, e.pack(wt, finish, hostNow))
+		}
+
+		// Release producer refs whose last forward consumer is this op.
+		for j := 0; j < oi; j++ {
+			if lastOut[j] == oi {
+				e.rt.Life.Release(outs[j].Storage(), finish)
+			}
+		}
+		// An output nothing consumes dies with its own producing op
+		// (unless it is the block output, whose refs are handled below).
+		if oi < n-1 && lastOut[oi] == -1 {
+			e.rt.Life.Release(out.Storage(), finish)
+		}
+		if lastIn == oi {
+			e.rt.Life.Release(blockIn.Storage(), finish)
+		}
+		for k := range extras {
+			if lastExtra[k] == oi {
+				e.rt.Life.Release(extras[k].Storage(), finish)
+			}
+		}
+
+		run.ops[oi] = rec
+		e.rt.Counters.Add("exec.fwd_ops", 1)
+	}
+
+	// The block output carries one producer ref; add one ref per
+	// downstream consumer, then drop the producer ref.
+	out := outs[n-1]
+	for i := 0; i < e.consumer[bi]; i++ {
+		e.rt.Life.Retain(out.Storage())
+	}
+	e.rt.Life.Release(out.Storage(), run.ops[n-1].finish)
+	run.out = out
+
+	e.hooks.ForwardPost(b.Module, *hostNow)
+	return run
+}
+
+// saveForBackward evaluates an op's save flags, packing each tensor.
+func (e *Executor) saveForBackward(b *Block, oi int, input, blockIn *tensor.Tensor, extras []*tensor.Tensor, outs []*tensor.Tensor, start, finish time.Duration, hostNow *time.Duration) []savedRef {
+	op := &b.Ops[oi]
+	out := outs[oi]
+	var saved []savedRef
+	if op.SaveInput {
+		// The input was produced by an earlier op (or is the block input);
+		// its data is complete by this op's start.
+		saved = append(saved, e.pack(input, start, hostNow))
+	}
+	if op.SaveOutput {
+		saved = append(saved, e.pack(out, finish, hostNow))
+	}
+	if op.SaveOther1 > 0 {
+		saved = append(saved, e.pack(outs[op.SaveOther1-1], start, hostNow))
+	}
+	if op.SaveBlockInput {
+		saved = append(saved, e.pack(blockIn, start, hostNow))
+	}
+	if op.SaveExtra1 > 0 {
+		saved = append(saved, e.pack(extras[op.SaveExtra1-1], start, hostNow))
+	}
+	if op.SaveMask {
+		mask := tensor.New(out.Name()+".mask", op.OutShape, tensor.BOOL, tensor.GPU)
+		e.rt.Life.Alloc(start, mask.Storage(), gpu.ClassActivations)
+		ref := e.pack(mask, finish, hostNow)
+		e.rt.Life.Release(mask.Storage(), finish) // producer ref
+		saved = append(saved, ref)
+	}
+	if op.SaveStatsElems > 0 {
+		stats := tensor.New(out.Name()+".stats", tensor.NewShape(int(op.SaveStatsElems)), tensor.FP32, tensor.GPU)
+		e.rt.Life.Alloc(start, stats.Storage(), gpu.ClassActivations)
+		ref := e.pack(stats, finish, hostNow)
+		e.rt.Life.Release(stats.Storage(), finish)
+		saved = append(saved, ref)
+	}
+	return saved
+}
+
+// backwardBlock executes one block's backward pass, consuming the
+// incoming gradient. It returns the gradient wrt the block input and the
+// completion time of the block's last backward kernel.
+func (e *Executor) backwardBlock(run *blockRun, gradIn *tensor.Tensor, hostNow *time.Duration, stall *time.Duration, mb int) (*tensor.Tensor, time.Duration) {
+	b := run.block
+	e.hooks.BackwardPre(b.Module, *hostNow)
+
+	recomputed := make([]*tensor.Tensor, len(b.Ops))
+	var recMasks []*tensor.Tensor
+	if b.Checkpoint {
+		// Resolve the block inputs, then re-run the forward chain.
+		inputs := append([]savedRef{run.inPacked}, run.extraPacked...)
+		ts, _ := e.unpackAll(inputs, hostNow, stall)
+		in := ts[0]
+		prev := in
+		for oi := range b.Ops {
+			op := &b.Ops[oi]
+			*hostNow += e.rt.Spec.HostIssue
+			finish := e.rt.Compute.Submit(*hostNow, op.FwdTime, nil)
+			start := finish - op.FwdTime
+			out := tensor.New(fmt.Sprintf("s%d.%s.%s.rec", e.stepIdx, b.Module.Path(), op.Name),
+				op.OutShape, op.OutDType, tensor.GPU)
+			e.rt.Life.Alloc(start, out.Storage(), gpu.ClassActivations)
+			recomputed[oi] = out
+			if op.SaveMask {
+				m := tensor.New(out.Name()+".mask", op.OutShape, tensor.BOOL, tensor.GPU)
+				e.rt.Life.Alloc(start, m.Storage(), gpu.ClassActivations)
+				recMasks = append(recMasks, m)
+			}
+			prev = out
+			e.rt.Counters.Add("exec.recompute_ops", 1)
+		}
+		_ = prev
+	}
+
+	grad := gradIn
+	var lastFinish time.Duration
+	for oi := len(b.Ops) - 1; oi >= 0; oi-- {
+		op := &b.Ops[oi]
+		var dataReady time.Duration
+		var saved []*tensor.Tensor
+		if !b.Checkpoint {
+			saved, dataReady = e.unpackAll(run.ops[oi].saved, hostNow, stall)
+		} else {
+			dataReady = *hostNow
+		}
+		_ = saved
+
+		*hostNow += e.rt.Spec.HostIssue
+		ready := *hostNow
+		if dataReady > ready {
+			ready = dataReady
+		}
+		finish := e.rt.Compute.Submit(ready, op.BwdTime, nil)
+		start := finish - op.BwdTime
+		lastFinish = finish
+
+		// Gradient wrt this op's input.
+		var inShape tensor.Shape
+		var inDType tensor.DType
+		if j := b.InputIndex(oi); j >= 0 {
+			inShape, inDType = b.Ops[j].OutShape, b.Ops[j].OutDType
+		} else {
+			inShape, inDType = run.in.Shape(), run.in.DType()
+		}
+		gnext := tensor.New(fmt.Sprintf("s%d.%s.%s.grad", e.stepIdx, b.Module.Path(), op.Name),
+			inShape, inDType, tensor.GPU)
+		e.rt.Life.Alloc(start, gnext.Storage(), gpu.ClassWorkspace)
+
+		// Weight gradient buffer, allocated on first backward touch and
+		// retained across steps (frameworks keep .grad buffers resident).
+		if op.Weight != nil {
+			seq := op.Weight.Storage().Seq()
+			if _, ok := e.gradOf[seq]; !ok {
+				g := tensor.New(op.Weight.Name()+".grad", op.Weight.Shape(), op.Weight.DType(), tensor.GPU)
+				e.rt.Life.Alloc(start, g.Storage(), gpu.ClassGradients)
+				e.gradOf[seq] = g
+			}
+			if mb > 0 {
+				// Accumulation read-modify-write for later micro-batches.
+				e.rt.Compute.Submit(finish, e.cfg.AccumCost(op.Weight), nil)
+			}
+		}
+
+		if !b.Checkpoint {
+			e.consumeAll(run.ops[oi].saved, finish)
+		} else {
+			// Recomputed activations die with their consuming backward op.
+			if rec := recomputed[oi]; rec != nil {
+				e.rt.Life.Release(rec.Storage(), finish)
+			}
+		}
+		// The op's own forward output producer ref (non-checkpoint): block
+		// outputs were transferred; intermediate outputs were released in
+		// forward. Nothing to do here for them.
+
+		// Consume the incoming gradient.
+		e.rt.Life.Release(grad.Storage(), finish)
+		grad = gnext
+		e.rt.Counters.Add("exec.bwd_ops", 1)
+	}
+
+	if b.Checkpoint {
+		// Release recomputed masks and the unpacked block inputs.
+		for _, m := range recMasks {
+			e.rt.Life.Release(m.Storage(), lastFinish)
+		}
+		e.consumeAll(append([]savedRef{run.inPacked}, run.extraPacked...), lastFinish)
+	}
+
+	e.hooks.BackwardPost(b.Module, *hostNow)
+	return grad, lastFinish
+}

@@ -1,0 +1,129 @@
+package autograd
+
+import (
+	"time"
+
+	"ssdtrain/internal/tensor"
+)
+
+// Packed is what the pack hook returns and the computation graph stores in
+// place of a saved tensor. It is either the original *tensor.Tensor (the
+// early-return path of Alg. 1: weights, CPU tensors, small tensors, or no
+// cache installed) or an opaque handle owned by the hook implementation
+// (the tensor cache's tensor identifier).
+type Packed any
+
+// PhaseEvent is a scheduler hint (§III-A ③④): the executor announces
+// coarse training phases so the hook implementation can switch
+// micro-batch records, start prefetching, or finalize the step.
+type PhaseEvent uint8
+
+// Phase events, in the order they occur within a step.
+const (
+	// PhaseStepStart begins a training step.
+	PhaseStepStart PhaseEvent = iota
+	// PhaseForward begins a micro-batch's forward propagation.
+	PhaseForward
+	// PhaseBackward begins a micro-batch's backward propagation.
+	PhaseBackward
+	// PhaseOptimizer begins the weight update.
+	PhaseOptimizer
+	// PhaseStepEnd ends the step (optimizer complete).
+	PhaseStepEnd
+)
+
+// String names the event.
+func (p PhaseEvent) String() string {
+	switch p {
+	case PhaseStepStart:
+		return "step-start"
+	case PhaseForward:
+		return "forward"
+	case PhaseBackward:
+		return "backward"
+	case PhaseOptimizer:
+		return "optimizer"
+	case PhaseStepEnd:
+		return "step-end"
+	default:
+		return "phase(?)"
+	}
+}
+
+// Hooks is the extension surface the executor exposes — the union of
+// PyTorch's module hooks, saved-tensor pack/unpack hooks, and the
+// scheduler hints SSDTrain monkey-patches in. All times are virtual.
+//
+// Unpack may block the (virtual) host: it returns both the tensor and the
+// time at which its data is actually resident, which becomes a lower
+// bound for the consuming backward kernel's start.
+type Hooks interface {
+	// Phase delivers a scheduler hint with the micro-batch index and the
+	// current host virtual time.
+	Phase(ev PhaseEvent, microBatch int, hostNow time.Duration)
+
+	// ForwardPre fires when the host enters a module's forward.
+	ForwardPre(m *Module, hostNow time.Duration)
+	// ForwardPost fires when the host exits a module's forward.
+	ForwardPost(m *Module, hostNow time.Duration)
+	// BackwardPre fires when the host enters a module's backward; this is
+	// where the cache issues prefetches for upcoming modules.
+	BackwardPre(m *Module, hostNow time.Duration)
+	// BackwardPost fires when the host exits a module's backward.
+	BackwardPost(m *Module, hostNow time.Duration)
+
+	// Pack is called when a tensor is registered on the computation graph.
+	// producedAt is when the producing kernel finishes — data transfers of
+	// the tensor must not begin before it. Pack returns what to store on
+	// the graph.
+	Pack(t *tensor.Tensor, producedAt, hostNow time.Duration) Packed
+	// Unpack resolves a graph entry back to a tensor; the returned time is
+	// when the tensor's data is resident on the GPU (≥ hostNow when a
+	// reload is in flight).
+	Unpack(p Packed, hostNow time.Duration) (*tensor.Tensor, time.Duration)
+	// Consumed tells the hook the backward consumer of p finished at the
+	// given time, releasing the hook's reference for reloaded or kept
+	// tensors.
+	Consumed(p Packed, at time.Duration)
+
+	// HostCost is the host CPU time charged per hook invocation; the
+	// paper's claim that the cache logic stays off the critical path is
+	// checked by sweeping this.
+	HostCost() time.Duration
+}
+
+// NoHooks is the baseline with no cache installed: every pack returns the
+// raw tensor, which the executor then keeps resident until backward — the
+// paper's "No Offloading" configuration.
+type NoHooks struct{}
+
+// Phase implements Hooks.
+func (NoHooks) Phase(PhaseEvent, int, time.Duration) {}
+
+// ForwardPre implements Hooks.
+func (NoHooks) ForwardPre(*Module, time.Duration) {}
+
+// ForwardPost implements Hooks.
+func (NoHooks) ForwardPost(*Module, time.Duration) {}
+
+// BackwardPre implements Hooks.
+func (NoHooks) BackwardPre(*Module, time.Duration) {}
+
+// BackwardPost implements Hooks.
+func (NoHooks) BackwardPost(*Module, time.Duration) {}
+
+// Pack implements Hooks: the tensor itself is stored on the graph.
+func (NoHooks) Pack(t *tensor.Tensor, _, _ time.Duration) Packed { return t }
+
+// Unpack implements Hooks: raw tensors are already resident.
+func (NoHooks) Unpack(p Packed, hostNow time.Duration) (*tensor.Tensor, time.Duration) {
+	return p.(*tensor.Tensor), hostNow
+}
+
+// Consumed implements Hooks.
+func (NoHooks) Consumed(Packed, time.Duration) {}
+
+// HostCost implements Hooks.
+func (NoHooks) HostCost() time.Duration { return 0 }
+
+var _ Hooks = NoHooks{}

@@ -1,0 +1,47 @@
+// Package autograd rebuilds the PyTorch execution surface that SSDTrain
+// (the paper's §III-B) is implemented against: a module tree, forward and
+// backward module hooks, saved-tensor pack/unpack hooks, and an executor
+// that runs a training step on the simulated GPU in virtual time. The
+// tensor cache in internal/core plugs into this package exactly the way
+// the paper's cache plugs into PyTorch — via hooks only, with no changes
+// to the runtime itself (the interoperability property of Table I).
+package autograd
+
+import "fmt"
+
+// Module is a node in the model tree. Concrete layers embed or reference
+// one; the hook machinery cares only about identity and names.
+type Module struct {
+	name     string
+	parent   *Module
+	children []*Module
+}
+
+// NewModule creates a root module.
+func NewModule(name string) *Module {
+	return &Module{name: name}
+}
+
+// Child creates (and registers) a child module.
+func (m *Module) Child(name string) *Module {
+	c := &Module{name: name, parent: m}
+	m.children = append(m.children, c)
+	return c
+}
+
+// Name returns the module's local name.
+func (m *Module) Name() string { return m.name }
+
+// Path returns the dotted path from the root, e.g. "gpt.layers.3.mlp".
+func (m *Module) Path() string {
+	if m.parent == nil {
+		return m.name
+	}
+	return m.parent.Path() + "." + m.name
+}
+
+// Children returns the registered child modules.
+func (m *Module) Children() []*Module { return m.children }
+
+// String renders the module path.
+func (m *Module) String() string { return fmt.Sprintf("module(%s)", m.Path()) }

@@ -1,0 +1,89 @@
+package autograd
+
+import (
+	"fmt"
+	"time"
+
+	"ssdtrain/internal/gpu"
+	"ssdtrain/internal/sim"
+	"ssdtrain/internal/tensor"
+	"ssdtrain/internal/trace"
+)
+
+// Runtime bundles the simulated device state one training process sees:
+// the event engine, the GPU allocator, storage lifetimes, and the compute
+// stream. Both the executor and the tensor cache operate against the same
+// Runtime, mirroring how the paper's cache shares the CUDA context with
+// PyTorch.
+type Runtime struct {
+	Eng      *sim.Engine
+	Spec     gpu.Spec
+	Cost     *gpu.CostModel
+	Alloc    *gpu.Allocator
+	Life     *Lifetimes
+	Compute  *sim.Server
+	Counters *trace.Counters
+}
+
+// NewRuntime builds a runtime for one GPU.
+func NewRuntime(spec gpu.Spec) *Runtime {
+	eng := sim.NewEngine()
+	alloc := gpu.NewAllocator(spec.Memory)
+	return &Runtime{
+		Eng:      eng,
+		Spec:     spec,
+		Cost:     gpu.DefaultCostModel(spec),
+		Alloc:    alloc,
+		Life:     NewLifetimes(alloc),
+		Compute:  sim.NewServer(eng, "gpu.compute"),
+		Counters: trace.NewCounters(),
+	}
+}
+
+// Lifetimes coordinates reference-counted storage release between the
+// executor and the tensor cache. A storage is freed into the allocator
+// when its last strong reference is dropped, at the latest virtual time
+// any reference was released — exactly the paper's semantics where GPU
+// memory is reclaimed "once the control flow gets out of the function
+// scope" AND offloading has finished (§III-B).
+type Lifetimes struct {
+	alloc  *gpu.Allocator
+	freeAt map[int64]time.Duration
+}
+
+// NewLifetimes creates a tracker bound to the allocator.
+func NewLifetimes(alloc *gpu.Allocator) *Lifetimes {
+	return &Lifetimes{alloc: alloc, freeAt: make(map[int64]time.Duration)}
+}
+
+// Alloc registers the storage with the allocator at virtual time at and
+// takes the initial (producer) reference.
+func (l *Lifetimes) Alloc(at time.Duration, s *tensor.Storage, class gpu.Class) {
+	l.alloc.Alloc(at, s, class)
+	s.Retain()
+}
+
+// Retain takes an additional reference on a live storage.
+func (l *Lifetimes) Retain(s *tensor.Storage) { s.Retain() }
+
+// Release drops a reference at virtual time at; when the count reaches
+// zero the storage is freed into the allocator at the maximum release
+// time seen.
+func (l *Lifetimes) Release(s *tensor.Storage, at time.Duration) {
+	seq := s.Seq()
+	if prev, ok := l.freeAt[seq]; !ok || at > prev {
+		l.freeAt[seq] = at
+	}
+	if s.Release() {
+		l.alloc.Free(l.freeAt[seq], s)
+		delete(l.freeAt, seq)
+	}
+}
+
+// MustBeQuiescent panics if any tracked release times remain for live
+// storages — a leak detector used by tests at step boundaries.
+func (l *Lifetimes) MustBeQuiescent(context string) {
+	if n := len(l.freeAt); n > 0 {
+		panic(fmt.Sprintf("autograd: %s: %d storages still partially released", context, n))
+	}
+}

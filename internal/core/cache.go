@@ -1,0 +1,525 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ssdtrain/internal/autograd"
+	"ssdtrain/internal/gpu"
+	"ssdtrain/internal/tensor"
+	"ssdtrain/internal/units"
+)
+
+// Config configures the tensor cache.
+type Config struct {
+	Runtime   *autograd.Runtime
+	Offloader Offloader
+	// Budget bounds the bytes submitted for offload per micro-batch
+	// (Alg. 1's is_offload_amount_reached); 0 means unlimited. Use
+	// PlanBudget to derive it from the Fig 3 workflow inputs.
+	Budget units.Bytes
+	// MinElems is the small-tensor passthrough threshold in elements
+	// (Alg. 1 line 2: math.prod(t.size()) < 2**20).
+	MinElems int64
+	// HostCost is the CPU time per hook invocation, charged to host time.
+	HostCost time.Duration
+	// PrefetchAhead is how many upcoming modules to prefetch when entering
+	// a module's backward (§III-C2). 0 selects the default: prefetch every
+	// known module, keeping the load queue busy end-to-end (the paper
+	// notes any scheme works "as long as there are always I/O tasks in
+	// the GPU job queue to keep PCIe busy"). Negative disables
+	// prefetching entirely (ablation: every reload becomes a demand load).
+	PrefetchAhead int
+	// KeepLastModules keeps the activations of the last K forward modules
+	// in GPU memory (Fig 2 ④); the module list is learned from the
+	// previous micro-batch's forward order.
+	KeepLastModules int
+	// Verify checks payload checksums on reload (requires materialized
+	// tensors).
+	Verify bool
+	// NoForwarding disables §III-C2 data forwarding (ablation): unpacking
+	// a tensor whose store is still in flight waits for the store and
+	// reads it back from the target instead of using the in-memory copy.
+	NoForwarding bool
+	// NoDedup disables §III-C1 deduplication (ablation): every pack gets
+	// its own record and its own I/O, as with address-based identifiers.
+	NoDedup bool
+}
+
+// withDefaults fills unset fields.
+func (c Config) withDefaults() Config {
+	if c.MinElems == 0 {
+		c.MinElems = 1 << 20
+	}
+	if c.HostCost == 0 {
+		c.HostCost = 15 * time.Microsecond
+	}
+	if c.PrefetchAhead == 0 {
+		c.PrefetchAhead = 1 << 30 // prefetch everything known
+	}
+	if c.PrefetchAhead < 0 {
+		c.PrefetchAhead = 0 // ablation: no prefetch
+	}
+	return c
+}
+
+// record tracks one saved tensor's cache state — the in-memory structure
+// of §III-B ("manages the references to all activations and tracks
+// activations' states, including if they are being offloaded, the path in
+// the file system, etc.").
+type record struct {
+	id    TensorID
+	mb    int
+	bytes units.Bytes
+	scope *autograd.Module
+
+	// t is the original tensor; the cache holds a strong reference while
+	// the tensor is kept, being stored, or forwarded.
+	t *tensor.Tensor
+
+	offloaded   bool
+	storeStart  time.Duration
+	storeFinish time.Duration
+	// released marks the original reference as dropped (store completed
+	// and ownership handed to garbage collection).
+	released bool
+
+	forwarded bool
+
+	loading    bool
+	loadStart  time.Duration
+	loadFinish time.Duration
+	loaded     *tensor.Tensor
+
+	refs     int // pack registrations (dedup makes this >1)
+	consumed int
+
+	checksum uint32
+}
+
+// handle is what the cache returns from Pack in place of the tensor — the
+// identifier registered on the computation graph.
+type handle struct{ rec *record }
+
+// StepIO summarizes the cache's traffic for one step.
+type StepIO struct {
+	Offloaded units.Bytes
+	Kept      units.Bytes
+	Forwarded units.Bytes
+	Reloaded  units.Bytes
+	Packs     int64
+	DedupHits int64
+	Leaked    int64
+}
+
+// TensorCache is SSDTrain's central component: an autograd.Hooks
+// implementation that manages activation offloading and reloading.
+type TensorCache struct {
+	cfg Config
+	rt  *autograd.Runtime
+	off Offloader
+	ids *IDSource
+
+	weightStamps map[int64]bool
+
+	// Per-micro-batch state (the paper's per-micro-batch records, ② in
+	// Fig 2).
+	curMB       int
+	recs        map[TensorID]*record
+	byModule    map[*autograd.Module][]*record
+	moduleOrder []*autograd.Module
+	moduleIndex map[*autograd.Module]int
+	offloadedMB units.Bytes
+
+	// stepRecs accumulates all records of the step for the end-of-step
+	// sweep.
+	stepRecs []map[TensorID]*record
+
+	// keepLast marks modules whose activations stay in GPU memory,
+	// learned from the previous forward order.
+	keepLast  map[*autograd.Module]bool
+	prevOrder []*autograd.Module
+
+	scopeStack []*autograd.Module
+	inBackward bool
+	dedupSalt  int64
+
+	cur    StepIO
+	last   StepIO
+	totals StepIO
+}
+
+// NewTensorCache builds a cache bound to a runtime and an offloader.
+func NewTensorCache(cfg Config) *TensorCache {
+	cfg = cfg.withDefaults()
+	if cfg.Runtime == nil || cfg.Offloader == nil {
+		panic("core: cache requires a runtime and an offloader")
+	}
+	return &TensorCache{
+		cfg:          cfg,
+		rt:           cfg.Runtime,
+		off:          cfg.Offloader,
+		ids:          NewIDSource(),
+		weightStamps: make(map[int64]bool),
+		keepLast:     make(map[*autograd.Module]bool),
+	}
+}
+
+// RegisterWeights records the identifiers of all parameters (and, via the
+// shared storage stamp, their transposed views) before training, so the
+// pack hook can exclude them (§III-C1).
+func (c *TensorCache) RegisterWeights(ws []*tensor.Tensor) {
+	for _, w := range ws {
+		id := c.ids.GetID(w)
+		c.weightStamps[id.Stamp] = true
+	}
+}
+
+// isWeight reports whether the tensor is a registered parameter or view.
+func (c *TensorCache) isWeight(t *tensor.Tensor) bool {
+	if t.IsWeight() {
+		return true
+	}
+	if s := t.Storage().Stamp(); s != 0 {
+		return c.weightStamps[s]
+	}
+	return false
+}
+
+func (c *TensorCache) curScope() *autograd.Module {
+	if len(c.scopeStack) == 0 {
+		return nil
+	}
+	return c.scopeStack[len(c.scopeStack)-1]
+}
+
+// Phase implements autograd.Hooks: the scheduler hints (③④ in Fig 2).
+func (c *TensorCache) Phase(ev autograd.PhaseEvent, mb int, hostNow time.Duration) {
+	switch ev {
+	case autograd.PhaseStepStart:
+		c.cur = StepIO{}
+		c.stepRecs = nil
+	case autograd.PhaseForward:
+		// Micro-batch switch (② in Fig 2): fresh record set.
+		c.inBackward = false
+		c.curMB = mb
+		if c.recs != nil {
+			c.stepRecs = append(c.stepRecs, c.recs)
+		}
+		c.recs = make(map[TensorID]*record)
+		c.byModule = make(map[*autograd.Module][]*record)
+		c.moduleIndex = make(map[*autograd.Module]int)
+		c.moduleOrder = nil
+		c.offloadedMB = 0
+		// Learn the keep-last set from the previous forward order.
+		c.keepLast = make(map[*autograd.Module]bool)
+		for i := 0; i < c.cfg.KeepLastModules && i < len(c.prevOrder); i++ {
+			c.keepLast[c.prevOrder[len(c.prevOrder)-1-i]] = true
+		}
+	case autograd.PhaseBackward:
+		c.inBackward = true
+		c.prevOrder = c.moduleOrder
+	case autograd.PhaseStepEnd:
+		c.sweep(hostNow)
+	}
+}
+
+// ForwardPre implements autograd.Hooks: push the module scope and record
+// the forward order.
+func (c *TensorCache) ForwardPre(m *autograd.Module, hostNow time.Duration) {
+	c.scopeStack = append(c.scopeStack, m)
+	if _, ok := c.moduleIndex[m]; !ok {
+		c.moduleIndex[m] = len(c.moduleOrder)
+		c.moduleOrder = append(c.moduleOrder, m)
+	}
+}
+
+// ForwardPost implements autograd.Hooks: pop the module scope.
+func (c *TensorCache) ForwardPost(m *autograd.Module, hostNow time.Duration) {
+	c.popScope(m)
+}
+
+func (c *TensorCache) popScope(m *autograd.Module) {
+	if n := len(c.scopeStack); n > 0 && c.scopeStack[n-1] == m {
+		c.scopeStack = c.scopeStack[:n-1]
+	}
+}
+
+// BackwardPre implements autograd.Hooks: entering a module's backward
+// triggers prefetching of the upcoming modules' activations in reverse
+// forward order (⑤ in Fig 2).
+func (c *TensorCache) BackwardPre(m *autograd.Module, hostNow time.Duration) {
+	c.scopeStack = append(c.scopeStack, m)
+	idx, ok := c.moduleIndex[m]
+	if !ok {
+		return
+	}
+	for k := 1; k <= c.cfg.PrefetchAhead; k++ {
+		j := idx - k
+		if j < 0 {
+			break
+		}
+		// Within a module, backward consumes tensors in reverse pack
+		// order, so loads are issued in reverse too: the first-needed
+		// tensor leads the FIFO queue.
+		recs := c.byModule[c.moduleOrder[j]]
+		for i := len(recs) - 1; i >= 0; i-- {
+			c.prefetch(recs[i], hostNow)
+		}
+	}
+}
+
+// BackwardPost implements autograd.Hooks.
+func (c *TensorCache) BackwardPost(m *autograd.Module, hostNow time.Duration) {
+	c.popScope(m)
+}
+
+// prefetch brings one offloaded record on the way back to GPU memory: if
+// the store is still in flight the in-memory reference is forwarded
+// instead of reading the SSD (§III-C2's data forwarding).
+func (c *TensorCache) prefetch(rec *record, hostNow time.Duration) {
+	if !rec.offloaded || rec.forwarded || rec.loading {
+		return
+	}
+	if hostNow < rec.storeFinish {
+		if c.cfg.NoForwarding {
+			// Ablation: wait out the store, then read it back.
+			c.issueLoad(rec, rec.storeFinish)
+			return
+		}
+		c.forward(rec)
+		return
+	}
+	c.issueLoad(rec, hostNow)
+}
+
+// forward marks a record as served from its in-flight in-memory copy.
+func (c *TensorCache) forward(rec *record) {
+	rec.forwarded = true
+	c.cur.Forwarded += rec.bytes
+	c.rt.Counters.Add("cache.forward_hits", 1)
+}
+
+// issueLoad starts the SSD read and allocates the reload buffer. The
+// original reference is dropped as of the store's completion.
+func (c *TensorCache) issueLoad(rec *record, ready time.Duration) {
+	c.releaseOriginal(rec)
+	start, finish, data := c.off.Load(rec.id, ready)
+	buf := tensor.New(rec.t.Name()+".reload", rec.t.Shape(), rec.t.DType(), tensor.GPU)
+	if data != nil {
+		buf.Storage().SetData(data)
+		if c.cfg.Verify {
+			if got := buf.Storage().Checksum(); got != rec.checksum {
+				panic(fmt.Sprintf("core: reload checksum mismatch for %s: %08x != %08x", rec.id, got, rec.checksum))
+			}
+		}
+	}
+	c.rt.Life.Alloc(start, buf.Storage(), gpu.ClassActivations)
+	rec.loading = true
+	rec.loadStart, rec.loadFinish = start, finish
+	rec.loaded = buf
+	c.cur.Reloaded += rec.bytes
+	c.rt.Counters.Add("cache.loads", 1)
+}
+
+// releaseOriginal drops the cache's reference to the original tensor as of
+// the store's completion time.
+func (c *TensorCache) releaseOriginal(rec *record) {
+	if rec.released {
+		return
+	}
+	rec.released = true
+	c.rt.Life.Release(rec.t.Storage(), rec.storeFinish)
+}
+
+// Pack implements autograd.Hooks — Alg. 1's pack_hook.
+func (c *TensorCache) Pack(t *tensor.Tensor, producedAt, hostNow time.Duration) autograd.Packed {
+	c.cur.Packs++
+	c.rt.Counters.Add("cache.packs", 1)
+	// Early returns (Alg. 1 line 2): weights, CPU tensors, small tensors.
+	if t.IsCPU() {
+		return t
+	}
+	if c.isWeight(t) {
+		c.rt.Counters.Add("cache.weight_skips", 1)
+		return t
+	}
+	if t.NumElems() < c.cfg.MinElems {
+		c.rt.Counters.Add("cache.small_skips", 1)
+		return t
+	}
+
+	id := c.ids.GetID(t)
+	if c.cfg.NoDedup {
+		// Ablation: address-style identity — every registration is a new
+		// record, so shared storages are stored (and loaded) repeatedly.
+		c.dedupSalt++
+		id.Shape = fmt.Sprintf("%s#%d", id.Shape, c.dedupSalt)
+	} else if rec, ok := c.recs[id]; ok {
+		// Duplicate registration of the same storage+shape: a single
+		// record and a single offload I/O (§III-C1).
+		rec.refs++
+		c.cur.DedupHits++
+		c.rt.Counters.Add("cache.dedup_hits", 1)
+		return handle{rec}
+	}
+
+	rec := &record{
+		id:    id,
+		mb:    c.curMB,
+		bytes: t.Bytes(),
+		scope: c.curScope(),
+		t:     t,
+		refs:  1,
+	}
+	c.recs[id] = rec
+	c.byModule[rec.scope] = append(c.byModule[rec.scope], rec)
+
+	keep := c.inBackward || c.keepLast[rec.scope] ||
+		(c.cfg.Budget > 0 && c.offloadedMB >= c.cfg.Budget)
+	c.rt.Life.Retain(t.Storage())
+	if keep {
+		// Alg. 1 line 6: keep_in_gpu_memory.
+		c.cur.Kept += rec.bytes
+		c.rt.Counters.Add("cache.keeps", 1)
+	} else {
+		// Alg. 1 line 7: offload. The store cannot begin before the
+		// producing kernel finishes.
+		rec.offloaded = true
+		rec.checksum = t.Storage().Checksum()
+		rec.storeStart, rec.storeFinish = c.off.Store(id, t, producedAt)
+		c.offloadedMB += rec.bytes
+		c.cur.Offloaded += rec.bytes
+		c.rt.Counters.Add("cache.stores", 1)
+	}
+	return handle{rec}
+}
+
+// Unpack implements autograd.Hooks — Alg. 1's unpack_hook. It returns the
+// tensor and the virtual time at which its data is resident.
+func (c *TensorCache) Unpack(p autograd.Packed, hostNow time.Duration) (*tensor.Tensor, time.Duration) {
+	if t, ok := p.(*tensor.Tensor); ok {
+		// Alg. 1 line 10: raw tensors pass straight through.
+		return t, hostNow
+	}
+	rec := p.(handle).rec
+	switch {
+	case !rec.offloaded || rec.forwarded:
+		return rec.t, hostNow
+	case rec.loading:
+		ready := rec.loadFinish
+		if hostNow > ready {
+			ready = hostNow
+		}
+		return rec.loaded, ready
+	case hostNow < rec.storeFinish:
+		if c.cfg.NoForwarding {
+			// Ablation: serialize behind the store, then demand-load.
+			c.issueLoad(rec, rec.storeFinish)
+			c.rt.Counters.Add("cache.demand_loads", 1)
+			return rec.loaded, rec.loadFinish
+		}
+		// Data forwarding at unpack time: the store has not finished, so
+		// the in-memory copy is still valid — skip the SSD read.
+		c.forward(rec)
+		return rec.t, hostNow
+	default:
+		// Not prefetched (e.g. prefetching disabled): demand load. The
+		// caller blocks until loadFinish.
+		c.issueLoad(rec, hostNow)
+		c.rt.Counters.Add("cache.demand_loads", 1)
+		return rec.loaded, rec.loadFinish
+	}
+}
+
+// Consumed implements autograd.Hooks: the backward consumer of p finished.
+// On the last consumer the cache drops whatever reference it still holds.
+func (c *TensorCache) Consumed(p autograd.Packed, at time.Duration) {
+	h, ok := p.(handle)
+	if !ok {
+		return
+	}
+	rec := h.rec
+	rec.consumed++
+	if rec.consumed < rec.refs {
+		return
+	}
+	c.finishRecord(rec, at)
+}
+
+// finishRecord releases the cache's references for a fully consumed
+// record and deletes its offload file.
+func (c *TensorCache) finishRecord(rec *record, at time.Duration) {
+	switch {
+	case !rec.offloaded:
+		// Kept in GPU memory until its backward use completed.
+		c.rt.Life.Release(rec.t.Storage(), at)
+	case rec.forwarded:
+		// Forwarded: the original stays until both the consumer and the
+		// still-running store are done.
+		rel := at
+		if rec.storeFinish > rel {
+			rel = rec.storeFinish
+		}
+		rec.released = true
+		c.rt.Life.Release(rec.t.Storage(), rel)
+		c.off.Delete(rec.id)
+	default:
+		// Reloaded from SSD: free the reload buffer; the original was
+		// released when the store completed.
+		if rec.loaded != nil {
+			c.rt.Life.Release(rec.loaded.Storage(), at)
+		}
+		c.off.Delete(rec.id)
+	}
+}
+
+// sweep closes out the step: any record that was never fully consumed
+// (which indicates an executor bug or an aborted step) has its references
+// released and is counted as leaked.
+func (c *TensorCache) sweep(at time.Duration) {
+	maps := c.stepRecs
+	if c.recs != nil {
+		maps = append(maps, c.recs)
+	}
+	for _, m := range maps {
+		for _, rec := range m {
+			if rec.consumed >= rec.refs {
+				continue
+			}
+			c.cur.Leaked++
+			c.rt.Counters.Add("cache.leaks", 1)
+			if rec.offloaded && !rec.forwarded && rec.loaded == nil {
+				c.releaseOriginal(rec)
+				c.off.Delete(rec.id)
+				continue
+			}
+			c.finishRecord(rec, at)
+		}
+	}
+	c.stepRecs = nil
+	c.recs = nil
+	c.byModule = nil
+	c.last = c.cur
+	c.totals.Offloaded += c.cur.Offloaded
+	c.totals.Kept += c.cur.Kept
+	c.totals.Forwarded += c.cur.Forwarded
+	c.totals.Reloaded += c.cur.Reloaded
+	c.totals.Packs += c.cur.Packs
+	c.totals.DedupHits += c.cur.DedupHits
+	c.totals.Leaked += c.cur.Leaked
+}
+
+// HostCost implements autograd.Hooks.
+func (c *TensorCache) HostCost() time.Duration { return c.cfg.HostCost }
+
+// LastStep returns the completed step's I/O summary.
+func (c *TensorCache) LastStep() StepIO { return c.last }
+
+// Totals returns cumulative I/O across steps.
+func (c *TensorCache) Totals() StepIO { return c.totals }
+
+// Offloader returns the cache's offload target.
+func (c *TensorCache) Offloader() Offloader { return c.off }
+
+var _ autograd.Hooks = (*TensorCache)(nil)

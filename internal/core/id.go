@@ -1,0 +1,62 @@
+// Package core implements SSDTrain itself (§III): the tensor cache that
+// intercepts saved-tensor pack/unpack traffic, offloads activations to an
+// SSD (or host-memory) target, prefetches them back in reverse layer
+// order ahead of backward propagation, deduplicates repeated
+// registrations of the same storage, forwards in-flight tensors from
+// memory, and adaptively bounds the offload amount so I/O stays fully
+// overlapped with compute.
+package core
+
+import (
+	"fmt"
+	"hash/fnv"
+
+	"ssdtrain/internal/tensor"
+)
+
+// TensorID is the cache's stable identifier for a saved tensor: the
+// logical timestamp stamped onto the underlying storage at first sight,
+// combined with the view's shape (§III-C1). Address-based identity is
+// deliberately avoided: offloaded tensors are garbage collected, their
+// addresses recycled, and identifiers would collide — the failure mode
+// get_id() exists to prevent.
+type TensorID struct {
+	Stamp int64
+	Shape string
+}
+
+// String renders the ID for diagnostics and file naming.
+func (id TensorID) String() string {
+	return fmt.Sprintf("t%d/%s", id.Stamp, id.Shape)
+}
+
+// FileName returns a stable offload file name for the ID, in the style of
+// the paper's "/mnt/md1/t1.pt".
+func (id TensorID) FileName() string {
+	h := fnv.New32a()
+	h.Write([]byte(id.Shape))
+	return fmt.Sprintf("t%d_%08x.pt", id.Stamp, h.Sum32())
+}
+
+// IDSource implements get_id(): a monotonic logical clock whose ticks are
+// attached to storages the first time they are processed. Because the
+// stamp lives on the storage, every view — including the transposed
+// weight views linear layers register — resolves to the same stamp, and
+// the stamp survives across training steps.
+type IDSource struct {
+	clock int64
+}
+
+// NewIDSource returns a fresh logical clock.
+func NewIDSource() *IDSource { return &IDSource{} }
+
+// GetID returns the tensor's stable identifier, stamping the underlying
+// storage on first encounter.
+func (s *IDSource) GetID(t *tensor.Tensor) TensorID {
+	st := t.Storage()
+	if st.Stamp() == 0 {
+		s.clock++
+		st.SetStamp(s.clock)
+	}
+	return TensorID{Stamp: st.Stamp(), Shape: t.Shape().Key()}
+}

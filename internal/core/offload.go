@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"ssdtrain/internal/gds"
+	"ssdtrain/internal/pcie"
+	"ssdtrain/internal/sim"
+	"ssdtrain/internal/ssd"
+	"ssdtrain/internal/tensor"
+	"ssdtrain/internal/units"
+)
+
+// Offloader moves tensor payloads between GPU memory and an offload
+// target. Implementations provide two FIFO queues — one for stores, one
+// for loads — matching the cache's two thread pools (§III-C2). All times
+// are virtual; Store/Load return when the transfer's data is fully on the
+// target/GPU.
+type Offloader interface {
+	// Name identifies the target (e.g. "/mnt/md1").
+	Name() string
+	// Store writes t to the target under the ID's file name, starting no
+	// earlier than ready (the producing kernel's completion). It returns
+	// the transfer's start and finish times.
+	Store(id TensorID, t *tensor.Tensor, ready time.Duration) (start, finish time.Duration)
+	// Load reads the file back, starting no earlier than ready; it
+	// returns the transfer's start and finish times plus the payload
+	// (nil for size-only stores).
+	Load(id TensorID, ready time.Duration) (start, finish time.Duration, data []byte)
+	// Delete removes the file (idempotent).
+	Delete(id TensorID)
+	// WriteBandwidth/ReadBandwidth expose the nominal path rates for
+	// offload planning (Fig 3).
+	WriteBandwidth() units.Bandwidth
+	ReadBandwidth() units.Bandwidth
+	// BytesWritten/BytesRead are cumulative host-visible transfer totals.
+	BytesWritten() units.Bytes
+	BytesRead() units.Bytes
+	// PeakResident is the high-water mark of bytes live on the target.
+	PeakResident() units.Bytes
+}
+
+// SSDOffloader implements the GDS path: GPU → PCIe → RAID0 NVMe array
+// with no host bounce (§II-D). Registered storages (the CUDA-malloc-hook
+// path) move at the full bottleneck bandwidth; unregistered ones fall back
+// to the derated compatibility path.
+type SSDOffloader struct {
+	name     string
+	link     *pcie.Link
+	array    *ssd.Array
+	store    *ssd.BlockStore
+	registry *gds.Registry
+
+	// storeQ and loadQ are the two FIFO "thread pool" queues.
+	storeQ *sim.Server
+	loadQ  *sim.Server
+
+	writeBW units.Bandwidth
+	readBW  units.Bandwidth
+	latency time.Duration
+}
+
+// NewSSDOffloader builds the SSD offloader over a PCIe link and an array.
+// The effective rates are the path bottlenecks: GDS transfers stream
+// through the root complex, so bandwidth is min(link, array) per
+// direction.
+func NewSSDOffloader(eng *sim.Engine, name string, link *pcie.Link, array *ssd.Array, registry *gds.Registry) *SSDOffloader {
+	if registry == nil {
+		registry = gds.NewRegistry()
+	}
+	wb := link.Effective()
+	if aw := array.AggregateWrite(); aw < wb {
+		wb = aw
+	}
+	rb := link.Effective()
+	if ar := array.AggregateRead(); ar < rb {
+		rb = ar
+	}
+	return &SSDOffloader{
+		name:     name,
+		link:     link,
+		array:    array,
+		store:    ssd.NewBlockStore(),
+		registry: registry,
+		storeQ:   sim.NewServer(eng, name+".storeq"),
+		loadQ:    sim.NewServer(eng, name+".loadq"),
+		writeBW:  wb,
+		readBW:   rb,
+		latency:  link.Config().Latency + 10*time.Microsecond,
+	}
+}
+
+// Name implements Offloader.
+func (o *SSDOffloader) Name() string { return o.name }
+
+// Registry returns the GDS registration registry.
+func (o *SSDOffloader) Registry() *gds.Registry { return o.registry }
+
+// BlockStore exposes the byte store for verification tests.
+func (o *SSDOffloader) BlockStore() *ssd.BlockStore { return o.store }
+
+// Store implements Offloader.
+func (o *SSDOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration) (time.Duration, time.Duration) {
+	n := t.Bytes()
+	bw := o.registry.EffectiveBandwidth(t.Storage(), o.writeBW)
+	dur := o.latency + bw.TimeFor(n)
+	finish := o.storeQ.Submit(ready, dur, nil)
+	start := finish - dur
+	// Account the bytes on the underlying devices and link for
+	// utilization and endurance reporting.
+	o.array.Write(start, n, nil)
+	o.link.Down(start, n, nil)
+	path := o.pathOf(id)
+	if data := t.Storage().Data(); data != nil {
+		o.store.WriteFile(path, data)
+	} else {
+		o.store.WriteSize(path, n)
+	}
+	return start, finish
+}
+
+// Load implements Offloader.
+func (o *SSDOffloader) Load(id TensorID, ready time.Duration) (time.Duration, time.Duration, []byte) {
+	path := o.pathOf(id)
+	n, ok := o.store.Size(path)
+	if !ok {
+		panic(fmt.Sprintf("core: load of missing offload file %s", path))
+	}
+	dur := o.latency + o.readBW.TimeFor(n)
+	finish := o.loadQ.Submit(ready, dur, nil)
+	start := finish - dur
+	o.array.Read(start, n, nil)
+	o.link.Up(start, n, nil)
+	data, _ := o.store.ReadFile(path)
+	return start, finish, data
+}
+
+// Delete implements Offloader.
+func (o *SSDOffloader) Delete(id TensorID) { o.store.Delete(o.pathOf(id)) }
+
+func (o *SSDOffloader) pathOf(id TensorID) string {
+	return o.name + "/" + id.FileName()
+}
+
+// WriteBandwidth implements Offloader.
+func (o *SSDOffloader) WriteBandwidth() units.Bandwidth { return o.writeBW }
+
+// ReadBandwidth implements Offloader.
+func (o *SSDOffloader) ReadBandwidth() units.Bandwidth { return o.readBW }
+
+// BytesWritten implements Offloader.
+func (o *SSDOffloader) BytesWritten() units.Bytes { return o.store.Written() }
+
+// BytesRead implements Offloader.
+func (o *SSDOffloader) BytesRead() units.Bytes { return o.store.Read() }
+
+// PeakResident implements Offloader.
+func (o *SSDOffloader) PeakResident() units.Bytes { return o.store.PeakUsed() }
+
+// StoreDrainTime returns when the store queue's backlog finishes.
+func (o *SSDOffloader) StoreDrainTime() time.Duration { return o.storeQ.BusyUntil() }
+
+var _ Offloader = (*SSDOffloader)(nil)
+
+// CPUOffloader targets a pre-allocated pinned host-memory pool over the
+// PCIe link — the paper's second offloader, intended for clusters with
+// remote SSD storage (§III-A). The pool is sized by profiling the first
+// training step.
+type CPUOffloader struct {
+	name  string
+	link  *pcie.Link
+	store *ssd.BlockStore
+
+	storeQ *sim.Server
+	loadQ  *sim.Server
+
+	latency time.Duration
+
+	// capacity is the pinned pool size; zero means profiling mode (grow
+	// freely and report the peak).
+	capacity units.Bytes
+}
+
+// NewCPUOffloader builds a host-memory offloader. capacity of zero starts
+// in profiling mode.
+func NewCPUOffloader(eng *sim.Engine, name string, link *pcie.Link, capacity units.Bytes) *CPUOffloader {
+	return &CPUOffloader{
+		name:     name,
+		link:     link,
+		store:    ssd.NewBlockStore(),
+		storeQ:   sim.NewServer(eng, name+".storeq"),
+		loadQ:    sim.NewServer(eng, name+".loadq"),
+		latency:  link.Config().Latency,
+		capacity: capacity,
+	}
+}
+
+// Name implements Offloader.
+func (o *CPUOffloader) Name() string { return o.name }
+
+// SetCapacity fixes the pool size after profiling.
+func (o *CPUOffloader) SetCapacity(n units.Bytes) { o.capacity = n }
+
+// Capacity returns the configured pool size (0 = profiling).
+func (o *CPUOffloader) Capacity() units.Bytes { return o.capacity }
+
+// Store implements Offloader.
+func (o *CPUOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration) (time.Duration, time.Duration) {
+	n := t.Bytes()
+	if o.capacity > 0 && o.store.Used()+n > o.capacity {
+		panic(fmt.Sprintf("core: pinned pool overflow: %v used + %v > %v capacity (re-profile the first step)",
+			o.store.Used(), n, o.capacity))
+	}
+	dur := o.latency + o.link.Effective().TimeFor(n)
+	finish := o.storeQ.Submit(ready, dur, nil)
+	start := finish - dur
+	o.link.Down(start, n, nil)
+	path := o.name + "/" + id.FileName()
+	if data := t.Storage().Data(); data != nil {
+		o.store.WriteFile(path, data)
+	} else {
+		o.store.WriteSize(path, n)
+	}
+	return start, finish
+}
+
+// Load implements Offloader.
+func (o *CPUOffloader) Load(id TensorID, ready time.Duration) (time.Duration, time.Duration, []byte) {
+	path := o.name + "/" + id.FileName()
+	n, ok := o.store.Size(path)
+	if !ok {
+		panic(fmt.Sprintf("core: load of missing pinned buffer %s", path))
+	}
+	dur := o.latency + o.link.Effective().TimeFor(n)
+	finish := o.loadQ.Submit(ready, dur, nil)
+	start := finish - dur
+	o.link.Up(start, n, nil)
+	data, _ := o.store.ReadFile(path)
+	return start, finish, data
+}
+
+// Delete implements Offloader.
+func (o *CPUOffloader) Delete(id TensorID) { o.store.Delete(o.name + "/" + id.FileName()) }
+
+// WriteBandwidth implements Offloader.
+func (o *CPUOffloader) WriteBandwidth() units.Bandwidth { return o.link.Effective() }
+
+// ReadBandwidth implements Offloader.
+func (o *CPUOffloader) ReadBandwidth() units.Bandwidth { return o.link.Effective() }
+
+// BytesWritten implements Offloader.
+func (o *CPUOffloader) BytesWritten() units.Bytes { return o.store.Written() }
+
+// BytesRead implements Offloader.
+func (o *CPUOffloader) BytesRead() units.Bytes { return o.store.Read() }
+
+// PeakResident implements Offloader.
+func (o *CPUOffloader) PeakResident() units.Bytes { return o.store.PeakUsed() }
+
+var _ Offloader = (*CPUOffloader)(nil)

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"time"
+
+	"ssdtrain/internal/units"
+)
+
+// PlanInputs are the Fig 3 workflow inputs: what SSDTrain retrieves from
+// the model instance and the hardware before setting the offload amount.
+type PlanInputs struct {
+	// ForwardTime is the estimated forward-propagation time per
+	// micro-batch (from the performance model or a profiled step).
+	ForwardTime time.Duration
+	// BackwardTime is the estimated backward-propagation time.
+	BackwardTime time.Duration
+	// EligibleBytes is the per-micro-batch activation volume the pack hook
+	// would see (excluding weights and small tensors).
+	EligibleBytes units.Bytes
+	// LastModuleBytes is the activation volume of the final module, which
+	// is kept resident because backward consumes it immediately (Fig 2 ④).
+	LastModuleBytes units.Bytes
+	// WriteBandwidth/ReadBandwidth are the offloader's path rates.
+	WriteBandwidth units.Bandwidth
+	ReadBandwidth  units.Bandwidth
+	// SafetyFactor derates the drainable volume to absorb queueing jitter;
+	// values in (0,1]. Zero selects the default 0.9.
+	SafetyFactor float64
+}
+
+// ModulePlan describes the graph at module granularity for the planner:
+// parallel slices of per-module saved-activation bytes and backward
+// compute time, in forward order.
+type ModulePlan struct {
+	SavedBytes []units.Bytes
+	BwdTime    []time.Duration
+	// ReadBandwidth/WriteBandwidth are the offloader's path rates.
+	ReadBandwidth  units.Bandwidth
+	WriteBandwidth units.Bandwidth
+	// ForwardTime/BackwardTime bound the store drain window.
+	ForwardTime  time.Duration
+	BackwardTime time.Duration
+	// SafetyFactor derates bandwidth; zero selects 0.9.
+	SafetyFactor float64
+}
+
+// PlanModuleBudget sets the offload amount at module granularity — the
+// full Fig 3 workflow. Backward consumes modules in reverse order, so the
+// planner offloads the longest prefix of modules whose reloads all hide
+// behind the backward compute of the modules after them:
+//
+//	for every offloaded module i:
+//	    (Σ_{k=i..j-1} saved_k) / readBW  ≤  Σ_{k>i} bwd_k
+//
+// where j is the first kept module. Everything past the budget stays in
+// GPU memory (Alg. 1's is_offload_amount_reached), which automatically
+// keeps the tail modules — including the last one (Fig 2 ④).
+func PlanModuleBudget(in ModulePlan) units.Bytes {
+	sf := in.SafetyFactor
+	if sf <= 0 || sf > 1 {
+		sf = 0.9
+	}
+	m := len(in.SavedBytes)
+	if m == 0 || m != len(in.BwdTime) {
+		return 0
+	}
+	// The reload deadline check uses the raw read bandwidth: a marginal
+	// miss degrades gracefully (the still-stored tensors forward from
+	// memory), so the safety factor applies only to the store-drain clamp.
+	readBW := float64(in.ReadBandwidth)
+	if readBW <= 0 {
+		return 0
+	}
+	// bwdAfter[i] = Σ_{k>i} bwd_k.
+	bwdAfter := make([]float64, m)
+	var cum float64
+	for i := m - 1; i >= 0; i-- {
+		bwdAfter[i] = cum
+		cum += in.BwdTime[i].Seconds()
+	}
+	feasible := func(j int) bool { // offload modules [0, j)
+		var load float64 // seconds of reload from module i to j-1
+		for i := j - 1; i >= 0; i-- {
+			load += float64(in.SavedBytes[i]) / readBW
+			// A module's tensors are consumed spread across its own
+			// backward, so half of it extends the deadline window.
+			if load > bwdAfter[i]+in.BwdTime[i].Seconds()/2 {
+				return false
+			}
+		}
+		return true
+	}
+	// The last module is never offloaded (backward needs it immediately).
+	j := m - 1
+	for j > 0 && !feasible(j) {
+		j--
+	}
+	var budget units.Bytes
+	for i := 0; i < j; i++ {
+		budget += in.SavedBytes[i]
+	}
+	// Store-side clamp: bytes the write path cannot drain before reloads
+	// would need them just waste endurance (they get forwarded anyway).
+	drainWindow := in.ForwardTime + in.BackwardTime/2
+	if writable := units.Bytes(sf * float64(in.WriteBandwidth) * drainWindow.Seconds()); in.WriteBandwidth > 0 && writable < budget {
+		budget = writable
+	}
+	return budget
+}
+
+// PlanBudget sets the activation offload amount (the "Set: offload size"
+// box of Fig 3): offload no more than the store queue can drain while
+// forward compute proceeds, no more than the load queue can feed back
+// during backward, and never the last module's activations.
+func PlanBudget(in PlanInputs) units.Bytes {
+	sf := in.SafetyFactor
+	if sf <= 0 || sf > 1 {
+		sf = 0.9
+	}
+	budget := in.EligibleBytes - in.LastModuleBytes
+	if budget < 0 {
+		budget = 0
+	}
+	// Stores must drain while forward (and the early part of backward)
+	// still runs; by the time a tensor is reloaded its store must long be
+	// complete. The drain window is forward plus half of backward.
+	drainWindow := in.ForwardTime + in.BackwardTime/2
+	writable := units.Bytes(sf * float64(in.WriteBandwidth) * drainWindow.Seconds())
+	if writable < budget {
+		budget = writable
+	}
+	// Reloads must keep up with backward consumption.
+	readable := units.Bytes(sf * float64(in.ReadBandwidth) * in.BackwardTime.Seconds())
+	if readable < budget {
+		budget = readable
+	}
+	return budget
+}

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ssdtrain/internal/autograd"
+	"ssdtrain/internal/gpu"
+	"ssdtrain/internal/tensor"
+	"ssdtrain/internal/units"
+)
+
+// TestCacheProtocolProperty drives the cache through randomized but
+// protocol-legal pack/unpack/consume sequences across modules and
+// micro-batches and asserts the invariants the executor depends on:
+//
+//  1. byte conservation: offloaded + kept == total packed (dedup aside);
+//  2. forwarded + reloaded ≤ offloaded;
+//  3. no leaked records once every pack was consumed;
+//  4. every unpack returns a tensor whose size matches the original.
+func TestCacheProtocolProperty(t *testing.T) {
+	f := func(seed uint32, sizes []uint8, budgetSel uint8) bool {
+		if len(sizes) == 0 {
+			return true
+		}
+		if len(sizes) > 24 {
+			sizes = sizes[:24]
+		}
+		rig := newRig()
+		budget := units.Bytes(0)
+		if budgetSel%3 == 1 {
+			budget = units.Bytes(budgetSel) * 4 * units.MiB
+		}
+		c := newCache(rig, Config{Budget: budget})
+		mods := []*autograd.Module{
+			autograd.NewModule("m0"), autograd.NewModule("m1"), autograd.NewModule("m2"),
+		}
+
+		type packed struct {
+			p     autograd.Packed
+			bytes units.Bytes
+		}
+		var packs []packed
+		var total units.Bytes
+
+		c.Phase(autograd.PhaseStepStart, 0, 0)
+		c.Phase(autograd.PhaseForward, 0, 0)
+		now := time.Duration(0)
+		for i, sz := range sizes {
+			m := mods[i%len(mods)]
+			c.ForwardPre(m, now)
+			elems := (int(sz)%4 + 1) * (1 << 20) // 1–4 Mi elements
+			x := tensor2(rig, elems, now)
+			p := c.Pack(x, now, now)
+			packs = append(packs, packed{p, x.Bytes()})
+			total += x.Bytes()
+			c.ForwardPost(m, now)
+			now += time.Millisecond
+		}
+
+		io := c.cur
+		if io.Offloaded+io.Kept != total {
+			return false // invariant 1
+		}
+
+		// Backward: unpack and consume everything in reverse order.
+		bwd := now + 500*time.Millisecond
+		c.Phase(autograd.PhaseBackward, 0, bwd)
+		for i := len(packs) - 1; i >= 0; i-- {
+			m := mods[i%len(mods)]
+			c.BackwardPre(m, bwd)
+			got, ready := c.Unpack(packs[i].p, bwd)
+			if got == nil || got.Bytes() != packs[i].bytes {
+				return false // invariant 4
+			}
+			if ready < bwd {
+				return false
+			}
+			c.Consumed(packs[i].p, ready+time.Millisecond)
+			c.BackwardPost(m, bwd)
+			bwd = ready + time.Millisecond
+		}
+		c.Phase(autograd.PhaseStepEnd, 0, bwd+time.Second)
+
+		last := c.LastStep()
+		if last.Forwarded+last.Reloaded > last.Offloaded {
+			return false // invariant 2
+		}
+		return last.Leaked == 0 // invariant 3
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// tensor2 allocates a GPU activation of the given element count and
+// registers it with the allocator.
+func tensor2(rig *testRig, elems int, at time.Duration) *tensor.Tensor {
+	x := tensor.New("t", tensor.NewShape(elems), tensor.FP16, tensor.GPU)
+	rig.rt.Life.Alloc(at, x.Storage(), gpu.ClassActivations)
+	return x
+}

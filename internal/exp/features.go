@@ -1,0 +1,79 @@
+package exp
+
+import "ssdtrain/internal/trace"
+
+// Feature is one row dimension of Table I.
+type Feature string
+
+// Table I features.
+const (
+	FeatTraining         Feature = "training"
+	FeatOffloadToHost    Feature = "activation offloading to main memory"
+	FeatOffloadToSSD     Feature = "activation offloading to SSD"
+	FeatDirectGPUSSD     Feature = "direct GPU-SSD data path"
+	FeatAsyncTransfer    Feature = "async data transfer"
+	FeatInteroperability Feature = "interoperability"
+)
+
+// FeatureMatrix reproduces Table I: which LLM offloading systems support
+// which capabilities. The SSDTrain column is backed by this repository:
+// training (the executor), host offloading (CPUOffloader), SSD offloading
+// (SSDOffloader), the direct path (gds registry + malloc hook), async
+// transfer (store/load queues overlapped with compute) and
+// interoperability (the cache is hooks-only, framework untouched).
+func FeatureMatrix() map[string]map[Feature]bool {
+	return map[string]map[Feature]bool{
+		"FlexGen": {
+			FeatOffloadToHost: true,
+			FeatOffloadToSSD:  true,
+		},
+		"LLM-in-a-Flash": {
+			FeatOffloadToSSD: true,
+		},
+		"ZeRO-Infinity": {
+			FeatTraining:      true,
+			FeatOffloadToHost: true, // checkpoints only
+			FeatOffloadToSSD:  true,
+		},
+		"SSDTrain": {
+			FeatTraining:         true,
+			FeatOffloadToHost:    true,
+			FeatOffloadToSSD:     true,
+			FeatDirectGPUSSD:     true,
+			FeatAsyncTransfer:    true,
+			FeatInteroperability: true,
+		},
+	}
+}
+
+// AllFeatures returns the Table I rows in presentation order.
+func AllFeatures() []Feature {
+	return []Feature{
+		FeatTraining, FeatOffloadToHost, FeatOffloadToSSD,
+		FeatDirectGPUSSD, FeatAsyncTransfer, FeatInteroperability,
+	}
+}
+
+// SystemsOrder returns the Table I columns in presentation order.
+func SystemsOrder() []string {
+	return []string{"FlexGen", "LLM-in-a-Flash", "ZeRO-Infinity", "SSDTrain"}
+}
+
+// Table1 renders the feature matrix.
+func Table1() *trace.Table {
+	t := trace.NewTable("Table I — LLM systems with offloading features",
+		append([]string{"feature"}, SystemsOrder()...)...)
+	m := FeatureMatrix()
+	for _, f := range AllFeatures() {
+		row := []any{string(f)}
+		for _, sys := range SystemsOrder() {
+			mark := ""
+			if m[sys][f] {
+				mark = "yes"
+			}
+			row = append(row, mark)
+		}
+		t.AddRow(row...)
+	}
+	return t
+}

@@ -1,0 +1,40 @@
+package exp
+
+import (
+	"testing"
+
+	"ssdtrain/internal/models"
+)
+
+// TestFig6Shape checks the paper's headline result at full evaluation
+// scale: SSDTrain cuts the activation peak by tens of percent while the
+// step time stays within a fraction of a percent of the baseline.
+func TestFig6Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale geometry")
+	}
+	for _, g := range models.Fig6Geometries() {
+		cfg := models.PaperConfig(models.BERT, g[0], g[1], 16)
+		base, err := Run(RunConfig{Model: cfg, Strategy: NoOffload})
+		if err != nil {
+			t.Fatal(err)
+		}
+		off, err := Run(RunConfig{Model: cfg, Strategy: SSDTrain})
+		if err != nil {
+			t.Fatal(err)
+		}
+		red := 100 * (1 - float64(off.Measured.ActPeak)/float64(base.Measured.ActPeak))
+		ratio := float64(off.StepTime()) / float64(base.StepTime())
+		if red < 15 {
+			t.Errorf("H%d L%d: activation peak reduction %.0f%% below 15%%", g[0], g[1], red)
+		}
+		if ratio > 1.01 {
+			t.Errorf("H%d L%d: step-time ratio %.3f above 1.01", g[0], g[1], ratio)
+		}
+		t.Logf("BERT H%d L%d: peak %v -> %v (-%.0f%%), step %v -> %v (ratio %.3f), stall=%v, offloaded=%v fw=%v budget=%v elig=%v thr=%v",
+			g[0], g[1], base.Measured.ActPeak, off.Measured.ActPeak, red,
+			base.StepTime(), off.StepTime(), ratio, off.Measured.Stats.ComputeStall,
+			off.Measured.IO.Offloaded, off.Measured.IO.Forwarded, off.PlannedBudget, off.EligibleBytes,
+			base.Throughput())
+	}
+}

@@ -1,0 +1,333 @@
+// Package exp is the experiment harness: it wires the substrates together
+// (GPU runtime, PCIe link, SSD array, GDS registry, tensor cache) and runs
+// training steps under the placement strategies the paper compares,
+// producing the rows of every evaluation table and figure. The cmd/
+// tools, the examples and the benchmarks all call into this package so
+// the numbers they print come from one code path.
+package exp
+
+import (
+	"fmt"
+	"time"
+
+	"ssdtrain/internal/autograd"
+	"ssdtrain/internal/core"
+	"ssdtrain/internal/gds"
+	"ssdtrain/internal/gpu"
+	"ssdtrain/internal/models"
+	"ssdtrain/internal/pcie"
+	"ssdtrain/internal/ssd"
+	"ssdtrain/internal/tensor"
+	"ssdtrain/internal/trace"
+	"ssdtrain/internal/units"
+)
+
+// Strategy is an activation placement strategy — the three points of the
+// paper's recompute-offload-keep design space (§IV-C) plus the CPU
+// offloader variant.
+type Strategy string
+
+// Strategies.
+const (
+	// NoOffload keeps all activations in GPU memory (the baseline).
+	NoOffload Strategy = "no-offload"
+	// SSDTrain offloads activations to the NVMe array.
+	SSDTrain Strategy = "ssdtrain"
+	// Recompute applies layerwise full activation checkpointing.
+	Recompute Strategy = "recompute"
+	// CPUOffload offloads activations to pinned host memory.
+	CPUOffload Strategy = "cpu-offload"
+)
+
+// SSDSetup describes the per-GPU offload array.
+type SSDSetup struct {
+	Spec   ssd.Spec
+	Count  int
+	Stripe units.Bytes
+}
+
+// PaperArray is the testbed's per-GPU array (Table II): the measured GPU
+// owned a RAID0 of 4× Intel Optane P5800X with a 512 KiB stripe.
+func PaperArray() SSDSetup {
+	return SSDSetup{Spec: ssd.IntelP5800X16TB(), Count: 4, Stripe: 512 * units.KiB}
+}
+
+// RunConfig configures one training measurement.
+type RunConfig struct {
+	Model    models.Config
+	Strategy Strategy
+	GPU      gpu.Spec
+	SSD      SSDSetup
+	// Steps measured after Warmup steps (the cache learns its keep-last
+	// set during warmup).
+	Steps  int
+	Warmup int
+	// MicroBatches per step (gradient accumulation).
+	MicroBatches int
+	// Budget overrides the planned offload budget (0 = plan automatically
+	// via the Fig 3 workflow).
+	Budget units.Bytes
+	// PrefetchAhead tunes the cache's prefetch depth in modules: 0 =
+	// prefetch all (default), negative = disabled (ablation).
+	PrefetchAhead int
+	// KeepLastModules keeps the last K modules' activations resident
+	// (default 1).
+	KeepLastModules int
+	// HostCost is the cache CPU overhead charged per hook call.
+	HostCost time.Duration
+	// DisableGDS forces the bounce-buffer path (ablation).
+	DisableGDS bool
+	// NoForwarding/NoDedup disable the corresponding cache optimizations
+	// (ablations).
+	NoForwarding bool
+	NoDedup      bool
+	// Materialize+Verify run byte-backed offloads with checksum checks.
+	Materialize bool
+	Verify      bool
+}
+
+// withDefaults fills unset fields with the paper's setup.
+func (c RunConfig) withDefaults() RunConfig {
+	if c.GPU.Name == "" {
+		c.GPU = gpu.A100PCIe()
+	}
+	if c.SSD.Count == 0 {
+		c.SSD = PaperArray()
+	}
+	if c.Steps == 0 {
+		c.Steps = 3
+	}
+	if c.Warmup == 0 {
+		c.Warmup = 2
+	}
+	if c.MicroBatches == 0 {
+		c.MicroBatches = 1
+	}
+	if c.KeepLastModules == 0 {
+		c.KeepLastModules = 1
+	}
+	if c.KeepLastModules < 0 {
+		c.KeepLastModules = 0 // ablation: keep nothing
+	}
+	return c
+}
+
+// StepMetrics is one measured step.
+type StepMetrics struct {
+	Stats trace.StepStats
+	IO    core.StepIO
+	// ActPeak/TotalPeak are the memory peaks within this step's window.
+	ActPeak    units.Bytes
+	TotalPeak  units.Bytes
+	Start      time.Duration
+	End        time.Duration
+	HostTime   time.Duration
+	UpdateTime time.Duration
+}
+
+// RunResult is the outcome of a measurement run.
+type RunResult struct {
+	Config  RunConfig
+	PerStep []StepMetrics
+	// Measured is the last measured step (steady state).
+	Measured StepMetrics
+	// Mem is the whole-run memory report.
+	Mem *gpu.MemReport
+	// PlannedBudget is the offload budget the Fig 3 workflow chose.
+	PlannedBudget units.Bytes
+	// Graph facts for estimates and tables.
+	WeightBytes   units.Bytes
+	EligibleBytes units.Bytes
+	// SSDPeak is the offload target's resident high-water mark.
+	SSDPeak units.Bytes
+	// Counters is the runtime counter set.
+	Counters *trace.Counters
+}
+
+// StepTime returns the steady-state step time.
+func (r *RunResult) StepTime() time.Duration { return r.Measured.Stats.StepTime }
+
+// Throughput returns the steady-state model throughput.
+func (r *RunResult) Throughput() units.FLOPSRate { return r.Measured.Stats.ModelThroughput() }
+
+// blockSavedBytes returns the per-block activation bytes the pack hook
+// sees (excluding weights).
+func blockSavedBytes(g *autograd.Graph) []units.Bytes {
+	var prevOut units.Bytes
+	var outs []units.Bytes
+	saved := make([]units.Bytes, len(g.Blocks))
+	for bi, b := range g.Blocks {
+		extras := make([]units.Bytes, len(b.ExtraIn))
+		for k, src := range b.ExtraIn {
+			extras[k] = outs[src]
+		}
+		saved[bi] = b.SavedBytes(prevOut, extras)
+		prevOut = b.Ops[len(b.Ops)-1].OutBytes()
+		outs = append(outs, prevOut)
+	}
+	return saved
+}
+
+// eligibleBytes sums the activation bytes the pack hook would offload
+// (excluding small tensors' stats — counted, they are noise — and
+// weights, which never reach the budget).
+func eligibleBytes(g *autograd.Graph) (total, last units.Bytes) {
+	saved := blockSavedBytes(g)
+	for _, sb := range saved {
+		total += sb
+	}
+	return total, saved[len(saved)-1]
+}
+
+// blockBwdTimes returns per-block backward kernel time.
+func blockBwdTimes(g *autograd.Graph) []time.Duration {
+	out := make([]time.Duration, len(g.Blocks))
+	for bi, b := range g.Blocks {
+		for i := range b.Ops {
+			out[bi] += b.Ops[i].BwdTime
+		}
+	}
+	return out
+}
+
+// graphTimes sums kernel times per direction.
+func graphTimes(g *autograd.Graph) (fwd, bwd time.Duration) {
+	for _, b := range g.Blocks {
+		for i := range b.Ops {
+			fwd += b.Ops[i].FwdTime
+			bwd += b.Ops[i].BwdTime
+		}
+	}
+	return fwd, bwd
+}
+
+// Run executes one measurement.
+func Run(cfg RunConfig) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	mcfg := cfg.Model
+	mcfg.Checkpoint = cfg.Strategy == Recompute
+
+	rt := autograd.NewRuntime(cfg.GPU)
+	graph, err := models.Build(mcfg, rt.Cost)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &RunResult{Config: cfg, Counters: rt.Counters, WeightBytes: graph.WeightBytes()}
+	total, last := eligibleBytes(graph)
+	res.EligibleBytes = total
+
+	var hooks autograd.Hooks
+	var cache *core.TensorCache
+	var offloader core.Offloader
+
+	switch cfg.Strategy {
+	case NoOffload, Recompute:
+		hooks = autograd.NoHooks{}
+	case SSDTrain, CPUOffload:
+		link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
+		if cfg.Strategy == SSDTrain {
+			devs := make([]*ssd.Device, cfg.SSD.Count)
+			for i := range devs {
+				devs[i] = ssd.NewDevice(rt.Eng, fmt.Sprintf("nvme%d", i), cfg.SSD.Spec)
+			}
+			array := ssd.NewArray(rt.Eng, "/mnt/md1", cfg.SSD.Stripe, devs...)
+			registry := gds.NewRegistry()
+			hook := gds.NewMallocHook(registry)
+			hook.Enabled = !cfg.DisableGDS
+			rt.Alloc.AddHook(hook)
+			offloader = core.NewSSDOffloader(rt.Eng, "/mnt/md1", link, array, registry)
+		} else {
+			offloader = core.NewCPUOffloader(rt.Eng, "/dev/shm", link, 0)
+		}
+
+		budget := cfg.Budget
+		if budget == 0 {
+			fwd, bwd := graphTimes(graph)
+			budget = core.PlanModuleBudget(core.ModulePlan{
+				SavedBytes:     blockSavedBytes(graph),
+				BwdTime:        blockBwdTimes(graph),
+				ReadBandwidth:  offloader.ReadBandwidth(),
+				WriteBandwidth: offloader.WriteBandwidth(),
+				ForwardTime:    fwd,
+				BackwardTime:   bwd,
+			})
+		}
+		res.PlannedBudget = budget
+		_ = last
+
+		cache = core.NewTensorCache(core.Config{
+			Runtime:         rt,
+			Offloader:       offloader,
+			Budget:          budget,
+			HostCost:        cfg.HostCost,
+			PrefetchAhead:   cfg.PrefetchAhead,
+			KeepLastModules: cfg.KeepLastModules,
+			Verify:          cfg.Verify,
+			NoForwarding:    cfg.NoForwarding,
+			NoDedup:         cfg.NoDedup,
+		})
+		cache.RegisterWeights(graph.Weights())
+		for _, w := range graph.Weights() {
+			// The executor registers the transposed views; pre-register
+			// them the way the paper's setup script bookkeeps weights.
+			cache.RegisterWeights([]*tensor.Tensor{w.Transpose()})
+		}
+		hooks = cache
+	default:
+		return nil, fmt.Errorf("exp: unknown strategy %q", cfg.Strategy)
+	}
+
+	exec, err := autograd.NewExecutor(rt, graph, hooks, autograd.ExecConfig{
+		MicroBatches: cfg.MicroBatches,
+		UpdateCost: func(w *tensor.Tensor) time.Duration {
+			// The FP16 training update pipeline touches each parameter
+			// and gradient several times per step: gradient unscale +
+			// clip (2 passes over grads), the loss-scale overflow check
+			// (1 pass), and the SGD update itself (read w, read g,
+			// write w) — about 8 parameter-sized passes total.
+			return rt.Cost.MemoryBound(8 * w.Bytes())
+		},
+		AccumCost: func(w *tensor.Tensor) time.Duration {
+			return rt.Cost.MemoryBound(3 * w.Bytes())
+		},
+		Materialize: cfg.Materialize,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	nsteps := cfg.Warmup + cfg.Steps
+	for i := 0; i < nsteps; i++ {
+		sr := exec.Run()
+		m := StepMetrics{
+			Stats:      sr.Stats,
+			Start:      sr.Start,
+			End:        sr.End,
+			HostTime:   sr.HostTime,
+			UpdateTime: sr.UpdateTime,
+		}
+		if cache != nil {
+			m.IO = cache.LastStep()
+			m.Stats.OffloadedBytes = m.IO.Offloaded
+			m.Stats.ReloadedBytes = m.IO.Reloaded
+			m.Stats.ForwardedBytes = m.IO.Forwarded
+		}
+		res.PerStep = append(res.PerStep, m)
+	}
+
+	rep := rt.Alloc.Finalize(true)
+	res.Mem = rep
+	for i := range res.PerStep {
+		s := &res.PerStep[i]
+		s.ActPeak = rep.ActTimeline.PeakBetween(s.Start, s.End)
+		s.TotalPeak = rep.Timeline.PeakBetween(s.Start, s.End)
+		s.Stats.ActivationPeak = s.ActPeak
+		s.Stats.TotalPeak = s.TotalPeak
+	}
+	res.Measured = res.PerStep[len(res.PerStep)-1]
+	if offloader != nil {
+		res.SSDPeak = offloader.PeakResident()
+	}
+	return res, nil
+}

@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"testing"
+
+	"ssdtrain/internal/models"
+	"ssdtrain/internal/units"
+)
+
+// smallConfig is a fast geometry for harness tests.
+func smallConfig(arch models.Arch) models.Config {
+	return models.Config{
+		Arch:           arch,
+		Hidden:         2048,
+		Layers:         3,
+		HeadDim:        128,
+		SeqLen:         512,
+		Batch:          4,
+		Vocab:          8192,
+		FFNMult:        4,
+		TP:             2,
+		FlashAttention: true,
+		DType:          0, // FP16
+	}
+}
+
+func TestRunSmokeAllStrategies(t *testing.T) {
+	for _, arch := range []models.Arch{models.GPT, models.BERT, models.T5} {
+		for _, strat := range []Strategy{NoOffload, SSDTrain, Recompute, CPUOffload} {
+			t.Run(string(arch)+"/"+string(strat), func(t *testing.T) {
+				res, err := Run(RunConfig{Model: smallConfig(arch), Strategy: strat})
+				if err != nil {
+					t.Fatalf("Run: %v", err)
+				}
+				if res.StepTime() <= 0 {
+					t.Fatalf("non-positive step time %v", res.StepTime())
+				}
+				if res.Measured.ActPeak <= 0 {
+					t.Fatalf("non-positive activation peak")
+				}
+				if res.Measured.IO.Leaked != 0 {
+					t.Fatalf("cache leaked %d records", res.Measured.IO.Leaked)
+				}
+				t.Logf("%s/%s: step=%v actPeak=%v stall=%v offloaded=%v forwarded=%v",
+					arch, strat, res.StepTime(), res.Measured.ActPeak,
+					res.Measured.Stats.ComputeStall, res.Measured.IO.Offloaded, res.Measured.IO.Forwarded)
+			})
+		}
+	}
+}
+
+func TestSSDTrainReducesPeakKeepsTime(t *testing.T) {
+	base, err := Run(RunConfig{Model: smallConfig(models.BERT), Strategy: NoOffload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := Run(RunConfig{Model: smallConfig(models.BERT), Strategy: SSDTrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Measured.ActPeak >= base.Measured.ActPeak {
+		t.Errorf("SSDTrain activation peak %v not below baseline %v", off.Measured.ActPeak, base.Measured.ActPeak)
+	}
+	ratio := float64(off.StepTime()) / float64(base.StepTime())
+	if ratio > 1.05 {
+		t.Errorf("SSDTrain step time ratio %.3f exceeds 1.05 (%v vs %v)", ratio, off.StepTime(), base.StepTime())
+	}
+	t.Logf("peak: %v -> %v (%.0f%%), step: %v -> %v (ratio %.3f)",
+		base.Measured.ActPeak, off.Measured.ActPeak,
+		100*(1-float64(off.Measured.ActPeak)/float64(base.Measured.ActPeak)),
+		base.StepTime(), off.StepTime(), ratio)
+}
+
+func TestOffloadRoundTripVerified(t *testing.T) {
+	cfg := smallConfig(models.GPT)
+	cfg.Hidden = 1024
+	cfg.SeqLen = 256
+	cfg.Batch = 2
+	cfg.Vocab = 4096
+	res, err := Run(RunConfig{
+		Model: cfg, Strategy: SSDTrain,
+		Materialize: true, Verify: true,
+		Steps: 2, Warmup: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Measured.IO.Reloaded == 0 {
+		t.Fatalf("expected reloads with verification, got none (offloaded=%v)", res.Measured.IO.Offloaded)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	a, err := Run(RunConfig{Model: smallConfig(models.T5), Strategy: SSDTrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(RunConfig{Model: smallConfig(models.T5), Strategy: SSDTrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.StepTime() != b.StepTime() || a.Measured.ActPeak != b.Measured.ActPeak ||
+		a.Measured.IO != b.Measured.IO {
+		t.Fatalf("runs diverged: %+v vs %+v", a.Measured, b.Measured)
+	}
+}
+
+func TestRecomputeLowestMemorySlowest(t *testing.T) {
+	cfg := smallConfig(models.BERT)
+	keep, _ := Run(RunConfig{Model: cfg, Strategy: NoOffload})
+	rec, _ := Run(RunConfig{Model: cfg, Strategy: Recompute})
+	off, _ := Run(RunConfig{Model: cfg, Strategy: SSDTrain})
+	if rec.Measured.ActPeak >= keep.Measured.ActPeak {
+		t.Errorf("recompute peak %v not below keep %v", rec.Measured.ActPeak, keep.Measured.ActPeak)
+	}
+	if rec.StepTime() <= keep.StepTime() {
+		t.Errorf("recompute step %v not slower than keep %v", rec.StepTime(), keep.StepTime())
+	}
+	// The paper's headline: offloading achieves keep-level throughput with
+	// recompute-level (or better) memory.
+	if off.Throughput() < keep.Throughput()*0.97 {
+		t.Errorf("ssdtrain throughput %v below 97%% of keep %v", off.Throughput(), keep.Throughput())
+	}
+	_ = units.Bytes(0)
+}

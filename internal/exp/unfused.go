@@ -1,0 +1,46 @@
+package exp
+
+import (
+	"ssdtrain/internal/models"
+	"ssdtrain/internal/units"
+)
+
+// UnfusedRow quantifies the §IV-C discussion at the end of the ROK
+// section: before FlashAttention, the unfused softmax chain materializes
+// s²-sized activations (the 5as/h term) that Megatron's selective
+// checkpointing existed to recompute; with the fused kernel those
+// tensors never exist, so selective checkpointing has "negligible impact
+// on performance and peak memory usage for activations".
+type UnfusedRow struct {
+	FlashAttention bool
+	Strategy       Strategy
+	ActPeak        units.Bytes
+	Throughput     units.FLOPSRate
+	Offloaded      units.Bytes
+}
+
+// UnfusedStudy measures the four corners: {unfused, fused} × {keep,
+// SSDTrain} for a 3-layer BERT. The fused/unfused keep gap is the memory
+// FlashAttention eliminates; SSDTrain then removes most of what remains
+// in both regimes.
+func UnfusedStudy(hidden, batch int) ([]UnfusedRow, error) {
+	var rows []UnfusedRow
+	for _, fa := range []bool{false, true} {
+		for _, strat := range []Strategy{NoOffload, SSDTrain} {
+			cfg := models.PaperConfig(models.BERT, hidden, 3, batch)
+			cfg.FlashAttention = fa
+			res, err := Run(RunConfig{Model: cfg, Strategy: strat})
+			if err != nil {
+				return nil, err
+			}
+			rows = append(rows, UnfusedRow{
+				FlashAttention: fa,
+				Strategy:       strat,
+				ActPeak:        res.Measured.ActPeak,
+				Throughput:     res.Throughput(),
+				Offloaded:      res.Measured.IO.Offloaded,
+			})
+		}
+	}
+	return rows, nil
+}

@@ -1,0 +1,42 @@
+package exp
+
+import "testing"
+
+func TestUnfusedStudyShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale geometry")
+	}
+	rows, err := UnfusedStudy(8192, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	get := func(fa bool, s Strategy) UnfusedRow {
+		for _, r := range rows {
+			if r.FlashAttention == fa && r.Strategy == s {
+				return r
+			}
+		}
+		t.Fatalf("missing row fa=%v %s", fa, s)
+		return UnfusedRow{}
+	}
+	// The unfused chain's s² activations inflate the keep peak well above
+	// the fused kernel's.
+	uKeep, fKeep := get(false, NoOffload), get(true, NoOffload)
+	if float64(uKeep.ActPeak) < 1.2*float64(fKeep.ActPeak) {
+		t.Errorf("unfused keep peak %v not well above fused %v", uKeep.ActPeak, fKeep.ActPeak)
+	}
+	// FlashAttention is also faster (compute, not just memory).
+	if uKeep.Throughput >= fKeep.Throughput {
+		t.Errorf("unfused throughput %v not below fused %v", uKeep.Throughput, fKeep.Throughput)
+	}
+	// SSDTrain helps in both regimes.
+	for _, fa := range []bool{false, true} {
+		keep, off := get(fa, NoOffload), get(fa, SSDTrain)
+		if off.ActPeak >= keep.ActPeak {
+			t.Errorf("fa=%v: offload peak %v not below keep %v", fa, off.ActPeak, keep.ActPeak)
+		}
+		if thr := float64(off.Throughput) / float64(keep.Throughput); thr < 0.99 {
+			t.Errorf("fa=%v: offload throughput ratio %.3f", fa, thr)
+		}
+	}
+}

@@ -1,0 +1,211 @@
+package gpu
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ssdtrain/internal/tensor"
+	"ssdtrain/internal/trace"
+	"ssdtrain/internal/units"
+)
+
+// Class tags an allocation with its role, so peaks can be reported per
+// category the way the paper separates "activation memory peak" from the
+// rest (Fig 6b measures activations only).
+type Class uint8
+
+// Allocation classes.
+const (
+	ClassWeights Class = iota
+	ClassGradients
+	ClassOptimizer
+	ClassActivations
+	ClassWorkspace
+	classCount
+)
+
+// String names the class.
+func (c Class) String() string {
+	switch c {
+	case ClassWeights:
+		return "weights"
+	case ClassGradients:
+		return "gradients"
+	case ClassOptimizer:
+		return "optimizer"
+	case ClassActivations:
+		return "activations"
+	case ClassWorkspace:
+		return "workspace"
+	default:
+		return fmt.Sprintf("class(%d)", c)
+	}
+}
+
+// AllocHook observes allocator traffic. The GDS malloc hook implements it
+// to register memory for the direct DMA path without replacing the
+// allocator (the paper's LD_PRELOAD interposition).
+type AllocHook interface {
+	OnAlloc(s *tensor.Storage)
+	OnFree(s *tensor.Storage)
+}
+
+// memEvent is a buffered timeline delta.
+type memEvent struct {
+	at    time.Duration
+	delta units.Bytes
+	class Class
+	seq   int
+}
+
+// Allocator is the device caching allocator model. Allocation and free
+// calls carry virtual timestamps; because the training executor computes
+// completion times out of chronological order (stores complete while later
+// ops are being issued), events are buffered and folded into monotonic
+// timelines at Finalize.
+type Allocator struct {
+	capacity units.Bytes
+	events   []memEvent
+	hooks    []AllocHook
+	live     map[int64]memEvent
+	seq      int
+	final    bool
+
+	report *MemReport
+}
+
+// NewAllocator creates an allocator for a device with the given capacity.
+func NewAllocator(capacity units.Bytes) *Allocator {
+	return &Allocator{capacity: capacity, live: make(map[int64]memEvent)}
+}
+
+// AddHook attaches an allocation observer.
+func (a *Allocator) AddHook(h AllocHook) { a.hooks = append(a.hooks, h) }
+
+// Alloc records that storage s of the given class is resident from virtual
+// time at.
+func (a *Allocator) Alloc(at time.Duration, s *tensor.Storage, class Class) {
+	if a.final {
+		panic("gpu: Alloc after Finalize")
+	}
+	if _, ok := a.live[s.Seq()]; ok {
+		panic(fmt.Sprintf("gpu: double alloc of storage %d", s.Seq()))
+	}
+	a.seq++
+	ev := memEvent{at: at, delta: s.Bytes(), class: class, seq: a.seq}
+	a.live[s.Seq()] = ev
+	a.events = append(a.events, ev)
+	for _, h := range a.hooks {
+		h.OnAlloc(s)
+	}
+}
+
+// Free records that storage s is released at virtual time at.
+func (a *Allocator) Free(at time.Duration, s *tensor.Storage) {
+	if a.final {
+		panic("gpu: Free after Finalize")
+	}
+	ev, ok := a.live[s.Seq()]
+	if !ok {
+		panic(fmt.Sprintf("gpu: free of unknown storage %d", s.Seq()))
+	}
+	if at < ev.at {
+		// Stream-ordered free: the host may drop its last reference before
+		// the producing kernel has even started (the host runs ahead of
+		// the device), but the memory cannot be reused before the
+		// allocation point. Clamp, as the CUDA caching allocator does.
+		at = ev.at
+	}
+	delete(a.live, s.Seq())
+	a.seq++
+	a.events = append(a.events, memEvent{at: at, delta: -ev.delta, class: ev.class, seq: a.seq})
+	for _, h := range a.hooks {
+		h.OnFree(s)
+	}
+}
+
+// LiveBytes returns the bytes currently allocated (ignoring timestamps),
+// useful for leak assertions at the end of a step.
+func (a *Allocator) LiveBytes() units.Bytes {
+	var n units.Bytes
+	for _, ev := range a.live {
+		n += ev.delta
+	}
+	return n
+}
+
+// LiveCount returns the number of live storages.
+func (a *Allocator) LiveCount() int { return len(a.live) }
+
+// MemReport summarizes memory behaviour over a run.
+type MemReport struct {
+	Capacity  units.Bytes
+	PeakTotal units.Bytes
+	PeakAt    time.Duration
+	// PeakByClass is each class's own maximum (maxima of different classes
+	// may occur at different times).
+	PeakByClass [classCount]units.Bytes
+	// ClassAtTotalPeak is each class's level at the moment of the total
+	// peak; it sums to PeakTotal.
+	ClassAtTotalPeak [classCount]units.Bytes
+	// Overflowed reports whether the total ever exceeded capacity (OOM on
+	// real hardware).
+	Overflowed bool
+	// Timeline is the total-memory timeline (recorded if requested).
+	Timeline *trace.MemTimeline
+	// ActTimeline is the activations-class timeline.
+	ActTimeline *trace.MemTimeline
+}
+
+// PeakActivations returns the activation-class peak (the paper's Fig 6b
+// metric).
+func (r *MemReport) PeakActivations() units.Bytes {
+	return r.PeakByClass[ClassActivations]
+}
+
+// Finalize folds buffered events into monotonic timelines and computes
+// peaks. record enables sample retention on the returned timelines.
+// Finalize may be called once; further allocator use panics.
+func (a *Allocator) Finalize(record bool) *MemReport {
+	if a.final {
+		return a.report
+	}
+	a.final = true
+	evs := make([]memEvent, len(a.events))
+	copy(evs, a.events)
+	sort.SliceStable(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].seq < evs[j].seq
+	})
+	rep := &MemReport{
+		Capacity:    a.capacity,
+		Timeline:    trace.NewMemTimeline("total", record),
+		ActTimeline: trace.NewMemTimeline("activations", record),
+	}
+	var byClass [classCount]units.Bytes
+	var total units.Bytes
+	for _, ev := range evs {
+		total += ev.delta
+		byClass[ev.class] += ev.delta
+		rep.Timeline.Add(ev.at, ev.delta)
+		if ev.class == ClassActivations {
+			rep.ActTimeline.Add(ev.at, ev.delta)
+		}
+		if total > rep.PeakTotal {
+			rep.PeakTotal = total
+			rep.PeakAt = ev.at
+			rep.ClassAtTotalPeak = byClass
+		}
+		for c := Class(0); c < classCount; c++ {
+			if byClass[c] > rep.PeakByClass[c] {
+				rep.PeakByClass[c] = byClass[c]
+			}
+		}
+	}
+	rep.Overflowed = rep.PeakTotal > a.capacity
+	a.report = rep
+	return rep
+}

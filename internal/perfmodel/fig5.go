@@ -1,0 +1,82 @@
+package perfmodel
+
+import (
+	"ssdtrain/internal/gpu"
+	"ssdtrain/internal/parallel"
+	"ssdtrain/internal/ssd"
+)
+
+// Fig5Case is one bar group of Fig 5.
+type Fig5Case struct {
+	Label     string
+	Framework string // "Megatron" or "ZeRO3"
+	GPUs      int
+	System    System
+}
+
+// Fig5Cases returns the paper's twelve Fig 5 configurations: Megatron
+// 175B/350B and DeepSpeed stage-3 ZeRO 175B/350B, each at three system
+// sizes, following the parallelism layouts of the Megatron-LM and
+// DeepSpeed references. Global batch sizes follow GPT-3 scale practice
+// (1536/1920 sequences).
+func Fig5Cases() []Fig5Case {
+	spec := gpu.A100SXM()
+	fabric := parallel.DefaultA100Fabric()
+	var cases []Fig5Case
+
+	mk := func(label, fw string, llm LLM, par parallel.Spec) {
+		cases = append(cases, Fig5Case{
+			Label:     label,
+			Framework: fw,
+			GPUs:      par.GPUs(),
+			System:    System{LLM: llm, Par: par, GPU: spec, Fabric: fabric},
+		})
+	}
+
+	// Megatron 175B: TP8 × PP16 with sequence parallelism (the measured
+	// Megatron-LM configuration), DP scales 3/6/12 (384/768/1536 GPUs);
+	// global batch 1536, micro-batch 2 (typical, §IV-D).
+	for _, dp := range []int{3, 6, 12} {
+		mb := 2
+		par := parallel.Spec{TP: 8, PP: 16, DP: dp, MicroBatch: mb,
+			MicroBatches: 1536 / (mb * dp), SeqParallel: true}
+		mk("Megatron 175B", "Megatron", GPT175B(), par)
+	}
+	// Megatron 350B: TP8 × PP14 with sequence parallelism, DP 5/10/20
+	// (560/1120/2240 GPUs); global batch 1920, micro-batch 2.
+	for _, dp := range []int{5, 10, 20} {
+		mb := 2
+		par := parallel.Spec{TP: 8, PP: 14, DP: dp, MicroBatch: mb,
+			MicroBatches: 1920 / (mb * dp), SeqParallel: true}
+		mk("Megatron 350B", "Megatron", GPT350B(), par)
+	}
+	// ZeRO3: pure sharded data parallelism (DeepSpeed stage 3),
+	// micro-batch 2 per GPU.
+	for _, gpus := range []int{384, 768, 1536} {
+		par := parallel.Spec{TP: 1, PP: 1, DP: gpus, ZeRO: parallel.ZeRO3, MicroBatch: 2, MicroBatches: 1}
+		mk("ZeRO3 175B", "ZeRO3", GPT175B(), par)
+	}
+	for _, gpus := range []int{640, 1120, 2240} {
+		par := parallel.Spec{TP: 1, PP: 1, DP: gpus, ZeRO: parallel.ZeRO3, MicroBatch: 2, MicroBatches: 1}
+		mk("ZeRO3 350B", "ZeRO3", GPT350B(), par)
+	}
+	return cases
+}
+
+// Fig5Row is a projected Fig 5 bar.
+type Fig5Row struct {
+	Case Fig5Case
+	Proj Projection
+}
+
+// Fig5 projects all cases with the paper's endurance assumptions (four
+// Samsung 980 PRO 1TB per GPU, workload WAF 1, 1-day retention).
+func Fig5() []Fig5Row {
+	model := ssd.DefaultEnduranceModel()
+	cases := Fig5Cases()
+	rows := make([]Fig5Row, len(cases))
+	for i, c := range cases {
+		rows[i] = Fig5Row{Case: c, Proj: Project(c.System, model)}
+	}
+	return rows
+}

@@ -1,0 +1,199 @@
+package perfmodel
+
+import (
+	"testing"
+
+	"ssdtrain/internal/gpu"
+	"ssdtrain/internal/parallel"
+	"ssdtrain/internal/ssd"
+	"ssdtrain/internal/units"
+)
+
+func TestLLMParams(t *testing.T) {
+	if p := GPT175B().Params(); p < 170e9 || p > 185e9 {
+		t.Errorf("175B params = %d", p)
+	}
+	if p := GPT350B().Params(); p < 330e9 || p > 370e9 {
+		t.Errorf("350B params = %d", p)
+	}
+}
+
+func TestActivationFormula(t *testing.T) {
+	sys := System{
+		LLM: LLM{Hidden: 12288, Layers: 96, Seq: 2048},
+		Par: parallel.Spec{TP: 8, PP: 16, DP: 1, MicroBatch: 2, MicroBatches: 4},
+	}
+	sbh := float64(2048 * 2 * 12288)
+	if got, want := sys.ActivationBytesPerLayer(), units.Bytes(sbh*(10+3)); got != want {
+		t.Errorf("per-layer = %v, want %v", got, want)
+	}
+	sys.Par.SeqParallel = true
+	if got, want := sys.ActivationBytesPerLayer(), units.Bytes(sbh*34/8); got != want {
+		t.Errorf("SP per-layer = %v, want %v", got, want)
+	}
+	// Per GPU per step: layers/PP × micro-batches × per-layer.
+	if got, want := sys.ActivationsPerGPUPerStep(), units.Bytes(6*4)*sys.ActivationBytesPerLayer(); got != want {
+		t.Errorf("per-step = %v, want %v", got, want)
+	}
+}
+
+// TestFig5PaperClaims asserts the §III-D conclusions the paper draws from
+// Fig 5.
+func TestFig5PaperClaims(t *testing.T) {
+	rows := Fig5()
+	if len(rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(rows))
+	}
+	groups := map[string][]Fig5Row{}
+	for _, r := range rows {
+		groups[r.Case.Label] = append(groups[r.Case.Label], r)
+		// "Among all cases, the projected lifespan is more than 2 years."
+		if r.Proj.LifespanYears < 2.0 {
+			t.Errorf("%s @%d GPUs: lifespan %.2f y < 2", r.Case.Label, r.Case.GPUs, r.Proj.LifespanYears)
+		}
+		// "The write bandwidth per GPU is no greater than 12.1 GB/s"
+		// (paper value; we allow our calibration a ~25% corridor).
+		if bw := r.Proj.WriteBandwidth.GBpsF(); bw > 15.2 {
+			t.Errorf("%s @%d GPUs: write bw %.1f GB/s too high", r.Case.Label, r.Case.GPUs, bw)
+		}
+	}
+	// "When the system size scales up, the required bandwidth reduces and
+	// the projected lifespan increases."
+	for label, g := range groups {
+		for i := 1; i < len(g); i++ {
+			if g[i].Proj.WriteBandwidth > g[i-1].Proj.WriteBandwidth {
+				t.Errorf("%s: write bandwidth increased with scale", label)
+			}
+			if g[i].Proj.LifespanYears < g[i-1].Proj.LifespanYears {
+				t.Errorf("%s: lifespan decreased with scale", label)
+			}
+		}
+	}
+	// "The maximal activations size per GPU ranges from 0.4 TB to 1.8 TB"
+	// — check the diamonds stay within a factor-2 corridor of that range.
+	var lo, hi float64 = 1e9, 0
+	for _, r := range rows {
+		tb := r.Proj.MaxActivations.TBf()
+		if tb < lo {
+			lo = tb
+		}
+		if tb > hi {
+			hi = tb
+		}
+	}
+	if lo < 0.05 || hi > 3.6 {
+		t.Errorf("max activations range [%.2f, %.2f] TB far from paper's [0.4, 1.8]", lo, hi)
+	}
+}
+
+func TestFig8bPaperClaims(t *testing.T) {
+	rows := Fig8b()
+	ref := Fig8bReference()
+	if len(rows) != 5 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	// "In all projected cases, the write bandwidth per GPU is smaller than
+	// the original 2-GPU case."
+	for _, r := range rows {
+		if r.Proj.WriteBandwidth > ref.WriteBandwidth {
+			t.Errorf("%s: %.2f GB/s exceeds 2-GPU reference %.2f",
+				r.Case.Label, r.Proj.WriteBandwidth.GBpsF(), ref.WriteBandwidth.GBpsF())
+		}
+	}
+	// Bandwidth falls as PP deepens.
+	for i := 2; i < len(rows); i++ {
+		if rows[i].Proj.WriteBandwidth > rows[i-1].Proj.WriteBandwidth {
+			t.Errorf("bandwidth increased from %s to %s", rows[i-1].Case.Label, rows[i].Case.Label)
+		}
+	}
+}
+
+func TestFig1PaperClaims(t *testing.T) {
+	f := Fig1()
+	// All three series grow.
+	if f.Throughput.AnnualFactor <= 1 || f.Memory.AnnualFactor <= 1 || f.ModelSize.AnnualFactor <= 1 {
+		t.Fatalf("non-growing series: %+v", f)
+	}
+	// Memory grows much slower than compute (paper: ~41%; our dataset
+	// lands near 55%) and far slower than model size.
+	if f.MemoryVsThroughput >= 0.75 {
+		t.Errorf("memory/compute growth ratio %.2f not clearly below 1", f.MemoryVsThroughput)
+	}
+	if f.ModelSize.AnnualFactor <= f.Throughput.AnnualFactor {
+		t.Error("model size should outgrow GPU throughput")
+	}
+	// Fits should be meaningful.
+	if f.Throughput.R2 < 0.7 || f.Memory.R2 < 0.6 {
+		t.Errorf("poor fits: R² %.2f / %.2f", f.Throughput.R2, f.Memory.R2)
+	}
+}
+
+func TestChinchillaScaling(t *testing.T) {
+	law := ChinchillaScaling()
+	if law.ActivationExponent <= law.OtherExponent {
+		t.Error("activations must outgrow other memory (§II-B)")
+	}
+	if law.ActivationExponent != 5.0/6.0 || law.OtherExponent != 0.5 {
+		t.Errorf("exponents: %+v", law)
+	}
+}
+
+func TestZeROCommDominatesAtScale(t *testing.T) {
+	// ZeRO3 layer time should be communication-bound at small micro-batch
+	// (the §IV-D note that ZeRO reduces the write-bandwidth requirement).
+	cost := gpu.DefaultCostModel(gpu.A100SXM())
+	mk := func(dp int) System {
+		return System{
+			LLM:    GPT175B(),
+			Par:    parallel.Spec{TP: 1, PP: 1, DP: dp, ZeRO: parallel.ZeRO3, MicroBatch: 2, MicroBatches: 1},
+			GPU:    gpu.A100SXM(),
+			Fabric: parallel.DefaultA100Fabric(),
+		}
+	}
+	noZ := mk(1)
+	noZ.Par.ZeRO = parallel.ZeROOff
+	fz, _ := mk(384).LayerTimes(cost)
+	fn, _ := noZ.LayerTimes(cost)
+	if fz <= fn {
+		t.Errorf("ZeRO3 layer fwd %v not above compute-only %v", fz, fn)
+	}
+}
+
+func TestTableIIIEstimateMagnitude(t *testing.T) {
+	// H8192 L4 B16 TP2: the paper's estimate is 11.13 GB.
+	est := TableIIIEstimate(8192, 4, 16, 1024, 2)
+	gb := est.GBf()
+	if gb < 9 || gb > 14 {
+		t.Errorf("estimate = %.2f GB, paper ballpark 11.13", gb)
+	}
+}
+
+func TestGrowthFitExact(t *testing.T) {
+	// A perfect doubling-per-year series fits exactly.
+	pts := []TrendPoint{{"a", 2000, 1}, {"b", 2001, 2}, {"c", 2002, 4}, {"d", 2003, 8}}
+	fit := FitGrowth(pts)
+	if fit.AnnualFactor < 1.999 || fit.AnnualFactor > 2.001 {
+		t.Errorf("annual factor = %v", fit.AnnualFactor)
+	}
+	if fit.R2 < 0.999 {
+		t.Errorf("R² = %v", fit.R2)
+	}
+	yr := fit.DoublingTime.Hours() / 24 / 365.25
+	if yr < 0.99 || yr > 1.01 {
+		t.Errorf("doubling = %v years", yr)
+	}
+}
+
+func TestProjectEndurance(t *testing.T) {
+	// Fewer drives per GPU proportionally shortens the lifespan.
+	sys := Fig5Cases()[0].System
+	m4 := ssd.DefaultEnduranceModel()
+	m1 := m4
+	m1.DrivesPerGPU = 1
+	p4 := Project(sys, m4)
+	p1 := Project(sys, m1)
+	ratio := p4.LifespanYears / p1.LifespanYears
+	if ratio < 3.99 || ratio > 4.01 {
+		t.Errorf("4-drive/1-drive lifespan ratio = %v", ratio)
+	}
+}

@@ -1,0 +1,21 @@
+package perfmodel
+
+import "testing"
+
+func TestFig5Sanity(t *testing.T) {
+	for _, row := range Fig5() {
+		p := row.Proj
+		t.Logf("%-14s %5d GPUs: step=%8v bw=%7s life=%6.1fy act=%8s thr=%s",
+			row.Case.Label, row.Case.GPUs, p.StepTime, p.WriteBandwidth.String(), p.LifespanYears, p.Activations.String(), p.PerGPUThroughput)
+	}
+}
+func TestFig8bSanity(t *testing.T) {
+	for _, row := range Fig8b() {
+		t.Logf("%-14s: bw=%s step=%v", row.Case.Label, row.Proj.WriteBandwidth, row.Proj.StepTime)
+	}
+}
+func TestFig1Sanity(t *testing.T) {
+	f := Fig1()
+	t.Logf("throughput x%.2f/yr (R2 %.2f), memory x%.2f/yr (R2 %.2f), model x%.2f/yr, mem/thr ratio %.2f",
+		f.Throughput.AnnualFactor, f.Throughput.R2, f.Memory.AnnualFactor, f.Memory.R2, f.ModelSize.AnnualFactor, f.MemoryVsThroughput)
+}

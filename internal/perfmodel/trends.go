@@ -1,0 +1,151 @@
+package perfmodel
+
+import (
+	"math"
+	"sort"
+	"time"
+)
+
+// TrendPoint is one device or model release.
+type TrendPoint struct {
+	Name string
+	Year float64
+	// Value is FP16 FLOP/s for throughput series, FP16-element counts for
+	// memory/model-size series (the paper normalizes everything to "# of
+	// FP16" and FLOPs, Fig 1).
+	Value float64
+}
+
+// GPUThroughputSeries returns FP16 (tensor) training throughput of
+// datacenter accelerators — NVIDIA 100-class GPUs and Google TPUs.
+func GPUThroughputSeries() []TrendPoint {
+	return []TrendPoint{
+		{"P100", 2016.4, 21.2e12},
+		{"TPUv2", 2017.4, 46e12},
+		{"V100", 2017.5, 125e12},
+		{"TPUv3", 2018.4, 123e12},
+		{"A100", 2020.4, 312e12},
+		{"TPUv4", 2021.4, 275e12},
+		{"H100", 2022.7, 989e12},
+		{"TPUv5p", 2023.9, 459e12},
+		{"B200", 2024.2, 2250e12},
+	}
+}
+
+// GPUMemorySeries returns device memory capacity in FP16 element counts.
+func GPUMemorySeries() []TrendPoint {
+	elems := func(gib float64) float64 { return gib * (1 << 30) / 2 }
+	return []TrendPoint{
+		{"P100", 2016.4, elems(16)},
+		{"TPUv2", 2017.4, elems(16)},
+		{"V100", 2017.5, elems(32)},
+		{"TPUv3", 2018.4, elems(32)},
+		{"A100", 2020.4, elems(80)},
+		{"TPUv4", 2021.4, elems(32)},
+		{"H100", 2022.7, elems(80)},
+		{"TPUv5p", 2023.9, elems(95)},
+		{"B200", 2024.2, elems(192)},
+	}
+}
+
+// LLMSizeSeries returns published model parameter counts.
+func LLMSizeSeries() []TrendPoint {
+	return []TrendPoint{
+		{"ELMo", 2018.1, 94e6},
+		{"BERT-L", 2018.8, 340e6},
+		{"GPT-2", 2019.1, 1.5e9},
+		{"T5-11B", 2019.8, 11e9},
+		{"GPT-3", 2020.4, 175e9},
+		{"MT-NLG", 2022.1, 530e9},
+		{"PaLM", 2022.3, 540e9},
+		{"GPT-4", 2023.2, 1.8e12},
+	}
+}
+
+// GrowthFit is an exponential trend fit value = a·10^(k·year).
+type GrowthFit struct {
+	// AnnualFactor is the fitted year-over-year multiplier.
+	AnnualFactor float64
+	// DoublingTime is how long the series takes to double.
+	DoublingTime time.Duration
+	// R2 is the log-space coefficient of determination.
+	R2 float64
+}
+
+// FitGrowth least-squares fits an exponential to a series in log space.
+func FitGrowth(pts []TrendPoint) GrowthFit {
+	if len(pts) < 2 {
+		return GrowthFit{AnnualFactor: 1}
+	}
+	sorted := make([]TrendPoint, len(pts))
+	copy(sorted, pts)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].Year < sorted[j].Year })
+	var sx, sy, sxx, sxy float64
+	n := float64(len(sorted))
+	for _, p := range sorted {
+		x := p.Year
+		y := math.Log10(p.Value)
+		sx += x
+		sy += y
+		sxx += x * x
+		sxy += x * y
+	}
+	slope := (n*sxy - sx*sy) / (n*sxx - sx*sx)
+	intercept := (sy - slope*sx) / n
+	// R² in log space.
+	meanY := sy / n
+	var ssRes, ssTot float64
+	for _, p := range sorted {
+		y := math.Log10(p.Value)
+		f := intercept + slope*p.Year
+		ssRes += (y - f) * (y - f)
+		ssTot += (y - meanY) * (y - meanY)
+	}
+	r2 := 1.0
+	if ssTot > 0 {
+		r2 = 1 - ssRes/ssTot
+	}
+	factor := math.Pow(10, slope)
+	doubling := time.Duration(math.MaxInt64)
+	if slope > 0 {
+		years := math.Log10(2) / slope
+		doubling = time.Duration(years * 365.25 * 24 * float64(time.Hour))
+	}
+	return GrowthFit{AnnualFactor: factor, DoublingTime: doubling, R2: r2}
+}
+
+// Fig1 summarizes the paper's Fig 1 argument quantitatively.
+type Fig1Summary struct {
+	Throughput GrowthFit
+	Memory     GrowthFit
+	ModelSize  GrowthFit
+	// MemoryVsThroughput is the ratio of log-growth rates — the paper
+	// reports GPU memory growing at ~41% the rate of compute throughput.
+	MemoryVsThroughput float64
+}
+
+// Fig1 fits the three series.
+func Fig1() Fig1Summary {
+	th := FitGrowth(GPUThroughputSeries())
+	mem := FitGrowth(GPUMemorySeries())
+	sz := FitGrowth(LLMSizeSeries())
+	ratio := math.Log10(mem.AnnualFactor) / math.Log10(th.AnnualFactor)
+	return Fig1Summary{Throughput: th, Memory: mem, ModelSize: sz, MemoryVsThroughput: ratio}
+}
+
+// ScalingLaw reproduces §II-B's argument: under Chinchilla scaling
+// (N ∝ C^0.5, D_batch ∝ C^0.5) with h a slow function of N (h ∝ N^1/3),
+// activation memory grows as C^(5/6) while other memory grows as C^0.5 —
+// so activations dominate and memory pressure worsens as compute scales.
+type ScalingLaw struct {
+	// ActivationExponent is d log S_act / d log C.
+	ActivationExponent float64
+	// OtherExponent is d log S_others / d log C.
+	OtherExponent float64
+}
+
+// ChinchillaScaling returns the paper's exponents: S_act ∝ N·D/h =
+// C^0.5 · C^0.5 / C^(1/6) = C^(5/6); S_others ∝ N = C^0.5.
+func ChinchillaScaling() ScalingLaw {
+	return ScalingLaw{ActivationExponent: 5.0 / 6.0, OtherExponent: 0.5}
+}

@@ -1,0 +1,260 @@
+// Package sched models the training-step drivers SSDTrain integrates
+// with: gradient accumulation and the pipeline-parallel schedules
+// (GPipe's all-forward-all-backward and Megatron/DeepSpeed's 1F1B). The
+// schedule generator produces the per-stage op order — the "1B2B2F1F"
+// stream of Fig 2 — and an event-accurate timing pass computes stage
+// timelines, bubble fractions, and per-stage activation residency, which
+// is what SSDTrain's memory savings converts into larger micro-batches
+// and smaller bubbles (§IV-D).
+package sched
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// OpKind is a schedule entry type.
+type OpKind uint8
+
+// Schedule op kinds.
+const (
+	Forward OpKind = iota
+	Backward
+)
+
+// String renders the kind as the paper's F/B notation.
+func (k OpKind) String() string {
+	if k == Backward {
+		return "B"
+	}
+	return "F"
+}
+
+// Op is one schedule entry: run micro-batch MB's forward or backward on a
+// stage.
+type Op struct {
+	Kind OpKind
+	MB   int
+}
+
+// String renders "2F" style notation (micro-batch is 1-based, as in the
+// paper's Fig 2).
+func (o Op) String() string { return fmt.Sprintf("%d%s", o.MB+1, o.Kind) }
+
+// Kind selects a pipeline schedule.
+type Kind uint8
+
+// Schedules.
+const (
+	// GPipe runs all forwards then all backwards per stage.
+	GPipe Kind = iota
+	// OneFOneB is the Megatron/DeepSpeed 1F1B schedule: a warmup of
+	// forwards, then alternating backward/forward, then a cooldown of
+	// backwards. It bounds in-flight micro-batches per stage.
+	OneFOneB
+)
+
+// String names the schedule.
+func (k Kind) String() string {
+	if k == OneFOneB {
+		return "1F1B"
+	}
+	return "GPipe"
+}
+
+// StageOrder generates the op order for one stage (0-based, of p stages)
+// over m micro-batches.
+func StageOrder(kind Kind, stage, p, m int) []Op {
+	if stage < 0 || stage >= p || m <= 0 {
+		panic(fmt.Sprintf("sched: bad stage order request stage=%d p=%d m=%d", stage, p, m))
+	}
+	var ops []Op
+	switch kind {
+	case GPipe:
+		for i := 0; i < m; i++ {
+			ops = append(ops, Op{Forward, i})
+		}
+		for i := m - 1; i >= 0; i-- {
+			ops = append(ops, Op{Backward, i})
+		}
+	case OneFOneB:
+		warm := p - stage - 1
+		if warm > m {
+			warm = m
+		}
+		f, b := 0, 0
+		for i := 0; i < warm; i++ {
+			ops = append(ops, Op{Forward, f})
+			f++
+		}
+		for b < m {
+			if f < m {
+				ops = append(ops, Op{Forward, f})
+				f++
+			}
+			ops = append(ops, Op{Backward, b})
+			b++
+		}
+	default:
+		panic(fmt.Sprintf("sched: unknown schedule kind %d", kind))
+	}
+	return ops
+}
+
+// OrderString renders a stage's order compactly ("1F 2F 1B 2B").
+func OrderString(ops []Op) string {
+	parts := make([]string, len(ops))
+	for i, o := range ops {
+		parts[i] = o.String()
+	}
+	return strings.Join(parts, " ")
+}
+
+// Costs parameterizes the timing pass.
+type Costs struct {
+	// FwdPerMB/BwdPerMB are one micro-batch's compute times on one stage.
+	FwdPerMB time.Duration
+	BwdPerMB time.Duration
+	// Comm is the stage-to-stage activation/gradient transfer time.
+	Comm time.Duration
+	// Update is the per-stage optimizer time after the last backward.
+	Update time.Duration
+}
+
+// Slot is one executed schedule entry with its computed times.
+type Slot struct {
+	Stage int
+	Op    Op
+	Start time.Duration
+	End   time.Duration
+}
+
+// Result is a computed pipeline timeline.
+type Result struct {
+	Kind     Kind
+	Stages   int
+	MBs      int
+	Slots    []Slot
+	StepTime time.Duration
+	// BubbleTime is total idle time across stages between each stage's
+	// first start and last end.
+	BubbleTime time.Duration
+	// BubbleFraction is bubble time over total stage-time.
+	BubbleFraction float64
+	// PeakInFlight is the maximum number of micro-batches whose forward
+	// ran but whose backward has not finished, per stage — the activation
+	// residency multiplier for PP memory planning (§IV-D).
+	PeakInFlight []int
+}
+
+// Run computes the timeline of a schedule over p stages and m
+// micro-batches with the given costs, honoring both intra-stage order and
+// cross-stage dependencies (F needs the previous stage's F of the same
+// micro-batch; B needs the next stage's B).
+func Run(kind Kind, p, m int, c Costs) *Result {
+	orders := make([][]Op, p)
+	for s := 0; s < p; s++ {
+		orders[s] = StageOrder(kind, s, p, m)
+	}
+	fDone := make([][]time.Duration, p) // fDone[s][mb]
+	bDone := make([][]time.Duration, p)
+	for s := 0; s < p; s++ {
+		fDone[s] = make([]time.Duration, m)
+		bDone[s] = make([]time.Duration, m)
+		for i := 0; i < m; i++ {
+			fDone[s][i] = -1
+			bDone[s][i] = -1
+		}
+	}
+	idx := make([]int, p)            // next op per stage
+	free := make([]time.Duration, p) // stage ready time
+	res := &Result{Kind: kind, Stages: p, MBs: m, PeakInFlight: make([]int, p)}
+	inFlight := make([]int, p)
+
+	remaining := 0
+	for s := 0; s < p; s++ {
+		remaining += len(orders[s])
+	}
+	for remaining > 0 {
+		progressed := false
+		for s := 0; s < p; s++ {
+			if idx[s] >= len(orders[s]) {
+				continue
+			}
+			op := orders[s][idx[s]]
+			var dep time.Duration
+			ok := true
+			switch op.Kind {
+			case Forward:
+				if s > 0 {
+					if fDone[s-1][op.MB] < 0 {
+						ok = false
+					} else {
+						dep = fDone[s-1][op.MB] + c.Comm
+					}
+				}
+			case Backward:
+				if s < p-1 {
+					if bDone[s+1][op.MB] < 0 {
+						ok = false
+					} else {
+						dep = bDone[s+1][op.MB] + c.Comm
+					}
+				} else if fDone[s][op.MB] < 0 {
+					ok = false
+				}
+			}
+			if !ok {
+				continue
+			}
+			start := free[s]
+			if dep > start {
+				start = dep
+			}
+			dur := c.FwdPerMB
+			if op.Kind == Backward {
+				dur = c.BwdPerMB
+			}
+			end := start + dur
+			free[s] = end
+			if op.Kind == Forward {
+				fDone[s][op.MB] = end
+				inFlight[s]++
+				if inFlight[s] > res.PeakInFlight[s] {
+					res.PeakInFlight[s] = inFlight[s]
+				}
+			} else {
+				bDone[s][op.MB] = end
+				inFlight[s]--
+			}
+			res.Slots = append(res.Slots, Slot{Stage: s, Op: op, Start: start, End: end})
+			idx[s]++
+			remaining--
+			progressed = true
+		}
+		if !progressed {
+			panic("sched: pipeline schedule deadlocked")
+		}
+	}
+
+	var firstStart, lastEnd time.Duration
+	var busy time.Duration
+	for s := 0; s < p; s++ {
+		free[s] += c.Update
+	}
+	for _, sl := range res.Slots {
+		busy += sl.End - sl.Start
+		if sl.End > lastEnd {
+			lastEnd = sl.End
+		}
+	}
+	_ = firstStart
+	res.StepTime = lastEnd + c.Update
+	span := time.Duration(p) * res.StepTime
+	res.BubbleTime = span - busy - time.Duration(p)*c.Update
+	if span > 0 {
+		res.BubbleFraction = float64(res.BubbleTime) / float64(span)
+	}
+	return res
+}

@@ -1,0 +1,131 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestStageOrderLastStageIs1F1B(t *testing.T) {
+	// The last stage alternates from the start — the paper's Fig 2
+	// "1F 1B 2F 2B" pattern for a 2-micro-batch step.
+	ops := StageOrder(OneFOneB, 2, 3, 2)
+	if got := OrderString(ops); got != "1F 1B 2F 2B" {
+		t.Errorf("last stage order = %q", got)
+	}
+	// The first stage warms up with p-1 forwards.
+	ops = StageOrder(OneFOneB, 0, 3, 4)
+	if got := OrderString(ops); got != "1F 2F 3F 1B 4F 2B 3B 4B" {
+		t.Errorf("first stage order = %q", got)
+	}
+}
+
+func TestStageOrderGPipe(t *testing.T) {
+	ops := StageOrder(GPipe, 0, 2, 3)
+	if got := OrderString(ops); got != "1F 2F 3F 3B 2B 1B" {
+		t.Errorf("gpipe order = %q", got)
+	}
+}
+
+func TestStageOrderCompleteness(t *testing.T) {
+	for _, kind := range []Kind{GPipe, OneFOneB} {
+		for p := 1; p <= 4; p++ {
+			for s := 0; s < p; s++ {
+				for m := 1; m <= 6; m++ {
+					ops := StageOrder(kind, s, p, m)
+					if len(ops) != 2*m {
+						t.Fatalf("%v stage %d/%d m=%d: %d ops", kind, s, p, m, len(ops))
+					}
+					// Every micro-batch appears exactly once per kind, and
+					// B(i) never precedes F(i).
+					fSeen := make(map[int]int)
+					for i, op := range ops {
+						if op.Kind == Forward {
+							fSeen[op.MB] = i
+						} else if fi, ok := fSeen[op.MB]; !ok || fi > i {
+							t.Fatalf("%v: backward before forward: %s", kind, OrderString(ops))
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRunTimelineDependencies(t *testing.T) {
+	c := Costs{FwdPerMB: 10 * time.Millisecond, BwdPerMB: 20 * time.Millisecond,
+		Comm: time.Millisecond, Update: 5 * time.Millisecond}
+	res := Run(OneFOneB, 4, 8, c)
+	fEnd := make(map[[2]int]time.Duration)
+	bEnd := make(map[[2]int]time.Duration)
+	for _, sl := range res.Slots {
+		key := [2]int{sl.Stage, sl.Op.MB}
+		if sl.Op.Kind == Forward {
+			fEnd[key] = sl.End
+		} else {
+			bEnd[key] = sl.End
+		}
+	}
+	for _, sl := range res.Slots {
+		if sl.Op.Kind == Forward && sl.Stage > 0 {
+			dep := fEnd[[2]int{sl.Stage - 1, sl.Op.MB}]
+			if sl.Start < dep+c.Comm {
+				t.Fatalf("F(%d,%d) started before upstream finished", sl.Stage, sl.Op.MB)
+			}
+		}
+		if sl.Op.Kind == Backward && sl.Stage < res.Stages-1 {
+			dep := bEnd[[2]int{sl.Stage + 1, sl.Op.MB}]
+			if sl.Start < dep+c.Comm {
+				t.Fatalf("B(%d,%d) started before downstream finished", sl.Stage, sl.Op.MB)
+			}
+		}
+	}
+}
+
+func TestBubbleMatchesIdealFormula(t *testing.T) {
+	// With f == b and no comm, the 1F1B bubble fraction approaches
+	// (p-1)/(m+p-1).
+	p, m := 4, 12
+	c := Costs{FwdPerMB: 10 * time.Millisecond, BwdPerMB: 10 * time.Millisecond}
+	res := Run(OneFOneB, p, m, c)
+	ideal := float64(p-1) / float64(m+p-1)
+	if diff := res.BubbleFraction - ideal; diff < -0.02 || diff > 0.02 {
+		t.Errorf("bubble %.3f vs ideal %.3f", res.BubbleFraction, ideal)
+	}
+}
+
+func TestMoreMicroBatchesShrinkBubble(t *testing.T) {
+	c := Costs{FwdPerMB: 10 * time.Millisecond, BwdPerMB: 20 * time.Millisecond}
+	b4 := Run(OneFOneB, 4, 4, c).BubbleFraction
+	b16 := Run(OneFOneB, 4, 16, c).BubbleFraction
+	if b16 >= b4 {
+		t.Errorf("bubble did not shrink: m=4 %.3f, m=16 %.3f", b4, b16)
+	}
+}
+
+func TestPeakInFlightBounded(t *testing.T) {
+	c := Costs{FwdPerMB: 10 * time.Millisecond, BwdPerMB: 20 * time.Millisecond}
+	res := Run(OneFOneB, 4, 16, c)
+	// 1F1B bounds stage s to at most p-s in-flight micro-batches.
+	for s := 0; s < res.Stages; s++ {
+		if res.PeakInFlight[s] > res.Stages-s {
+			t.Errorf("stage %d in-flight %d exceeds 1F1B bound %d", s, res.PeakInFlight[s], res.Stages-s)
+		}
+	}
+	// GPipe holds everything.
+	gp := Run(GPipe, 4, 16, c)
+	if gp.PeakInFlight[0] != 16 {
+		t.Errorf("gpipe stage0 in-flight = %d, want all 16", gp.PeakInFlight[0])
+	}
+}
+
+func TestOneStagePipeline(t *testing.T) {
+	c := Costs{FwdPerMB: 10 * time.Millisecond, BwdPerMB: 20 * time.Millisecond, Update: 5 * time.Millisecond}
+	res := Run(OneFOneB, 1, 3, c)
+	want := 3*(10+20)*time.Millisecond + 5*time.Millisecond
+	if res.StepTime != want {
+		t.Errorf("step = %v, want %v", res.StepTime, want)
+	}
+	if res.BubbleFraction > 0.001 {
+		t.Errorf("single stage has bubble %.3f", res.BubbleFraction)
+	}
+}

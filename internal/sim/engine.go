@@ -1,0 +1,176 @@
+// Package sim provides the deterministic discrete-event simulation kernel
+// that every hardware substrate (GPU streams, DMA engines, PCIe links,
+// NVMe queues) is built on. Time is virtual: events carry a timestamp and
+// the engine executes them in (time, insertion-order) order, so a given
+// workload always produces exactly the same timeline. Determinism is what
+// turns the paper's wall-clock experiments into reproducible unit tests.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event struct {
+	at   time.Duration
+	seq  uint64
+	fn   func()
+	dead bool
+	idx  int
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() time.Duration { return e.at }
+
+// Cancel prevents a pending event from running. Cancelling an event that
+// already ran is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx, q[j].idx = i, j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event simulator. The zero value is not usable;
+// construct with NewEngine.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	running bool
+	// processed counts executed events, exposed for runaway detection in
+	// tests and for engine statistics.
+	processed uint64
+	// limit aborts Run after this many events (0 = unlimited); it guards
+	// against accidental event storms in misconfigured experiments.
+	limit uint64
+}
+
+// NewEngine returns an engine at virtual time zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Processed reports how many events have executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// SetEventLimit sets the maximum number of events Run will process before
+// panicking. Zero disables the limit.
+func (e *Engine) SetEventLimit(n uint64) { e.limit = n }
+
+// Schedule registers fn to run at absolute virtual time at. Scheduling in
+// the past panics: the engine cannot rewind, and silently clamping would
+// hide causality bugs in substrate models.
+func (e *Engine) Schedule(at time.Duration, fn func()) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: schedule at %v before now %v", at, e.now))
+	}
+	e.seq++
+	ev := &Event{at: at, seq: e.seq, fn: fn}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After registers fn to run d after the current virtual time.
+func (e *Engine) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	return e.Schedule(e.now+d, fn)
+}
+
+// Run processes events until the queue is empty and returns the final
+// virtual time.
+func (e *Engine) Run() time.Duration {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.dead {
+			continue
+		}
+		if ev.at < e.now {
+			panic("sim: event queue time went backwards")
+		}
+		e.now = ev.at
+		e.processed++
+		if e.limit > 0 && e.processed > e.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded", e.limit))
+		}
+		ev.fn()
+	}
+	return e.now
+}
+
+// RunUntil processes events with timestamps ≤ deadline and then stops,
+// leaving later events queued. It returns the virtual time reached, which
+// is deadline if any events remain.
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	if e.running {
+		panic("sim: RunUntil called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if ev.dead {
+			heap.Pop(&e.queue)
+			continue
+		}
+		if ev.at > deadline {
+			break
+		}
+		heap.Pop(&e.queue)
+		e.now = ev.at
+		e.processed++
+		if e.limit > 0 && e.processed > e.limit {
+			panic(fmt.Sprintf("sim: event limit %d exceeded", e.limit))
+		}
+		ev.fn()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// Pending reports how many live events remain queued.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.dead {
+			n++
+		}
+	}
+	return n
+}

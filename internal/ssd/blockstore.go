@@ -1,0 +1,124 @@
+package ssd
+
+import (
+	"fmt"
+	"sort"
+
+	"ssdtrain/internal/units"
+)
+
+// BlockStore is the byte-accurate file layer the offloaders write tensor
+// payloads into — the analogue of the paper's "/mnt/md1/t1.pt" files. It
+// supports both payload-backed files (for round-trip verification tests)
+// and size-only files (for timing-only experiments where materializing
+// tens of gigabytes would be waste).
+type BlockStore struct {
+	files map[string]*storedFile
+
+	written units.Bytes
+	read    units.Bytes
+	deleted units.Bytes
+	used    units.Bytes
+	peak    units.Bytes
+}
+
+type storedFile struct {
+	size units.Bytes
+	data []byte // nil for size-only files
+}
+
+// NewBlockStore returns an empty store.
+func NewBlockStore() *BlockStore {
+	return &BlockStore{files: make(map[string]*storedFile)}
+}
+
+// WriteFile stores a payload-backed file, overwriting any previous file at
+// the path. The payload is copied.
+func (b *BlockStore) WriteFile(path string, data []byte) {
+	b.remove(path)
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	b.put(path, &storedFile{size: units.Bytes(len(data)), data: cp})
+}
+
+// WriteSize stores a size-only file (no payload).
+func (b *BlockStore) WriteSize(path string, n units.Bytes) {
+	if n < 0 {
+		panic(fmt.Sprintf("ssd: negative file size %d", n))
+	}
+	b.remove(path)
+	b.put(path, &storedFile{size: n})
+}
+
+func (b *BlockStore) put(path string, f *storedFile) {
+	b.files[path] = f
+	b.written += f.size
+	b.used += f.size
+	if b.used > b.peak {
+		b.peak = b.used
+	}
+}
+
+func (b *BlockStore) remove(path string) {
+	if old, ok := b.files[path]; ok {
+		b.used -= old.size
+		b.deleted += old.size
+		delete(b.files, path)
+	}
+}
+
+// ReadFile returns a copy of a payload-backed file's bytes. Reading a
+// size-only file returns nil with ok=true; reading a missing path returns
+// ok=false.
+func (b *BlockStore) ReadFile(path string) (data []byte, ok bool) {
+	f, ok := b.files[path]
+	if !ok {
+		return nil, false
+	}
+	b.read += f.size
+	if f.data == nil {
+		return nil, true
+	}
+	cp := make([]byte, len(f.data))
+	copy(cp, f.data)
+	return cp, true
+}
+
+// Size returns a file's size, with ok=false for missing paths.
+func (b *BlockStore) Size(path string) (units.Bytes, bool) {
+	f, ok := b.files[path]
+	if !ok {
+		return 0, false
+	}
+	return f.size, true
+}
+
+// Delete removes a file; deleting a missing path is a no-op (idempotent
+// cleanup, like unlink of a consumed offload file).
+func (b *BlockStore) Delete(path string) { b.remove(path) }
+
+// Used returns the bytes currently stored.
+func (b *BlockStore) Used() units.Bytes { return b.used }
+
+// PeakUsed returns the high-water mark of stored bytes — the "max
+// activations size per GPU" measurement of Fig 5's diamonds.
+func (b *BlockStore) PeakUsed() units.Bytes { return b.peak }
+
+// Written returns cumulative bytes written.
+func (b *BlockStore) Written() units.Bytes { return b.written }
+
+// Read returns cumulative bytes read.
+func (b *BlockStore) Read() units.Bytes { return b.read }
+
+// Files returns the sorted list of stored paths.
+func (b *BlockStore) Files() []string {
+	paths := make([]string, 0, len(b.files))
+	for p := range b.files {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths
+}
+
+// Count returns the number of stored files.
+func (b *BlockStore) Count() int { return len(b.files) }

@@ -1,0 +1,106 @@
+package ssd
+
+import (
+	"time"
+
+	"ssdtrain/internal/sim"
+	"ssdtrain/internal/units"
+)
+
+// Device is one NVMe SSD in the discrete-event simulation: independent
+// write and read FIFO queues served at the drive's sequential bandwidths,
+// with cumulative byte accounting. An optional FTL provides page-accurate
+// wear accounting for endurance studies (experiments that only need
+// timing skip it — simulating 10⁸ pages per step would be pointless).
+type Device struct {
+	spec   Spec
+	writeQ *sim.Server
+	readQ  *sim.Server
+
+	hostWritten units.Bytes
+	hostRead    units.Bytes
+
+	ftl    *FTL
+	mapper *fileMapper
+}
+
+// NewDevice creates a device on the engine.
+func NewDevice(eng *sim.Engine, name string, spec Spec) *Device {
+	return &Device{
+		spec:   spec,
+		writeQ: sim.NewServer(eng, name+".wq"),
+		readQ:  sim.NewServer(eng, name+".rq"),
+	}
+}
+
+// Spec returns the device specification.
+func (d *Device) Spec() Spec { return d.spec }
+
+// AttachFTL enables page-accurate wear accounting. All subsequent writes
+// are mirrored into the FTL as sequential page writes.
+func (d *Device) AttachFTL(f *FTL) {
+	d.ftl = f
+	d.mapper = newFileMapper(f)
+}
+
+// FTL returns the attached FTL (nil when running in fast accounting mode).
+func (d *Device) FTL() *FTL { return d.ftl }
+
+// Write submits an n-byte sequential write that cannot start before
+// ready; done (optional) runs at completion. Returns the finish time.
+func (d *Device) Write(ready time.Duration, n units.Bytes, done func()) time.Duration {
+	d.hostWritten += n
+	if d.mapper != nil {
+		d.mapper.write(n)
+	}
+	return d.writeQ.Submit(ready, d.spec.WriteLatency+d.spec.SeqWrite.TimeFor(n), done)
+}
+
+// Read submits an n-byte sequential read. Returns the finish time.
+func (d *Device) Read(ready time.Duration, n units.Bytes, done func()) time.Duration {
+	d.hostRead += n
+	return d.readQ.Submit(ready, d.spec.ReadLatency+d.spec.SeqRead.TimeFor(n), done)
+}
+
+// HostWritten returns cumulative host bytes written.
+func (d *Device) HostWritten() units.Bytes { return d.hostWritten }
+
+// HostRead returns cumulative host bytes read.
+func (d *Device) HostRead() units.Bytes { return d.hostRead }
+
+// WriteBusyTime returns cumulative write-queue service time.
+func (d *Device) WriteBusyTime() time.Duration { return d.writeQ.BusyTime() }
+
+// ReadBusyTime returns cumulative read-queue service time.
+func (d *Device) ReadBusyTime() time.Duration { return d.readQ.BusyTime() }
+
+// fileMapper lays sequential writes onto the FTL's logical page space as a
+// circular log with whole-extent trim-before-overwrite, matching how the
+// tensor cache recycles offload files step after step.
+type fileMapper struct {
+	ftl  *FTL
+	next int64
+}
+
+func newFileMapper(f *FTL) *fileMapper { return &fileMapper{ftl: f} }
+
+func (m *fileMapper) write(n units.Bytes) {
+	pageSize := m.ftl.Geometry().PageSize
+	pages := int64((n + pageSize - 1) / pageSize)
+	total := int64(m.ftl.LogicalPages())
+	for pages > 0 {
+		run := pages
+		if m.next+run > total {
+			run = total - m.next
+		}
+		// Trim the extent we are about to recycle, then rewrite it — the
+		// offload file lifecycle (old step's tensors are dead by now).
+		m.ftl.Trim(m.next, run)
+		m.ftl.WriteRange(m.next, run)
+		m.next += run
+		if m.next >= total {
+			m.next = 0
+		}
+		pages -= run
+	}
+}

@@ -1,0 +1,76 @@
+package ssd
+
+import (
+	"fmt"
+
+	"ssdtrain/internal/units"
+)
+
+// Geometry describes NAND flash organization. Pages are the program unit,
+// blocks the erase unit — the mismatch that causes write amplification
+// (§II-C).
+type Geometry struct {
+	PageSize       units.Bytes
+	PagesPerBlock  int
+	BlocksPerPlane int
+	PlanesPerDie   int
+	DiesPerChannel int
+	Channels       int
+	// OverProvision is the fraction of physical blocks reserved beyond the
+	// advertised capacity for garbage collection headroom and wear
+	// leveling (§II-C).
+	OverProvision float64
+	// PECycles is the program/erase budget per block at the rated
+	// retention period.
+	PECycles int
+}
+
+// SmallTestGeometry returns a geometry small enough to exhaustively
+// exercise in unit tests while keeping realistic proportions.
+func SmallTestGeometry() Geometry {
+	return Geometry{
+		PageSize:       16 * units.KiB,
+		PagesPerBlock:  64,
+		BlocksPerPlane: 64,
+		PlanesPerDie:   2,
+		DiesPerChannel: 2,
+		Channels:       4,
+		OverProvision:  0.07,
+		PECycles:       3000,
+	}
+}
+
+// TotalBlocks returns the number of physical erase blocks.
+func (g Geometry) TotalBlocks() int {
+	return g.BlocksPerPlane * g.PlanesPerDie * g.DiesPerChannel * g.Channels
+}
+
+// BlockBytes returns the byte size of one erase block.
+func (g Geometry) BlockBytes() units.Bytes {
+	return g.PageSize * units.Bytes(g.PagesPerBlock)
+}
+
+// PhysicalBytes returns raw media capacity.
+func (g Geometry) PhysicalBytes() units.Bytes {
+	return g.BlockBytes() * units.Bytes(g.TotalBlocks())
+}
+
+// UsableBytes returns the advertised capacity after over-provisioning.
+func (g Geometry) UsableBytes() units.Bytes {
+	return units.Bytes(float64(g.PhysicalBytes()) * (1 - g.OverProvision))
+}
+
+// Validate checks the geometry for consistency.
+func (g Geometry) Validate() error {
+	if g.PageSize <= 0 || g.PagesPerBlock <= 0 || g.BlocksPerPlane <= 0 ||
+		g.PlanesPerDie <= 0 || g.DiesPerChannel <= 0 || g.Channels <= 0 {
+		return fmt.Errorf("ssd: geometry has non-positive dimension: %+v", g)
+	}
+	if g.OverProvision < 0 || g.OverProvision >= 0.5 {
+		return fmt.Errorf("ssd: over-provision %v out of [0, 0.5)", g.OverProvision)
+	}
+	if g.PECycles <= 0 {
+		return fmt.Errorf("ssd: PE cycle budget must be positive")
+	}
+	return nil
+}

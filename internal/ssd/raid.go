@@ -1,0 +1,150 @@
+package ssd
+
+import (
+	"time"
+
+	"ssdtrain/internal/sim"
+	"ssdtrain/internal/units"
+)
+
+// Array is a RAID0 stripe set over identical devices, matching the
+// testbed's two md RAID0 arrays (3× and 4× P5800X, Table II). Transfers
+// are split into stripe-sized chunks distributed round-robin; the
+// transfer completes when the slowest member finishes its share.
+type Array struct {
+	name    string
+	eng     *sim.Engine
+	devices []*Device
+	// stripe is the chunk size (md's default is 512 KiB).
+	stripe units.Bytes
+	// rr is the round-robin cursor so successive transfers spread load.
+	rr int
+}
+
+// NewArray builds a RAID0 array over the devices.
+func NewArray(eng *sim.Engine, name string, stripe units.Bytes, devices ...*Device) *Array {
+	if len(devices) == 0 {
+		panic("ssd: array needs at least one device")
+	}
+	if stripe <= 0 {
+		panic("ssd: stripe size must be positive")
+	}
+	return &Array{name: name, eng: eng, devices: devices, stripe: stripe}
+}
+
+// Name returns the array name (e.g. "/mnt/md1").
+func (a *Array) Name() string { return a.name }
+
+// Devices returns the member devices.
+func (a *Array) Devices() []*Device { return a.devices }
+
+// AggregateWrite returns the sum of member sequential-write bandwidths,
+// the array's headline rate.
+func (a *Array) AggregateWrite() units.Bandwidth {
+	var bw units.Bandwidth
+	for _, d := range a.devices {
+		bw += d.Spec().SeqWrite
+	}
+	return bw
+}
+
+// AggregateRead returns the sum of member sequential-read bandwidths.
+func (a *Array) AggregateRead() units.Bandwidth {
+	var bw units.Bandwidth
+	for _, d := range a.devices {
+		bw += d.Spec().SeqRead
+	}
+	return bw
+}
+
+// shares splits n bytes into per-device loads starting at the round-robin
+// cursor.
+func (a *Array) shares(n units.Bytes) []units.Bytes {
+	out := make([]units.Bytes, len(a.devices))
+	chunks := (n + a.stripe - 1) / a.stripe
+	base := chunks / units.Bytes(len(a.devices))
+	rem := int(chunks % units.Bytes(len(a.devices)))
+	for i := range out {
+		c := base
+		if (i-a.rr+len(a.devices))%len(a.devices) < rem {
+			c++
+		}
+		out[i] = c * a.stripe
+	}
+	// Trim overshoot on the last loaded device so shares sum to n.
+	var sum units.Bytes
+	for _, s := range out {
+		sum += s
+	}
+	if over := sum - n; over > 0 {
+		for i := len(out) - 1; i >= 0 && over > 0; i-- {
+			cut := over
+			if cut > out[i] {
+				cut = out[i]
+			}
+			out[i] -= cut
+			over -= cut
+		}
+	}
+	a.rr = (a.rr + rem) % len(a.devices)
+	return out
+}
+
+// Write stripes an n-byte write across members; done runs when the
+// slowest member finishes. Returns the finish time.
+func (a *Array) Write(ready time.Duration, n units.Bytes, done func()) time.Duration {
+	var finish time.Duration
+	for i, share := range a.shares(n) {
+		if share <= 0 {
+			continue
+		}
+		if f := a.devices[i].Write(ready, share, nil); f > finish {
+			finish = f
+		}
+	}
+	if finish < ready {
+		finish = ready
+	}
+	if done != nil {
+		a.eng.Schedule(finish, done)
+	}
+	return finish
+}
+
+// Read stripes an n-byte read across members. Returns the finish time.
+func (a *Array) Read(ready time.Duration, n units.Bytes, done func()) time.Duration {
+	var finish time.Duration
+	for i, share := range a.shares(n) {
+		if share <= 0 {
+			continue
+		}
+		if f := a.devices[i].Read(ready, share, nil); f > finish {
+			finish = f
+		}
+	}
+	if finish < ready {
+		finish = ready
+	}
+	if done != nil {
+		a.eng.Schedule(finish, done)
+	}
+	return finish
+}
+
+// HostWritten sums member write counters.
+func (a *Array) HostWritten() units.Bytes {
+	var n units.Bytes
+	for _, d := range a.devices {
+		n += d.HostWritten()
+	}
+	return n
+}
+
+// HostRead sums member read counters.
+func (a *Array) HostRead() units.Bytes {
+	var n units.Bytes
+	for _, d := range a.devices {
+		n += d.HostRead()
+	}
+	return n
+}

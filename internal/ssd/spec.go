@@ -1,0 +1,113 @@
+// Package ssd models the NVMe offload target: drive specifications,
+// flash-translation-layer behaviour with write-amplification accounting,
+// the endurance/lifespan model of §II-C and §III-D, RAID0 striping, and a
+// byte-accurate block store used to verify offload round-trips. The
+// endurance model is a first-class deliverable: the paper's viability
+// argument for activation offloading rests on it (Fig 5).
+package ssd
+
+import (
+	"time"
+
+	"ssdtrain/internal/units"
+)
+
+// MediaKind distinguishes flash families with different write behaviour.
+type MediaKind uint8
+
+// Media kinds.
+const (
+	// NAND flash erases in blocks and garbage-collects, so it suffers
+	// write amplification under random workloads.
+	NAND MediaKind = iota
+	// XPoint (Intel Optane) writes in place; WAF is ~1 regardless of
+	// access pattern. The paper's testbed drives (P5800X) are XPoint.
+	XPoint
+)
+
+// String names the media kind.
+func (m MediaKind) String() string {
+	if m == XPoint {
+		return "3D-XPoint"
+	}
+	return "NAND"
+}
+
+// Spec describes one SSD model.
+type Spec struct {
+	Name     string
+	Media    MediaKind
+	Capacity units.Bytes
+	// SeqWrite and SeqRead are sustained sequential bandwidths; activation
+	// offloading issues exactly this pattern (§II-C: "writes are large and
+	// sequential as each tensor ... is easily hundreds of MBs").
+	SeqWrite units.Bandwidth
+	SeqRead  units.Bandwidth
+	// WriteLatency and ReadLatency are fixed per-command latencies.
+	WriteLatency time.Duration
+	ReadLatency  time.Duration
+	// RatedTBW is lifetime host writes under the JESD218 rating method
+	// (random writes after tough preconditioning).
+	RatedTBW units.Bytes
+	// JESDWAF is the write amplification implied by the JESD rating
+	// workload; the paper assumes 2.5.
+	JESDWAF float64
+	// PricePerUnit (USD) feeds the paper's cost analysis (§IV-D).
+	PricePerUnit float64
+}
+
+// IntelP5800X16TB is the testbed drive (Table II): Intel Optane P5800X
+// 1.6 TB. Endurance rating is 100 DWPD over 5 years.
+func IntelP5800X16TB() Spec {
+	capacity := units.Bytes(1.6e12)
+	return Spec{
+		Name:         "Intel-Optane-P5800X-1.6TB",
+		Media:        XPoint,
+		Capacity:     capacity,
+		SeqWrite:     6.1 * units.GBps,
+		SeqRead:      7.2 * units.GBps,
+		WriteLatency: 5 * time.Microsecond,
+		ReadLatency:  5 * time.Microsecond,
+		// 100 DWPD × 1.6 TB × 365 × 5 years = 292 PB.
+		RatedTBW: units.Bytes(100 * 1.6e12 * 365 * 5),
+		// Optane's rating method is not JESD-preconditioned NAND, and its
+		// in-place media keeps WAF at 1 for any pattern.
+		JESDWAF:      1.0,
+		PricePerUnit: 3700,
+	}
+}
+
+// Samsung980Pro1TB is the drive used for the paper's large-scale viability
+// projection (§III-D: "assume four Samsung 980 PRO 1TB for each GPU").
+func Samsung980Pro1TB() Spec {
+	return Spec{
+		Name:         "Samsung-980PRO-1TB",
+		Media:        NAND,
+		Capacity:     1 * units.TB,
+		SeqWrite:     5.0 * units.GBps,
+		SeqRead:      7.0 * units.GBps,
+		WriteLatency: 20 * time.Microsecond,
+		ReadLatency:  50 * time.Microsecond,
+		RatedTBW:     600 * units.TB,
+		JESDWAF:      2.5,
+		PricePerUnit: 90,
+	}
+}
+
+// DWPD returns the drive-writes-per-day implied by the rating over the
+// given warranty period.
+func (s Spec) DWPD(warrantyYears float64) float64 {
+	if warrantyYears <= 0 || s.Capacity <= 0 {
+		return 0
+	}
+	return float64(s.RatedTBW) / (float64(s.Capacity) * warrantyYears * 365)
+}
+
+// PricePerPBW returns price per petabyte written, the paper's cost metric
+// for comparing the Optane testbed drives with mainstream TLC (§IV-D).
+func (s Spec) PricePerPBW() float64 {
+	if s.RatedTBW <= 0 {
+		return 0
+	}
+	return s.PricePerUnit / (float64(s.RatedTBW) / float64(units.PB))
+}

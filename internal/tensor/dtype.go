@@ -1,0 +1,60 @@
+// Package tensor provides the tensor abstraction the SSDTrain cache
+// manages: shaped, typed views over reference-counted storages. It mirrors
+// the PyTorch split between Tensor (shape + view metadata) and
+// UntypedStorage (the actual allocation), because the paper's
+// deduplication scheme (§III-C1) depends on that split: identifiers are
+// stamped onto the storage so that every view of the same allocation —
+// including the transposed weight views linear layers save for backward —
+// resolves to one stable identifier across training steps.
+package tensor
+
+import "fmt"
+
+// DType is a tensor element type.
+type DType uint8
+
+// Supported element types.
+const (
+	FP16 DType = iota
+	BF16
+	FP32
+	INT32
+	INT64
+	BOOL
+)
+
+// Size returns the element size in bytes.
+func (d DType) Size() int {
+	switch d {
+	case FP16, BF16:
+		return 2
+	case FP32, INT32:
+		return 4
+	case INT64:
+		return 8
+	case BOOL:
+		return 1
+	default:
+		panic(fmt.Sprintf("tensor: unknown dtype %d", d))
+	}
+}
+
+// String returns the conventional dtype name.
+func (d DType) String() string {
+	switch d {
+	case FP16:
+		return "fp16"
+	case BF16:
+		return "bf16"
+	case FP32:
+		return "fp32"
+	case INT32:
+		return "int32"
+	case INT64:
+		return "int64"
+	case BOOL:
+		return "bool"
+	default:
+		return fmt.Sprintf("dtype(%d)", d)
+	}
+}

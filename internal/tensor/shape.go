@@ -1,0 +1,77 @@
+package tensor
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Shape is a tensor's dimension list. Shapes are immutable by convention:
+// operations return new shapes.
+type Shape []int
+
+// NewShape validates and returns a shape. All dimensions must be positive.
+func NewShape(dims ...int) Shape {
+	for _, d := range dims {
+		if d <= 0 {
+			panic(fmt.Sprintf("tensor: non-positive dimension %d in shape %v", d, dims))
+		}
+	}
+	return Shape(dims)
+}
+
+// NumElems returns the product of the dimensions (1 for a scalar shape).
+func (s Shape) NumElems() int64 {
+	n := int64(1)
+	for _, d := range s {
+		n *= int64(d)
+	}
+	return n
+}
+
+// Rank returns the number of dimensions.
+func (s Shape) Rank() int { return len(s) }
+
+// Equal reports whether two shapes are identical.
+func (s Shape) Equal(o Shape) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Transposed returns the shape with the last two dimensions swapped, the
+// view linear layers save for backward propagation.
+func (s Shape) Transposed() Shape {
+	if len(s) < 2 {
+		return s.Clone()
+	}
+	t := s.Clone()
+	n := len(t)
+	t[n-1], t[n-2] = t[n-2], t[n-1]
+	return t
+}
+
+// Clone returns a copy of the shape.
+func (s Shape) Clone() Shape {
+	c := make(Shape, len(s))
+	copy(c, s)
+	return c
+}
+
+// String renders the shape as [d0 d1 ...].
+func (s Shape) String() string {
+	parts := make([]string, len(s))
+	for i, d := range s {
+		parts[i] = fmt.Sprintf("%d", d)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// Key returns a canonical string for use in composite identifiers; it is
+// part of the paper's (timestamp, shape) tensor ID.
+func (s Shape) Key() string { return s.String() }

@@ -1,0 +1,274 @@
+package tensor
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"sync/atomic"
+
+	"ssdtrain/internal/units"
+)
+
+// Device identifies where a storage lives.
+type Device uint8
+
+// Device kinds.
+const (
+	// GPU is device memory; the default home of activations.
+	GPU Device = iota
+	// CPU is host memory; CPU-resident tensors are never offloaded
+	// (Alg. 1 line 2).
+	CPU
+)
+
+// String names the device.
+func (d Device) String() string {
+	if d == CPU {
+		return "cpu"
+	}
+	return "gpu"
+}
+
+var storageSeq atomic.Int64
+
+// Storage is the allocation backing one or more tensor views — the
+// analogue of PyTorch's UntypedStorage. The SSDTrain cache stamps its
+// deduplication timestamp here rather than on the Tensor, because PyTorch
+// (and this runtime) may create fresh Tensor objects viewing the same
+// allocation, and all of them must map to one offload record.
+type Storage struct {
+	// seq is a process-unique allocation number, used only for diagnostics;
+	// it is deliberately NOT the cache identifier (the paper explains that
+	// address/object-identity based IDs collide once memory is recycled).
+	seq    int64
+	bytes  units.Bytes
+	device Device
+
+	// stamp is the cache-assigned logical timestamp (0 = unassigned). It is
+	// the paper's "additional attribute added to t.untyped_storage()".
+	stamp int64
+
+	// data is the optional real payload. Experiments that only need timing
+	// leave it nil; I/O-correctness tests materialize it.
+	data []byte
+
+	// freed marks the storage as released; weak references observe this.
+	freed bool
+
+	// strong is the number of strong references held by the runtime and
+	// the cache. The executor frees the storage when it reaches zero.
+	strong int
+}
+
+// NewStorage allocates storage metadata of the given byte size on the
+// device. The payload is not materialized.
+func NewStorage(n units.Bytes, dev Device) *Storage {
+	if n < 0 {
+		panic(fmt.Sprintf("tensor: negative storage size %d", n))
+	}
+	return &Storage{seq: storageSeq.Add(1), bytes: n, device: dev}
+}
+
+// Seq returns the diagnostic allocation number.
+func (s *Storage) Seq() int64 { return s.seq }
+
+// Bytes returns the storage size.
+func (s *Storage) Bytes() units.Bytes { return s.bytes }
+
+// Device returns where the storage lives.
+func (s *Storage) Device() Device { return s.device }
+
+// Stamp returns the cache-assigned timestamp (0 if unassigned).
+func (s *Storage) Stamp() int64 { return s.stamp }
+
+// SetStamp assigns the cache timestamp. Assigning twice with different
+// values panics: a storage's identity must never change.
+func (s *Storage) SetStamp(v int64) {
+	if v <= 0 {
+		panic("tensor: stamp must be positive")
+	}
+	if s.stamp != 0 && s.stamp != v {
+		panic(fmt.Sprintf("tensor: storage %d re-stamped %d -> %d", s.seq, s.stamp, v))
+	}
+	s.stamp = v
+}
+
+// Freed reports whether the storage has been released.
+func (s *Storage) Freed() bool { return s.freed }
+
+// Retain adds a strong reference.
+func (s *Storage) Retain() {
+	if s.freed {
+		panic(fmt.Sprintf("tensor: retain of freed storage %d", s.seq))
+	}
+	s.strong++
+}
+
+// Release drops a strong reference and reports whether the storage became
+// free (refcount hit zero). The caller owns the consequence (returning the
+// bytes to the allocator at the right virtual time).
+func (s *Storage) Release() bool {
+	if s.freed {
+		panic(fmt.Sprintf("tensor: release of freed storage %d", s.seq))
+	}
+	if s.strong <= 0 {
+		panic(fmt.Sprintf("tensor: refcount underflow on storage %d", s.seq))
+	}
+	s.strong--
+	if s.strong == 0 {
+		s.freed = true
+		s.data = nil
+		return true
+	}
+	return false
+}
+
+// Refs returns the current strong reference count.
+func (s *Storage) Refs() int { return s.strong }
+
+// Materialize fills the payload deterministically from the seed. It is
+// idempotent for a given seed and enables byte-exact offload round-trip
+// verification.
+func (s *Storage) Materialize(seed uint64) {
+	if s.freed {
+		panic(fmt.Sprintf("tensor: materialize of freed storage %d", s.seq))
+	}
+	if s.data != nil {
+		return
+	}
+	s.data = make([]byte, s.bytes)
+	fillDeterministic(s.data, seed)
+}
+
+// Data returns the payload (nil if never materialized).
+func (s *Storage) Data() []byte { return s.data }
+
+// SetData installs a payload buffer, used when reloading from the offload
+// target. The buffer length must match the storage size.
+func (s *Storage) SetData(b []byte) {
+	if units.Bytes(len(b)) != s.bytes {
+		panic(fmt.Sprintf("tensor: payload size %d != storage size %d", len(b), s.bytes))
+	}
+	s.data = b
+}
+
+// Checksum returns a CRC32 over the payload, or 0 when not materialized.
+func (s *Storage) Checksum() uint32 {
+	if s.data == nil {
+		return 0
+	}
+	return crc32.ChecksumIEEE(s.data)
+}
+
+// fillDeterministic writes a fast xorshift64* stream derived from seed.
+func fillDeterministic(b []byte, seed uint64) {
+	x := seed | 1
+	var word [8]byte
+	for i := 0; i < len(b); i += 8 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		binary.LittleEndian.PutUint64(word[:], x*0x2545F4914F6CDD1D)
+		copy(b[i:], word[:])
+	}
+}
+
+// Tensor is a shaped, typed view of a storage — the object the model
+// runtime passes around and the cache's pack hook inspects.
+type Tensor struct {
+	name    string
+	shape   Shape
+	dtype   DType
+	storage *Storage
+	// weight marks parameters (and their transposed views); the cache
+	// excludes them from offloading (§III-C1).
+	weight bool
+}
+
+// New allocates a fresh tensor with its own storage on the device.
+func New(name string, shape Shape, dt DType, dev Device) *Tensor {
+	n := units.Bytes(shape.NumElems() * int64(dt.Size()))
+	return &Tensor{name: name, shape: shape, dtype: dt, storage: NewStorage(n, dev)}
+}
+
+// NewWeight allocates a parameter tensor (flagged as a weight).
+func NewWeight(name string, shape Shape, dt DType, dev Device) *Tensor {
+	t := New(name, shape, dt, dev)
+	t.weight = true
+	return t
+}
+
+// View returns a new tensor sharing this tensor's storage with a different
+// shape. The element count must match.
+func (t *Tensor) View(name string, shape Shape) *Tensor {
+	if shape.NumElems() != t.shape.NumElems() {
+		panic(fmt.Sprintf("tensor: view %v of %v changes element count", shape, t.shape))
+	}
+	return &Tensor{name: name, shape: shape, dtype: t.dtype, storage: t.storage, weight: t.weight}
+}
+
+// Transpose returns the transposed view sharing storage — the view linear
+// layers register on the computation graph for backward (§III-C1).
+func (t *Tensor) Transpose() *Tensor {
+	return &Tensor{
+		name:    t.name + ".T",
+		shape:   t.shape.Transposed(),
+		dtype:   t.dtype,
+		storage: t.storage,
+		weight:  t.weight,
+	}
+}
+
+// Name returns the tensor's diagnostic name.
+func (t *Tensor) Name() string { return t.name }
+
+// Shape returns the tensor's shape.
+func (t *Tensor) Shape() Shape { return t.shape }
+
+// DType returns the element type.
+func (t *Tensor) DType() DType { return t.dtype }
+
+// Storage returns the backing storage.
+func (t *Tensor) Storage() *Storage { return t.storage }
+
+// Device returns where the tensor lives.
+func (t *Tensor) Device() Device { return t.storage.device }
+
+// Bytes returns the view's logical size (elements × element size).
+func (t *Tensor) Bytes() units.Bytes {
+	return units.Bytes(t.shape.NumElems() * int64(t.dtype.Size()))
+}
+
+// NumElems returns the number of elements in the view.
+func (t *Tensor) NumElems() int64 { return t.shape.NumElems() }
+
+// IsWeight reports whether the tensor is a parameter or a parameter view.
+func (t *Tensor) IsWeight() bool { return t.weight }
+
+// IsCPU reports whether the tensor lives in host memory.
+func (t *Tensor) IsCPU() bool { return t.storage.device == CPU }
+
+// String renders a diagnostic description.
+func (t *Tensor) String() string {
+	return fmt.Sprintf("%s%v:%s@%s", t.name, t.shape, t.dtype, t.Device())
+}
+
+// WeakRef is a non-owning reference to a tensor, the mechanism behind the
+// paper's data forwarding: while a tensor is being stored the cache keeps
+// only a weak reference, and an unpack that arrives before the store
+// completes upgrades it to a strong reference instead of reading the SSD.
+type WeakRef struct {
+	t *Tensor
+}
+
+// Weak creates a weak reference to t.
+func Weak(t *Tensor) WeakRef { return WeakRef{t: t} }
+
+// Get returns the tensor if its storage is still live, or nil if it has
+// been freed.
+func (w WeakRef) Get() *Tensor {
+	if w.t == nil || w.t.storage.freed {
+		return nil
+	}
+	return w.t
+}

@@ -1,0 +1,185 @@
+// Package trace collects the measurements the paper reports: byte-accurate
+// memory timelines with peak tracking, named counters for cache behaviour
+// (offloads, forwards, dedup hits), and per-step timing. Every sample is
+// stamped with virtual time so traces are comparable across runs.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"ssdtrain/internal/units"
+)
+
+// MemSample is one point in a memory timeline.
+type MemSample struct {
+	At    time.Duration
+	Total units.Bytes
+}
+
+// MemTimeline tracks a running byte total over virtual time and remembers
+// the peak. Allocations and frees arrive in virtual-time order from the
+// simulation engine.
+type MemTimeline struct {
+	name    string
+	cur     units.Bytes
+	peak    units.Bytes
+	peakAt  time.Duration
+	last    time.Duration
+	samples []MemSample
+	record  bool
+}
+
+// NewMemTimeline creates a timeline. If record is true every sample is
+// retained for plotting/golden tests; otherwise only current and peak are
+// kept (cheap enough for big sweeps).
+func NewMemTimeline(name string, record bool) *MemTimeline {
+	return &MemTimeline{name: name, record: record}
+}
+
+// Name returns the timeline's label.
+func (m *MemTimeline) Name() string { return m.name }
+
+// Add applies a delta at virtual time at. Deltas may be negative (frees).
+// Time must be monotonically non-decreasing.
+func (m *MemTimeline) Add(at time.Duration, delta units.Bytes) {
+	if at < m.last {
+		panic(fmt.Sprintf("trace: %s timeline time went backwards: %v < %v", m.name, at, m.last))
+	}
+	m.last = at
+	m.cur += delta
+	if m.cur < 0 {
+		panic(fmt.Sprintf("trace: %s timeline went negative (%v) at %v", m.name, m.cur, at))
+	}
+	if m.cur > m.peak {
+		m.peak = m.cur
+		m.peakAt = at
+	}
+	if m.record {
+		m.samples = append(m.samples, MemSample{At: at, Total: m.cur})
+	}
+}
+
+// Current returns the present byte total.
+func (m *MemTimeline) Current() units.Bytes { return m.cur }
+
+// Peak returns the maximum byte total observed.
+func (m *MemTimeline) Peak() units.Bytes { return m.peak }
+
+// PeakAt returns the virtual time of the peak.
+func (m *MemTimeline) PeakAt() time.Duration { return m.peakAt }
+
+// Samples returns the recorded samples (nil unless recording was enabled).
+func (m *MemTimeline) Samples() []MemSample { return m.samples }
+
+// ResetPeak restarts peak tracking from the current level; used to measure
+// the peak within a phase (e.g. forward+backward only, excluding the
+// optimizer step) as the paper does.
+func (m *MemTimeline) ResetPeak() {
+	m.peak = m.cur
+	m.peakAt = m.last
+}
+
+// PeakBetween returns the maximum level reached in the half-open window
+// [from, to), including the level carried into the window. It requires
+// sample recording to have been enabled.
+func (m *MemTimeline) PeakBetween(from, to time.Duration) units.Bytes {
+	var level units.Bytes // level entering the window
+	var peak units.Bytes
+	seen := false
+	for _, s := range m.samples {
+		if s.At < from {
+			level = s.Total
+			continue
+		}
+		if !seen {
+			peak = level // carry-in level counts at the window start
+			seen = true
+		}
+		if s.At >= to {
+			break
+		}
+		if s.Total > peak {
+			peak = s.Total
+		}
+	}
+	if !seen {
+		peak = level
+	}
+	return peak
+}
+
+// Counters is a set of named monotonically increasing counters.
+type Counters struct {
+	vals map[string]int64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]int64)}
+}
+
+// Add increments a counter by n.
+func (c *Counters) Add(name string, n int64) { c.vals[name] += n }
+
+// Get returns a counter's value (zero if never touched).
+func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Names returns the sorted list of counters that have been touched.
+func (c *Counters) Names() []string {
+	names := make([]string, 0, len(c.vals))
+	for k := range c.vals {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// String renders all counters, sorted by name.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, name := range c.Names() {
+		if i > 0 {
+			b.WriteString(" ")
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.vals[name])
+	}
+	return b.String()
+}
+
+// StepStats summarizes one training step, the row unit of the paper's
+// evaluation figures.
+type StepStats struct {
+	// StepTime is the end-to-end virtual time of the step (Fig 6a).
+	StepTime time.Duration
+	// ActivationPeak is the peak of the activation memory timeline during
+	// forward+backward (Fig 6b).
+	ActivationPeak units.Bytes
+	// TotalPeak is the peak of all GPU memory.
+	TotalPeak units.Bytes
+	// OffloadedBytes is the amount written to the offload target (Table III).
+	OffloadedBytes units.Bytes
+	// ReloadedBytes is the amount read back during backward.
+	ReloadedBytes units.Bytes
+	// ForwardedBytes were resolved from in-flight stores without SSD reads.
+	ForwardedBytes units.Bytes
+	// ModelFLOPs is the algorithmic work of the step (recomputation
+	// excluded), the numerator of the paper's model-throughput metric.
+	ModelFLOPs units.FLOPs
+	// ComputeStall is GPU compute idle time spent waiting on reloads; zero
+	// means the paper's "perfect overlap" claim holds for the config.
+	ComputeStall time.Duration
+}
+
+// ModelThroughput returns algorithmic FLOPs divided by step time — the
+// paper's per-GPU "model throughput" y-axis (Fig 7).
+func (s StepStats) ModelThroughput() units.FLOPSRate {
+	return units.Rate(s.ModelFLOPs, s.StepTime)
+}
+
+// WriteBandwidth returns the average offload write bandwidth over the step.
+func (s StepStats) WriteBandwidth() units.Bandwidth {
+	return units.BandwidthOf(s.OffloadedBytes, s.StepTime)
+}

@@ -1,0 +1,157 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"ssdtrain/internal/units"
+)
+
+func TestMemTimelinePeak(t *testing.T) {
+	m := NewMemTimeline("test", true)
+	m.Add(0, 100)
+	m.Add(time.Millisecond, 200)
+	m.Add(2*time.Millisecond, -150)
+	m.Add(3*time.Millisecond, 50)
+	if m.Peak() != 300 {
+		t.Errorf("peak = %v", m.Peak())
+	}
+	if m.PeakAt() != time.Millisecond {
+		t.Errorf("peakAt = %v", m.PeakAt())
+	}
+	if m.Current() != 200 {
+		t.Errorf("current = %v", m.Current())
+	}
+	if len(m.Samples()) != 4 {
+		t.Errorf("samples = %d", len(m.Samples()))
+	}
+}
+
+func TestMemTimelineBackwardsTimePanics(t *testing.T) {
+	m := NewMemTimeline("test", false)
+	m.Add(time.Millisecond, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("backwards time did not panic")
+		}
+	}()
+	m.Add(0, 10)
+}
+
+func TestMemTimelineNegativePanics(t *testing.T) {
+	m := NewMemTimeline("test", false)
+	m.Add(0, 10)
+	defer func() {
+		if recover() == nil {
+			t.Error("negative total did not panic")
+		}
+	}()
+	m.Add(time.Millisecond, -20)
+}
+
+func TestMemTimelineResetPeak(t *testing.T) {
+	m := NewMemTimeline("test", false)
+	m.Add(0, 300)
+	m.Add(time.Millisecond, -250)
+	m.ResetPeak()
+	m.Add(2*time.Millisecond, 100)
+	if m.Peak() != 150 {
+		t.Errorf("peak after reset = %v", m.Peak())
+	}
+}
+
+func TestPeakBetween(t *testing.T) {
+	m := NewMemTimeline("test", true)
+	m.Add(0, 100)
+	m.Add(10*time.Millisecond, 400) // 500
+	m.Add(20*time.Millisecond, -450)
+	m.Add(30*time.Millisecond, 200) // 250
+	cases := []struct {
+		from, to time.Duration
+		want     units.Bytes
+	}{
+		{0, 40 * time.Millisecond, 500},
+		{15 * time.Millisecond, 25 * time.Millisecond, 500}, // carry-in level
+		{25 * time.Millisecond, 40 * time.Millisecond, 250},
+		{21 * time.Millisecond, 29 * time.Millisecond, 50}, // between events
+		{40 * time.Millisecond, 50 * time.Millisecond, 250},
+	}
+	for _, c := range cases {
+		if got := m.PeakBetween(c.from, c.to); got != c.want {
+			t.Errorf("PeakBetween(%v,%v) = %v, want %v", c.from, c.to, got, c.want)
+		}
+	}
+}
+
+// Property: windowed peak never exceeds the global peak, and the full
+// window reproduces it.
+func TestPeakBetweenProperty(t *testing.T) {
+	f := func(deltas []int16) bool {
+		m := NewMemTimeline("q", true)
+		var cur units.Bytes
+		at := time.Duration(0)
+		for _, d := range deltas {
+			dd := units.Bytes(d)
+			if cur+dd < 0 {
+				dd = -cur
+			}
+			m.Add(at, dd)
+			cur += dd
+			at += time.Millisecond
+		}
+		full := m.PeakBetween(0, at+time.Millisecond)
+		if full != m.Peak() {
+			return false
+		}
+		half := m.PeakBetween(0, at/2)
+		return half <= full
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounters(t *testing.T) {
+	c := NewCounters()
+	c.Add("b", 2)
+	c.Add("a", 1)
+	c.Add("b", 3)
+	if c.Get("b") != 5 || c.Get("a") != 1 || c.Get("missing") != 0 {
+		t.Errorf("counter values wrong: %s", c)
+	}
+	if got := c.String(); got != "a=1 b=5" {
+		t.Errorf("String() = %q", got)
+	}
+}
+
+func TestStepStats(t *testing.T) {
+	s := StepStats{
+		StepTime:       time.Second,
+		ModelFLOPs:     100 * units.TFLOP,
+		OffloadedBytes: 10 * units.GB,
+	}
+	if s.ModelThroughput() != units.FLOPSRate(100*units.TFLOPS) {
+		t.Errorf("throughput = %v", s.ModelThroughput())
+	}
+	if s.WriteBandwidth() != units.Bandwidth(10*units.GBps) {
+		t.Errorf("write bw = %v", s.WriteBandwidth())
+	}
+}
+
+func TestTableRender(t *testing.T) {
+	tab := NewTable("demo", "name", "value")
+	tab.AddRow("alpha", 1.5)
+	tab.AddRow("b", "x")
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") || !strings.Contains(out, "alpha") {
+		t.Errorf("table output missing parts:\n%s", out)
+	}
+	if !strings.Contains(out, "1.50") {
+		t.Errorf("float not formatted: %s", out)
+	}
+	if len(tab.Rows()) != 2 {
+		t.Errorf("rows = %d", len(tab.Rows()))
+	}
+}

@@ -1,0 +1,121 @@
+// Package workload generates the synthetic pretraining token stream that
+// stands in for the OSCAR corpus (§IV-A). Pretraining throughput and
+// memory never depend on token values — only on batch shapes — so a
+// deterministic Zipf-distributed stream preserves everything the
+// evaluation needs while keeping the repository self-contained.
+package workload
+
+import (
+	"fmt"
+	"math"
+)
+
+// Dataset is a deterministic token stream over a vocabulary.
+type Dataset struct {
+	vocab int
+	seq   int
+	// Zipf exponent: natural-language token frequencies follow roughly
+	// s ≈ 1.
+	exponent float64
+	// cdf is the cumulative distribution over a truncated rank table.
+	cdf []float64
+	rng uint64
+}
+
+// NewDataset creates a stream over the vocabulary with the given sequence
+// length and seed.
+func NewDataset(vocab, seq int, seed uint64) *Dataset {
+	if vocab < 2 || seq <= 0 {
+		panic(fmt.Sprintf("workload: bad dataset shape vocab=%d seq=%d", vocab, seq))
+	}
+	d := &Dataset{vocab: vocab, seq: seq, exponent: 1.0, rng: seed | 1}
+	// Build the Zipf CDF over the first min(vocab, 4096) ranks; the long
+	// tail is folded into the last bucket (it carries <2% of the mass).
+	n := vocab
+	if n > 4096 {
+		n = 4096
+	}
+	d.cdf = make([]float64, n)
+	var sum float64
+	for i := 0; i < n; i++ {
+		sum += 1 / math.Pow(float64(i+1), d.exponent)
+		d.cdf[i] = sum
+	}
+	for i := range d.cdf {
+		d.cdf[i] /= sum
+	}
+	return d
+}
+
+// Vocab returns the vocabulary size.
+func (d *Dataset) Vocab() int { return d.vocab }
+
+// SeqLen returns the sequence length.
+func (d *Dataset) SeqLen() int { return d.seq }
+
+func (d *Dataset) next() uint64 {
+	x := d.rng
+	x ^= x << 13
+	x ^= x >> 7
+	x ^= x << 17
+	d.rng = x
+	return x * 0x2545F4914F6CDD1D
+}
+
+// NextToken draws one token id.
+func (d *Dataset) NextToken() int32 {
+	u := float64(d.next()>>11) / float64(1<<53)
+	// Binary search the CDF.
+	lo, hi := 0, len(d.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if d.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	// Spread the head ranks across the full vocabulary deterministically
+	// so all ids occur while keeping the frequency skew.
+	id := int64(lo)
+	if lo == len(d.cdf)-1 && d.vocab > len(d.cdf) {
+		id = int64(len(d.cdf)) + int64(d.next()%uint64(d.vocab-len(d.cdf)))
+	}
+	return int32(id)
+}
+
+// Batch fills a [batch][seq] token-id matrix.
+func (d *Dataset) Batch(batch int) [][]int32 {
+	out := make([][]int32, batch)
+	for i := range out {
+		row := make([]int32, d.seq)
+		for j := range row {
+			row[j] = d.NextToken()
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// Stats summarizes a sample of the stream, used to validate the Zipf
+// property in tests.
+type Stats struct {
+	Tokens   int
+	Distinct int
+	// TopShare is the frequency share of the single most common token.
+	TopShare float64
+}
+
+// Sample draws n tokens and summarizes them.
+func (d *Dataset) Sample(n int) Stats {
+	counts := make(map[int32]int)
+	top := 0
+	for i := 0; i < n; i++ {
+		t := d.NextToken()
+		counts[t]++
+		if counts[t] > top {
+			top = counts[t]
+		}
+	}
+	return Stats{Tokens: n, Distinct: len(counts), TopShare: float64(top) / float64(n)}
+}

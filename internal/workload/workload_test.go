@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := NewDataset(30720, 1024, 7)
+	b := NewDataset(30720, 1024, 7)
+	ba := a.Batch(4)
+	bb := b.Batch(4)
+	for i := range ba {
+		for j := range ba[i] {
+			if ba[i][j] != bb[i][j] {
+				t.Fatalf("streams diverge at [%d][%d]", i, j)
+			}
+		}
+	}
+	c := NewDataset(30720, 1024, 8)
+	diff := false
+	bc := c.Batch(1)
+	for j := range bc[0] {
+		if bc[0][j] != ba[0][j] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestBatchShape(t *testing.T) {
+	d := NewDataset(8192, 512, 1)
+	b := d.Batch(3)
+	if len(b) != 3 || len(b[0]) != 512 {
+		t.Fatalf("batch shape %dx%d", len(b), len(b[0]))
+	}
+}
+
+func TestZipfSkew(t *testing.T) {
+	d := NewDataset(30720, 1024, 42)
+	st := d.Sample(200000)
+	// Natural-language-like skew: the most common token carries a large
+	// share, but nothing close to everything.
+	if st.TopShare < 0.02 || st.TopShare > 0.3 {
+		t.Errorf("top token share = %.3f", st.TopShare)
+	}
+	if st.Distinct < 1000 {
+		t.Errorf("distinct tokens = %d, stream not diverse", st.Distinct)
+	}
+}
+
+// Property: all tokens are valid vocabulary ids.
+func TestTokensInRangeProperty(t *testing.T) {
+	f := func(seed uint64, vocabSel uint8) bool {
+		vocab := int(vocabSel)%30000 + 16
+		d := NewDataset(vocab, 16, seed)
+		for i := 0; i < 200; i++ {
+			tok := d.NextToken()
+			if tok < 0 || int(tok) >= vocab {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBadShapePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("bad dataset shape did not panic")
+		}
+	}()
+	NewDataset(1, 128, 0)
+}

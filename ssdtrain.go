@@ -1,0 +1,107 @@
+// Package ssdtrain is the public API of the SSDTrain reproduction: an
+// adaptive activation-offloading framework for LLM training (Wu et al.,
+// DAC 2025), rebuilt in Go on a deterministic simulation of the GPU
+// training stack.
+//
+// The package wires together the internal substrates — a discrete-event
+// GPU/PCIe/NVMe simulator, a PyTorch-like module/hook runtime, a
+// transformer model zoo, and the SSDTrain tensor cache — behind a small
+// surface:
+//
+//	cfg := ssdtrain.PaperConfig(ssdtrain.BERT, 12288, 3, 16)
+//	res, err := ssdtrain.Train(ssdtrain.RunConfig{
+//	    Model:    cfg,
+//	    Strategy: ssdtrain.StrategySSDTrain,
+//	})
+//	fmt.Println(res.StepTime(), res.Measured.ActPeak)
+//
+// Every figure and table of the paper's evaluation has a runner here
+// (Fig1, Fig5, Fig6, Fig7, Fig8a, Fig8b, Table1, Table3); see
+// EXPERIMENTS.md for the paper-vs-reproduction record.
+package ssdtrain
+
+import (
+	"ssdtrain/internal/exp"
+	"ssdtrain/internal/models"
+	"ssdtrain/internal/perfmodel"
+	"ssdtrain/internal/trace"
+)
+
+// Model architectures (§II-A's three transformer classes).
+const (
+	GPT  = models.GPT
+	BERT = models.BERT
+	T5   = models.T5
+)
+
+// Activation placement strategies (§IV-C's recompute-offload-keep space).
+const (
+	// StrategyNoOffload keeps all activations in GPU memory.
+	StrategyNoOffload = exp.NoOffload
+	// StrategySSDTrain offloads activations to the NVMe array.
+	StrategySSDTrain = exp.SSDTrain
+	// StrategyRecompute uses layerwise full activation checkpointing.
+	StrategyRecompute = exp.Recompute
+	// StrategyCPUOffload offloads activations to pinned host memory.
+	StrategyCPUOffload = exp.CPUOffload
+)
+
+// Re-exported configuration and result types.
+type (
+	// ModelConfig describes a transformer training configuration.
+	ModelConfig = models.Config
+	// Arch selects the model family.
+	Arch = models.Arch
+	// Strategy is an activation placement strategy.
+	Strategy = exp.Strategy
+	// RunConfig configures one training measurement.
+	RunConfig = exp.RunConfig
+	// RunResult is a measurement outcome.
+	RunResult = exp.RunResult
+	// StepMetrics is one measured step.
+	StepMetrics = exp.StepMetrics
+	// SSDSetup describes the per-GPU offload array.
+	SSDSetup = exp.SSDSetup
+)
+
+// PaperConfig returns the paper's §IV-A evaluation configuration for an
+// architecture and geometry (TP2, sequence 1024, head dim 128, FP16,
+// FlashAttention).
+func PaperConfig(arch Arch, hidden, layers, batch int) ModelConfig {
+	return models.PaperConfig(arch, hidden, layers, batch)
+}
+
+// Train runs one training measurement on the simulated testbed.
+func Train(cfg RunConfig) (*RunResult, error) { return exp.Run(cfg) }
+
+// Fig6 measures step time and activation peak for all nine evaluation
+// points (Fig 6). batch 0 selects the paper's 16.
+func Fig6(batch int) ([]exp.Fig6Row, error) { return exp.Fig6(batch) }
+
+// Fig6Table renders Fig 6 rows as text.
+func Fig6Table(rows []exp.Fig6Row) *trace.Table { return exp.Fig6Table(rows) }
+
+// Fig7 sweeps the recompute-offload-keep curve for a 3-layer BERT.
+func Fig7(hidden int, batches []int) ([]exp.ROKPoint, error) { return exp.Fig7(hidden, batches) }
+
+// Fig8a decomposes the micro-batch-size throughput gain.
+func Fig8a(batches []int) ([]exp.Fig8aRow, error) { return exp.Fig8a(batches) }
+
+// Table3 compares measured offload volume with the analytic estimate.
+func Table3() ([]exp.Table3Row, error) { return exp.Table3() }
+
+// Table1 renders the Table I feature matrix.
+func Table1() *trace.Table { return exp.Table1() }
+
+// Fig1 fits the GPU-vs-LLM scaling trends (Fig 1).
+func Fig1() perfmodel.Fig1Summary { return perfmodel.Fig1() }
+
+// Fig5 projects SSD lifespan, write bandwidth and activation volume for
+// large-scale systems (Fig 5).
+func Fig5() []perfmodel.Fig5Row { return perfmodel.Fig5() }
+
+// Fig8b projects per-GPU write bandwidth under upscaling (Fig 8b).
+func Fig8b() []perfmodel.Fig8bRow { return perfmodel.Fig8b() }
+
+// Fig8bReference projects the 2-GPU testbed reference line of Fig 8b.
+func Fig8bReference() perfmodel.Projection { return perfmodel.Fig8bReference() }
