@@ -346,6 +346,60 @@ func BenchmarkAblationHostCost(b *testing.B) {
 	}
 }
 
+// --- Fleet benches: the cluster simulation subsystem ---
+
+// BenchmarkFleetScheduler measures the cluster event loop under each
+// scheduling policy with a warm profile cache, so the timing isolates
+// scheduling + fluid replay from the (memoized) measurement runs.
+func BenchmarkFleetScheduler(b *testing.B) {
+	mix := FleetJobMix(FleetMixConfig{Jobs: 32, Seed: 1, MinSteps: 20, MaxSteps: 120})
+	cluster := FleetClusterSpec{Nodes: 8, Node: DefaultFleetNode()}
+	prof := NewFleetProfiler(0)
+	// Warm the cache outside the timed region.
+	if _, err := FleetSimulate(FleetConfig{Cluster: cluster, Jobs: mix, Policy: FleetFIFO, Profiler: prof}); err != nil {
+		b.Fatal(err)
+	}
+	for _, p := range []FleetPolicy{FleetFIFO, FleetSJF, FleetBackfill} {
+		b.Run(string(p), func(b *testing.B) {
+			var r *FleetReport
+			var err error
+			for i := 0; i < b.N; i++ {
+				r, err = FleetSimulate(FleetConfig{Cluster: cluster, Jobs: mix, Policy: p, Profiler: prof})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(r.Makespan.Seconds(), "makespan_s")
+			b.ReportMetric(r.MeanWait.Seconds(), "meanWait_s")
+			b.ReportMetric(r.MinLifespanYears, "minLifespanY")
+		})
+	}
+}
+
+// BenchmarkFleetResultCache measures the memoized profile path: a hit
+// must be orders of magnitude cheaper than the measurement run it
+// replaces (reported as missRun_ms for comparison).
+func BenchmarkFleetResultCache(b *testing.B) {
+	node := DefaultFleetNode()
+	run := RunConfig{Model: PaperConfig(BERT, 8192, 4, 8), Strategy: StrategySSDTrain}
+	cold := NewFleetProfiler(0)
+	start := time.Now()
+	if _, err := cold.Measure(run, node, 0.5); err != nil {
+		b.Fatal(err)
+	}
+	missCost := time.Since(start)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cold.Measure(run, node, 0.5); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(missCost.Milliseconds()), "missRun_ms")
+	if runs := cold.Runs(); runs != 1 {
+		b.Fatalf("cache leak: %d measurement runs, want 1", runs)
+	}
+}
+
 // BenchmarkCPUOffloader compares the SSD and host-memory offload targets.
 func BenchmarkCPUOffloader(b *testing.B) {
 	for _, strat := range []exp.Strategy{exp.SSDTrain, exp.CPUOffload} {

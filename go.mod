@@ -1,0 +1,3 @@
+module ssdtrain
+
+go 1.24

@@ -8,6 +8,7 @@ package exp
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"ssdtrain/internal/autograd"
@@ -84,6 +85,12 @@ type RunConfig struct {
 	// Materialize+Verify run byte-backed offloads with checksum checks.
 	Materialize bool
 	Verify      bool
+	// SSDBandwidthShare scales the array's sequential bandwidths to model
+	// co-tenants contending for a shared NVMe array: a fleet simulation that
+	// places k equal offloading jobs on one node hands each a 1/k share.
+	// 0 (unset) and 1 both mean exclusive access; NaN and values outside
+	// [0, 1] are rejected by Run.
+	SSDBandwidthShare float64
 }
 
 // withDefaults fills unset fields with the paper's setup.
@@ -204,6 +211,9 @@ func graphTimes(g *autograd.Graph) (fwd, bwd time.Duration) {
 // Run executes one measurement.
 func Run(cfg RunConfig) (*RunResult, error) {
 	cfg = cfg.withDefaults()
+	if s := cfg.SSDBandwidthShare; math.IsNaN(s) || s < 0 || s > 1 {
+		return nil, fmt.Errorf("exp: SSD bandwidth share %v outside [0, 1]", s)
+	}
 	mcfg := cfg.Model
 	mcfg.Checkpoint = cfg.Strategy == Recompute
 
@@ -227,9 +237,14 @@ func Run(cfg RunConfig) (*RunResult, error) {
 	case SSDTrain, CPUOffload:
 		link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
 		if cfg.Strategy == SSDTrain {
+			spec := cfg.SSD.Spec
+			if s := cfg.SSDBandwidthShare; s > 0 && s < 1 {
+				spec.SeqWrite = units.Bandwidth(float64(spec.SeqWrite) * s)
+				spec.SeqRead = units.Bandwidth(float64(spec.SeqRead) * s)
+			}
 			devs := make([]*ssd.Device, cfg.SSD.Count)
 			for i := range devs {
-				devs[i] = ssd.NewDevice(rt.Eng, fmt.Sprintf("nvme%d", i), cfg.SSD.Spec)
+				devs[i] = ssd.NewDevice(rt.Eng, fmt.Sprintf("nvme%d", i), spec)
 			}
 			array := ssd.NewArray(rt.Eng, "/mnt/md1", cfg.SSD.Stripe, devs...)
 			registry := gds.NewRegistry()

@@ -1,0 +1,467 @@
+// Package fleet simulates a multi-job training cluster on top of the
+// single-node substrates: N nodes × M GPUs, a queue of heterogeneous
+// training jobs, pluggable scheduling policies, per-node NVMe arrays that
+// co-located jobs contend for, and a fleet-wide endurance ledger. The
+// paper evaluates SSDTrain on one 2-GPU node, but its §III-D endurance
+// model and Fig 5/Fig 8b projections are about fleet-scale deployments
+// where many jobs share drive arrays; this package closes that gap.
+//
+// Each job's behaviour at every possible contention level is measured
+// once by the experiment harness (exp.Run with the node array's
+// bandwidth share injected) and memoized; the cluster simulation then
+// advances jobs fluidly at the measured step rates. Contention is
+// two-sided, exactly as the substrate predicts: jobs that let the Fig 3
+// planner choose their budget respond to a thinner share by offloading
+// less (raising their GPU memory peak — a placement feasibility
+// constraint), while memory-constrained jobs with pinned budgets keep
+// offloading and dilate their step time instead.
+//
+// Profiling runs execute concurrently through a deterministic worker
+// pool; the event loop itself is sequential, so a fixed job mix produces
+// byte-identical reports for any worker count.
+package fleet
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"ssdtrain/internal/exp"
+	"ssdtrain/internal/gpu"
+	"ssdtrain/internal/ssd"
+	"ssdtrain/internal/units"
+)
+
+// NodeSpec describes one node: its GPUs and the NVMe array they share.
+// Unlike the paper's testbed, where each GPU owns a private 4-drive
+// array, a fleet node exposes one array to all tenants — even a single
+// job's GPUs contend with each other.
+type NodeSpec struct {
+	GPUs int
+	GPU  gpu.Spec
+	SSD  exp.SSDSetup
+}
+
+// DefaultNodeSpec is the fleet evaluation node: 4× A100-SXM-80GB (the GPU
+// of the paper's large-scale projections) sharing an 8-drive Samsung
+// 980 PRO array — two drives' worth of bandwidth per GPU when the node is
+// full, half the paper's per-GPU testbed provisioning, so contention has
+// real dynamic range.
+func DefaultNodeSpec() NodeSpec {
+	return NodeSpec{
+		GPUs: 4,
+		GPU:  gpu.A100SXM(),
+		SSD:  exp.SSDSetup{Spec: ssd.Samsung980Pro1TB(), Count: 8, Stripe: 512 * units.KiB},
+	}
+}
+
+// ClusterSpec is a homogeneous cluster of nodes.
+type ClusterSpec struct {
+	Nodes int
+	Node  NodeSpec
+}
+
+// Job is one queued training job.
+type Job struct {
+	ID   int
+	Name string
+	// Run is the single-GPU measurement config (model, strategy, knobs);
+	// the node's GPU and SSD array are bound in by the simulation.
+	Run exp.RunConfig
+	// GPUs is the job's placement footprint on one node.
+	GPUs int
+	// Steps is the training length in optimizer steps.
+	Steps int
+	// Submit is the job's arrival time.
+	Submit time.Duration
+}
+
+// Config configures one fleet simulation.
+type Config struct {
+	Cluster ClusterSpec
+	Jobs    []Job
+	Policy  Policy
+	// Workers bounds profiling concurrency (0 = GOMAXPROCS). It never
+	// affects results, only wall-clock time.
+	Workers int
+	// CacheCapacity sizes the profile cache (0 = DefaultCacheCapacity).
+	CacheCapacity int
+	// Profiler optionally shares a warm profile cache across simulations
+	// (policy sweeps reuse every profile).
+	Profiler *Profiler
+}
+
+// jobState tracks one job through the simulation.
+type jobState struct {
+	Job
+	running   bool
+	node      int
+	remaining float64 // steps left
+	start     float64 // seconds
+	finish    float64 // seconds
+	rate      float64 // steps per second at current share
+	writeRate float64 // bytes per second to the node array (all GPUs)
+	written   float64 // bytes written so far
+}
+
+// nodeState tracks one node.
+type nodeState struct {
+	spec     NodeSpec
+	freeGPUs int
+	running  []*jobState
+	// offGPUs is the GPU count of SSD-offloading tenants; each offloading
+	// GPU gets a 1/offGPUs share of the array.
+	offGPUs int
+	wear    *ssd.ArrayWear
+	// writeSecs integrates min(demand/capacity, 1) for utilization.
+	writeSecs   float64
+	busyGPUSecs float64
+	placements  int
+}
+
+// simState is the sequential cluster simulation.
+type simState struct {
+	cfg   Config
+	prof  *Profiler
+	jobs  []*jobState
+	nodes []*nodeState
+	queue []*jobState // submitted, not yet placed, in (Submit, ID) order
+	// pending jobs not yet submitted, in (Submit, ID) order.
+	pending   []*jobState
+	now       float64
+	completed int
+}
+
+// arrayWriteCapacity is the node array's aggregate sequential write
+// bandwidth.
+func (n *nodeState) arrayWriteCapacity() float64 {
+	return float64(n.spec.SSD.Spec.SeqWrite) * float64(n.spec.SSD.Count)
+}
+
+// shareFor returns the per-GPU array share a tenant sees given the node's
+// offloading GPU population.
+func (n *nodeState) shareFor(j *jobState) float64 {
+	if j.Run.Strategy != exp.SSDTrain || n.offGPUs <= 0 {
+		return 1
+	}
+	return 1 / float64(n.offGPUs)
+}
+
+// offloadsToSSD reports whether the job writes to the node array.
+func offloadsToSSD(j Job) bool { return j.Run.Strategy == exp.SSDTrain }
+
+// validate checks the configuration and that every job can run somewhere.
+func (c Config) validate() error {
+	if c.Cluster.Nodes <= 0 {
+		return fmt.Errorf("fleet: cluster needs at least one node")
+	}
+	n := c.Cluster.Node
+	if n.GPUs <= 0 {
+		return fmt.Errorf("fleet: node needs at least one GPU")
+	}
+	if n.SSD.Count <= 0 {
+		return fmt.Errorf("fleet: node needs a shared SSD array")
+	}
+	if !c.Policy.Valid() {
+		return fmt.Errorf("fleet: unknown policy %q", c.Policy)
+	}
+	if len(c.Jobs) == 0 {
+		return fmt.Errorf("fleet: no jobs")
+	}
+	ids := make(map[int]bool, len(c.Jobs))
+	for _, j := range c.Jobs {
+		// Schedulers and reports key on the ID; duplicates would silently
+		// corrupt SJF ordering.
+		if ids[j.ID] {
+			return fmt.Errorf("fleet: duplicate job ID %d", j.ID)
+		}
+		ids[j.ID] = true
+		if j.GPUs <= 0 || j.GPUs > n.GPUs {
+			return fmt.Errorf("fleet: job %d (%s) needs %d GPUs, nodes have %d", j.ID, j.Name, j.GPUs, n.GPUs)
+		}
+		if j.Steps <= 0 {
+			return fmt.Errorf("fleet: job %d (%s) has no steps", j.ID, j.Name)
+		}
+		if j.Submit < 0 {
+			return fmt.Errorf("fleet: job %d (%s) submitted before time zero", j.ID, j.Name)
+		}
+	}
+	return nil
+}
+
+// Simulate runs one fleet simulation: profile every job concurrently,
+// then replay the cluster sequentially under the configured policy.
+func Simulate(cfg Config) (*Report, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	prof := cfg.Profiler
+	if prof == nil {
+		prof = NewProfiler(cfg.CacheCapacity)
+	}
+	if err := prof.Prime(cfg.Jobs, cfg.Cluster.Node, cfg.Workers); err != nil {
+		return nil, err
+	}
+
+	s := &simState{cfg: cfg, prof: prof}
+	for i := 0; i < cfg.Cluster.Nodes; i++ {
+		s.nodes = append(s.nodes, &nodeState{
+			spec:     cfg.Cluster.Node,
+			freeGPUs: cfg.Cluster.Node.GPUs,
+			wear:     ssd.NewArrayWear(cfg.Cluster.Node.SSD.Spec, cfg.Cluster.Node.SSD.Count),
+		})
+	}
+	for _, j := range cfg.Jobs {
+		s.jobs = append(s.jobs, &jobState{Job: j, node: -1, remaining: float64(j.Steps)})
+	}
+	sort.SliceStable(s.jobs, func(a, b int) bool {
+		if s.jobs[a].Submit != s.jobs[b].Submit {
+			return s.jobs[a].Submit < s.jobs[b].Submit
+		}
+		return s.jobs[a].ID < s.jobs[b].ID
+	})
+	s.pending = append(s.pending, s.jobs...)
+
+	// Exclusive feasibility: a job must fit a node it has to itself.
+	for _, j := range s.jobs {
+		p, err := s.exclusiveProfile(&j.Job)
+		if err != nil {
+			return nil, err
+		}
+		if p.TotalPeak > cfg.Cluster.Node.GPU.Memory {
+			return nil, fmt.Errorf("fleet: job %d (%s) needs %v on a %v GPU even uncontended",
+				j.ID, j.Name, p.TotalPeak, cfg.Cluster.Node.GPU.Memory)
+		}
+	}
+
+	sched := newScheduler(cfg.Policy)
+	for s.completed < len(s.jobs) {
+		s.admitArrivals()
+		if err := sched.schedule(s); err != nil {
+			return nil, err
+		}
+		next, ok := s.nextEventTime()
+		if !ok {
+			return nil, fmt.Errorf("fleet: deadlock at t=%.1fs with %d jobs unfinished under %s",
+				s.now, len(s.jobs)-s.completed, cfg.Policy)
+		}
+		s.advanceTo(next)
+		s.completeFinished()
+	}
+	return s.report(), nil
+}
+
+// exclusiveProfile is the job's behaviour alone on a node: its own GPUs
+// still share the array with each other.
+func (s *simState) exclusiveProfile(j *Job) (Profile, error) {
+	share := 1.0
+	if offloadsToSSD(*j) {
+		share = 1 / float64(j.GPUs)
+	}
+	return s.prof.Measure(j.Run, s.cfg.Cluster.Node, share)
+}
+
+// admitArrivals moves jobs whose submit time has passed into the queue.
+func (s *simState) admitArrivals() {
+	for len(s.pending) > 0 && s.pending[0].Submit.Seconds() <= s.now+timeEps {
+		j := s.pending[0]
+		s.pending = s.pending[1:]
+		s.queue = append(s.queue, j)
+	}
+}
+
+// timeEps absorbs float rounding when comparing event times (1 ns).
+const timeEps = 1e-9
+
+// stepEps treats a job with less than a millionth of a step left as done.
+const stepEps = 1e-6
+
+// canPlace reports whether the job fits node n right now: enough free
+// GPUs, and the resulting contention leaves every offloading tenant
+// (including the newcomer) within GPU memory.
+func (s *simState) canPlace(j *jobState, n int) (bool, error) {
+	node := s.nodes[n]
+	if node.freeGPUs < j.GPUs {
+		return false, nil
+	}
+	newOff := node.offGPUs
+	if offloadsToSSD(j.Job) {
+		newOff += j.GPUs
+	}
+	if newOff == 0 {
+		return true, nil
+	}
+	share := 1 / float64(newOff)
+	check := func(job *Job) (bool, error) {
+		p, err := s.prof.Measure(job.Run, node.spec, share)
+		if err != nil {
+			return false, err
+		}
+		return p.TotalPeak <= node.spec.GPU.Memory, nil
+	}
+	if offloadsToSSD(j.Job) {
+		if ok, err := check(&j.Job); !ok || err != nil {
+			return false, err
+		}
+	}
+	for _, t := range node.running {
+		if !offloadsToSSD(t.Job) {
+			continue
+		}
+		if ok, err := check(&t.Job); !ok || err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// bestNode picks the node to place the job on: among feasible nodes, the
+// one whose array ends up least contended (fewest offloading GPUs after
+// placement), then the fullest (best-fit packing), then the lowest index.
+func (s *simState) bestNode(j *jobState) (int, bool, error) {
+	best, bestOff, bestFree := -1, 0, 0
+	for n, node := range s.nodes {
+		ok, err := s.canPlace(j, n)
+		if err != nil {
+			return -1, false, err
+		}
+		if !ok {
+			continue
+		}
+		off := node.offGPUs
+		if offloadsToSSD(j.Job) {
+			off += j.GPUs
+		}
+		if best == -1 || off < bestOff || (off == bestOff && node.freeGPUs < bestFree) {
+			best, bestOff, bestFree = n, off, node.freeGPUs
+		}
+	}
+	return best, best >= 0, nil
+}
+
+// place starts a queued job on a node and refreshes the node's rates.
+func (s *simState) place(j *jobState, n int) error {
+	node := s.nodes[n]
+	if node.freeGPUs < j.GPUs {
+		return fmt.Errorf("fleet: placement overflow on node %d", n)
+	}
+	s.removeFromQueue(j)
+	j.running = true
+	j.node = n
+	j.start = s.now
+	node.freeGPUs -= j.GPUs
+	node.running = append(node.running, j)
+	node.placements++
+	if offloadsToSSD(j.Job) {
+		node.offGPUs += j.GPUs
+	}
+	return s.refreshRates(n)
+}
+
+func (s *simState) removeFromQueue(j *jobState) {
+	for i, q := range s.queue {
+		if q == j {
+			s.queue = append(s.queue[:i], s.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// refreshRates recomputes every tenant's step and write rates after the
+// node's tenancy changed.
+func (s *simState) refreshRates(n int) error {
+	node := s.nodes[n]
+	for _, j := range node.running {
+		p, err := s.prof.Measure(j.Run, node.spec, node.shareFor(j))
+		if err != nil {
+			return err
+		}
+		j.rate = p.StepsPerSecond()
+		if j.rate <= 0 {
+			return fmt.Errorf("fleet: job %d (%s) has zero progress rate", j.ID, j.Name)
+		}
+		j.writeRate = float64(p.WriteRate()) * float64(j.GPUs)
+	}
+	return nil
+}
+
+// nextEventTime returns the earliest future event: a job arrival or the
+// earliest running job's completion.
+func (s *simState) nextEventTime() (float64, bool) {
+	next, ok := 0.0, false
+	consider := func(t float64) {
+		if !ok || t < next {
+			next, ok = t, true
+		}
+	}
+	if len(s.pending) > 0 {
+		consider(s.pending[0].Submit.Seconds())
+	}
+	for _, node := range s.nodes {
+		for _, j := range node.running {
+			consider(s.now + j.remaining/j.rate)
+		}
+	}
+	return next, ok
+}
+
+// advanceTo progresses every running job and accrues the wear and
+// utilization ledgers over [now, next].
+func (s *simState) advanceTo(next float64) {
+	dt := next - s.now
+	if dt < 0 {
+		dt = 0
+	}
+	for _, node := range s.nodes {
+		demand := 0.0
+		for _, j := range node.running {
+			j.remaining -= j.rate * dt
+			if j.remaining < 0 {
+				j.remaining = 0
+			}
+			j.written += j.writeRate * dt
+			demand += j.writeRate
+			node.busyGPUSecs += float64(j.GPUs) * dt
+		}
+		node.wear.Record(demand * dt)
+		if capacity := node.arrayWriteCapacity(); capacity > 0 && demand > 0 {
+			frac := demand / capacity
+			if frac > 1 {
+				frac = 1
+			}
+			node.writeSecs += frac * dt
+		}
+	}
+	s.now = next
+}
+
+// completeFinished retires jobs whose steps ran out, freeing their GPUs
+// and relaxing their node's contention.
+func (s *simState) completeFinished() {
+	for n, node := range s.nodes {
+		changed := false
+		kept := node.running[:0]
+		for _, j := range node.running {
+			if j.remaining <= stepEps {
+				j.running = false
+				j.finish = s.now
+				node.freeGPUs += j.GPUs
+				if offloadsToSSD(j.Job) {
+					node.offGPUs -= j.GPUs
+				}
+				s.completed++
+				changed = true
+				continue
+			}
+			kept = append(kept, j)
+		}
+		node.running = kept
+		if changed {
+			// Rates only improve when tenants leave; refresh cannot fail
+			// because every needed profile was primed.
+			if err := s.refreshRates(n); err != nil {
+				panic(err)
+			}
+		}
+	}
+}

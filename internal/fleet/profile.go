@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssdtrain/internal/exp"
+	"ssdtrain/internal/units"
+)
+
+// Profile is the steady-state behaviour of one job measured at a given
+// share of its node's NVMe array bandwidth. The fleet simulation treats
+// these as the job's fluid rates: a job at share s completes steps at
+// 1/StepTime(s) per second and writes OffloadedPerStep(s) per GPU per
+// step to the shared array.
+type Profile struct {
+	// StepTime is the steady-state training step time. Jobs whose offload
+	// budget is pinned (memory-constrained jobs) dilate under contention;
+	// jobs using the Fig 3 planner instead offload less.
+	StepTime time.Duration
+	// OffloadedPerStep is the per-GPU activation volume written to the
+	// array each step.
+	OffloadedPerStep units.Bytes
+	// ActPeak and TotalPeak are the per-GPU memory high-water marks; a
+	// placement is feasible only if TotalPeak fits the GPU.
+	ActPeak   units.Bytes
+	TotalPeak units.Bytes
+	// PlannedBudget is the offload budget the Fig 3 workflow chose at
+	// this share (0 when the job pins its own budget).
+	PlannedBudget units.Bytes
+}
+
+// StepsPerSecond is the job's fluid progress rate at this share.
+func (p Profile) StepsPerSecond() float64 {
+	if p.StepTime <= 0 {
+		return 0
+	}
+	return 1 / p.StepTime.Seconds()
+}
+
+// WriteRate is the per-GPU sustained write bandwidth at this share.
+func (p Profile) WriteRate() units.Bandwidth {
+	if p.StepTime <= 0 {
+		return 0
+	}
+	return units.Bandwidth(float64(p.OffloadedPerStep) / p.StepTime.Seconds())
+}
+
+// Profiler measures job profiles by running the experiment harness with
+// contended SSD bandwidth injected, memoizing results in an LRU cache.
+// Profiles are pure functions of (RunConfig, node, share), so the cache
+// never goes stale and concurrent fills are safe: duplicate in-flight
+// measurements are coalesced single-flight style. The fully-bound
+// RunConfig is a pure value tree, so it serves as the cache key
+// directly — no serialization on the hot lookup path.
+type Profiler struct {
+	cache   *Cache[exp.RunConfig, Profile]
+	mu      sync.Mutex
+	flights map[exp.RunConfig]*profileFlight
+	// runs counts actual measurement executions (cache misses that did
+	// the work); with an adequate cache capacity it equals the number of
+	// distinct profiles, independent of concurrency.
+	runs atomic.Int64
+}
+
+type profileFlight struct {
+	done chan struct{}
+	val  Profile
+	err  error
+}
+
+// DefaultCacheCapacity holds every profile a large sweep needs: distinct
+// palette configs × share levels stays well below this.
+const DefaultCacheCapacity = 4096
+
+// NewProfiler creates a profiler with the given cache capacity (0 uses
+// DefaultCacheCapacity).
+func NewProfiler(capacity int) *Profiler {
+	if capacity <= 0 {
+		capacity = DefaultCacheCapacity
+	}
+	return &Profiler{
+		cache:   NewCache[exp.RunConfig, Profile](capacity),
+		flights: make(map[exp.RunConfig]*profileFlight),
+	}
+}
+
+// contendedRun binds a job's run config to its node hardware and array
+// share: the node's GPU and shared SSD array replace whatever the config
+// carried, and SSD-offloading runs see only their bandwidth share.
+func contendedRun(run exp.RunConfig, node NodeSpec, share float64) exp.RunConfig {
+	run.GPU = node.GPU
+	run.SSD = node.SSD
+	if run.Strategy == exp.SSDTrain && share > 0 && share < 1 {
+		run.SSDBandwidthShare = share
+	} else {
+		run.SSDBandwidthShare = 0
+	}
+	return run
+}
+
+// Measure returns the job's profile at the given array share, running the
+// measurement on a miss.
+func (p *Profiler) Measure(run exp.RunConfig, node NodeSpec, share float64) (Profile, error) {
+	key := contendedRun(run, node, share)
+	if v, ok := p.cache.Get(key); ok {
+		return v, nil
+	}
+	p.mu.Lock()
+	if v, ok := p.cache.getQuiet(key); ok {
+		p.mu.Unlock()
+		return v, nil
+	}
+	if fl, ok := p.flights[key]; ok {
+		p.mu.Unlock()
+		<-fl.done
+		return fl.val, fl.err
+	}
+	fl := &profileFlight{done: make(chan struct{})}
+	p.flights[key] = fl
+	p.mu.Unlock()
+
+	fl.val, fl.err = measure(key)
+	if fl.err == nil {
+		p.runs.Add(1)
+		p.cache.Put(key, fl.val)
+	}
+	p.mu.Lock()
+	delete(p.flights, key)
+	p.mu.Unlock()
+	close(fl.done)
+	return fl.val, fl.err
+}
+
+// measure executes one profiling run.
+func measure(bound exp.RunConfig) (Profile, error) {
+	res, err := exp.Run(bound)
+	if err != nil {
+		return Profile{}, err
+	}
+	return Profile{
+		StepTime:         res.StepTime(),
+		OffloadedPerStep: res.Measured.IO.Offloaded,
+		ActPeak:          res.Measured.ActPeak,
+		TotalPeak:        res.Measured.TotalPeak,
+		PlannedBudget:    res.PlannedBudget,
+	}, nil
+}
+
+// Runs reports how many measurement executions the profiler performed.
+func (p *Profiler) Runs() int64 { return p.runs.Load() }
+
+// Cached reports how many distinct profiles are resident.
+func (p *Profiler) Cached() int { return p.cache.Len() }
+
+// CacheStats returns the underlying cache's hit/miss counters.
+func (p *Profiler) CacheStats() (hits, misses int64) { return p.cache.Stats() }
+
+// primeItem is one (config, share) measurement to precompute.
+type primeItem struct {
+	run   exp.RunConfig
+	share float64
+}
+
+// Prime concurrently precomputes every profile a simulation of the given
+// jobs can request: SSD-offloading jobs contend at per-GPU shares 1/t for
+// t = 1..node GPUs, all other strategies only ever run exclusively.
+// Because each profile is deterministic, priming with any worker count
+// leaves the cache in the same logical state, which is what makes the
+// fleet simulation's reports independent of parallelism.
+func (p *Profiler) Prime(jobs []Job, node NodeSpec, workers int) error {
+	seen := make(map[exp.RunConfig]bool)
+	var items []primeItem
+	add := func(run exp.RunConfig, share float64) {
+		key := contendedRun(run, node, share)
+		if !seen[key] {
+			seen[key] = true
+			items = append(items, primeItem{run: run, share: share})
+		}
+	}
+	for _, j := range jobs {
+		if j.Run.Strategy == exp.SSDTrain {
+			for t := 1; t <= node.GPUs; t++ {
+				add(j.Run, 1/float64(t))
+			}
+		} else {
+			add(j.Run, 1)
+		}
+	}
+	_, err := ParallelMap(workers, items, func(it primeItem) (Profile, error) {
+		return p.Measure(it.run, node, it.share)
+	})
+	return err
+}

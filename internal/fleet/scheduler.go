@@ -1,0 +1,237 @@
+package fleet
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Policy selects a scheduling discipline.
+type Policy string
+
+// Scheduling policies.
+const (
+	// FIFO places jobs strictly in arrival order; a head job that does
+	// not fit blocks everything behind it.
+	FIFO Policy = "fifo"
+	// SJF places the shortest runnable job first (estimated exclusive
+	// runtime), skipping jobs that do not fit — no head-of-line blocking.
+	SJF Policy = "sjf"
+	// Backfill is EASY backfilling: FIFO order with a start-time
+	// reservation for the blocked head; later jobs may jump ahead only
+	// where they cannot delay that reservation.
+	Backfill Policy = "backfill"
+)
+
+// Valid reports whether the policy is known.
+func (p Policy) Valid() bool {
+	switch p {
+	case FIFO, SJF, Backfill:
+		return true
+	}
+	return false
+}
+
+// Policies lists every policy in a stable order.
+func Policies() []Policy { return []Policy{FIFO, SJF, Backfill} }
+
+// ParsePolicy resolves a policy name.
+func ParsePolicy(name string) (Policy, error) {
+	p := Policy(name)
+	if !p.Valid() {
+		return "", fmt.Errorf("fleet: unknown policy %q (want fifo, sjf or backfill)", name)
+	}
+	return p, nil
+}
+
+// scheduler turns the current queue and cluster state into placements,
+// applying them eagerly (each placement changes feasibility for the next
+// decision). Schedulers see the same contention-aware feasibility the
+// simulator enforces (canPlace), but their runtime *estimates* are
+// deliberately contention-blind — a real scheduler knows requested
+// walltimes, not how tenants will slow each other down.
+type scheduler interface {
+	schedule(s *simState) error
+}
+
+func newScheduler(p Policy) scheduler {
+	switch p {
+	case SJF:
+		return sjfScheduler{}
+	case Backfill:
+		return backfillScheduler{}
+	default:
+		return fifoScheduler{}
+	}
+}
+
+// estimate is the job's expected exclusive runtime in seconds, the
+// walltime a user would request: steps at the uncontended (own-node)
+// step rate.
+func estimate(s *simState, j *jobState) (float64, error) {
+	p, err := s.exclusiveProfile(&j.Job)
+	if err != nil {
+		return 0, err
+	}
+	return float64(j.Steps) * p.StepTime.Seconds(), nil
+}
+
+// fifoScheduler: strict arrival order with head-of-line blocking.
+type fifoScheduler struct{}
+
+func (fifoScheduler) schedule(s *simState) error {
+	for len(s.queue) > 0 {
+		j := s.queue[0]
+		n, ok, err := s.bestNode(j)
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if err := s.place(j, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// sjfScheduler: shortest estimated job first among runnable jobs.
+type sjfScheduler struct{}
+
+func (sjfScheduler) schedule(s *simState) error {
+	for {
+		// Order queued jobs by (estimate, ID); estimates are memoized
+		// profile lookups, so this is cheap.
+		cand := append([]*jobState(nil), s.queue...)
+		ests := make(map[int]float64, len(cand))
+		for _, j := range cand {
+			e, err := estimate(s, j)
+			if err != nil {
+				return err
+			}
+			ests[j.ID] = e
+		}
+		sort.SliceStable(cand, func(a, b int) bool {
+			if ests[cand[a].ID] != ests[cand[b].ID] {
+				return ests[cand[a].ID] < ests[cand[b].ID]
+			}
+			return cand[a].ID < cand[b].ID
+		})
+		placed := false
+		for _, j := range cand {
+			n, ok, err := s.bestNode(j)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if err := s.place(j, n); err != nil {
+				return err
+			}
+			placed = true
+			break // re-evaluate: the placement changed feasibility
+		}
+		if !placed {
+			return nil
+		}
+	}
+}
+
+// backfillScheduler: EASY backfilling.
+type backfillScheduler struct{}
+
+func (backfillScheduler) schedule(s *simState) error {
+	for {
+		// Place the head while it fits, like FIFO.
+		for len(s.queue) > 0 {
+			j := s.queue[0]
+			n, ok, err := s.bestNode(j)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				break
+			}
+			if err := s.place(j, n); err != nil {
+				return err
+			}
+		}
+		if len(s.queue) == 0 {
+			return nil
+		}
+		// Head blocked: reserve the node that frees its GPUs earliest
+		// (assuming tenants run out their current rates).
+		head := s.queue[0]
+		resNode, resTime := s.reservation(head)
+		if resNode < 0 {
+			return nil // nothing running anywhere; arrivals must unblock us
+		}
+		placed := false
+		for _, j := range s.queue[1:] {
+			n, ok, err := s.bestNode(j)
+			if err != nil {
+				return err
+			}
+			if !ok {
+				continue
+			}
+			if n == resNode {
+				e, err := estimate(s, j)
+				if err != nil {
+					return err
+				}
+				if s.now+e > resTime+timeEps {
+					continue // would delay the reservation
+				}
+			}
+			if err := s.place(j, n); err != nil {
+				return err
+			}
+			placed = true
+			break // re-evaluate head and reservation from scratch
+		}
+		if !placed {
+			return nil
+		}
+	}
+}
+
+// reservation estimates when and where the head job can start: for each
+// node, replay the tenants' completion times (at current rates) until
+// enough GPUs are free. Returns the earliest node, or -1 if the cluster
+// is empty of running jobs and the head still cannot be placed.
+func (s *simState) reservation(head *jobState) (int, float64) {
+	bestNode, bestTime := -1, 0.0
+	for n, node := range s.nodes {
+		etas := make([]struct {
+			t    float64
+			gpus int
+		}, 0, len(node.running))
+		for _, j := range node.running {
+			etas = append(etas, struct {
+				t    float64
+				gpus int
+			}{s.now + j.remaining/j.rate, j.GPUs})
+		}
+		sort.Slice(etas, func(a, b int) bool { return etas[a].t < etas[b].t })
+		free := node.freeGPUs
+		when, found := s.now, free >= head.GPUs
+		for _, e := range etas {
+			if found {
+				break
+			}
+			free += e.gpus
+			if free >= head.GPUs {
+				when, found = e.t, true
+			}
+		}
+		if !found {
+			continue
+		}
+		if bestNode == -1 || when < bestTime {
+			bestNode, bestTime = n, when
+		}
+	}
+	return bestNode, bestTime
+}

@@ -1,0 +1,67 @@
+package fleet
+
+import (
+	"fmt"
+	"time"
+
+	"ssdtrain/internal/trace"
+)
+
+// Scenario is one named fleet simulation in a sweep.
+type Scenario struct {
+	Name   string
+	Config Config
+}
+
+// Sweep runs scenarios concurrently through the deterministic worker
+// pool, returning reports in scenario order. Scenarios that share a
+// Profiler reuse each other's measurement runs; results are identical
+// for any worker count.
+func Sweep(scenarios []Scenario, workers int) ([]*Report, error) {
+	return ParallelMap(workers, scenarios, func(sc Scenario) (*Report, error) {
+		r, err := Simulate(sc.Config)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: scenario %q: %w", sc.Name, err)
+		}
+		return r, nil
+	})
+}
+
+// PolicySweep simulates the same cluster and job mix under each policy,
+// sharing one profile cache: every policy replays identical per-job
+// measurements, so profiling cost is paid once.
+func PolicySweep(cluster ClusterSpec, jobs []Job, policies []Policy, workers int) ([]*Report, error) {
+	prof := NewProfiler(0)
+	scenarios := make([]Scenario, len(policies))
+	for i, p := range policies {
+		scenarios[i] = Scenario{
+			Name: string(p),
+			Config: Config{
+				Cluster:  cluster,
+				Jobs:     jobs,
+				Policy:   p,
+				Workers:  workers,
+				Profiler: prof,
+			},
+		}
+	}
+	return Sweep(scenarios, workers)
+}
+
+// CompareTable renders a policy-by-policy comparison of sweep reports.
+func CompareTable(reports []*Report) *trace.Table {
+	t := trace.NewTable("policy comparison",
+		"policy", "makespan", "mean wait", "max wait", "slowdown", "fleet writes", "min lifespan")
+	for _, r := range reports {
+		t.AddRow(
+			string(r.Policy),
+			r.Makespan.Round(time.Millisecond),
+			r.MeanWait.Round(time.Millisecond),
+			r.MaxWait.Round(time.Millisecond),
+			fmt.Sprintf("%.2f×", r.MeanSlowdown),
+			r.TotalWritten,
+			fmt.Sprintf("%.1f y", r.MinLifespanYears),
+		)
+	}
+	return t
+}

@@ -22,6 +22,7 @@ package ssdtrain
 
 import (
 	"ssdtrain/internal/exp"
+	"ssdtrain/internal/fleet"
 	"ssdtrain/internal/models"
 	"ssdtrain/internal/perfmodel"
 	"ssdtrain/internal/trace"
@@ -105,3 +106,65 @@ func Fig8b() []perfmodel.Fig8bRow { return perfmodel.Fig8b() }
 
 // Fig8bReference projects the 2-GPU testbed reference line of Fig 8b.
 func Fig8bReference() perfmodel.Projection { return perfmodel.Fig8bReference() }
+
+// Fleet types: the multi-job cluster simulation with shared-SSD
+// contention (internal/fleet).
+type (
+	// FleetConfig configures one cluster simulation.
+	FleetConfig = fleet.Config
+	// FleetClusterSpec is a homogeneous cluster of nodes.
+	FleetClusterSpec = fleet.ClusterSpec
+	// FleetNodeSpec is one node: GPUs plus the NVMe array they share.
+	FleetNodeSpec = fleet.NodeSpec
+	// FleetJob is one queued training job.
+	FleetJob = fleet.Job
+	// FleetMixConfig parameterizes the seeded job-mix generator.
+	FleetMixConfig = fleet.MixConfig
+	// FleetPolicy selects a scheduling discipline.
+	FleetPolicy = fleet.Policy
+	// FleetReport is a simulation outcome (byte-identical per seed).
+	FleetReport = fleet.Report
+	// FleetScenario names one simulation in a sweep.
+	FleetScenario = fleet.Scenario
+	// FleetProfiler memoizes contended job measurements.
+	FleetProfiler = fleet.Profiler
+)
+
+// Fleet scheduling policies.
+const (
+	FleetFIFO     = fleet.FIFO
+	FleetSJF      = fleet.SJF
+	FleetBackfill = fleet.Backfill
+)
+
+// DefaultFleetNode returns the fleet evaluation node (4× A100-SXM-80GB
+// sharing an 8-drive Samsung 980 PRO array).
+func DefaultFleetNode() FleetNodeSpec { return fleet.DefaultNodeSpec() }
+
+// FleetJobMix draws a seeded heterogeneous job mix.
+func FleetJobMix(cfg FleetMixConfig) []FleetJob { return fleet.DefaultJobMix(cfg) }
+
+// FleetSimulate runs one cluster simulation.
+func FleetSimulate(cfg FleetConfig) (*FleetReport, error) { return fleet.Simulate(cfg) }
+
+// FleetSweep runs scenarios concurrently through the deterministic
+// worker pool, returning reports in scenario order.
+func FleetSweep(scenarios []FleetScenario, workers int) ([]*FleetReport, error) {
+	return fleet.Sweep(scenarios, workers)
+}
+
+// FleetPolicySweep simulates one job mix under each policy, sharing the
+// profile cache across policies.
+func FleetPolicySweep(cluster FleetClusterSpec, jobs []FleetJob, policies []FleetPolicy, workers int) ([]*FleetReport, error) {
+	return fleet.PolicySweep(cluster, jobs, policies, workers)
+}
+
+// FleetCompareTable renders a policy comparison of sweep reports.
+func FleetCompareTable(reports []*FleetReport) *trace.Table { return fleet.CompareTable(reports) }
+
+// ParseFleetPolicy resolves a scheduling policy name.
+func ParseFleetPolicy(name string) (FleetPolicy, error) { return fleet.ParsePolicy(name) }
+
+// NewFleetProfiler creates a profile cache to share across simulations
+// (0 = default capacity).
+func NewFleetProfiler(capacity int) *FleetProfiler { return fleet.NewProfiler(capacity) }
