@@ -1,0 +1,147 @@
+// Command bench runs the hot-path benchmark workloads (the same ones
+// behind `go test -bench 'BenchmarkEngine|BenchmarkCompiled'`) through
+// testing.Benchmark and writes BENCH_hotpath.json: ns/op and allocs/op
+// for the event engine and the compiled sweeps, next to the pre-PR
+// baselines, so the simulator's perf trajectory is recorded instead of
+// anecdotal.
+//
+// Usage:
+//
+//	bench [-o BENCH_hotpath.json]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"testing"
+
+	"ssdtrain/internal/hotbench"
+)
+
+// baseline is a recorded pre-PR measurement.
+type baseline struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Commit      string  `json:"commit"`
+}
+
+// measurement is one benchmark's current numbers next to its baseline.
+type measurement struct {
+	NsPerOp     float64   `json:"ns_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+	BytesPerOp  int64     `json:"bytes_per_op"`
+	Baseline    *baseline `json:"baseline,omitempty"`
+	Speedup     float64   `json:"speedup,omitempty"`
+	AllocsRatio float64   `json:"allocs_ratio,omitempty"`
+}
+
+// Baselines measured at the seed of this PR (commit d58ffb6) on the CI
+// reference machine class: the engine used container/heap with a fresh
+// Event+closure per schedule, and the sweeps ran per-point exp.Run with
+// fixed steps. The ns/op ratios are meaningful only on comparable
+// hardware — on a different machine they mix hardware speed into the
+// comparison (the emitted JSON says so); allocs/op is machine-
+// independent and is the durable part of the record. To re-anchor on new
+// hardware, re-measure the baseline commit there and update this table.
+var baselines = map[string]baseline{
+	"engine_schedule":      {NsPerOp: 412.8, AllocsPerOp: 1, Commit: "d58ffb6"},
+	"engine_steady_state":  {NsPerOp: 118.2, AllocsPerOp: 1, Commit: "d58ffb6"},
+	"compiled_sweep":       {NsPerOp: 25988057, AllocsPerOp: 221509, Commit: "d58ffb6"},
+	"compiled_share_sweep": {NsPerOp: 9409902, AllocsPerOp: 93492, Commit: "d58ffb6"},
+}
+
+func measure(name string, fn func(b *testing.B)) measurement {
+	r := testing.Benchmark(fn)
+	m := measurement{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+	if b, ok := baselines[name]; ok {
+		bl := b
+		m.Baseline = &bl
+		if m.NsPerOp > 0 {
+			m.Speedup = bl.NsPerOp / m.NsPerOp
+		}
+		if m.AllocsPerOp > 0 {
+			m.AllocsRatio = float64(bl.AllocsPerOp) / float64(m.AllocsPerOp)
+		}
+		// AllocsPerOp == 0 with a nonzero baseline leaves AllocsRatio
+		// unset: the path became allocation-free and no finite ratio
+		// describes that.
+	}
+	return m
+}
+
+func main() {
+	out := flag.String("o", "BENCH_hotpath.json", "output file (- for stdout)")
+	flag.Parse()
+
+	report := struct {
+		Note    string                 `json:"note"`
+		GoVer   string                 `json:"go"`
+		CPUs    int                    `json:"cpus"`
+		Results map[string]measurement `json:"results"`
+	}{
+		Note:    "hot-path perf record: event engine + compiled sweeps; baselines measured pre-refactor at d58ffb6 (seed exp.Run per point, container/heap engine); ns/op speedups are valid only on hardware comparable to the baseline host — allocs/op ratios are machine-independent",
+		GoVer:   runtime.Version(),
+		CPUs:    runtime.NumCPU(),
+		Results: map[string]measurement{},
+	}
+
+	report.Results["engine_schedule"] = measure("engine_schedule", func(b *testing.B) {
+		b.ReportAllocs()
+		hotbench.EngineSchedule(b.N)
+	})
+	report.Results["engine_steady_state"] = measure("engine_steady_state", func(b *testing.B) {
+		b.ReportAllocs()
+		hotbench.EngineSteadyState(b.N)
+	})
+	report.Results["compiled_sweep"] = measure("compiled_sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := hotbench.BudgetSweep(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	report.Results["compiled_share_sweep"] = measure("compiled_share_sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := hotbench.ShareSweep(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if *out == "-" {
+		os.Stdout.Write(blob)
+		return
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range []string{"engine_schedule", "engine_steady_state", "compiled_sweep", "compiled_share_sweep"} {
+		m := report.Results[name]
+		fmt.Printf("%-22s %12.1f ns/op %8d allocs/op", name, m.NsPerOp, m.AllocsPerOp)
+		if m.Baseline != nil {
+			fmt.Printf("   %5.2fx faster vs %s, ", m.Speedup, m.Baseline.Commit)
+			if m.AllocsPerOp == 0 && m.Baseline.AllocsPerOp > 0 {
+				fmt.Printf("allocation-free (was %d/op)", m.Baseline.AllocsPerOp)
+			} else {
+				fmt.Printf("%.1fx fewer allocs", m.AllocsRatio)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Printf("wrote %s\n", *out)
+}

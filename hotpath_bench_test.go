@@ -1,0 +1,60 @@
+// Hot-path benchmarks: the compiled-plan sweep paths whose pre-PR
+// baselines are recorded in BENCH_hotpath.json (see cmd/bench, which
+// runs these same workloads via internal/hotbench). The baselines were
+// measured at the seed of this PR (commit d58ffb6) with the same
+// workloads running through per-point exp.Run: graph rebuilt, vectors
+// recomputed, budget re-planned, and all Steps simulated for every
+// sweep point.
+package ssdtrain
+
+import (
+	"testing"
+
+	"ssdtrain/internal/exp"
+	"ssdtrain/internal/hotbench"
+)
+
+// BenchmarkCompiledSweep runs a 9-point offload-budget sweep (one planned
+// run plus eight budget fractions, Steps=12) through Compile once +
+// Execute per point with adaptive steady-state detection.
+// Pre-PR baseline (d58ffb6): 25.99 ms/op, 221509 allocs/op.
+func BenchmarkCompiledSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := hotbench.BudgetSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCompiledShareSweep runs a 4-point bandwidth-share sweep
+// (fleet-style contention profiling, Steps=12) through one compiled plan.
+// Pre-PR baseline (d58ffb6): 9.41 ms/op, 93492 allocs/op.
+func BenchmarkCompiledShareSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := hotbench.ShareSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDedupSweep measures the exp.Sweep dedup layer on a batch with
+// heavy repetition (16 requested points, 4 distinct), the shape fleet
+// mixes produce. Sequential workers isolate dedup from parallelism.
+func BenchmarkDedupSweep(b *testing.B) {
+	b.ReportAllocs()
+	base := hotbench.SweepBase()
+	shares := []float64{0, 0.5, 0.25, 0.125}
+	var cfgs []exp.RunConfig
+	for i := 0; i < 16; i++ {
+		cfg := base
+		cfg.SSDBandwidthShare = shares[i%len(shares)]
+		cfgs = append(cfgs, cfg)
+	}
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Sweep(1, cfgs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -35,7 +35,9 @@ type savedRef struct {
 	rawRetained bool
 }
 
-// opRun records one executed forward op.
+// opRun records one executed forward op. The saved slice's capacity is
+// retained across steps — every step saves the same tensors, so after the
+// first step the append chain allocates nothing.
 type opRun struct {
 	spec   *OpSpec
 	saved  []savedRef
@@ -43,7 +45,9 @@ type opRun struct {
 	out    *tensor.Tensor
 }
 
-// blockRun records one executed forward block.
+// blockRun records one executed forward block. blockRuns live on the
+// executor and are reset in place each micro-batch: the simulated step is
+// identical every iteration, so its bookkeeping memory is too.
 type blockRun struct {
 	block  *Block
 	ops    []opRun
@@ -55,6 +59,40 @@ type blockRun struct {
 	// function's arguments).
 	inPacked    savedRef
 	extraPacked []savedRef
+	// extraFinish/recomputed/recMasks/chkRefs are per-block scratch reused
+	// across steps.
+	extraFinish []time.Duration
+	recomputed  []*tensor.Tensor
+	recMasks    []*tensor.Tensor
+	chkRefs     []savedRef
+}
+
+// opStatic is the per-op state that never changes across steps: tensor
+// names, the pre-transposed weight view, and the stats-tensor shape. The
+// seed executor rebuilt all of these with fmt.Sprintf on every step —
+// string formatting was a third of the simulator's allocations.
+type opStatic struct {
+	outName   string
+	gradName  string
+	recName   string
+	maskName  string
+	statsName string
+	// wt is the transposed weight view registered for backward; one view
+	// object per op, reused every step (identity semantics are unchanged —
+	// the cache identifies tensors by storage stamp + shape, not object).
+	wt         *tensor.Tensor
+	statsShape tensor.Shape
+}
+
+// blockStatic is the per-block forward prepass, computed once: the last
+// forward consumer of every op output, of the block input, and of each
+// extra input, so producer references are released at exactly the right
+// kernel completion.
+type blockStatic struct {
+	ops       []opStatic
+	lastOut   []int
+	lastIn    int
+	lastExtra []int
 }
 
 // Executor drives training steps of a Graph on a Runtime through the
@@ -69,10 +107,18 @@ type Executor struct {
 	cfg   ExecConfig
 
 	clock    time.Duration // start of the next step
-	stepIdx  int
 	seed     uint64
 	gradOf   map[int64]*tensor.Tensor // weight storage seq → grad tensor
 	consumer map[int]int              // block index → forward consumer count
+
+	static []blockStatic
+	// runs/outs/finishes are per-step scratch, reset every micro-batch.
+	runs     []blockRun
+	outs     []*tensor.Tensor
+	finishes []time.Duration
+	// unpacked is shared unpack scratch; its contents are consumed before
+	// the next unpackAll call.
+	unpacked []*tensor.Tensor
 }
 
 // NewExecutor validates the graph, allocates weights (and their
@@ -105,6 +151,7 @@ func NewExecutor(rt *Runtime, g *Graph, hooks Hooks, cfg ExecConfig) (*Executor,
 		rt.Life.Alloc(0, w.Storage(), gpu.ClassWeights)
 	}
 	e.computeConsumers()
+	e.computeStatics()
 	return e, nil
 }
 
@@ -118,6 +165,75 @@ func (e *Executor) computeConsumers() {
 		for _, x := range b.ExtraIn {
 			e.consumer[x]++
 		}
+	}
+}
+
+// computeStatics precomputes names, transposed weight views, the
+// last-consumer prepass, and the per-step scratch structures.
+func (e *Executor) computeStatics() {
+	blocks := e.graph.Blocks
+	e.static = make([]blockStatic, len(blocks))
+	e.runs = make([]blockRun, len(blocks))
+	e.outs = make([]*tensor.Tensor, len(blocks))
+	e.finishes = make([]time.Duration, len(blocks))
+	for bi, b := range blocks {
+		st := &e.static[bi]
+		st.ops = make([]opStatic, len(b.Ops))
+		path := b.Module.Path()
+		for oi := range b.Ops {
+			op := &b.Ops[oi]
+			os := &st.ops[oi]
+			os.outName = path + "." + op.Name
+			os.gradName = os.outName + ".grad"
+			os.recName = os.outName + ".rec"
+			if op.SaveMask {
+				os.maskName = os.outName + ".mask"
+			}
+			if op.SaveStatsElems > 0 {
+				os.statsName = os.outName + ".stats"
+				os.statsShape = tensor.NewShape(int(op.SaveStatsElems))
+			}
+			if op.Weight != nil {
+				os.wt = op.Weight.Transpose()
+			}
+		}
+
+		// Last-consumer prepass (static: depends only on the op specs).
+		n := len(b.Ops)
+		st.lastOut = make([]int, n)
+		for j := range st.lastOut {
+			st.lastOut[j] = -1
+		}
+		st.lastExtra = make([]int, len(b.ExtraIn))
+		for k := range st.lastExtra {
+			st.lastExtra[k] = -1
+		}
+		for oi := range b.Ops {
+			op := &b.Ops[oi]
+			if j := b.InputIndex(oi); j >= 0 {
+				if oi > st.lastOut[j] {
+					st.lastOut[j] = oi
+				}
+			} else if oi > st.lastIn {
+				st.lastIn = oi
+			}
+			if s := op.SaveOther1 - 1; s >= 0 && oi > st.lastOut[s] {
+				st.lastOut[s] = oi
+			}
+			if op.SaveBlockInput && oi > st.lastIn {
+				st.lastIn = oi
+			}
+			if k := op.SaveExtra1 - 1; k >= 0 && oi > st.lastExtra[k] {
+				st.lastExtra[k] = oi
+			}
+		}
+
+		run := &e.runs[bi]
+		run.block = b
+		run.ops = make([]opRun, n)
+		run.extras = make([]*tensor.Tensor, len(b.ExtraIn))
+		run.extraFinish = make([]time.Duration, len(b.ExtraIn))
+		run.recomputed = make([]*tensor.Tensor, n)
 	}
 }
 
@@ -139,7 +255,6 @@ type StepResult struct {
 func (e *Executor) Run() StepResult {
 	start := e.clock
 	hostNow := start
-	e.stepIdx++
 	var stall time.Duration
 	var modelFLOPs units.FLOPs
 
@@ -150,29 +265,26 @@ func (e *Executor) Run() StepResult {
 
 		// Graph input (token ids). It carries a producer ref plus one
 		// consumer ref for the first block.
-		in := tensor.New(fmt.Sprintf("step%d.mb%d.input", e.stepIdx, mb), e.graph.InputShape, e.graph.InputDType, tensor.GPU)
+		in := tensor.New("input", e.graph.InputShape, e.graph.InputDType, tensor.GPU)
 		e.rt.Life.Alloc(hostNow, in.Storage(), gpu.ClassWorkspace)
 		e.rt.Life.Retain(in.Storage())
 
-		runs := make([]blockRun, len(e.graph.Blocks))
-		outs := make([]*tensor.Tensor, len(e.graph.Blocks))
-		finishes := make([]time.Duration, len(e.graph.Blocks))
 		cur, curFinish := in, hostNow
 		for bi, b := range e.graph.Blocks {
-			extras := make([]*tensor.Tensor, len(b.ExtraIn))
-			extraFinish := make([]time.Duration, len(b.ExtraIn))
+			run := &e.runs[bi]
+			run.in, run.out = cur, nil
 			for k, src := range b.ExtraIn {
-				extras[k] = outs[src]
-				extraFinish[k] = finishes[src]
+				run.extras[k] = e.outs[src]
+				run.extraFinish[k] = e.finishes[src]
 			}
-			runs[bi] = e.forwardBlock(b, bi, cur, curFinish, extras, extraFinish, &hostNow, &modelFLOPs)
-			outs[bi] = runs[bi].out
-			finishes[bi] = runs[bi].ops[len(runs[bi].ops)-1].finish
-			cur, curFinish = runs[bi].out, finishes[bi]
+			e.forwardBlock(run, &e.static[bi], bi, curFinish, &hostNow, &modelFLOPs)
+			e.outs[bi] = run.out
+			e.finishes[bi] = run.ops[len(run.ops)-1].finish
+			cur, curFinish = run.out, e.finishes[bi]
 		}
 		// The graph input's producer ref: released after the first block's
 		// first op consumed it.
-		e.rt.Life.Release(in.Storage(), runs[0].ops[0].finish)
+		e.rt.Life.Release(in.Storage(), e.runs[0].ops[0].finish)
 
 		// Backward. The host synchronizes with the device at the
 		// forward→backward boundary: FP16 training engines read the loss
@@ -184,10 +296,10 @@ func (e *Executor) Run() StepResult {
 			hostNow = bu
 		}
 		e.hooks.Phase(PhaseBackward, mb, hostNow)
-		final := outs[len(outs)-1]
-		finalFinish := finishes[len(finishes)-1]
+		final := e.outs[len(e.outs)-1]
+		finalFinish := e.finishes[len(e.finishes)-1]
 		// Loss gradient seed, shaped like the final output.
-		grad := tensor.New(fmt.Sprintf("step%d.mb%d.gradseed", e.stepIdx, mb), final.Shape(), final.DType(), tensor.GPU)
+		grad := tensor.New("gradseed", final.Shape(), final.DType(), tensor.GPU)
 		e.rt.Life.Alloc(hostNow, grad.Storage(), gpu.ClassWorkspace)
 		// The loss consumer ref on the final output: the gradient seed's
 		// computation reads it once the forward output exists.
@@ -198,14 +310,14 @@ func (e *Executor) Run() StepResult {
 		e.rt.Life.Release(final.Storage(), relAt)
 
 		var bwdEnd time.Duration
-		for bi := len(runs) - 1; bi >= 0; bi-- {
-			grad, bwdEnd = e.backwardBlock(&runs[bi], grad, &hostNow, &stall, mb)
+		for bi := len(e.runs) - 1; bi >= 0; bi-- {
+			grad, bwdEnd = e.backwardBlock(&e.runs[bi], &e.static[bi], grad, &hostNow, &stall, mb)
 		}
 		// The gradient wrt the graph input is discarded once its producing
 		// kernel completes.
 		e.rt.Life.Release(grad.Storage(), bwdEnd)
-		for bi := range runs {
-			modelFLOPs += e.backwardFLOPs(runs[bi].block)
+		for bi := range e.runs {
+			modelFLOPs += e.backwardFLOPs(e.runs[bi].block)
 		}
 	}
 
@@ -271,21 +383,22 @@ func (e *Executor) pack(t *tensor.Tensor, producedAt time.Duration, hostNow *tim
 }
 
 // unpackAll resolves an op's saved refs, blocking host time on reloads,
-// and returns the data-ready lower bound for the backward kernel.
+// and returns the data-ready lower bound for the backward kernel. The
+// returned slice is shared scratch, valid until the next unpackAll call.
 func (e *Executor) unpackAll(saved []savedRef, hostNow *time.Duration, stall *time.Duration) ([]*tensor.Tensor, time.Duration) {
 	base := *hostNow
 	if bu := e.rt.Compute.BusyUntil(); bu > base {
 		base = bu
 	}
 	dataReady := *hostNow
-	tensors := make([]*tensor.Tensor, len(saved))
+	tensors := e.unpacked[:0]
 	for i := range saved {
 		*hostNow += e.hooks.HostCost()
 		t, ready := e.hooks.Unpack(saved[i].packed, *hostNow)
 		if t == nil {
 			panic(fmt.Sprintf("autograd: unpack returned nil for %v", saved[i].t))
 		}
-		tensors[i] = t
+		tensors = append(tensors, t)
 		if ready > dataReady {
 			dataReady = ready
 		}
@@ -294,6 +407,7 @@ func (e *Executor) unpackAll(saved []savedRef, hostNow *time.Duration, stall *ti
 		}
 		e.rt.Counters.Add("exec.unpacks", 1)
 	}
+	e.unpacked = tensors
 	if dataReady > base {
 		*stall += dataReady - base
 	}
@@ -311,110 +425,78 @@ func (e *Executor) consumeAll(saved []savedRef, at time.Duration) {
 	}
 }
 
-// forwardBlock executes one block's forward pass. inFinish/extraFinish
-// are when the inputs' producing kernels complete (transfer-ready times).
-func (e *Executor) forwardBlock(b *Block, bi int, blockIn *tensor.Tensor, inFinish time.Duration, extras []*tensor.Tensor, extraFinish []time.Duration, hostNow *time.Duration, modelFLOPs *units.FLOPs) blockRun {
+// forwardBlock executes one block's forward pass in place on run. The
+// block input and extras (with their producing kernels' completion times)
+// are already set on run by the caller.
+func (e *Executor) forwardBlock(run *blockRun, st *blockStatic, bi int, inFinish time.Duration, hostNow *time.Duration, modelFLOPs *units.FLOPs) {
+	b := run.block
+	blockIn := run.in
+	extras := run.extras
 	e.hooks.ForwardPre(b.Module, *hostNow)
-	run := blockRun{block: b, in: blockIn, extras: extras, ops: make([]opRun, len(b.Ops))}
 
 	if b.Checkpoint {
 		// Only the block inputs are registered for backward.
 		run.inPacked = e.pack(blockIn, inFinish, hostNow)
+		run.extraPacked = run.extraPacked[:0]
 		for k := range extras {
-			run.extraPacked = append(run.extraPacked, e.pack(extras[k], extraFinish[k], hostNow))
+			run.extraPacked = append(run.extraPacked, e.pack(extras[k], run.extraFinish[k], hostNow))
 		}
 	}
 
-	// Prepass: the last forward consumer of every op output, of the block
-	// input, and of each extra input, so producer references can be
-	// released at exactly the right kernel completion.
 	n := len(b.Ops)
-	lastOut := make([]int, n)
-	for j := range lastOut {
-		lastOut[j] = -1
-	}
-	lastIn := 0
-	lastExtra := make([]int, len(extras))
-	for k := range lastExtra {
-		lastExtra[k] = -1
-	}
-	for oi := range b.Ops {
-		op := &b.Ops[oi]
-		if j := b.InputIndex(oi); j >= 0 {
-			if oi > lastOut[j] {
-				lastOut[j] = oi
-			}
-		} else if oi > lastIn {
-			lastIn = oi
-		}
-		if s := op.SaveOther1 - 1; s >= 0 && oi > lastOut[s] {
-			lastOut[s] = oi
-		}
-		if op.SaveBlockInput && oi > lastIn {
-			lastIn = oi
-		}
-		if k := op.SaveExtra1 - 1; k >= 0 && oi > lastExtra[k] {
-			lastExtra[k] = oi
-		}
-	}
-
-	outs := make([]*tensor.Tensor, n)
 	for oi := range b.Ops {
 		op := &b.Ops[oi]
 		input := blockIn
 		if j := b.InputIndex(oi); j >= 0 {
-			input = outs[j]
+			input = run.ops[j].out
 		}
 		*hostNow += e.rt.Spec.HostIssue
 		finish := e.rt.Compute.Submit(*hostNow, op.FwdTime, nil)
 		start := finish - op.FwdTime
 		*modelFLOPs += op.FwdFLOPs
 
-		out := tensor.New(fmt.Sprintf("s%d.%s.%s", e.stepIdx, b.Module.Path(), op.Name),
-			op.OutShape, op.OutDType, tensor.GPU)
+		out := tensor.New(st.ops[oi].outName, op.OutShape, op.OutDType, tensor.GPU)
 		e.rt.Life.Alloc(start, out.Storage(), gpu.ClassActivations)
-		outs[oi] = out
-		rec := opRun{spec: op, finish: finish, out: out}
+		rec := &run.ops[oi]
+		rec.spec, rec.finish, rec.out = op, finish, out
+		rec.saved = rec.saved[:0]
 
 		if !b.Checkpoint {
-			rec.saved = e.saveForBackward(b, oi, input, blockIn, extras, outs, start, finish, hostNow)
-		}
-
-		// Weight transpose views are registered on the graph by linear
-		// layers even under checkpointing (PyTorch re-registers during
-		// recomputation; net effect on the cache is identical).
-		if op.Weight != nil && !b.Checkpoint {
-			wt := op.Weight.Transpose()
-			rec.saved = append(rec.saved, e.pack(wt, finish, hostNow))
+			e.saveForBackward(rec, &st.ops[oi], b, oi, input, blockIn, extras, run, start, finish, hostNow)
+			// Weight transpose views are registered on the graph by linear
+			// layers even under checkpointing (PyTorch re-registers during
+			// recomputation; net effect on the cache is identical).
+			if wt := st.ops[oi].wt; wt != nil {
+				rec.saved = append(rec.saved, e.pack(wt, finish, hostNow))
+			}
 		}
 
 		// Release producer refs whose last forward consumer is this op.
 		for j := 0; j < oi; j++ {
-			if lastOut[j] == oi {
-				e.rt.Life.Release(outs[j].Storage(), finish)
+			if st.lastOut[j] == oi {
+				e.rt.Life.Release(run.ops[j].out.Storage(), finish)
 			}
 		}
 		// An output nothing consumes dies with its own producing op
 		// (unless it is the block output, whose refs are handled below).
-		if oi < n-1 && lastOut[oi] == -1 {
+		if oi < n-1 && st.lastOut[oi] == -1 {
 			e.rt.Life.Release(out.Storage(), finish)
 		}
-		if lastIn == oi {
+		if st.lastIn == oi {
 			e.rt.Life.Release(blockIn.Storage(), finish)
 		}
 		for k := range extras {
-			if lastExtra[k] == oi {
+			if st.lastExtra[k] == oi {
 				e.rt.Life.Release(extras[k].Storage(), finish)
 			}
 		}
 
-		run.ops[oi] = rec
 		e.rt.Counters.Add("exec.fwd_ops", 1)
 	}
 
 	// The block output carries one producer ref; add one ref per
 	// downstream consumer, then drop the producer ref.
-	out := outs[n-1]
+	out := run.ops[n-1].out
 	for i := 0; i < e.consumer[bi]; i++ {
 		e.rt.Life.Retain(out.Storage())
 	}
@@ -422,81 +504,74 @@ func (e *Executor) forwardBlock(b *Block, bi int, blockIn *tensor.Tensor, inFini
 	run.out = out
 
 	e.hooks.ForwardPost(b.Module, *hostNow)
-	return run
 }
 
-// saveForBackward evaluates an op's save flags, packing each tensor.
-func (e *Executor) saveForBackward(b *Block, oi int, input, blockIn *tensor.Tensor, extras []*tensor.Tensor, outs []*tensor.Tensor, start, finish time.Duration, hostNow *time.Duration) []savedRef {
-	op := &b.Ops[oi]
-	out := outs[oi]
-	var saved []savedRef
+// saveForBackward evaluates an op's save flags, packing each tensor into
+// rec.saved.
+func (e *Executor) saveForBackward(rec *opRun, os *opStatic, b *Block, oi int, input, blockIn *tensor.Tensor, extras []*tensor.Tensor, run *blockRun, start, finish time.Duration, hostNow *time.Duration) {
+	op := rec.spec
+	out := rec.out
 	if op.SaveInput {
 		// The input was produced by an earlier op (or is the block input);
 		// its data is complete by this op's start.
-		saved = append(saved, e.pack(input, start, hostNow))
+		rec.saved = append(rec.saved, e.pack(input, start, hostNow))
 	}
 	if op.SaveOutput {
-		saved = append(saved, e.pack(out, finish, hostNow))
+		rec.saved = append(rec.saved, e.pack(out, finish, hostNow))
 	}
 	if op.SaveOther1 > 0 {
-		saved = append(saved, e.pack(outs[op.SaveOther1-1], start, hostNow))
+		rec.saved = append(rec.saved, e.pack(run.ops[op.SaveOther1-1].out, start, hostNow))
 	}
 	if op.SaveBlockInput {
-		saved = append(saved, e.pack(blockIn, start, hostNow))
+		rec.saved = append(rec.saved, e.pack(blockIn, start, hostNow))
 	}
 	if op.SaveExtra1 > 0 {
-		saved = append(saved, e.pack(extras[op.SaveExtra1-1], start, hostNow))
+		rec.saved = append(rec.saved, e.pack(extras[op.SaveExtra1-1], start, hostNow))
 	}
 	if op.SaveMask {
-		mask := tensor.New(out.Name()+".mask", op.OutShape, tensor.BOOL, tensor.GPU)
+		mask := tensor.New(os.maskName, op.OutShape, tensor.BOOL, tensor.GPU)
 		e.rt.Life.Alloc(start, mask.Storage(), gpu.ClassActivations)
 		ref := e.pack(mask, finish, hostNow)
 		e.rt.Life.Release(mask.Storage(), finish) // producer ref
-		saved = append(saved, ref)
+		rec.saved = append(rec.saved, ref)
 	}
 	if op.SaveStatsElems > 0 {
-		stats := tensor.New(out.Name()+".stats", tensor.NewShape(int(op.SaveStatsElems)), tensor.FP32, tensor.GPU)
+		stats := tensor.New(os.statsName, os.statsShape, tensor.FP32, tensor.GPU)
 		e.rt.Life.Alloc(start, stats.Storage(), gpu.ClassActivations)
 		ref := e.pack(stats, finish, hostNow)
 		e.rt.Life.Release(stats.Storage(), finish)
-		saved = append(saved, ref)
+		rec.saved = append(rec.saved, ref)
 	}
-	return saved
 }
 
 // backwardBlock executes one block's backward pass, consuming the
 // incoming gradient. It returns the gradient wrt the block input and the
 // completion time of the block's last backward kernel.
-func (e *Executor) backwardBlock(run *blockRun, gradIn *tensor.Tensor, hostNow *time.Duration, stall *time.Duration, mb int) (*tensor.Tensor, time.Duration) {
+func (e *Executor) backwardBlock(run *blockRun, st *blockStatic, gradIn *tensor.Tensor, hostNow *time.Duration, stall *time.Duration, mb int) (*tensor.Tensor, time.Duration) {
 	b := run.block
 	e.hooks.BackwardPre(b.Module, *hostNow)
 
-	recomputed := make([]*tensor.Tensor, len(b.Ops))
-	var recMasks []*tensor.Tensor
+	run.recMasks = run.recMasks[:0]
 	if b.Checkpoint {
 		// Resolve the block inputs, then re-run the forward chain.
-		inputs := append([]savedRef{run.inPacked}, run.extraPacked...)
-		ts, _ := e.unpackAll(inputs, hostNow, stall)
-		in := ts[0]
-		prev := in
+		run.chkRefs = append(run.chkRefs[:0], run.inPacked)
+		run.chkRefs = append(run.chkRefs, run.extraPacked...)
+		e.unpackAll(run.chkRefs, hostNow, stall)
 		for oi := range b.Ops {
 			op := &b.Ops[oi]
 			*hostNow += e.rt.Spec.HostIssue
 			finish := e.rt.Compute.Submit(*hostNow, op.FwdTime, nil)
 			start := finish - op.FwdTime
-			out := tensor.New(fmt.Sprintf("s%d.%s.%s.rec", e.stepIdx, b.Module.Path(), op.Name),
-				op.OutShape, op.OutDType, tensor.GPU)
+			out := tensor.New(st.ops[oi].recName, op.OutShape, op.OutDType, tensor.GPU)
 			e.rt.Life.Alloc(start, out.Storage(), gpu.ClassActivations)
-			recomputed[oi] = out
+			run.recomputed[oi] = out
 			if op.SaveMask {
-				m := tensor.New(out.Name()+".mask", op.OutShape, tensor.BOOL, tensor.GPU)
+				m := tensor.New(st.ops[oi].maskName, op.OutShape, tensor.BOOL, tensor.GPU)
 				e.rt.Life.Alloc(start, m.Storage(), gpu.ClassActivations)
-				recMasks = append(recMasks, m)
+				run.recMasks = append(run.recMasks, m)
 			}
-			prev = out
 			e.rt.Counters.Add("exec.recompute_ops", 1)
 		}
-		_ = prev
 	}
 
 	grad := gradIn
@@ -504,13 +579,11 @@ func (e *Executor) backwardBlock(run *blockRun, gradIn *tensor.Tensor, hostNow *
 	for oi := len(b.Ops) - 1; oi >= 0; oi-- {
 		op := &b.Ops[oi]
 		var dataReady time.Duration
-		var saved []*tensor.Tensor
 		if !b.Checkpoint {
-			saved, dataReady = e.unpackAll(run.ops[oi].saved, hostNow, stall)
+			_, dataReady = e.unpackAll(run.ops[oi].saved, hostNow, stall)
 		} else {
 			dataReady = *hostNow
 		}
-		_ = saved
 
 		*hostNow += e.rt.Spec.HostIssue
 		ready := *hostNow
@@ -529,8 +602,7 @@ func (e *Executor) backwardBlock(run *blockRun, gradIn *tensor.Tensor, hostNow *
 		} else {
 			inShape, inDType = run.in.Shape(), run.in.DType()
 		}
-		gnext := tensor.New(fmt.Sprintf("s%d.%s.%s.grad", e.stepIdx, b.Module.Path(), op.Name),
-			inShape, inDType, tensor.GPU)
+		gnext := tensor.New(st.ops[oi].gradName, inShape, inDType, tensor.GPU)
 		e.rt.Life.Alloc(start, gnext.Storage(), gpu.ClassWorkspace)
 
 		// Weight gradient buffer, allocated on first backward touch and
@@ -552,8 +624,9 @@ func (e *Executor) backwardBlock(run *blockRun, gradIn *tensor.Tensor, hostNow *
 			e.consumeAll(run.ops[oi].saved, finish)
 		} else {
 			// Recomputed activations die with their consuming backward op.
-			if rec := recomputed[oi]; rec != nil {
+			if rec := run.recomputed[oi]; rec != nil {
 				e.rt.Life.Release(rec.Storage(), finish)
+				run.recomputed[oi] = nil
 			}
 		}
 		// The op's own forward output producer ref (non-checkpoint): block
@@ -568,10 +641,12 @@ func (e *Executor) backwardBlock(run *blockRun, gradIn *tensor.Tensor, hostNow *
 
 	if b.Checkpoint {
 		// Release recomputed masks and the unpacked block inputs.
-		for _, m := range recMasks {
+		for _, m := range run.recMasks {
 			e.rt.Life.Release(m.Storage(), lastFinish)
 		}
-		e.consumeAll(append([]savedRef{run.inPacked}, run.extraPacked...), lastFinish)
+		run.chkRefs = append(run.chkRefs[:0], run.inPacked)
+		run.chkRefs = append(run.chkRefs, run.extraPacked...)
+		e.consumeAll(run.chkRefs, lastFinish)
 	}
 
 	e.hooks.BackwardPost(b.Module, *hostNow)

@@ -246,6 +246,49 @@ func (g *Graph) Validate() error {
 	return nil
 }
 
+// CloneWithFreshWeights returns a graph that shares this graph's module
+// tree and op specs (both immutable after construction) but rebinds every
+// weight tensor onto a fresh storage. Weight tying is preserved: views
+// that shared a storage in the source (the embedding table and the
+// transposed LM head) share one fresh storage in the clone. This is what
+// lets a compiled run plan keep one immutable graph template and stamp
+// out an executable copy per measurement — executions mutate weight
+// storages (reference counts, cache stamps), so they can never share
+// them, but everything else costs nothing to share.
+func (g *Graph) CloneWithFreshWeights() *Graph {
+	clone := &Graph{
+		Name:       g.Name,
+		Root:       g.Root,
+		InputShape: g.InputShape,
+		InputDType: g.InputDType,
+		Blocks:     make([]*Block, len(g.Blocks)),
+	}
+	rebound := make(map[*tensor.Storage]*tensor.Storage)
+	for bi, b := range g.Blocks {
+		nb := &Block{
+			Module:     b.Module,
+			Ops:        make([]OpSpec, len(b.Ops)),
+			Checkpoint: b.Checkpoint,
+			ExtraIn:    b.ExtraIn,
+		}
+		copy(nb.Ops, b.Ops)
+		for i := range nb.Ops {
+			w := nb.Ops[i].Weight
+			if w == nil {
+				continue
+			}
+			s, ok := rebound[w.Storage()]
+			if !ok {
+				s = tensor.NewStorage(w.Storage().Bytes(), w.Storage().Device())
+				rebound[w.Storage()] = s
+			}
+			nb.Ops[i].Weight = w.WithStorage(s)
+		}
+		clone.Blocks[bi] = nb
+	}
+	return clone
+}
+
 // Weights returns every distinct parameter tensor in graph order.
 func (g *Graph) Weights() []*tensor.Tensor {
 	seen := make(map[int64]bool)

@@ -353,8 +353,10 @@ func (c *TensorCache) Pack(t *tensor.Tensor, producedAt, hostNow time.Duration) 
 	if c.cfg.NoDedup {
 		// Ablation: address-style identity — every registration is a new
 		// record, so shared storages are stored (and loaded) repeatedly.
+		// Real stamps are positive, so a negative per-registration stamp
+		// can never collide with a deduplicated ID.
 		c.dedupSalt++
-		id.Shape = fmt.Sprintf("%s#%d", id.Shape, c.dedupSalt)
+		id.Stamp = -c.dedupSalt
 	} else if rec, ok := c.recs[id]; ok {
 		// Duplicate registration of the same storage+shape: a single
 		// record and a single offload I/O (§III-C1).

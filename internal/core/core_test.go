@@ -27,7 +27,7 @@ func TestGetIDStableAcrossViews(t *testing.T) {
 	if idBase.Stamp != id1.Stamp {
 		t.Error("views have different stamps")
 	}
-	if idBase.Shape == id1.Shape {
+	if idBase.ShapeHash == id1.ShapeHash {
 		t.Error("different shapes share a shape key")
 	}
 }
@@ -46,7 +46,7 @@ func TestGetIDNoAddressCollision(t *testing.T) {
 }
 
 func TestFileNameStable(t *testing.T) {
-	id := TensorID{Stamp: 7, Shape: "[16 1024]"}
+	id := TensorID{Stamp: 7, ShapeHash: 0x16a1024}
 	if id.FileName() != id.FileName() {
 		t.Error("file name not deterministic")
 	}
@@ -350,7 +350,7 @@ func TestSweepCountsLeaks(t *testing.T) {
 func TestSSDOffloaderTiming(t *testing.T) {
 	rig := newRig()
 	x := tensor.New("x", tensor.NewShape(1<<20), tensor.FP16, tensor.GPU) // 2 MiB
-	id := TensorID{Stamp: 1, Shape: "[1048576]"}
+	id := TensorID{Stamp: 1, ShapeHash: 0x100000}
 	start, finish := rig.off.Store(id, x, 5*time.Millisecond)
 	if start < 5*time.Millisecond {
 		t.Error("store started before ready time")
@@ -360,7 +360,7 @@ func TestSSDOffloaderTiming(t *testing.T) {
 		t.Errorf("store too fast: %v < %v", finish-start, want)
 	}
 	// FIFO: a second store queues.
-	_, f2 := rig.off.Store(TensorID{Stamp: 2, Shape: "[1048576]"}, x, 0)
+	_, f2 := rig.off.Store(TensorID{Stamp: 2, ShapeHash: 0x100000}, x, 0)
 	if f2 <= finish {
 		t.Error("store queue not FIFO")
 	}
@@ -377,9 +377,9 @@ func TestOffloaderBouncePath(t *testing.T) {
 	rig := newRig()
 	x := tensor.New("x", tensor.NewShape(1<<22), tensor.FP16, tensor.GPU)
 	// Unregistered: bounce at half bandwidth.
-	_, f1 := rig.off.Store(TensorID{Stamp: 1, Shape: "a"}, x, 0)
+	_, f1 := rig.off.Store(TensorID{Stamp: 1, ShapeHash: 0xa}, x, 0)
 	rig.off.Registry().Register(x.Storage())
-	_, f2 := rig.off.Store(TensorID{Stamp: 2, Shape: "b"}, x, 0)
+	_, f2 := rig.off.Store(TensorID{Stamp: 2, ShapeHash: 0xb}, x, 0)
 	d1 := f1
 	d2 := f2 - f1
 	if d2 >= d1 {
@@ -392,20 +392,20 @@ func TestCPUOffloaderPool(t *testing.T) {
 	link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
 	o := NewCPUOffloader(rt.Eng, "/dev/shm", link, 0)
 	x := tensor.New("x", tensor.NewShape(1<<20), tensor.FP16, tensor.GPU)
-	o.Store(TensorID{Stamp: 1, Shape: "a"}, x, 0)
+	o.Store(TensorID{Stamp: 1, ShapeHash: 0xa}, x, 0)
 	if o.PeakResident() != x.Bytes() {
 		t.Errorf("profiling peak = %v", o.PeakResident())
 	}
-	o.Delete(TensorID{Stamp: 1, Shape: "a"})
+	o.Delete(TensorID{Stamp: 1, ShapeHash: 0xa})
 	// Fix the pool just under two tensors; one fits, a second overflows.
 	o.SetCapacity(x.Bytes() + x.Bytes()/2)
-	o.Store(TensorID{Stamp: 2, Shape: "b"}, x, 0)
+	o.Store(TensorID{Stamp: 2, ShapeHash: 0xb}, x, 0)
 	defer func() {
 		if recover() == nil {
 			t.Error("pool overflow did not panic")
 		}
 	}()
-	o.Store(TensorID{Stamp: 3, Shape: "c"}, x, 0)
+	o.Store(TensorID{Stamp: 3, ShapeHash: 0xc}, x, 0)
 }
 
 func TestPlanModuleBudget(t *testing.T) {

@@ -9,33 +9,33 @@ package core
 
 import (
 	"fmt"
-	"hash/fnv"
 
 	"ssdtrain/internal/tensor"
 )
 
 // TensorID is the cache's stable identifier for a saved tensor: the
 // logical timestamp stamped onto the underlying storage at first sight,
-// combined with the view's shape (§III-C1). Address-based identity is
-// deliberately avoided: offloaded tensors are garbage collected, their
-// addresses recycled, and identifiers would collide — the failure mode
-// get_id() exists to prevent.
+// combined with a digest of the view's shape (§III-C1). Address-based
+// identity is deliberately avoided: offloaded tensors are garbage
+// collected, their addresses recycled, and identifiers would collide —
+// the failure mode get_id() exists to prevent. The shape digest replaces
+// the seed's formatted shape string so building an ID is allocation-free;
+// the offloaders key their block stores by TensorID directly and only
+// render the paper-style file name for diagnostics.
 type TensorID struct {
-	Stamp int64
-	Shape string
+	Stamp     int64
+	ShapeHash uint64
 }
 
 // String renders the ID for diagnostics and file naming.
 func (id TensorID) String() string {
-	return fmt.Sprintf("t%d/%s", id.Stamp, id.Shape)
+	return fmt.Sprintf("t%d/%016x", id.Stamp, id.ShapeHash)
 }
 
 // FileName returns a stable offload file name for the ID, in the style of
 // the paper's "/mnt/md1/t1.pt".
 func (id TensorID) FileName() string {
-	h := fnv.New32a()
-	h.Write([]byte(id.Shape))
-	return fmt.Sprintf("t%d_%08x.pt", id.Stamp, h.Sum32())
+	return fmt.Sprintf("t%d_%016x.pt", id.Stamp, id.ShapeHash)
 }
 
 // IDSource implements get_id(): a monotonic logical clock whose ticks are
@@ -58,5 +58,5 @@ func (s *IDSource) GetID(t *tensor.Tensor) TensorID {
 		s.clock++
 		st.SetStamp(s.clock)
 	}
-	return TensorID{Stamp: st.Stamp(), Shape: t.Shape().Key()}
+	return TensorID{Stamp: st.Stamp(), ShapeHash: t.Shape().Hash()}
 }

@@ -49,7 +49,7 @@ type SSDOffloader struct {
 	name     string
 	link     *pcie.Link
 	array    *ssd.Array
-	store    *ssd.BlockStore
+	store    *ssd.BlockStore[TensorID]
 	registry *gds.Registry
 
 	// storeQ and loadQ are the two FIFO "thread pool" queues.
@@ -81,7 +81,7 @@ func NewSSDOffloader(eng *sim.Engine, name string, link *pcie.Link, array *ssd.A
 		name:     name,
 		link:     link,
 		array:    array,
-		store:    ssd.NewBlockStore(),
+		store:    ssd.NewBlockStore[TensorID](),
 		registry: registry,
 		storeQ:   sim.NewServer(eng, name+".storeq"),
 		loadQ:    sim.NewServer(eng, name+".loadq"),
@@ -98,7 +98,7 @@ func (o *SSDOffloader) Name() string { return o.name }
 func (o *SSDOffloader) Registry() *gds.Registry { return o.registry }
 
 // BlockStore exposes the byte store for verification tests.
-func (o *SSDOffloader) BlockStore() *ssd.BlockStore { return o.store }
+func (o *SSDOffloader) BlockStore() *ssd.BlockStore[TensorID] { return o.store }
 
 // Store implements Offloader.
 func (o *SSDOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration) (time.Duration, time.Duration) {
@@ -111,34 +111,34 @@ func (o *SSDOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration)
 	// utilization and endurance reporting.
 	o.array.Write(start, n, nil)
 	o.link.Down(start, n, nil)
-	path := o.pathOf(id)
 	if data := t.Storage().Data(); data != nil {
-		o.store.WriteFile(path, data)
+		o.store.WriteFile(id, data)
 	} else {
-		o.store.WriteSize(path, n)
+		o.store.WriteSize(id, n)
 	}
 	return start, finish
 }
 
 // Load implements Offloader.
 func (o *SSDOffloader) Load(id TensorID, ready time.Duration) (time.Duration, time.Duration, []byte) {
-	path := o.pathOf(id)
-	n, ok := o.store.Size(path)
+	n, ok := o.store.Size(id)
 	if !ok {
-		panic(fmt.Sprintf("core: load of missing offload file %s", path))
+		panic(fmt.Sprintf("core: load of missing offload file %s", o.pathOf(id)))
 	}
 	dur := o.latency + o.readBW.TimeFor(n)
 	finish := o.loadQ.Submit(ready, dur, nil)
 	start := finish - dur
 	o.array.Read(start, n, nil)
 	o.link.Up(start, n, nil)
-	data, _ := o.store.ReadFile(path)
+	data, _ := o.store.ReadFile(id)
 	return start, finish, data
 }
 
 // Delete implements Offloader.
-func (o *SSDOffloader) Delete(id TensorID) { o.store.Delete(o.pathOf(id)) }
+func (o *SSDOffloader) Delete(id TensorID) { o.store.Delete(id) }
 
+// pathOf renders the paper-style diagnostic path ("/mnt/md1/t1.pt");
+// the hot path keys the store by TensorID and never builds it.
 func (o *SSDOffloader) pathOf(id TensorID) string {
 	return o.name + "/" + id.FileName()
 }
@@ -170,7 +170,7 @@ var _ Offloader = (*SSDOffloader)(nil)
 type CPUOffloader struct {
 	name  string
 	link  *pcie.Link
-	store *ssd.BlockStore
+	store *ssd.BlockStore[TensorID]
 
 	storeQ *sim.Server
 	loadQ  *sim.Server
@@ -188,7 +188,7 @@ func NewCPUOffloader(eng *sim.Engine, name string, link *pcie.Link, capacity uni
 	return &CPUOffloader{
 		name:     name,
 		link:     link,
-		store:    ssd.NewBlockStore(),
+		store:    ssd.NewBlockStore[TensorID](),
 		storeQ:   sim.NewServer(eng, name+".storeq"),
 		loadQ:    sim.NewServer(eng, name+".loadq"),
 		latency:  link.Config().Latency,
@@ -216,32 +216,30 @@ func (o *CPUOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration)
 	finish := o.storeQ.Submit(ready, dur, nil)
 	start := finish - dur
 	o.link.Down(start, n, nil)
-	path := o.name + "/" + id.FileName()
 	if data := t.Storage().Data(); data != nil {
-		o.store.WriteFile(path, data)
+		o.store.WriteFile(id, data)
 	} else {
-		o.store.WriteSize(path, n)
+		o.store.WriteSize(id, n)
 	}
 	return start, finish
 }
 
 // Load implements Offloader.
 func (o *CPUOffloader) Load(id TensorID, ready time.Duration) (time.Duration, time.Duration, []byte) {
-	path := o.name + "/" + id.FileName()
-	n, ok := o.store.Size(path)
+	n, ok := o.store.Size(id)
 	if !ok {
-		panic(fmt.Sprintf("core: load of missing pinned buffer %s", path))
+		panic(fmt.Sprintf("core: load of missing pinned buffer %s/%s", o.name, id.FileName()))
 	}
 	dur := o.latency + o.link.Effective().TimeFor(n)
 	finish := o.loadQ.Submit(ready, dur, nil)
 	start := finish - dur
 	o.link.Up(start, n, nil)
-	data, _ := o.store.ReadFile(path)
+	data, _ := o.store.ReadFile(id)
 	return start, finish, data
 }
 
 // Delete implements Offloader.
-func (o *CPUOffloader) Delete(id TensorID) { o.store.Delete(o.name + "/" + id.FileName()) }
+func (o *CPUOffloader) Delete(id TensorID) { o.store.Delete(id) }
 
 // WriteBandwidth implements Offloader.
 func (o *CPUOffloader) WriteBandwidth() units.Bandwidth { return o.link.Effective() }

@@ -1,0 +1,231 @@
+package exp
+
+import (
+	"reflect"
+	"testing"
+
+	"ssdtrain/internal/autograd"
+	"ssdtrain/internal/models"
+	"ssdtrain/internal/units"
+)
+
+func smallCfg(strategy Strategy) RunConfig {
+	return RunConfig{
+		Model:    models.PaperConfig(models.BERT, 2048, 2, 4),
+		Strategy: strategy,
+	}
+}
+
+// TestCompileExecuteMatchesRun asserts the compiled-plan path and the
+// Run wrapper produce byte-identical results — including the memory
+// report, per-step metrics, counters and planned budget — for every
+// strategy. Run is a thin wrapper over Compile+Execute, but the two
+// plans here come from different cache entries' lifecycles (fresh
+// compile vs cached), so this also pins plan reuse to be side-effect
+// free.
+func TestCompileExecuteMatchesRun(t *testing.T) {
+	for _, strat := range []Strategy{SSDTrain, NoOffload, Recompute, CPUOffload} {
+		cfg := smallCfg(strat)
+		plan, err := Compile(cfg)
+		if err != nil {
+			t.Fatalf("%s: compile: %v", strat, err)
+		}
+		a, err := plan.Execute(cfg)
+		if err != nil {
+			t.Fatalf("%s: execute: %v", strat, err)
+		}
+		b, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("%s: run: %v", strat, err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: Compile+Execute result differs from Run", strat)
+		}
+	}
+}
+
+// seedRun reproduces the seed's single-shot Run path: build the graph
+// directly (no template cache, no plan reuse) and measure with fixed
+// steps. The compiled path must match it byte-for-byte.
+func seedRun(t *testing.T, cfg RunConfig) *RunResult {
+	t.Helper()
+	cfg = cfg.withDefaults()
+	mcfg := cfg.Model
+	mcfg.Checkpoint = cfg.Strategy == Recompute
+	rt := autograd.NewRuntime(cfg.GPU)
+	graph, err := models.Build(mcfg, rt.Cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compile from a plan built around this uncached graph.
+	p := &Plan{
+		shape:         shapeKey(cfg),
+		tmpl:          graph,
+		saved:         blockSavedBytes(graph),
+		bwd:           blockBwdTimes(graph),
+		weightBytes:   graph.WeightBytes(),
+		budgetByShare: make(map[float64]units.Bytes),
+	}
+	p.fwdTime, p.bwdTime = graphTimes(graph)
+	p.eligible, p.lastModule = eligibleBytes(graph)
+	res, err := p.Execute(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestPlanReuseMatchesFreshBuild asserts that executing through a
+// memoized graph template produces results identical to building the
+// graph from scratch — the property that makes the template cache and
+// weight rebinding invisible to every caller.
+func TestPlanReuseMatchesFreshBuild(t *testing.T) {
+	for _, strat := range []Strategy{SSDTrain, Recompute} {
+		cfg := smallCfg(strat)
+		fresh := seedRun(t, cfg)
+		cached, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fresh, cached) {
+			t.Errorf("%s: cached-template result differs from fresh build", strat)
+		}
+	}
+}
+
+// TestRunDeterministic asserts repeated runs of one config are
+// byte-identical — the foundation of the fleet cache's correctness.
+func TestRunDeterministic(t *testing.T) {
+	cfg := smallCfg(SSDTrain)
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Error("repeated runs differ")
+	}
+}
+
+// TestExecuteRejectsShapeMismatch pins the guard that keeps a plan from
+// silently measuring a different model.
+func TestExecuteRejectsShapeMismatch(t *testing.T) {
+	plan, err := Compile(smallCfg(SSDTrain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	other := smallCfg(SSDTrain)
+	other.Model.Hidden = 4096
+	if _, err := plan.Execute(other); err == nil {
+		t.Fatal("mismatched model accepted")
+	}
+	// The cheap knobs must be accepted.
+	knobs := smallCfg(SSDTrain)
+	knobs.Steps = 7
+	knobs.Budget = plan.EligibleBytes() / 2
+	knobs.SSDBandwidthShare = 0.5
+	if _, err := plan.Execute(knobs); err != nil {
+		t.Fatalf("cheap-knob variant rejected: %v", err)
+	}
+}
+
+// TestAdaptiveStepsMatchesFixed asserts an adaptive run stops early and
+// still reports the same steady-state measurement as the fixed-step run.
+func TestAdaptiveStepsMatchesFixed(t *testing.T) {
+	for _, strat := range []Strategy{SSDTrain, NoOffload} {
+		fixedCfg := smallCfg(strat)
+		fixedCfg.Steps = 12
+		fixed, err := Run(fixedCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		adaptiveCfg := fixedCfg
+		adaptiveCfg.AdaptiveSteps = true
+		adaptive, err := Run(adaptiveCfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(adaptive.PerStep) >= len(fixed.PerStep) {
+			t.Errorf("%s: adaptive ran %d steps, fixed ran %d — no savings",
+				strat, len(adaptive.PerStep), len(fixed.PerStep))
+		}
+		fm, am := fixed.Measured, adaptive.Measured
+		// Window positions on the timeline differ (the adaptive run is
+		// shorter); everything else must agree exactly.
+		fm.Start, fm.End, am.Start, am.End = 0, 0, 0, 0
+		if !reflect.DeepEqual(fm.Stats, am.Stats) || fm.IO != am.IO ||
+			fm.ActPeak != am.ActPeak || fm.TotalPeak != am.TotalPeak ||
+			fm.HostTime != am.HostTime || fm.UpdateTime != am.UpdateTime {
+			t.Errorf("%s: adaptive Measured differs from fixed:\n%+v\nvs\n%+v", strat, am, fm)
+		}
+		if fixed.PlannedBudget != adaptive.PlannedBudget {
+			t.Errorf("%s: planned budgets differ", strat)
+		}
+	}
+}
+
+// TestAdaptiveStepsMinimumTwo asserts the adaptive path never reports
+// from fewer than two measured steps (a single step cannot demonstrate
+// convergence).
+func TestAdaptiveStepsMinimumTwo(t *testing.T) {
+	cfg := smallCfg(NoOffload)
+	cfg.Steps = 12
+	cfg.AdaptiveSteps = true
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	measured := len(res.PerStep) - res.Config.Warmup
+	if measured < 2 {
+		t.Fatalf("only %d measured steps", measured)
+	}
+}
+
+// TestEligibleBytesZeroBlocks is the regression test for the seed's
+// latent out-of-range panic on zero-block graphs: saved[len(saved)-1]
+// with len(saved) == 0.
+func TestEligibleBytesZeroBlocks(t *testing.T) {
+	g := &autograd.Graph{Name: "empty"}
+	total, last := eligibleBytes(g)
+	if total != 0 || last != 0 {
+		t.Fatalf("eligibleBytes(empty) = %v, %v; want 0, 0", total, last)
+	}
+}
+
+// TestPlanExposesLastModule pins the keep-last accounting the seed
+// computed and discarded: the planner's resident tail is the final
+// block's saved bytes.
+func TestPlanExposesLastModule(t *testing.T) {
+	plan, err := Compile(smallCfg(SSDTrain))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.LastModuleBytes() <= 0 {
+		t.Fatal("last-module bytes not recorded")
+	}
+	if plan.LastModuleBytes() >= plan.EligibleBytes() {
+		t.Fatal("last module cannot exceed total eligible bytes")
+	}
+}
+
+// TestPlanCacheShared asserts Run-level sweeps share one compiled plan.
+func TestPlanCacheShared(t *testing.T) {
+	cfg := smallCfg(SSDTrain)
+	p1, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	varied := cfg
+	varied.Steps = 9
+	varied.SSDBandwidthShare = 0.25
+	p2, err := Compile(varied)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p1 != p2 {
+		t.Fatal("cheap-knob variants compiled to distinct plans")
+	}
+}

@@ -28,34 +28,46 @@ type Fig6Row struct {
 }
 
 // Fig6 measures all nine (architecture × geometry) evaluation points with
-// batch size 16 (§IV-B).
+// batch size 16 (§IV-B). The base/offload pairs run through the
+// deduplicated sweep, so both strategies of one column share a single
+// graph template and the points execute concurrently.
 func Fig6(batch int) ([]Fig6Row, error) {
 	if batch == 0 {
 		batch = 16
 	}
-	var rows []Fig6Row
+	type point struct {
+		arch   models.Arch
+		hidden int
+		layers int
+	}
+	var points []point
+	var cfgs []RunConfig
 	for _, arch := range []models.Arch{models.BERT, models.T5, models.GPT} {
 		for _, g := range models.Fig6Geometries() {
 			cfg := models.PaperConfig(arch, g[0], g[1], batch)
-			base, err := Run(RunConfig{Model: cfg, Strategy: NoOffload})
-			if err != nil {
-				return nil, err
-			}
-			off, err := Run(RunConfig{Model: cfg, Strategy: SSDTrain})
-			if err != nil {
-				return nil, err
-			}
-			rows = append(rows, Fig6Row{
-				Arch:          arch,
-				Hidden:        g[0],
-				Layers:        g[1],
-				BaseStep:      base.StepTime(),
-				OffloadStep:   off.StepTime(),
-				BasePeak:      base.Measured.ActPeak,
-				OffloadPeak:   off.Measured.ActPeak,
-				PeakReduction: 1 - float64(off.Measured.ActPeak)/float64(base.Measured.ActPeak),
-				Overhead:      float64(off.StepTime())/float64(base.StepTime()) - 1,
-			})
+			points = append(points, point{arch, g[0], g[1]})
+			cfgs = append(cfgs,
+				RunConfig{Model: cfg, Strategy: NoOffload},
+				RunConfig{Model: cfg, Strategy: SSDTrain})
+		}
+	}
+	results, err := Sweep(0, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Fig6Row, len(points))
+	for i, p := range points {
+		base, off := results[2*i], results[2*i+1]
+		rows[i] = Fig6Row{
+			Arch:          p.arch,
+			Hidden:        p.hidden,
+			Layers:        p.layers,
+			BaseStep:      base.StepTime(),
+			OffloadStep:   off.StepTime(),
+			BasePeak:      base.Measured.ActPeak,
+			OffloadPeak:   off.Measured.ActPeak,
+			PeakReduction: 1 - float64(off.Measured.ActPeak)/float64(base.Measured.ActPeak),
+			Overhead:      float64(off.StepTime())/float64(base.StepTime()) - 1,
 		}
 	}
 	return rows, nil
@@ -77,21 +89,31 @@ func Fig7(hidden int, batches []int) ([]ROKPoint, error) {
 	if len(batches) == 0 {
 		batches = []int{4, 8, 16}
 	}
-	var pts []ROKPoint
+	type point struct {
+		strat Strategy
+		batch int
+	}
+	var points []point
+	var cfgs []RunConfig
 	for _, strat := range []Strategy{SSDTrain, NoOffload, Recompute} {
 		for _, b := range batches {
-			cfg := models.PaperConfig(models.BERT, hidden, 3, b)
-			res, err := Run(RunConfig{Model: cfg, Strategy: strat})
-			if err != nil {
-				return nil, err
-			}
-			pts = append(pts, ROKPoint{
-				Strategy:   strat,
-				Batch:      b,
-				Peak:       res.Measured.ActPeak,
-				Throughput: res.Throughput(),
-				StepTime:   res.StepTime(),
-			})
+			points = append(points, point{strat, b})
+			cfgs = append(cfgs, RunConfig{Model: models.PaperConfig(models.BERT, hidden, 3, b), Strategy: strat})
+		}
+	}
+	results, err := Sweep(0, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	pts := make([]ROKPoint, len(points))
+	for i, p := range points {
+		res := results[i]
+		pts[i] = ROKPoint{
+			Strategy:   p.strat,
+			Batch:      p.batch,
+			Peak:       res.Measured.ActPeak,
+			Throughput: res.Throughput(),
+			StepTime:   res.StepTime(),
 		}
 	}
 	return pts, nil
@@ -174,21 +196,26 @@ type Table3Row struct {
 
 // Table3 runs the BERT batch-16 measurements.
 func Table3() ([]Table3Row, error) {
-	var rows []Table3Row
-	for _, g := range models.Fig6Geometries() {
-		cfg := models.PaperConfig(models.BERT, g[0], g[1], 16)
-		res, err := Run(RunConfig{Model: cfg, Strategy: SSDTrain})
-		if err != nil {
-			return nil, err
-		}
+	geoms := models.Fig6Geometries()
+	cfgs := make([]RunConfig, len(geoms))
+	for i, g := range geoms {
+		cfgs[i] = RunConfig{Model: models.PaperConfig(models.BERT, g[0], g[1], 16), Strategy: SSDTrain}
+	}
+	results, err := Sweep(0, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table3Row, len(geoms))
+	for i, g := range geoms {
+		res := results[i]
 		off := res.Measured.IO.Offloaded
-		rows = append(rows, Table3Row{
+		rows[i] = Table3Row{
 			Hidden:    g[0],
 			Layers:    g[1],
 			Offloaded: off,
-			Estimate:  table3Estimate(cfg, res),
+			Estimate:  table3Estimate(cfgs[i].Model, res),
 			WriteBW:   units.BandwidthOf(off, res.StepTime()/2),
-		})
+		}
 	}
 	return rows, nil
 }

@@ -1,0 +1,337 @@
+package exp
+
+import (
+	"fmt"
+	"math"
+	"sync"
+	"time"
+
+	"ssdtrain/internal/autograd"
+	"ssdtrain/internal/core"
+	"ssdtrain/internal/gds"
+	"ssdtrain/internal/gpu"
+	"ssdtrain/internal/lru"
+	"ssdtrain/internal/models"
+	"ssdtrain/internal/pcie"
+	"ssdtrain/internal/ssd"
+	"ssdtrain/internal/tensor"
+	"ssdtrain/internal/units"
+)
+
+// Plan is a compiled measurement: the pure, config-shape-dependent work
+// of Run — the model graph template, the per-block activation and
+// backward-time vectors, and the Fig 3 offload budget — memoized so a
+// sweep that varies only the cheap knobs (Budget, Steps, Warmup,
+// SSDBandwidthShare, AdaptiveSteps) pays graph construction and analysis
+// once. A Plan is immutable after Compile and safe for concurrent
+// Execute calls: each execution instantiates its own graph (fresh weight
+// storages) and runtime.
+type Plan struct {
+	// shape is the plan's identity: the defaulted config with the cheap
+	// knobs zeroed.
+	shape RunConfig
+
+	tmpl        *autograd.Graph
+	saved       []units.Bytes
+	bwd         []time.Duration
+	fwdTime     time.Duration
+	bwdTime     time.Duration
+	weightBytes units.Bytes
+	eligible    units.Bytes
+	// lastModule is the final block's saved-activation volume — the bytes
+	// the planner always keeps resident because backward consumes them
+	// immediately (Fig 2 ④). The seed threaded this value through Run
+	// without using it; the Plan owns it now.
+	lastModule units.Bytes
+
+	// budgetByShare memoizes the Fig 3 budget per bandwidth share.
+	mu            sync.Mutex
+	budgetByShare map[float64]units.Bytes
+}
+
+// shapeKey reduces a defaulted config to plan identity by zeroing the
+// knobs a Plan absorbs at Execute time.
+func shapeKey(cfg RunConfig) RunConfig {
+	cfg.Budget = 0
+	cfg.Steps = 0
+	cfg.Warmup = 0
+	cfg.SSDBandwidthShare = 0
+	cfg.AdaptiveSteps = false
+	return cfg
+}
+
+// planCache memoizes compiled plans across Run calls, so naive per-point
+// sweeps (the figure generators, fleet profiling) share plans without
+// managing them explicitly.
+var planCache = lru.New[RunConfig, *Plan](256)
+
+// planFlight coalesces concurrent compilations of one shape.
+var planFlight lru.Singleflight[RunConfig, *Plan]
+
+// Compile builds the run plan for a configuration. The returned plan can
+// Execute any config that differs from cfg only in Budget, Steps, Warmup,
+// SSDBandwidthShare, or AdaptiveSteps. Plans are cached: compiling the
+// same shape twice returns the same plan.
+func Compile(cfg RunConfig) (*Plan, error) {
+	cfg = cfg.withDefaults()
+	if err := validateShare(cfg.SSDBandwidthShare); err != nil {
+		return nil, err
+	}
+	key := shapeKey(cfg)
+	if p, ok := planCache.Get(key); ok {
+		return p, nil
+	}
+	p, err, _ := planFlight.Do(key, func() (*Plan, error) {
+		if p, ok := planCache.GetQuiet(key); ok {
+			return p, nil
+		}
+		p, err := compile(key)
+		if err == nil {
+			planCache.Put(key, p)
+		}
+		return p, err
+	})
+	return p, err
+}
+
+// PlanCacheStats reports the shared plan cache's hit/miss counters.
+func PlanCacheStats() (hits, misses int64) { return planCache.Stats() }
+
+func validateShare(s float64) error {
+	if math.IsNaN(s) || s < 0 || s > 1 {
+		return fmt.Errorf("exp: SSD bandwidth share %v outside [0, 1]", s)
+	}
+	return nil
+}
+
+// compile does the actual shape-dependent work.
+func compile(key RunConfig) (*Plan, error) {
+	mcfg := key.Model
+	mcfg.Checkpoint = key.Strategy == Recompute
+
+	switch key.Strategy {
+	case NoOffload, Recompute, SSDTrain, CPUOffload:
+	default:
+		return nil, fmt.Errorf("exp: unknown strategy %q", key.Strategy)
+	}
+
+	cost := gpu.DefaultCostModel(key.GPU)
+	tmpl, err := models.BuildCached(mcfg, cost)
+	if err != nil {
+		return nil, err
+	}
+
+	p := &Plan{
+		shape:         key,
+		tmpl:          tmpl,
+		saved:         blockSavedBytes(tmpl),
+		bwd:           blockBwdTimes(tmpl),
+		weightBytes:   tmpl.WeightBytes(),
+		budgetByShare: make(map[float64]units.Bytes),
+	}
+	p.fwdTime, p.bwdTime = graphTimes(tmpl)
+	p.eligible, p.lastModule = eligibleBytes(tmpl)
+	return p, nil
+}
+
+// Shape returns the plan's identity config (defaulted, cheap knobs
+// zeroed).
+func (p *Plan) Shape() RunConfig { return p.shape }
+
+// EligibleBytes returns the per-step activation volume the pack hook
+// would see (excluding weights).
+func (p *Plan) EligibleBytes() units.Bytes { return p.eligible }
+
+// LastModuleBytes returns the final block's saved-activation volume, the
+// bytes the budget planner always keeps resident.
+func (p *Plan) LastModuleBytes() units.Bytes { return p.lastModule }
+
+// WeightBytes returns the per-GPU parameter volume.
+func (p *Plan) WeightBytes() units.Bytes { return p.weightBytes }
+
+// plannedBudget returns the Fig 3 budget for the given bandwidth share,
+// memoized per share.
+func (p *Plan) plannedBudget(share float64, readBW, writeBW units.Bandwidth) units.Bytes {
+	p.mu.Lock()
+	if b, ok := p.budgetByShare[share]; ok {
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	b := core.PlanModuleBudget(core.ModulePlan{
+		SavedBytes:     p.saved,
+		BwdTime:        p.bwd,
+		ReadBandwidth:  readBW,
+		WriteBandwidth: writeBW,
+		ForwardTime:    p.fwdTime,
+		BackwardTime:   p.bwdTime,
+	})
+	p.mu.Lock()
+	p.budgetByShare[share] = b
+	p.mu.Unlock()
+	return b
+}
+
+// Execute runs one measurement under the plan. cfg must match the plan's
+// shape in everything except Budget, Steps, Warmup, SSDBandwidthShare,
+// and AdaptiveSteps; Execute rejects mismatched configs rather than
+// silently measuring the wrong model.
+func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	if err := validateShare(cfg.SSDBandwidthShare); err != nil {
+		return nil, err
+	}
+	if shapeKey(cfg) != p.shape {
+		return nil, fmt.Errorf("exp: config shape %+v does not match compiled plan %+v", shapeKey(cfg), p.shape)
+	}
+
+	rt := autograd.NewRuntime(cfg.GPU)
+	graph := p.tmpl.CloneWithFreshWeights()
+
+	res := &RunResult{Config: cfg, Counters: rt.Counters, WeightBytes: p.weightBytes, EligibleBytes: p.eligible}
+
+	var hooks autograd.Hooks
+	var cache *core.TensorCache
+	var offloader core.Offloader
+
+	switch cfg.Strategy {
+	case NoOffload, Recompute:
+		hooks = autograd.NoHooks{}
+	case SSDTrain, CPUOffload:
+		link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
+		if cfg.Strategy == SSDTrain {
+			spec := cfg.SSD.Spec
+			if s := cfg.SSDBandwidthShare; s > 0 && s < 1 {
+				spec.SeqWrite = units.Bandwidth(float64(spec.SeqWrite) * s)
+				spec.SeqRead = units.Bandwidth(float64(spec.SeqRead) * s)
+			}
+			devs := make([]*ssd.Device, cfg.SSD.Count)
+			for i := range devs {
+				devs[i] = ssd.NewDevice(rt.Eng, fmt.Sprintf("nvme%d", i), spec)
+			}
+			array := ssd.NewArray(rt.Eng, "/mnt/md1", cfg.SSD.Stripe, devs...)
+			registry := gds.NewRegistry()
+			hook := gds.NewMallocHook(registry)
+			hook.Enabled = !cfg.DisableGDS
+			rt.Alloc.AddHook(hook)
+			offloader = core.NewSSDOffloader(rt.Eng, "/mnt/md1", link, array, registry)
+		} else {
+			offloader = core.NewCPUOffloader(rt.Eng, "/dev/shm", link, 0)
+		}
+
+		budget := cfg.Budget
+		if budget == 0 {
+			budget = p.plannedBudget(cfg.SSDBandwidthShare, offloader.ReadBandwidth(), offloader.WriteBandwidth())
+		}
+		res.PlannedBudget = budget
+
+		cache = core.NewTensorCache(core.Config{
+			Runtime:         rt,
+			Offloader:       offloader,
+			Budget:          budget,
+			HostCost:        cfg.HostCost,
+			PrefetchAhead:   cfg.PrefetchAhead,
+			KeepLastModules: cfg.KeepLastModules,
+			Verify:          cfg.Verify,
+			NoForwarding:    cfg.NoForwarding,
+			NoDedup:         cfg.NoDedup,
+		})
+		cache.RegisterWeights(graph.Weights())
+		for _, w := range graph.Weights() {
+			// The executor registers the transposed views; pre-register
+			// them the way the paper's setup script bookkeeps weights.
+			cache.RegisterWeights([]*tensor.Tensor{w.Transpose()})
+		}
+		hooks = cache
+	default:
+		return nil, fmt.Errorf("exp: unknown strategy %q", cfg.Strategy)
+	}
+
+	exec, err := autograd.NewExecutor(rt, graph, hooks, autograd.ExecConfig{
+		MicroBatches: cfg.MicroBatches,
+		UpdateCost: func(w *tensor.Tensor) time.Duration {
+			// The FP16 training update pipeline touches each parameter
+			// and gradient several times per step: gradient unscale +
+			// clip (2 passes over grads), the loss-scale overflow check
+			// (1 pass), and the SGD update itself (read w, read g,
+			// write w) — about 8 parameter-sized passes total.
+			return rt.Cost.MemoryBound(8 * w.Bytes())
+		},
+		AccumCost: func(w *tensor.Tensor) time.Duration {
+			return rt.Cost.MemoryBound(3 * w.Bytes())
+		},
+		Materialize: cfg.Materialize,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	runStep := func() StepMetrics {
+		sr := exec.Run()
+		m := StepMetrics{
+			Stats:      sr.Stats,
+			Start:      sr.Start,
+			End:        sr.End,
+			HostTime:   sr.HostTime,
+			UpdateTime: sr.UpdateTime,
+		}
+		if cache != nil {
+			m.IO = cache.LastStep()
+			m.Stats.OffloadedBytes = m.IO.Offloaded
+			m.Stats.ReloadedBytes = m.IO.Reloaded
+			m.Stats.ForwardedBytes = m.IO.Forwarded
+		}
+		res.PerStep = append(res.PerStep, m)
+		return m
+	}
+
+	for i := 0; i < cfg.Warmup; i++ {
+		runStep()
+	}
+	if cfg.AdaptiveSteps {
+		// Adaptive steady-state detection: measure until two consecutive
+		// steps agree exactly (the simulator is deterministic, so a truly
+		// steady state repeats to the nanosecond), bounded by cfg.Steps.
+		// The converged measurement is identical to the fixed-step run's.
+		var prev StepMetrics
+		for i := 0; i < cfg.Steps; i++ {
+			m := runStep()
+			if i > 0 && stepsConverged(prev, m) {
+				break
+			}
+			prev = m
+		}
+	} else {
+		for i := 0; i < cfg.Steps; i++ {
+			runStep()
+		}
+	}
+
+	rep := rt.Alloc.Finalize(true)
+	res.Mem = rep
+	for i := range res.PerStep {
+		s := &res.PerStep[i]
+		s.ActPeak = rep.ActTimeline.PeakBetween(s.Start, s.End)
+		s.TotalPeak = rep.Timeline.PeakBetween(s.Start, s.End)
+		s.Stats.ActivationPeak = s.ActPeak
+		s.Stats.TotalPeak = s.TotalPeak
+	}
+	res.Measured = res.PerStep[len(res.PerStep)-1]
+	if offloader != nil {
+		res.SSDPeak = offloader.PeakResident()
+	}
+	return res, nil
+}
+
+// stepsConverged reports whether two consecutive measured steps are
+// behaviourally identical: the full step stats (duration, FLOPs, stall,
+// I/O volumes), host time and optimizer time. The memory-peak fields of
+// Stats are still zero at this point (they are filled from the timeline
+// after the run), so whole-struct equality is safe and strictly stronger
+// than any field subset.
+func stepsConverged(a, b StepMetrics) bool {
+	return a.Stats == b.Stats &&
+		a.HostTime == b.HostTime &&
+		a.UpdateTime == b.UpdateTime &&
+		a.IO == b.IO
+}

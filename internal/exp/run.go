@@ -4,21 +4,22 @@
 // producing the rows of every evaluation table and figure. The cmd/
 // tools, the examples and the benchmarks all call into this package so
 // the numbers they print come from one code path.
+//
+// Measurements are two-phase: Compile turns a RunConfig into a *Plan
+// holding all the pure config-shape-dependent work (graph template,
+// activation vectors, budget plan), and Plan.Execute runs one simulation
+// under it. Run composes the two behind a shared plan cache, so naive
+// per-point sweeps get the memoization for free.
 package exp
 
 import (
-	"fmt"
-	"math"
 	"time"
 
 	"ssdtrain/internal/autograd"
 	"ssdtrain/internal/core"
-	"ssdtrain/internal/gds"
 	"ssdtrain/internal/gpu"
 	"ssdtrain/internal/models"
-	"ssdtrain/internal/pcie"
 	"ssdtrain/internal/ssd"
-	"ssdtrain/internal/tensor"
 	"ssdtrain/internal/trace"
 	"ssdtrain/internal/units"
 )
@@ -91,6 +92,15 @@ type RunConfig struct {
 	// 0 (unset) and 1 both mean exclusive access; NaN and values outside
 	// [0, 1] are rejected by Run.
 	SSDBandwidthShare float64
+	// AdaptiveSteps stops measuring as soon as two consecutive measured
+	// steps agree exactly instead of always running all Steps — the
+	// simulator is deterministic, so a steady state repeats to the
+	// nanosecond and further steps only cost wall-clock time. Steps
+	// becomes an upper bound; at least two steps are measured. The final
+	// (Measured) metrics of a converged run are identical to the
+	// fixed-step run's; only PerStep's length differs, so leave this off
+	// when a sweep must stay byte-identical to the seed path.
+	AdaptiveSteps bool
 }
 
 // withDefaults fills unset fields with the paper's setup.
@@ -177,9 +187,14 @@ func blockSavedBytes(g *autograd.Graph) []units.Bytes {
 
 // eligibleBytes sums the activation bytes the pack hook would offload
 // (excluding small tensors' stats — counted, they are noise — and
-// weights, which never reach the budget).
+// weights, which never reach the budget), and returns the final block's
+// volume (the bytes the planner keeps resident). A graph with no blocks
+// has nothing to offload and nothing to keep: (0, 0).
 func eligibleBytes(g *autograd.Graph) (total, last units.Bytes) {
 	saved := blockSavedBytes(g)
+	if len(saved) == 0 {
+		return 0, 0
+	}
 	for _, sb := range saved {
 		total += sb
 	}
@@ -208,141 +223,14 @@ func graphTimes(g *autograd.Graph) (fwd, bwd time.Duration) {
 	return fwd, bwd
 }
 
-// Run executes one measurement.
+// Run executes one measurement: Compile (hitting the shared plan cache)
+// followed by Execute. Sweeps that vary only Budget, Steps, Warmup,
+// SSDBandwidthShare, or AdaptiveSteps automatically share one compiled
+// plan; callers that want explicit control use Compile + Execute.
 func Run(cfg RunConfig) (*RunResult, error) {
-	cfg = cfg.withDefaults()
-	if s := cfg.SSDBandwidthShare; math.IsNaN(s) || s < 0 || s > 1 {
-		return nil, fmt.Errorf("exp: SSD bandwidth share %v outside [0, 1]", s)
-	}
-	mcfg := cfg.Model
-	mcfg.Checkpoint = cfg.Strategy == Recompute
-
-	rt := autograd.NewRuntime(cfg.GPU)
-	graph, err := models.Build(mcfg, rt.Cost)
+	plan, err := Compile(cfg)
 	if err != nil {
 		return nil, err
 	}
-
-	res := &RunResult{Config: cfg, Counters: rt.Counters, WeightBytes: graph.WeightBytes()}
-	total, last := eligibleBytes(graph)
-	res.EligibleBytes = total
-
-	var hooks autograd.Hooks
-	var cache *core.TensorCache
-	var offloader core.Offloader
-
-	switch cfg.Strategy {
-	case NoOffload, Recompute:
-		hooks = autograd.NoHooks{}
-	case SSDTrain, CPUOffload:
-		link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
-		if cfg.Strategy == SSDTrain {
-			spec := cfg.SSD.Spec
-			if s := cfg.SSDBandwidthShare; s > 0 && s < 1 {
-				spec.SeqWrite = units.Bandwidth(float64(spec.SeqWrite) * s)
-				spec.SeqRead = units.Bandwidth(float64(spec.SeqRead) * s)
-			}
-			devs := make([]*ssd.Device, cfg.SSD.Count)
-			for i := range devs {
-				devs[i] = ssd.NewDevice(rt.Eng, fmt.Sprintf("nvme%d", i), spec)
-			}
-			array := ssd.NewArray(rt.Eng, "/mnt/md1", cfg.SSD.Stripe, devs...)
-			registry := gds.NewRegistry()
-			hook := gds.NewMallocHook(registry)
-			hook.Enabled = !cfg.DisableGDS
-			rt.Alloc.AddHook(hook)
-			offloader = core.NewSSDOffloader(rt.Eng, "/mnt/md1", link, array, registry)
-		} else {
-			offloader = core.NewCPUOffloader(rt.Eng, "/dev/shm", link, 0)
-		}
-
-		budget := cfg.Budget
-		if budget == 0 {
-			fwd, bwd := graphTimes(graph)
-			budget = core.PlanModuleBudget(core.ModulePlan{
-				SavedBytes:     blockSavedBytes(graph),
-				BwdTime:        blockBwdTimes(graph),
-				ReadBandwidth:  offloader.ReadBandwidth(),
-				WriteBandwidth: offloader.WriteBandwidth(),
-				ForwardTime:    fwd,
-				BackwardTime:   bwd,
-			})
-		}
-		res.PlannedBudget = budget
-		_ = last
-
-		cache = core.NewTensorCache(core.Config{
-			Runtime:         rt,
-			Offloader:       offloader,
-			Budget:          budget,
-			HostCost:        cfg.HostCost,
-			PrefetchAhead:   cfg.PrefetchAhead,
-			KeepLastModules: cfg.KeepLastModules,
-			Verify:          cfg.Verify,
-			NoForwarding:    cfg.NoForwarding,
-			NoDedup:         cfg.NoDedup,
-		})
-		cache.RegisterWeights(graph.Weights())
-		for _, w := range graph.Weights() {
-			// The executor registers the transposed views; pre-register
-			// them the way the paper's setup script bookkeeps weights.
-			cache.RegisterWeights([]*tensor.Tensor{w.Transpose()})
-		}
-		hooks = cache
-	default:
-		return nil, fmt.Errorf("exp: unknown strategy %q", cfg.Strategy)
-	}
-
-	exec, err := autograd.NewExecutor(rt, graph, hooks, autograd.ExecConfig{
-		MicroBatches: cfg.MicroBatches,
-		UpdateCost: func(w *tensor.Tensor) time.Duration {
-			// The FP16 training update pipeline touches each parameter
-			// and gradient several times per step: gradient unscale +
-			// clip (2 passes over grads), the loss-scale overflow check
-			// (1 pass), and the SGD update itself (read w, read g,
-			// write w) — about 8 parameter-sized passes total.
-			return rt.Cost.MemoryBound(8 * w.Bytes())
-		},
-		AccumCost: func(w *tensor.Tensor) time.Duration {
-			return rt.Cost.MemoryBound(3 * w.Bytes())
-		},
-		Materialize: cfg.Materialize,
-	})
-	if err != nil {
-		return nil, err
-	}
-
-	nsteps := cfg.Warmup + cfg.Steps
-	for i := 0; i < nsteps; i++ {
-		sr := exec.Run()
-		m := StepMetrics{
-			Stats:      sr.Stats,
-			Start:      sr.Start,
-			End:        sr.End,
-			HostTime:   sr.HostTime,
-			UpdateTime: sr.UpdateTime,
-		}
-		if cache != nil {
-			m.IO = cache.LastStep()
-			m.Stats.OffloadedBytes = m.IO.Offloaded
-			m.Stats.ReloadedBytes = m.IO.Reloaded
-			m.Stats.ForwardedBytes = m.IO.Forwarded
-		}
-		res.PerStep = append(res.PerStep, m)
-	}
-
-	rep := rt.Alloc.Finalize(true)
-	res.Mem = rep
-	for i := range res.PerStep {
-		s := &res.PerStep[i]
-		s.ActPeak = rep.ActTimeline.PeakBetween(s.Start, s.End)
-		s.TotalPeak = rep.Timeline.PeakBetween(s.Start, s.End)
-		s.Stats.ActivationPeak = s.ActPeak
-		s.Stats.TotalPeak = s.TotalPeak
-	}
-	res.Measured = res.PerStep[len(res.PerStep)-1]
-	if offloader != nil {
-		res.SSDPeak = offloader.PeakResident()
-	}
-	return res, nil
+	return plan.Execute(cfg)
 }

@@ -89,6 +89,14 @@ type Config struct {
 	// Profiler optionally shares a warm profile cache across simulations
 	// (policy sweeps reuse every profile).
 	Profiler *Profiler
+	// AdaptiveProfiles opts every job's profiling run into adaptive
+	// steady-state detection (exp.RunConfig.AdaptiveSteps): measurement
+	// stops as soon as consecutive steps agree exactly, cutting the fixed
+	// warmup+steps cost of long sweeps. Converged profiles are identical
+	// to fixed-step profiles, but the flag changes the profile cache keys,
+	// so mix adaptive and fixed sweeps over one shared Profiler only if
+	// paying both measurement sets is acceptable.
+	AdaptiveProfiles bool
 }
 
 // jobState tracks one job through the simulation.
@@ -194,6 +202,14 @@ func (c Config) validate() error {
 func Simulate(cfg Config) (*Report, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
+	}
+	if cfg.AdaptiveProfiles {
+		jobs := make([]Job, len(cfg.Jobs))
+		copy(jobs, cfg.Jobs)
+		for i := range jobs {
+			jobs[i].Run.AdaptiveSteps = true
+		}
+		cfg.Jobs = jobs
 	}
 	prof := cfg.Profiler
 	if prof == nil {

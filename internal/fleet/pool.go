@@ -1,139 +1,29 @@
 package fleet
 
 import (
-	"container/list"
-	"runtime"
-	"sync"
-	"sync/atomic"
+	"ssdtrain/internal/lru"
+	"ssdtrain/internal/pool"
 )
 
 // ParallelMap applies fn to every element of in using at most workers
-// goroutines and returns the results in input order. Work items are
-// independent, so the outcome is identical for any worker count — the
-// pool only changes wall-clock time, never results. A zero or negative
-// worker count uses GOMAXPROCS. If any call fails, the error of the
-// lowest-indexed failing item is returned (again independent of worker
-// count) and the partial results are discarded.
+// goroutines and returns the results in input order, via the shared
+// deterministic worker pool (internal/pool). Work items are independent,
+// so the outcome is identical for any worker count — the pool only
+// changes wall-clock time, never results.
 func ParallelMap[T, R any](workers int, in []T, fn func(T) (R, error)) ([]R, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > len(in) {
-		workers = len(in)
-	}
-	out := make([]R, len(in))
-	errs := make([]error, len(in))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(in) {
-					return
-				}
-				out[i], errs[i] = fn(in[i])
-			}
-		}()
-	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
+	return pool.ParallelMap(workers, in, fn)
 }
 
-// Cache is a concurrency-safe LRU result cache. Fleet simulations memoize
-// repeated (model, strategy, SSD share) measurement runs in one: a policy
-// sweep re-evaluates the same job profiles under every policy, and a
-// 64-job mix drawn from a config palette repeats each palette entry many
-// times.
-type Cache[K comparable, V any] struct {
-	mu           sync.Mutex
-	capacity     int
-	ll           *list.List
-	index        map[K]*list.Element
-	hits, misses int64
-}
-
-type cacheEntry[K comparable, V any] struct {
-	key K
-	val V
-}
+// Cache is the fleet's concurrency-safe LRU result cache, backed by the
+// shared internal/lru implementation. Fleet simulations memoize repeated
+// (model, strategy, SSD share) measurement runs in one: a policy sweep
+// re-evaluates the same job profiles under every policy, and a 64-job mix
+// drawn from a config palette repeats each palette entry many times.
+type Cache[K comparable, V any] = lru.Cache[K, V]
 
 // NewCache creates an LRU cache holding at most capacity entries; a zero
 // or negative capacity panics, because a cacheless profiler would rerun
 // every measurement.
 func NewCache[K comparable, V any](capacity int) *Cache[K, V] {
-	if capacity <= 0 {
-		panic("fleet: cache capacity must be positive")
-	}
-	return &Cache[K, V]{
-		capacity: capacity,
-		ll:       list.New(),
-		index:    make(map[K]*list.Element),
-	}
-}
-
-// Get returns the cached value and marks it most recently used.
-func (c *Cache[K, V]) Get(k K) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.index[k]; ok {
-		c.ll.MoveToFront(el)
-		c.hits++
-		return el.Value.(*cacheEntry[K, V]).val, true
-	}
-	c.misses++
-	var zero V
-	return zero, false
-}
-
-// getQuiet is Get without touching the hit/miss counters, for
-// double-checked paths whose first Get already counted the lookup.
-func (c *Cache[K, V]) getQuiet(k K) (V, bool) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.index[k]; ok {
-		c.ll.MoveToFront(el)
-		return el.Value.(*cacheEntry[K, V]).val, true
-	}
-	var zero V
-	return zero, false
-}
-
-// Put inserts or refreshes a value, evicting the least recently used
-// entry when the cache is full.
-func (c *Cache[K, V]) Put(k K, v V) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if el, ok := c.index[k]; ok {
-		el.Value.(*cacheEntry[K, V]).val = v
-		c.ll.MoveToFront(el)
-		return
-	}
-	c.index[k] = c.ll.PushFront(&cacheEntry[K, V]{key: k, val: v})
-	if c.ll.Len() > c.capacity {
-		last := c.ll.Back()
-		c.ll.Remove(last)
-		delete(c.index, last.Value.(*cacheEntry[K, V]).key)
-	}
-}
-
-// Len returns the number of cached entries.
-func (c *Cache[K, V]) Len() int {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.ll.Len()
-}
-
-// Stats returns cumulative hit and miss counts.
-func (c *Cache[K, V]) Stats() (hits, misses int64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.hits, c.misses
+	return lru.New[K, V](capacity)
 }

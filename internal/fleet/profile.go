@@ -1,11 +1,11 @@
 package fleet
 
 import (
-	"sync"
 	"sync/atomic"
 	"time"
 
 	"ssdtrain/internal/exp"
+	"ssdtrain/internal/lru"
 	"ssdtrain/internal/units"
 )
 
@@ -51,23 +51,21 @@ func (p Profile) WriteRate() units.Bandwidth {
 // contended SSD bandwidth injected, memoizing results in an LRU cache.
 // Profiles are pure functions of (RunConfig, node, share), so the cache
 // never goes stale and concurrent fills are safe: duplicate in-flight
-// measurements are coalesced single-flight style. The fully-bound
-// RunConfig is a pure value tree, so it serves as the cache key
-// directly — no serialization on the hot lookup path.
+// measurements are coalesced through the shared lru.Singleflight, so
+// concurrent identical requests from the worker pool share one simulation
+// instead of racing the LRU. The fully-bound RunConfig is a pure value
+// tree, so it serves as the cache key directly — no serialization on the
+// hot lookup path.
 type Profiler struct {
-	cache   *Cache[exp.RunConfig, Profile]
-	mu      sync.Mutex
-	flights map[exp.RunConfig]*profileFlight
+	cache  *Cache[exp.RunConfig, Profile]
+	flight lru.Singleflight[exp.RunConfig, Profile]
 	// runs counts actual measurement executions (cache misses that did
 	// the work); with an adequate cache capacity it equals the number of
 	// distinct profiles, independent of concurrency.
 	runs atomic.Int64
-}
-
-type profileFlight struct {
-	done chan struct{}
-	val  Profile
-	err  error
+	// coalesced counts requests that piggybacked on another caller's
+	// in-flight measurement.
+	coalesced atomic.Int64
 }
 
 // DefaultCacheCapacity holds every profile a large sweep needs: distinct
@@ -80,10 +78,7 @@ func NewProfiler(capacity int) *Profiler {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	return &Profiler{
-		cache:   NewCache[exp.RunConfig, Profile](capacity),
-		flights: make(map[exp.RunConfig]*profileFlight),
-	}
+	return &Profiler{cache: NewCache[exp.RunConfig, Profile](capacity)}
 }
 
 // contendedRun binds a job's run config to its node hardware and array
@@ -101,36 +96,30 @@ func contendedRun(run exp.RunConfig, node NodeSpec, share float64) exp.RunConfig
 }
 
 // Measure returns the job's profile at the given array share, running the
-// measurement on a miss.
+// measurement on a miss. Concurrent misses on one key share a single
+// measurement via singleflight.
 func (p *Profiler) Measure(run exp.RunConfig, node NodeSpec, share float64) (Profile, error) {
 	key := contendedRun(run, node, share)
 	if v, ok := p.cache.Get(key); ok {
 		return v, nil
 	}
-	p.mu.Lock()
-	if v, ok := p.cache.getQuiet(key); ok {
-		p.mu.Unlock()
-		return v, nil
+	v, err, shared := p.flight.Do(key, func() (Profile, error) {
+		// Double-check under the flight: a racing caller may have filled
+		// the cache between our miss and the flight acquisition.
+		if v, ok := p.cache.GetQuiet(key); ok {
+			return v, nil
+		}
+		v, err := measure(key)
+		if err == nil {
+			p.runs.Add(1)
+			p.cache.Put(key, v)
+		}
+		return v, err
+	})
+	if shared {
+		p.coalesced.Add(1)
 	}
-	if fl, ok := p.flights[key]; ok {
-		p.mu.Unlock()
-		<-fl.done
-		return fl.val, fl.err
-	}
-	fl := &profileFlight{done: make(chan struct{})}
-	p.flights[key] = fl
-	p.mu.Unlock()
-
-	fl.val, fl.err = measure(key)
-	if fl.err == nil {
-		p.runs.Add(1)
-		p.cache.Put(key, fl.val)
-	}
-	p.mu.Lock()
-	delete(p.flights, key)
-	p.mu.Unlock()
-	close(fl.done)
-	return fl.val, fl.err
+	return v, err
 }
 
 // measure executes one profiling run.
@@ -150,6 +139,10 @@ func measure(bound exp.RunConfig) (Profile, error) {
 
 // Runs reports how many measurement executions the profiler performed.
 func (p *Profiler) Runs() int64 { return p.runs.Load() }
+
+// Coalesced reports how many requests shared another caller's in-flight
+// measurement instead of running (or blocking on the LRU) themselves.
+func (p *Profiler) Coalesced() int64 { return p.coalesced.Load() }
 
 // Cached reports how many distinct profiles are resident.
 func (p *Profiler) Cached() int { return p.cache.Len() }

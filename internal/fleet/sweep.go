@@ -27,25 +27,46 @@ func Sweep(scenarios []Scenario, workers int) ([]*Report, error) {
 	})
 }
 
+// PolicySweepConfig parameterizes a policy sweep.
+type PolicySweepConfig struct {
+	Cluster  ClusterSpec
+	Jobs     []Job
+	Policies []Policy
+	// Workers bounds sweep and profiling concurrency (0 = GOMAXPROCS);
+	// never affects results.
+	Workers int
+	// AdaptiveProfiles opts profiling runs into adaptive steady-state
+	// detection (see Config.AdaptiveProfiles).
+	AdaptiveProfiles bool
+}
+
 // PolicySweep simulates the same cluster and job mix under each policy,
 // sharing one profile cache: every policy replays identical per-job
 // measurements, so profiling cost is paid once.
 func PolicySweep(cluster ClusterSpec, jobs []Job, policies []Policy, workers int) ([]*Report, error) {
+	return PolicySweepWith(PolicySweepConfig{
+		Cluster: cluster, Jobs: jobs, Policies: policies, Workers: workers,
+	})
+}
+
+// PolicySweepWith is PolicySweep with the full option set.
+func PolicySweepWith(cfg PolicySweepConfig) ([]*Report, error) {
 	prof := NewProfiler(0)
-	scenarios := make([]Scenario, len(policies))
-	for i, p := range policies {
+	scenarios := make([]Scenario, len(cfg.Policies))
+	for i, p := range cfg.Policies {
 		scenarios[i] = Scenario{
 			Name: string(p),
 			Config: Config{
-				Cluster:  cluster,
-				Jobs:     jobs,
-				Policy:   p,
-				Workers:  workers,
-				Profiler: prof,
+				Cluster:          cfg.Cluster,
+				Jobs:             cfg.Jobs,
+				Policy:           p,
+				Workers:          cfg.Workers,
+				Profiler:         prof,
+				AdaptiveProfiles: cfg.AdaptiveProfiles,
 			},
 		}
 	}
-	return Sweep(scenarios, workers)
+	return Sweep(scenarios, cfg.Workers)
 }
 
 // CompareTable renders a policy-by-policy comparison of sweep reports.

@@ -1,0 +1,107 @@
+// Package hotbench defines the hot-path benchmark workloads shared by
+// the `go test -bench` benchmarks and cmd/bench (which records them to
+// BENCH_hotpath.json). Keeping the workloads in one place guarantees the
+// recorded perf trajectory measures exactly what the benchmarks measure.
+package hotbench
+
+import (
+	"fmt"
+	"time"
+
+	"ssdtrain/internal/exp"
+	"ssdtrain/internal/models"
+	"ssdtrain/internal/sim"
+	"ssdtrain/internal/units"
+)
+
+// SweepModel is the representative sweep workload: the paper's BERT
+// column at hidden 8192 with enough layers for real offload traffic.
+func SweepModel() models.Config {
+	return models.PaperConfig(models.BERT, 8192, 4, 16)
+}
+
+// SweepBase is the compiled-sweep base config (Steps=12, adaptive).
+func SweepBase() exp.RunConfig {
+	return exp.RunConfig{Model: SweepModel(), Strategy: exp.SSDTrain, Steps: 12, AdaptiveSteps: true}
+}
+
+// BudgetSweep runs the 9-point offload-budget sweep once: a planned
+// reference run plus eight budget fractions, all through one compiled
+// plan.
+func BudgetSweep() error {
+	base := SweepBase()
+	plan, err := exp.Compile(base)
+	if err != nil {
+		return err
+	}
+	ref, err := plan.Execute(base)
+	if err != nil {
+		return err
+	}
+	for _, f := range []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 1} {
+		cfg := base
+		cfg.Budget = units.Bytes(f * float64(ref.PlannedBudget))
+		if _, err := plan.Execute(cfg); err != nil {
+			return err
+		}
+	}
+	cfg := base
+	cfg.Budget = ref.PlannedBudget
+	_, err = plan.Execute(cfg)
+	return err
+}
+
+// ShareSweep runs the 4-point bandwidth-share sweep once (fleet-style
+// contention profiling) through one compiled plan.
+func ShareSweep() error {
+	base := SweepBase()
+	plan, err := exp.Compile(base)
+	if err != nil {
+		return err
+	}
+	for _, s := range []float64{0, 0.5, 0.25, 0.125} {
+		cfg := base
+		cfg.SSDBandwidthShare = s
+		if _, err := plan.Execute(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// EngineSchedule performs n schedule-then-drain cycles with a bounded
+// queue and returns the engine for stats inspection.
+func EngineSchedule(n int) *sim.Engine {
+	eng := sim.NewEngine()
+	fn := func() {}
+	for i := 0; i < n; i++ {
+		eng.After(time.Microsecond, fn)
+		if eng.QueueLen() > 1024 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+	return eng
+}
+
+// EngineSteadyState processes n events through 64 self-rescheduling
+// timers and returns the engine for stats inspection.
+func EngineSteadyState(n int) *sim.Engine {
+	eng := sim.NewEngine()
+	remaining := n
+	var tick func()
+	tick = func() {
+		if remaining > 0 {
+			remaining--
+			eng.After(time.Microsecond, tick)
+		}
+	}
+	for i := 0; i < 64; i++ {
+		eng.After(time.Duration(i)*time.Nanosecond, tick)
+	}
+	eng.Run()
+	if hr := eng.Stats().PoolHitRate(); n > 1000 && hr < 0.99 {
+		panic(fmt.Sprintf("hotbench: pool hit rate %v, want ≈1", hr))
+	}
+	return eng
+}

@@ -1,0 +1,163 @@
+// Package lru provides the concurrency-safe LRU cache and the
+// singleflight call deduplicator shared by the layers that memoize
+// simulation work: the fleet profiler's measurement cache and the
+// experiment harness's compiled run-plan cache. Both structures exist for
+// the same reason the paper's framework caches its offload plans — the
+// simulator should never pay twice for work that is a pure function of
+// its inputs.
+package lru
+
+import (
+	"container/list"
+	"sync"
+)
+
+// Cache is a concurrency-safe LRU cache.
+type Cache[K comparable, V any] struct {
+	mu           sync.Mutex
+	capacity     int
+	ll           *list.List
+	index        map[K]*list.Element
+	hits, misses int64
+}
+
+type entry[K comparable, V any] struct {
+	key K
+	val V
+}
+
+// New creates an LRU cache holding at most capacity entries; a zero or
+// negative capacity panics, because a cacheless memo would silently rerun
+// every computation.
+func New[K comparable, V any](capacity int) *Cache[K, V] {
+	if capacity <= 0 {
+		panic("lru: cache capacity must be positive")
+	}
+	return &Cache[K, V]{
+		capacity: capacity,
+		ll:       list.New(),
+		index:    make(map[K]*list.Element),
+	}
+}
+
+// Get returns the cached value and marks it most recently used.
+func (c *Cache[K, V]) Get(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		c.ll.MoveToFront(el)
+		c.hits++
+		return el.Value.(*entry[K, V]).val, true
+	}
+	c.misses++
+	var zero V
+	return zero, false
+}
+
+// GetQuiet is Get without touching the hit/miss counters, for
+// double-checked paths whose first Get already counted the lookup.
+func (c *Cache[K, V]) GetQuiet(k K) (V, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		c.ll.MoveToFront(el)
+		return el.Value.(*entry[K, V]).val, true
+	}
+	var zero V
+	return zero, false
+}
+
+// Put inserts or refreshes a value, evicting the least recently used
+// entry when the cache is full.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		el.Value.(*entry[K, V]).val = v
+		c.ll.MoveToFront(el)
+		return
+	}
+	c.index[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	if c.ll.Len() > c.capacity {
+		last := c.ll.Back()
+		c.ll.Remove(last)
+		delete(c.index, last.Value.(*entry[K, V]).key)
+	}
+}
+
+// Len returns the number of cached entries.
+func (c *Cache[K, V]) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ll.Len()
+}
+
+// Stats returns cumulative hit and miss counts.
+func (c *Cache[K, V]) Stats() (hits, misses int64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.hits, c.misses
+}
+
+// Singleflight coalesces concurrent calls with equal keys into one
+// execution: the first caller runs fn, later callers with the same key
+// block and receive the same result. Unlike a cache it remembers nothing —
+// once the flight lands its key is forgotten, so the caller decides what
+// (if anything) to memoize. Pairing it with a Cache turns "concurrent
+// identical requests race to fill the LRU, each paying a full simulation"
+// into "one simulation, shared by everyone who asked while it ran".
+type Singleflight[K comparable, V any] struct {
+	mu      sync.Mutex
+	flights map[K]*flight[V]
+}
+
+type flight[V any] struct {
+	done chan struct{}
+	val  V
+	err  error
+	// panicked records a panic value from fn so waiters can re-panic
+	// instead of silently receiving the zero value.
+	panicked any
+}
+
+// Do executes fn under the key, coalescing with any in-progress call for
+// the same key. It reports whether this caller shared another caller's
+// execution.
+func (s *Singleflight[K, V]) Do(key K, fn func() (V, error)) (v V, err error, shared bool) {
+	s.mu.Lock()
+	if s.flights == nil {
+		s.flights = make(map[K]*flight[V])
+	}
+	if fl, ok := s.flights[key]; ok {
+		s.mu.Unlock()
+		<-fl.done
+		if fl.panicked != nil {
+			// The owner's fn panicked; a zero value with a nil error
+			// would be silently wrong, so waiters re-panic like the
+			// owner did (x/sync/singleflight semantics).
+			panic(fl.panicked)
+		}
+		return fl.val, fl.err, true
+	}
+	fl := &flight[V]{done: make(chan struct{})}
+	s.flights[key] = fl
+	s.mu.Unlock()
+
+	// Land the flight even if fn panics: leaving the entry in place would
+	// park every later caller for this key on a channel nobody closes.
+	// The panic is recorded for waiters and re-raised for the owner.
+	defer func() {
+		if r := recover(); r != nil {
+			fl.panicked = r
+		}
+		s.mu.Lock()
+		delete(s.flights, key)
+		s.mu.Unlock()
+		close(fl.done)
+		if fl.panicked != nil {
+			panic(fl.panicked)
+		}
+	}()
+	fl.val, fl.err = fn()
+	return fl.val, fl.err, false
+}

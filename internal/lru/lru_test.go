@@ -1,0 +1,165 @@
+package lru
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestCacheEvictionOrder(t *testing.T) {
+	c := New[int, string](2)
+	c.Put(1, "a")
+	c.Put(2, "b")
+	if _, ok := c.Get(1); !ok {
+		t.Fatal("1 missing")
+	}
+	c.Put(3, "c") // evicts 2 (least recently used)
+	if _, ok := c.GetQuiet(2); ok {
+		t.Fatal("2 not evicted")
+	}
+	if v, ok := c.Get(1); !ok || v != "a" {
+		t.Fatal("1 lost")
+	}
+	if c.Len() != 2 {
+		t.Fatalf("len = %d", c.Len())
+	}
+	hits, misses := c.Stats()
+	if hits != 2 || misses != 0 {
+		t.Fatalf("stats = %d/%d", hits, misses)
+	}
+}
+
+func TestCachePutRefreshes(t *testing.T) {
+	c := New[string, int](4)
+	c.Put("k", 1)
+	c.Put("k", 2)
+	if v, _ := c.Get("k"); v != 2 {
+		t.Fatalf("v = %d", v)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("len = %d", c.Len())
+	}
+}
+
+func TestZeroCapacityPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic")
+		}
+	}()
+	New[int, int](0)
+}
+
+func TestSingleflightCoalesces(t *testing.T) {
+	var sf Singleflight[string, int]
+	var calls atomic.Int64
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	var sharedCount atomic.Int64
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			v, err, shared := sf.Do("key", func() (int, error) {
+				calls.Add(1)
+				<-release
+				return 42, nil
+			})
+			if err != nil || v != 42 {
+				t.Errorf("v=%d err=%v", v, err)
+			}
+			if shared {
+				sharedCount.Add(1)
+			}
+		}()
+	}
+	// Let all goroutines pile onto the flight, then release it. A short
+	// busy wait keeps the test deterministic enough without sleeps in the
+	// success path.
+	for calls.Load() == 0 {
+	}
+	close(release)
+	wg.Wait()
+	if calls.Load() != 1 {
+		t.Fatalf("fn ran %d times", calls.Load())
+	}
+	if sharedCount.Load() != 15 {
+		t.Fatalf("shared = %d, want 15", sharedCount.Load())
+	}
+}
+
+func TestSingleflightSurvivesPanic(t *testing.T) {
+	var sf Singleflight[int, int]
+	func() {
+		defer func() { recover() }()
+		sf.Do(1, func() (int, error) { panic("boom") })
+	}()
+	// The flight must have landed: a later caller runs fresh instead of
+	// blocking on a channel nobody closes.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if v, err, _ := sf.Do(1, func() (int, error) { return 9, nil }); err != nil || v != 9 {
+			t.Errorf("post-panic call: v=%d err=%v", v, err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("caller after a panicked flight blocked forever")
+	}
+}
+
+func TestSingleflightWaitersRepanic(t *testing.T) {
+	var sf Singleflight[int, int]
+	started := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() { // flight owner: panics mid-flight
+		defer wg.Done()
+		defer func() {
+			if recover() == nil {
+				t.Error("owner did not re-panic")
+			}
+		}()
+		sf.Do(1, func() (int, error) {
+			close(started)
+			<-release
+			panic("boom")
+		})
+	}()
+
+	<-started
+	waiterDone := make(chan any, 1)
+	wg.Add(1)
+	go func() { // waiter: must observe the panic, not a zero value
+		defer wg.Done()
+		defer func() { waiterDone <- recover() }()
+		sf.Do(1, func() (int, error) { return 0, nil })
+	}()
+	// Give the waiter a moment to join the flight, then detonate.
+	time.Sleep(10 * time.Millisecond)
+	close(release)
+	wg.Wait()
+	if r := <-waiterDone; r == nil {
+		t.Fatal("waiter returned normally from a panicked flight")
+	}
+}
+
+func TestSingleflightPropagatesError(t *testing.T) {
+	var sf Singleflight[int, int]
+	wantErr := errors.New("boom")
+	_, err, _ := sf.Do(1, func() (int, error) { return 0, wantErr })
+	if !errors.Is(err, wantErr) {
+		t.Fatalf("err = %v", err)
+	}
+	// The key is forgotten after the flight: a second call runs again.
+	v, err, _ := sf.Do(1, func() (int, error) { return 7, nil })
+	if err != nil || v != 7 {
+		t.Fatalf("second call: v=%d err=%v", v, err)
+	}
+}

@@ -1,0 +1,85 @@
+package models
+
+import (
+	"sync"
+
+	"ssdtrain/internal/autograd"
+	"ssdtrain/internal/gpu"
+)
+
+// graphKey identifies a built graph template: the full model configuration
+// plus everything the cost model folds into kernel times. Two Build calls
+// with equal keys produce graphs that differ only in weight storage
+// identity, so one immutable template can serve both.
+type graphKey struct {
+	cfg  Config
+	cost gpu.CostModel // value copy: Spec + calibration scalars
+}
+
+// graphCache memoizes Build results. Templates are immutable — callers
+// receive clones with fresh weights — so the cache never goes stale and is
+// safe to share between goroutines (fleet profiling builds graphs
+// concurrently).
+type graphCache struct {
+	mu      sync.Mutex
+	graphs  map[graphKey]*autograd.Graph
+	hits    int64
+	builds  int64
+	maxSize int
+}
+
+var sharedGraphs = &graphCache{
+	graphs: make(map[graphKey]*autograd.Graph),
+	// Distinct (model, GPU) shapes in even a large sweep number in the
+	// dozens; the bound only guards against pathological key churn.
+	maxSize: 512,
+}
+
+// BuildCached returns an executable graph for the configuration: a fresh
+// clone of a memoized immutable template. The first call per (config,
+// cost model) pays full construction and validation; subsequent calls pay
+// only weight rebinding. Sweeps that re-run one model under many budgets,
+// bandwidth shares, or strategies hit the template every time.
+func BuildCached(cfg Config, cost *gpu.CostModel) (*autograd.Graph, error) {
+	key := graphKey{cfg: cfg, cost: *cost}
+	sharedGraphs.mu.Lock()
+	tmpl, ok := sharedGraphs.graphs[key]
+	if ok {
+		sharedGraphs.hits++
+	}
+	sharedGraphs.mu.Unlock()
+	if !ok {
+		var err error
+		tmpl, err = Build(cfg, cost)
+		if err != nil {
+			return nil, err
+		}
+		sharedGraphs.mu.Lock()
+		sharedGraphs.builds++
+		if existing, raced := sharedGraphs.graphs[key]; raced {
+			// A concurrent builder won the race; adopt its template so all
+			// clones share one module tree.
+			tmpl = existing
+		} else {
+			if len(sharedGraphs.graphs) >= sharedGraphs.maxSize {
+				// Drop an arbitrary entry; the cache is a memo, not a
+				// correctness structure.
+				for k := range sharedGraphs.graphs {
+					delete(sharedGraphs.graphs, k)
+					break
+				}
+			}
+			sharedGraphs.graphs[key] = tmpl
+		}
+		sharedGraphs.mu.Unlock()
+	}
+	return tmpl.CloneWithFreshWeights(), nil
+}
+
+// GraphCacheStats reports template cache hits and full builds since
+// process start, for benchmark assertions and capacity planning.
+func GraphCacheStats() (hits, builds int64) {
+	sharedGraphs.mu.Lock()
+	defer sharedGraphs.mu.Unlock()
+	return sharedGraphs.hits, sharedGraphs.builds
+}

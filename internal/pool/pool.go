@@ -1,0 +1,49 @@
+// Package pool provides the deterministic worker pool shared by the
+// sweep layers (exp.Sweep, fleet's profiling and scenario sweeps). Work
+// items are independent and deterministic, so the worker count never
+// changes results — only wall-clock time.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// ParallelMap applies fn to every element of in using at most workers
+// goroutines and returns the results in input order. A zero or negative
+// worker count uses GOMAXPROCS. If any call fails, the error of the
+// lowest-indexed failing item is returned (independent of worker count)
+// and the partial results are discarded.
+func ParallelMap[T, R any](workers int, in []T, fn func(T) (R, error)) ([]R, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(in) {
+		workers = len(in)
+	}
+	out := make([]R, len(in))
+	errs := make([]error, len(in))
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(in) {
+					return
+				}
+				out[i], errs[i] = fn(in[i])
+			}
+		}()
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

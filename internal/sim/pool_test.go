@@ -1,0 +1,149 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestEventPoolReuse verifies steady-state scheduling recycles event
+// objects instead of allocating.
+func TestEventPoolReuse(t *testing.T) {
+	eng := NewEngine()
+	const rounds = 1000
+	left := rounds
+	var tick func()
+	tick = func() {
+		if left > 0 {
+			left--
+			eng.After(time.Microsecond, tick)
+		}
+	}
+	eng.After(0, tick)
+	eng.Run()
+	st := eng.Stats()
+	if st.Processed != rounds+1 {
+		t.Fatalf("processed = %d, want %d", st.Processed, rounds+1)
+	}
+	// One fresh allocation (the seed event); every rescheduling reuses it.
+	if st.PoolMisses != 1 || st.PoolHits != rounds {
+		t.Fatalf("pool hits/misses = %d/%d, want %d/1", st.PoolHits, st.PoolMisses, rounds)
+	}
+	if r := st.PoolHitRate(); r < 0.99 {
+		t.Fatalf("pool hit rate = %v", r)
+	}
+}
+
+// TestStaleHandleCancelIsInert verifies a handle kept past its event's
+// execution cannot cancel the recycled event object's next occupant.
+func TestStaleHandleCancelIsInert(t *testing.T) {
+	eng := NewEngine()
+	first := eng.After(time.Millisecond, func() {})
+	eng.Run()
+	if first.Pending() {
+		t.Fatal("executed event still pending")
+	}
+
+	ran := false
+	second := eng.After(time.Millisecond, func() { ran = true })
+	if !second.Pending() {
+		t.Fatal("fresh event not pending")
+	}
+	// The stale handle refers to the same pooled *Event object; its
+	// generation no longer matches, so Cancel must be a no-op.
+	first.Cancel()
+	eng.Run()
+	if !ran {
+		t.Fatal("stale handle cancelled a recycled event")
+	}
+}
+
+// TestZeroHandle verifies the zero Handle is inert.
+func TestZeroHandle(t *testing.T) {
+	var h Handle
+	h.Cancel()
+	if h.Pending() {
+		t.Fatal("zero handle pending")
+	}
+	if h.At() != 0 {
+		t.Fatal("zero handle time")
+	}
+}
+
+// TestCancelledEventsRecycle verifies dead events return to the pool in
+// both Run and RunUntil drains.
+func TestCancelledEventsRecycle(t *testing.T) {
+	eng := NewEngine()
+	h1 := eng.After(time.Millisecond, func() { t.Fatal("cancelled event ran") })
+	h1.Cancel()
+	eng.After(2*time.Millisecond, func() {})
+	eng.RunUntil(3 * time.Millisecond)
+	st := eng.Stats()
+	if st.Processed != 1 {
+		t.Fatalf("processed = %d", st.Processed)
+	}
+	// Both event objects (cancelled and executed) must be reusable.
+	eng.After(time.Millisecond, func() {})
+	eng.After(time.Millisecond, func() {})
+	if got := eng.Stats().PoolHits; got != 2 {
+		t.Fatalf("pool hits = %d, want 2", got)
+	}
+	eng.Run()
+}
+
+// TestQuaternaryHeapOrdering drives the 4-ary heap with random timestamps
+// and checks the engine still executes in (time, insertion) order.
+func TestQuaternaryHeapOrdering(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	eng := NewEngine()
+	const n = 5000
+	type stamp struct {
+		at  time.Duration
+		seq int
+	}
+	var got []stamp
+	for i := 0; i < n; i++ {
+		at := time.Duration(rng.Intn(500)) * time.Millisecond
+		seq := i
+		eng.Schedule(at, func() { got = append(got, stamp{at, seq}) })
+	}
+	eng.Run()
+	if len(got) != n {
+		t.Fatalf("ran %d events, want %d", len(got), n)
+	}
+	for i := 1; i < n; i++ {
+		if got[i].at < got[i-1].at {
+			t.Fatalf("time order violated at %d: %v after %v", i, got[i].at, got[i-1].at)
+		}
+		if got[i].at == got[i-1].at && got[i].seq < got[i-1].seq {
+			t.Fatalf("insertion order violated at %d", i)
+		}
+	}
+}
+
+// TestHeapInterleavedPushPop mixes scheduling from inside callbacks with
+// draining, the pattern the executor produces.
+func TestHeapInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	eng := NewEngine()
+	var prev time.Duration
+	executed := 0
+	var spawn func()
+	spawn = func() {
+		executed++
+		if eng.Now() < prev {
+			t.Fatal("time went backwards")
+		}
+		prev = eng.Now()
+		if executed < 3000 {
+			for k := 0; k < 1+rng.Intn(3); k++ {
+				eng.After(time.Duration(rng.Intn(40))*time.Microsecond, spawn)
+			}
+		}
+	}
+	eng.After(0, spawn)
+	eng.Run()
+	if executed < 3000 {
+		t.Fatalf("executed = %d", executed)
+	}
+}

@@ -2,7 +2,6 @@ package ssd
 
 import (
 	"fmt"
-	"sort"
 
 	"ssdtrain/internal/units"
 )
@@ -11,9 +10,12 @@ import (
 // payloads into — the analogue of the paper's "/mnt/md1/t1.pt" files. It
 // supports both payload-backed files (for round-trip verification tests)
 // and size-only files (for timing-only experiments where materializing
-// tens of gigabytes would be waste).
-type BlockStore struct {
-	files map[string]*storedFile
+// tens of gigabytes would be waste). The store is generic in its key so
+// offloaders can index files by their compact tensor IDs directly instead
+// of formatting path strings on the simulation hot path; rendering the
+// paper-style "/mnt/md1/t1.pt" name is deferred to diagnostics.
+type BlockStore[K comparable] struct {
+	files map[K]*storedFile
 
 	written units.Bytes
 	read    units.Bytes
@@ -28,13 +30,13 @@ type storedFile struct {
 }
 
 // NewBlockStore returns an empty store.
-func NewBlockStore() *BlockStore {
-	return &BlockStore{files: make(map[string]*storedFile)}
+func NewBlockStore[K comparable]() *BlockStore[K] {
+	return &BlockStore[K]{files: make(map[K]*storedFile)}
 }
 
 // WriteFile stores a payload-backed file, overwriting any previous file at
 // the path. The payload is copied.
-func (b *BlockStore) WriteFile(path string, data []byte) {
+func (b *BlockStore[K]) WriteFile(path K, data []byte) {
 	b.remove(path)
 	cp := make([]byte, len(data))
 	copy(cp, data)
@@ -42,7 +44,7 @@ func (b *BlockStore) WriteFile(path string, data []byte) {
 }
 
 // WriteSize stores a size-only file (no payload).
-func (b *BlockStore) WriteSize(path string, n units.Bytes) {
+func (b *BlockStore[K]) WriteSize(path K, n units.Bytes) {
 	if n < 0 {
 		panic(fmt.Sprintf("ssd: negative file size %d", n))
 	}
@@ -50,7 +52,7 @@ func (b *BlockStore) WriteSize(path string, n units.Bytes) {
 	b.put(path, &storedFile{size: n})
 }
 
-func (b *BlockStore) put(path string, f *storedFile) {
+func (b *BlockStore[K]) put(path K, f *storedFile) {
 	b.files[path] = f
 	b.written += f.size
 	b.used += f.size
@@ -59,7 +61,7 @@ func (b *BlockStore) put(path string, f *storedFile) {
 	}
 }
 
-func (b *BlockStore) remove(path string) {
+func (b *BlockStore[K]) remove(path K) {
 	if old, ok := b.files[path]; ok {
 		b.used -= old.size
 		b.deleted += old.size
@@ -70,7 +72,7 @@ func (b *BlockStore) remove(path string) {
 // ReadFile returns a copy of a payload-backed file's bytes. Reading a
 // size-only file returns nil with ok=true; reading a missing path returns
 // ok=false.
-func (b *BlockStore) ReadFile(path string) (data []byte, ok bool) {
+func (b *BlockStore[K]) ReadFile(path K) (data []byte, ok bool) {
 	f, ok := b.files[path]
 	if !ok {
 		return nil, false
@@ -85,7 +87,7 @@ func (b *BlockStore) ReadFile(path string) (data []byte, ok bool) {
 }
 
 // Size returns a file's size, with ok=false for missing paths.
-func (b *BlockStore) Size(path string) (units.Bytes, bool) {
+func (b *BlockStore[K]) Size(path K) (units.Bytes, bool) {
 	f, ok := b.files[path]
 	if !ok {
 		return 0, false
@@ -95,30 +97,30 @@ func (b *BlockStore) Size(path string) (units.Bytes, bool) {
 
 // Delete removes a file; deleting a missing path is a no-op (idempotent
 // cleanup, like unlink of a consumed offload file).
-func (b *BlockStore) Delete(path string) { b.remove(path) }
+func (b *BlockStore[K]) Delete(path K) { b.remove(path) }
 
 // Used returns the bytes currently stored.
-func (b *BlockStore) Used() units.Bytes { return b.used }
+func (b *BlockStore[K]) Used() units.Bytes { return b.used }
 
 // PeakUsed returns the high-water mark of stored bytes — the "max
 // activations size per GPU" measurement of Fig 5's diamonds.
-func (b *BlockStore) PeakUsed() units.Bytes { return b.peak }
+func (b *BlockStore[K]) PeakUsed() units.Bytes { return b.peak }
 
 // Written returns cumulative bytes written.
-func (b *BlockStore) Written() units.Bytes { return b.written }
+func (b *BlockStore[K]) Written() units.Bytes { return b.written }
 
 // Read returns cumulative bytes read.
-func (b *BlockStore) Read() units.Bytes { return b.read }
+func (b *BlockStore[K]) Read() units.Bytes { return b.read }
 
-// Files returns the sorted list of stored paths.
-func (b *BlockStore) Files() []string {
-	paths := make([]string, 0, len(b.files))
+// Files returns the stored keys in unspecified order; callers needing a
+// stable listing sort the result.
+func (b *BlockStore[K]) Files() []K {
+	paths := make([]K, 0, len(b.files))
 	for p := range b.files {
 		paths = append(paths, p)
 	}
-	sort.Strings(paths)
 	return paths
 }
 
 // Count returns the number of stored files.
-func (b *BlockStore) Count() int { return len(b.files) }
+func (b *BlockStore[K]) Count() int { return len(b.files) }

@@ -267,7 +267,7 @@ func TestArraySharesConserveProperty(t *testing.T) {
 }
 
 func TestBlockStore(t *testing.T) {
-	b := NewBlockStore()
+	b := NewBlockStore[string]()
 	data := []byte("activation tensor payload")
 	b.WriteFile("/mnt/md1/t1.pt", data)
 	got, ok := b.ReadFile("/mnt/md1/t1.pt")

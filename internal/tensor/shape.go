@@ -75,3 +75,25 @@ func (s Shape) String() string {
 // Key returns a canonical string for use in composite identifiers; it is
 // part of the paper's (timestamp, shape) tensor ID.
 func (s Shape) Key() string { return s.String() }
+
+// Hash returns an allocation-free FNV-1a digest of the dimension list,
+// used where a shape must discriminate composite identifiers without
+// paying for string construction on the simulation hot path. Shapes with
+// equal dimension lists hash identically; distinct lists collide only
+// with cryptographically negligible probability.
+func (s Shape) Hash() uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, d := range s {
+		v := uint64(d)
+		for i := 0; i < 8; i++ {
+			h ^= v & 0xff
+			h *= prime64
+			v >>= 8
+		}
+	}
+	return h
+}

@@ -60,13 +60,22 @@ type Storage struct {
 	strong int
 }
 
-// NewStorage allocates storage metadata of the given byte size on the
-// device. The payload is not materialized.
-func NewStorage(n units.Bytes, dev Device) *Storage {
+// initStorage is the single construction path for storage metadata; both
+// NewStorage and the combined tensor+storage allocation in New go
+// through it so their invariants cannot diverge.
+func initStorage(s *Storage, n units.Bytes, dev Device) {
 	if n < 0 {
 		panic(fmt.Sprintf("tensor: negative storage size %d", n))
 	}
-	return &Storage{seq: storageSeq.Add(1), bytes: n, device: dev}
+	*s = Storage{seq: storageSeq.Add(1), bytes: n, device: dev}
+}
+
+// NewStorage allocates storage metadata of the given byte size on the
+// device. The payload is not materialized.
+func NewStorage(n units.Bytes, dev Device) *Storage {
+	s := &Storage{}
+	initStorage(s, n, dev)
+	return s
 }
 
 // Seq returns the diagnostic allocation number.
@@ -185,10 +194,19 @@ type Tensor struct {
 	weight bool
 }
 
-// New allocates a fresh tensor with its own storage on the device.
+// New allocates a fresh tensor with its own storage on the device. The
+// tensor and its storage come from one combined allocation — the executor
+// creates one per op per step, so halving the object count matters on the
+// simulation hot path.
 func New(name string, shape Shape, dt DType, dev Device) *Tensor {
 	n := units.Bytes(shape.NumElems() * int64(dt.Size()))
-	return &Tensor{name: name, shape: shape, dtype: dt, storage: NewStorage(n, dev)}
+	box := &struct {
+		t Tensor
+		s Storage
+	}{}
+	initStorage(&box.s, n, dev)
+	box.t = Tensor{name: name, shape: shape, dtype: dt, storage: &box.s}
+	return &box.t
 }
 
 // NewWeight allocates a parameter tensor (flagged as a weight).
@@ -196,6 +214,18 @@ func NewWeight(name string, shape Shape, dt DType, dev Device) *Tensor {
 	t := New(name, shape, dt, dev)
 	t.weight = true
 	return t
+}
+
+// WithStorage returns a copy of the tensor view bound to a different
+// storage of the same size — the mechanism graph instantiation uses to
+// rebind weight views (including transposed tied views) onto fresh
+// storages while preserving which views share an allocation.
+func (t *Tensor) WithStorage(s *Storage) *Tensor {
+	if s.bytes != t.storage.bytes {
+		panic(fmt.Sprintf("tensor: rebind of %s onto storage of %d bytes (have %d)",
+			t.name, s.bytes, t.storage.bytes))
+	}
+	return &Tensor{name: t.name, shape: t.shape, dtype: t.dtype, storage: s, weight: t.weight}
 }
 
 // View returns a new tensor sharing this tensor's storage with a different

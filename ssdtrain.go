@@ -63,6 +63,9 @@ type (
 	StepMetrics = exp.StepMetrics
 	// SSDSetup describes the per-GPU offload array.
 	SSDSetup = exp.SSDSetup
+	// Plan is a compiled measurement: the memoized config-shape-dependent
+	// work of a run (graph template, activation vectors, budget plan).
+	Plan = exp.Plan
 )
 
 // PaperConfig returns the paper's §IV-A evaluation configuration for an
@@ -74,6 +77,19 @@ func PaperConfig(arch Arch, hidden, layers, batch int) ModelConfig {
 
 // Train runs one training measurement on the simulated testbed.
 func Train(cfg RunConfig) (*RunResult, error) { return exp.Run(cfg) }
+
+// Compile builds (or fetches from the shared plan cache) the run plan
+// for a configuration; plan.Execute then measures any variant differing
+// only in Budget, Steps, Warmup, SSDBandwidthShare, or AdaptiveSteps.
+func Compile(cfg RunConfig) (*Plan, error) { return exp.Compile(cfg) }
+
+// TrainSweep executes a batch of measurements with deduplicated work:
+// identical configs run once, cheap-knob variants share compiled plans,
+// and points run concurrently across workers (0 = GOMAXPROCS) without
+// affecting results.
+func TrainSweep(workers int, cfgs []RunConfig) ([]*RunResult, error) {
+	return exp.Sweep(workers, cfgs)
+}
 
 // Fig6 measures step time and activation peak for all nine evaluation
 // points (Fig 6). batch 0 selects the paper's 16.
@@ -157,6 +173,15 @@ func FleetSweep(scenarios []FleetScenario, workers int) ([]*FleetReport, error) 
 // profile cache across policies.
 func FleetPolicySweep(cluster FleetClusterSpec, jobs []FleetJob, policies []FleetPolicy, workers int) ([]*FleetReport, error) {
 	return fleet.PolicySweep(cluster, jobs, policies, workers)
+}
+
+// FleetPolicySweepConfig is the full option set for a policy sweep,
+// including adaptive profiling.
+type FleetPolicySweepConfig = fleet.PolicySweepConfig
+
+// FleetPolicySweepWith is FleetPolicySweep with the full option set.
+func FleetPolicySweepWith(cfg FleetPolicySweepConfig) ([]*FleetReport, error) {
+	return fleet.PolicySweepWith(cfg)
 }
 
 // FleetCompareTable renders a policy comparison of sweep reports.
