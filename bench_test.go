@@ -384,13 +384,13 @@ func BenchmarkFleetResultCache(b *testing.B) {
 	run := RunConfig{Model: PaperConfig(BERT, 8192, 4, 8), Strategy: StrategySSDTrain}
 	cold := NewFleetProfiler(0)
 	start := time.Now()
-	if _, err := cold.Measure(run, node, 0.5); err != nil {
+	if _, err := cold.Measure(run, node, 0.5, 0); err != nil {
 		b.Fatal(err)
 	}
 	missCost := time.Since(start)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cold.Measure(run, node, 0.5); err != nil {
+		if _, err := cold.Measure(run, node, 0.5, 0); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,19 +1,21 @@
 // Command bench runs the hot-path benchmark workloads (the same ones
-// behind `go test -bench 'BenchmarkEngine|BenchmarkCompiled'`) through
-// testing.Benchmark and writes BENCH_hotpath.json: ns/op and allocs/op
-// for the event engine and the compiled sweeps, next to the pre-PR
-// baselines, so the simulator's perf trajectory is recorded instead of
-// anecdotal.
+// behind `go test -bench 'BenchmarkEngine|BenchmarkCompiled|BenchmarkTiered'`)
+// through testing.Benchmark and writes two records: BENCH_hotpath.json
+// (ns/op and allocs/op for the event engine and the compiled sweeps,
+// next to the pre-PR baselines) and BENCH_tier.json (the tiered
+// DRAM+NVMe placement sweep), so the simulator's perf trajectory is
+// recorded instead of anecdotal.
 //
 // Usage:
 //
-//	bench [-o BENCH_hotpath.json]
+//	bench [-o BENCH_hotpath.json] [-tier-o BENCH_tier.json]
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"runtime"
@@ -77,16 +79,52 @@ func measure(name string, fn func(b *testing.B)) measurement {
 	return m
 }
 
+// benchReport is one emitted JSON record.
+type benchReport struct {
+	Note    string                 `json:"note"`
+	GoVer   string                 `json:"go"`
+	CPUs    int                    `json:"cpus"`
+	Results map[string]measurement `json:"results"`
+}
+
+// emit writes the report to path ("-" for stdout) and prints its summary
+// rows to w. Callers pass os.Stderr for w whenever any report goes to
+// stdout, keeping the stdout stream pure JSON for machine consumers.
+func emit(w io.Writer, path string, report benchReport, order []string) {
+	blob, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	blob = append(blob, '\n')
+	if path == "-" {
+		os.Stdout.Write(blob)
+	} else if err := os.WriteFile(path, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	for _, name := range order {
+		m := report.Results[name]
+		fmt.Fprintf(w, "%-22s %12.1f ns/op %8d allocs/op", name, m.NsPerOp, m.AllocsPerOp)
+		if m.Baseline != nil {
+			fmt.Fprintf(w, "   %5.2fx faster vs %s, ", m.Speedup, m.Baseline.Commit)
+			if m.AllocsPerOp == 0 && m.Baseline.AllocsPerOp > 0 {
+				fmt.Fprintf(w, "allocation-free (was %d/op)", m.Baseline.AllocsPerOp)
+			} else {
+				fmt.Fprintf(w, "%.1fx fewer allocs", m.AllocsRatio)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	if path != "-" {
+		fmt.Fprintf(w, "wrote %s\n", path)
+	}
+}
+
 func main() {
 	out := flag.String("o", "BENCH_hotpath.json", "output file (- for stdout)")
+	tierOut := flag.String("tier-o", "BENCH_tier.json", "tiered-placement output file (- for stdout)")
 	flag.Parse()
 
-	report := struct {
-		Note    string                 `json:"note"`
-		GoVer   string                 `json:"go"`
-		CPUs    int                    `json:"cpus"`
-		Results map[string]measurement `json:"results"`
-	}{
+	report := benchReport{
 		Note:    "hot-path perf record: event engine + compiled sweeps; baselines measured pre-refactor at d58ffb6 (seed exp.Run per point, container/heap engine); ns/op speedups are valid only on hardware comparable to the baseline host — allocs/op ratios are machine-independent",
 		GoVer:   runtime.Version(),
 		CPUs:    runtime.NumCPU(),
@@ -118,30 +156,25 @@ func main() {
 		}
 	})
 
-	blob, err := json.MarshalIndent(report, "", "  ")
-	if err != nil {
-		log.Fatal(err)
+	var rows io.Writer = os.Stdout
+	if *out == "-" || *tierOut == "-" {
+		rows = os.Stderr
 	}
-	blob = append(blob, '\n')
-	if *out == "-" {
-		os.Stdout.Write(blob)
-		return
+	emit(rows, *out, report, []string{"engine_schedule", "engine_steady_state", "compiled_sweep", "compiled_share_sweep"})
+
+	tier := benchReport{
+		Note:    "tiered-placement hot path: 8-point DRAM-capacity sweep of a dram-first DRAM+NVMe hybrid at a quarter array share through one compiled plan — the per-profile cost a fleet of hybrid tenants pays; first recorded in the PR that introduced the hierarchy, so there is no pre-refactor baseline",
+		GoVer:   runtime.Version(),
+		CPUs:    runtime.NumCPU(),
+		Results: map[string]measurement{},
 	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	for _, name := range []string{"engine_schedule", "engine_steady_state", "compiled_sweep", "compiled_share_sweep"} {
-		m := report.Results[name]
-		fmt.Printf("%-22s %12.1f ns/op %8d allocs/op", name, m.NsPerOp, m.AllocsPerOp)
-		if m.Baseline != nil {
-			fmt.Printf("   %5.2fx faster vs %s, ", m.Speedup, m.Baseline.Commit)
-			if m.AllocsPerOp == 0 && m.Baseline.AllocsPerOp > 0 {
-				fmt.Printf("allocation-free (was %d/op)", m.Baseline.AllocsPerOp)
-			} else {
-				fmt.Printf("%.1fx fewer allocs", m.AllocsRatio)
+	tier.Results["tiered_sweep"] = measure("tiered_sweep", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := hotbench.TieredSweep(); err != nil {
+				b.Fatal(err)
 			}
 		}
-		fmt.Println()
-	}
-	fmt.Printf("wrote %s\n", *out)
+	})
+	emit(rows, *tierOut, tier, []string{"tiered_sweep"})
 }

@@ -18,11 +18,14 @@ import (
 	"time"
 
 	"ssdtrain"
+	"ssdtrain/internal/units"
 )
 
 func main() {
 	nodes := flag.Int("nodes", 16, "node count")
 	gpus := flag.Int("gpus", 0, "GPUs per node (0 = default node's 4)")
+	dramGiB := flag.Float64("dram-gib", -1, "per-node pinned host-memory budget in GiB (-1 = default node's 512, 0 = unmodeled)")
+	hybrid := flag.Float64("hybrid", 0, "fraction of SSDTrain jobs converted to dram-first hybrid tenants")
 	jobs := flag.Int("jobs", 64, "job count")
 	seed := flag.Int64("seed", 1, "job-mix seed")
 	policies := flag.String("policies", "fifo,sjf,backfill", "comma-separated scheduling policies")
@@ -50,6 +53,9 @@ func main() {
 	if *gpus > 0 {
 		node.GPUs = *gpus
 	}
+	if *dramGiB >= 0 {
+		node.DRAM = units.Bytes(*dramGiB * float64(units.GiB))
+	}
 	cluster := ssdtrain.FleetClusterSpec{Nodes: *nodes, Node: node}
 	mix := ssdtrain.FleetJobMix(ssdtrain.FleetMixConfig{
 		Jobs:         *jobs,
@@ -58,6 +64,7 @@ func main() {
 		MaxSteps:     *maxSteps,
 		SubmitSpread: *spread,
 		MaxGPUs:      node.GPUs,
+		HybridFrac:   *hybrid,
 	})
 
 	fmt.Printf("fleet: %d jobs (seed %d) on %d nodes × %d GPUs, shared array %d× %s per node\n\n",

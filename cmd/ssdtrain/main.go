@@ -22,19 +22,28 @@ func main() {
 	hidden := flag.Int("hidden", 12288, "hidden dimension")
 	layers := flag.Int("layers", 3, "transformer layer count")
 	batch := flag.Int("batch", 16, "micro-batch size in sequences")
-	strategy := flag.String("strategy", "ssdtrain", "placement: ssdtrain | no-offload | recompute | cpu-offload")
+	strategy := flag.String("strategy", "ssdtrain", "placement: ssdtrain | no-offload | recompute | cpu-offload | hybrid")
+	placement := flag.String("placement", "", "hybrid tier policy: ssd-only | dram-first | split (default dram-first)")
+	dramGiB := flag.Float64("dram-gib", 0, "pinned host-memory pool in GiB (hybrid DRAM rung / cpu-offload bound; 0 = none/unbounded)")
+	splitRatio := flag.Float64("split-ratio", 0.5, "DRAM share of offloaded bytes under -placement split")
 	steps := flag.Int("steps", 3, "measured steps after warmup")
 	verify := flag.Bool("verify", false, "materialize payloads and checksum-verify reloads (slow)")
 	flag.Parse()
 
 	cfg := ssdtrain.PaperConfig(ssdtrain.Arch(*model), *hidden, *layers, *batch)
-	res, err := ssdtrain.Train(ssdtrain.RunConfig{
-		Model:       cfg,
-		Strategy:    ssdtrain.Strategy(*strategy),
-		Steps:       *steps,
-		Materialize: *verify,
-		Verify:      *verify,
-	})
+	run := ssdtrain.RunConfig{
+		Model:        cfg,
+		Strategy:     ssdtrain.Strategy(*strategy),
+		Placement:    ssdtrain.Placement(*placement),
+		DRAMCapacity: units.Bytes(*dramGiB * float64(units.GiB)),
+		Steps:        *steps,
+		Materialize:  *verify,
+		Verify:       *verify,
+	}
+	if run.Placement == ssdtrain.PlacementSplit {
+		run.SplitRatio = *splitRatio
+	}
+	res, err := ssdtrain.Train(run)
 	if err != nil {
 		log.Fatalf("ssdtrain: %v", err)
 	}
@@ -56,5 +65,16 @@ func main() {
 		fmt.Printf("PCIe write bandwidth %s (required: offloaded ÷ half step)\n",
 			units.BandwidthOf(m.IO.Offloaded, res.StepTime()/2))
 		fmt.Printf("SSD peak residency   %s\n", res.SSDPeak)
+	}
+	if len(res.Tiers) > 1 {
+		fmt.Printf("tier hierarchy       (%s placement)\n", res.Config.Placement)
+		for _, tier := range res.Tiers {
+			cap := "unbounded"
+			if tier.Capacity > 0 {
+				cap = tier.Capacity.String()
+			}
+			fmt.Printf("  %-4s %-9s  written %-10s read %-10s peak %-10s cap %s\n",
+				tier.Kind, tier.Name, tier.Written, tier.Read, tier.Peak, cap)
+		}
 	}
 }

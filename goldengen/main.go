@@ -1,0 +1,51 @@
+// Command goldengen regenerates the byte-identity golden files that pin
+// the tiered offload path to the pre-refactor (370fcb2) outputs. It is
+// only run by hand when a deliberate behaviour change re-anchors them.
+package main
+
+import (
+	"log"
+	"os"
+	"path/filepath"
+
+	"ssdtrain/internal/exp"
+	"ssdtrain/internal/fleet"
+)
+
+func write(path, content string) {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("wrote %s (%d bytes)", path, len(content))
+}
+
+func main() {
+	fig6, err := exp.Fig6(16)
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("internal/exp/testdata/fig6.golden", exp.Fig6Table(fig6).String())
+
+	fig7, err := exp.Fig7(12288, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("internal/exp/testdata/fig7.golden", exp.Fig7Table(12288, fig7).String())
+
+	t3, err := exp.Table3()
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("internal/exp/testdata/table3.golden", exp.Table3Table(t3).String())
+
+	cluster := fleet.ClusterSpec{Nodes: 2, Node: fleet.DefaultNodeSpec()}
+	jobs := fleet.DefaultJobMix(fleet.MixConfig{Jobs: 10, Seed: 1})
+	reports, err := fleet.PolicySweep(cluster, jobs, fleet.Policies(), 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("internal/fleet/testdata/fleet_report.golden", fleet.RenderReports(reports))
+}

@@ -39,6 +39,19 @@ func BenchmarkCompiledShareSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkTieredSweep runs the 8-point DRAM-capacity placement sweep (a
+// dram-first hybrid at a quarter array share, Steps=12) through one
+// compiled plan — the hot path behind fleet profiling of hybrid tenants.
+// Recorded to BENCH_tier.json by cmd/bench.
+func BenchmarkTieredSweep(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := hotbench.TieredSweep(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDedupSweep measures the exp.Sweep dedup layer on a batch with
 // heavy repetition (16 requested points, 4 distinct), the shape fleet
 // mixes produce. Sequential workers isolate dedup from parallelism.

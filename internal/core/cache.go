@@ -147,6 +147,11 @@ type TensorCache struct {
 	cur    StepIO
 	last   StepIO
 	totals StepIO
+
+	// err is the first offload error the cache hit; the step completes
+	// with degraded placement and the harness surfaces the error at the
+	// step boundary.
+	err error
 }
 
 // NewTensorCache builds a cache bound to a runtime and an offloader.
@@ -300,11 +305,31 @@ func (c *TensorCache) forward(rec *record) {
 	c.rt.Counters.Add("cache.forward_hits", 1)
 }
 
+// fail records the first offload error; later errors are usually
+// cascades of the first.
+func (c *TensorCache) fail(err error) {
+	if c.err == nil {
+		c.err = err
+	}
+}
+
+// Err returns the first store/load error the cache hit (nil when the
+// step's I/O all succeeded).
+func (c *TensorCache) Err() error { return c.err }
+
 // issueLoad starts the SSD read and allocates the reload buffer. The
 // original reference is dropped as of the store's completion.
 func (c *TensorCache) issueLoad(rec *record, ready time.Duration) {
 	c.releaseOriginal(rec)
-	start, finish, data := c.off.Load(rec.id, ready)
+	start, finish, data, err := c.off.Load(rec.id, ready)
+	if err != nil {
+		// The target lost the block (an executor or offloader bug): record
+		// the error and synthesize an instant load so the step can finish
+		// deterministically before the harness aborts the run.
+		c.fail(err)
+		start, finish, data = ready, ready, nil
+		c.rt.Counters.Add("cache.load_errors", 1)
+	}
 	buf := tensor.New(rec.t.Name()+".reload", rec.t.Shape(), rec.t.DType(), tensor.GPU)
 	if data != nil {
 		buf.Storage().SetData(data)
@@ -387,12 +412,23 @@ func (c *TensorCache) Pack(t *tensor.Tensor, producedAt, hostNow time.Duration) 
 	} else {
 		// Alg. 1 line 7: offload. The store cannot begin before the
 		// producing kernel finishes.
-		rec.offloaded = true
-		rec.checksum = t.Storage().Checksum()
-		rec.storeStart, rec.storeFinish = c.off.Store(id, t, producedAt)
-		c.offloadedMB += rec.bytes
-		c.cur.Offloaded += rec.bytes
-		c.rt.Counters.Add("cache.stores", 1)
+		checksum := t.Storage().Checksum()
+		start, finish, err := c.off.Store(id, t, producedAt)
+		if err != nil {
+			// The target refused the tensor (e.g. pinned-pool overflow):
+			// keep it resident so the step stays consistent, and surface
+			// the error at the step boundary.
+			c.fail(err)
+			c.cur.Kept += rec.bytes
+			c.rt.Counters.Add("cache.store_errors", 1)
+		} else {
+			rec.offloaded = true
+			rec.checksum = checksum
+			rec.storeStart, rec.storeFinish = start, finish
+			c.offloadedMB += rec.bytes
+			c.cur.Offloaded += rec.bytes
+			c.rt.Counters.Add("cache.stores", 1)
+		}
 	}
 	return handle{rec}
 }

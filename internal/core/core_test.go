@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 	"testing/quick"
 	"time"
@@ -351,7 +352,10 @@ func TestSSDOffloaderTiming(t *testing.T) {
 	rig := newRig()
 	x := tensor.New("x", tensor.NewShape(1<<20), tensor.FP16, tensor.GPU) // 2 MiB
 	id := TensorID{Stamp: 1, ShapeHash: 0x100000}
-	start, finish := rig.off.Store(id, x, 5*time.Millisecond)
+	start, finish, err := rig.off.Store(id, x, 5*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if start < 5*time.Millisecond {
 		t.Error("store started before ready time")
 	}
@@ -360,12 +364,18 @@ func TestSSDOffloaderTiming(t *testing.T) {
 		t.Errorf("store too fast: %v < %v", finish-start, want)
 	}
 	// FIFO: a second store queues.
-	_, f2 := rig.off.Store(TensorID{Stamp: 2, ShapeHash: 0x100000}, x, 0)
+	_, f2, err := rig.off.Store(TensorID{Stamp: 2, ShapeHash: 0x100000}, x, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if f2 <= finish {
 		t.Error("store queue not FIFO")
 	}
 	// Loads come back.
-	ls, lf, _ := rig.off.Load(id, finish)
+	ls, lf, _, err := rig.off.Load(id, finish)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if ls < finish || lf <= ls {
 		t.Errorf("load times wrong: %v %v", ls, lf)
 	}
@@ -377,9 +387,9 @@ func TestOffloaderBouncePath(t *testing.T) {
 	rig := newRig()
 	x := tensor.New("x", tensor.NewShape(1<<22), tensor.FP16, tensor.GPU)
 	// Unregistered: bounce at half bandwidth.
-	_, f1 := rig.off.Store(TensorID{Stamp: 1, ShapeHash: 0xa}, x, 0)
+	_, f1, _ := rig.off.Store(TensorID{Stamp: 1, ShapeHash: 0xa}, x, 0)
 	rig.off.Registry().Register(x.Storage())
-	_, f2 := rig.off.Store(TensorID{Stamp: 2, ShapeHash: 0xb}, x, 0)
+	_, f2, _ := rig.off.Store(TensorID{Stamp: 2, ShapeHash: 0xb}, x, 0)
 	d1 := f1
 	d2 := f2 - f1
 	if d2 >= d1 {
@@ -397,15 +407,26 @@ func TestCPUOffloaderPool(t *testing.T) {
 		t.Errorf("profiling peak = %v", o.PeakResident())
 	}
 	o.Delete(TensorID{Stamp: 1, ShapeHash: 0xa})
-	// Fix the pool just under two tensors; one fits, a second overflows.
+	// Fix the pool just under two tensors; one fits, a second overflows
+	// with a typed error (the seed panicked the whole process here).
 	o.SetCapacity(x.Bytes() + x.Bytes()/2)
-	o.Store(TensorID{Stamp: 2, ShapeHash: 0xb}, x, 0)
-	defer func() {
-		if recover() == nil {
-			t.Error("pool overflow did not panic")
-		}
-	}()
-	o.Store(TensorID{Stamp: 3, ShapeHash: 0xc}, x, 0)
+	if _, _, err := o.Store(TensorID{Stamp: 2, ShapeHash: 0xb}, x, 0); err != nil {
+		t.Fatalf("in-capacity store failed: %v", err)
+	}
+	_, _, err := o.Store(TensorID{Stamp: 3, ShapeHash: 0xc}, x, 0)
+	var ovf *OverflowError
+	if !errors.As(err, &ovf) {
+		t.Fatalf("pool overflow error = %v, want *OverflowError", err)
+	}
+	if ovf.Tier != "/dev/shm" || ovf.Need != x.Bytes() || ovf.Capacity != x.Bytes()+x.Bytes()/2 {
+		t.Errorf("overflow detail = %+v", ovf)
+	}
+	// Loads of evicted/missing buffers are typed errors too, not panics.
+	_, _, _, err = o.Load(TensorID{Stamp: 9, ShapeHash: 0xf}, 0)
+	var miss *MissingBlockError
+	if !errors.As(err, &miss) {
+		t.Fatalf("missing-buffer load error = %v, want *MissingBlockError", err)
+	}
 }
 
 func TestPlanModuleBudget(t *testing.T) {

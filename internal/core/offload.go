@@ -22,12 +22,14 @@ type Offloader interface {
 	Name() string
 	// Store writes t to the target under the ID's file name, starting no
 	// earlier than ready (the producing kernel's completion). It returns
-	// the transfer's start and finish times.
-	Store(id TensorID, t *tensor.Tensor, ready time.Duration) (start, finish time.Duration)
+	// the transfer's start and finish times. A bounded target refuses a
+	// tensor it cannot hold with an *OverflowError.
+	Store(id TensorID, t *tensor.Tensor, ready time.Duration) (start, finish time.Duration, err error)
 	// Load reads the file back, starting no earlier than ready; it
 	// returns the transfer's start and finish times plus the payload
-	// (nil for size-only stores).
-	Load(id TensorID, ready time.Duration) (start, finish time.Duration, data []byte)
+	// (nil for size-only stores). Loading an ID the target does not hold
+	// returns a *MissingBlockError.
+	Load(id TensorID, ready time.Duration) (start, finish time.Duration, data []byte, err error)
 	// Delete removes the file (idempotent).
 	Delete(id TensorID)
 	// WriteBandwidth/ReadBandwidth expose the nominal path rates for
@@ -41,16 +43,65 @@ type Offloader interface {
 	PeakResident() units.Bytes
 }
 
-// SSDOffloader implements the GDS path: GPU → PCIe → RAID0 NVMe array
-// with no host bounce (§II-D). Registered storages (the CUDA-malloc-hook
-// path) move at the full bottleneck bandwidth; unregistered ones fall back
-// to the derated compatibility path.
-type SSDOffloader struct {
-	name     string
-	link     *pcie.Link
-	array    *ssd.Array
-	store    *ssd.BlockStore[TensorID]
-	registry *gds.Registry
+// TierKind classifies a tier's medium for placement policies, budget
+// planning and reporting.
+type TierKind string
+
+// Tier kinds.
+const (
+	// TierDRAM is a pinned host-memory pool reached over the PCIe host
+	// DMA path.
+	TierDRAM TierKind = "dram"
+	// TierNVMe is an NVMe array reached over the GDS peer-to-peer path.
+	TierNVMe TierKind = "nvme"
+)
+
+// Tier is one rung of the offload hierarchy: an Offloader that also
+// exposes its medium, capacity and current residency so placement
+// policies can route tensors across a stack of tiers. Both single-target
+// offloaders (SSD, pinned host memory) implement it; TieredOffloader
+// composes them.
+type Tier interface {
+	Offloader
+	// Kind classifies the tier's medium.
+	Kind() TierKind
+	// Capacity is the tier's byte capacity; 0 means unbounded.
+	Capacity() units.Bytes
+	// Used is the bytes currently resident on the tier.
+	Used() units.Bytes
+}
+
+// OverflowError reports a bounded tier refusing a store that would
+// exceed its capacity.
+type OverflowError struct {
+	Tier                 string
+	Used, Need, Capacity units.Bytes
+}
+
+// Error implements error.
+func (e *OverflowError) Error() string {
+	return fmt.Sprintf("core: %s pool overflow: %v used + %v > %v capacity (re-profile the first step or spill to a lower tier)",
+		e.Tier, e.Used, e.Need, e.Capacity)
+}
+
+// MissingBlockError reports a load of an ID the tier does not hold.
+type MissingBlockError struct {
+	Tier string
+	ID   TensorID
+}
+
+// Error implements error.
+func (e *MissingBlockError) Error() string {
+	return fmt.Sprintf("core: load of missing offload file %s/%s", e.Tier, e.ID.FileName())
+}
+
+// tierBase is the machinery every tier shares (§III-C2): the two FIFO
+// "thread pool" queues, the byte-accurate block store, the per-transfer
+// latency and path bandwidths, and the accounting the hierarchy
+// aggregates.
+type tierBase struct {
+	name  string
+	store *ssd.BlockStore[TensorID]
 
 	// storeQ and loadQ are the two FIFO "thread pool" queues.
 	storeQ *sim.Server
@@ -59,6 +110,66 @@ type SSDOffloader struct {
 	writeBW units.Bandwidth
 	readBW  units.Bandwidth
 	latency time.Duration
+}
+
+// newTierBase wires the shared tier machinery onto the engine.
+func newTierBase(eng *sim.Engine, name string, latency time.Duration, writeBW, readBW units.Bandwidth) tierBase {
+	return tierBase{
+		name:    name,
+		store:   ssd.NewBlockStore[TensorID](),
+		storeQ:  sim.NewServer(eng, name+".storeq"),
+		loadQ:   sim.NewServer(eng, name+".loadq"),
+		writeBW: writeBW,
+		readBW:  readBW,
+		latency: latency,
+	}
+}
+
+// Name implements Offloader.
+func (b *tierBase) Name() string { return b.name }
+
+// Delete implements Offloader.
+func (b *tierBase) Delete(id TensorID) { b.store.Delete(id) }
+
+// WriteBandwidth implements Offloader.
+func (b *tierBase) WriteBandwidth() units.Bandwidth { return b.writeBW }
+
+// ReadBandwidth implements Offloader.
+func (b *tierBase) ReadBandwidth() units.Bandwidth { return b.readBW }
+
+// BytesWritten implements Offloader.
+func (b *tierBase) BytesWritten() units.Bytes { return b.store.Written() }
+
+// BytesRead implements Offloader.
+func (b *tierBase) BytesRead() units.Bytes { return b.store.Read() }
+
+// PeakResident implements Offloader.
+func (b *tierBase) PeakResident() units.Bytes { return b.store.PeakUsed() }
+
+// Used implements Tier.
+func (b *tierBase) Used() units.Bytes { return b.store.Used() }
+
+// StoreDrainTime returns when the store queue's backlog finishes.
+func (b *tierBase) StoreDrainTime() time.Duration { return b.storeQ.BusyUntil() }
+
+// writeBlock records the payload (or its size) in the block store.
+func (b *tierBase) writeBlock(id TensorID, t *tensor.Tensor, n units.Bytes) {
+	if data := t.Storage().Data(); data != nil {
+		b.store.WriteFile(id, data)
+	} else {
+		b.store.WriteSize(id, n)
+	}
+}
+
+// SSDOffloader implements the GDS path: GPU → PCIe → RAID0 NVMe array
+// with no host bounce (§II-D). Registered storages (the CUDA-malloc-hook
+// path) move at the full bottleneck bandwidth; unregistered ones fall back
+// to the derated compatibility path.
+type SSDOffloader struct {
+	tierBase
+	link     *pcie.Link
+	array    *ssd.Array
+	registry *gds.Registry
 }
 
 // NewSSDOffloader builds the SSD offloader over a PCIe link and an array.
@@ -78,21 +189,12 @@ func NewSSDOffloader(eng *sim.Engine, name string, link *pcie.Link, array *ssd.A
 		rb = ar
 	}
 	return &SSDOffloader{
-		name:     name,
+		tierBase: newTierBase(eng, name, link.Config().Latency+10*time.Microsecond, wb, rb),
 		link:     link,
 		array:    array,
-		store:    ssd.NewBlockStore[TensorID](),
 		registry: registry,
-		storeQ:   sim.NewServer(eng, name+".storeq"),
-		loadQ:    sim.NewServer(eng, name+".loadq"),
-		writeBW:  wb,
-		readBW:   rb,
-		latency:  link.Config().Latency + 10*time.Microsecond,
 	}
 }
-
-// Name implements Offloader.
-func (o *SSDOffloader) Name() string { return o.name }
 
 // Registry returns the GDS registration registry.
 func (o *SSDOffloader) Registry() *gds.Registry { return o.registry }
@@ -100,8 +202,15 @@ func (o *SSDOffloader) Registry() *gds.Registry { return o.registry }
 // BlockStore exposes the byte store for verification tests.
 func (o *SSDOffloader) BlockStore() *ssd.BlockStore[TensorID] { return o.store }
 
+// Kind implements Tier.
+func (o *SSDOffloader) Kind() TierKind { return TierNVMe }
+
+// Capacity implements Tier: the array is effectively unbounded for
+// activation working sets (tens of TB vs tens of GB).
+func (o *SSDOffloader) Capacity() units.Bytes { return 0 }
+
 // Store implements Offloader.
-func (o *SSDOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration) (time.Duration, time.Duration) {
+func (o *SSDOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration) (time.Duration, time.Duration, error) {
 	n := t.Bytes()
 	bw := o.registry.EffectiveBandwidth(t.Storage(), o.writeBW)
 	dur := o.latency + bw.TimeFor(n)
@@ -111,19 +220,15 @@ func (o *SSDOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration)
 	// utilization and endurance reporting.
 	o.array.Write(start, n, nil)
 	o.link.Down(start, n, nil)
-	if data := t.Storage().Data(); data != nil {
-		o.store.WriteFile(id, data)
-	} else {
-		o.store.WriteSize(id, n)
-	}
-	return start, finish
+	o.writeBlock(id, t, n)
+	return start, finish, nil
 }
 
 // Load implements Offloader.
-func (o *SSDOffloader) Load(id TensorID, ready time.Duration) (time.Duration, time.Duration, []byte) {
+func (o *SSDOffloader) Load(id TensorID, ready time.Duration) (time.Duration, time.Duration, []byte, error) {
 	n, ok := o.store.Size(id)
 	if !ok {
-		panic(fmt.Sprintf("core: load of missing offload file %s", o.pathOf(id)))
+		return 0, 0, nil, &MissingBlockError{Tier: o.name, ID: id}
 	}
 	dur := o.latency + o.readBW.TimeFor(n)
 	finish := o.loadQ.Submit(ready, dur, nil)
@@ -131,51 +236,18 @@ func (o *SSDOffloader) Load(id TensorID, ready time.Duration) (time.Duration, ti
 	o.array.Read(start, n, nil)
 	o.link.Up(start, n, nil)
 	data, _ := o.store.ReadFile(id)
-	return start, finish, data
+	return start, finish, data, nil
 }
 
-// Delete implements Offloader.
-func (o *SSDOffloader) Delete(id TensorID) { o.store.Delete(id) }
-
-// pathOf renders the paper-style diagnostic path ("/mnt/md1/t1.pt");
-// the hot path keys the store by TensorID and never builds it.
-func (o *SSDOffloader) pathOf(id TensorID) string {
-	return o.name + "/" + id.FileName()
-}
-
-// WriteBandwidth implements Offloader.
-func (o *SSDOffloader) WriteBandwidth() units.Bandwidth { return o.writeBW }
-
-// ReadBandwidth implements Offloader.
-func (o *SSDOffloader) ReadBandwidth() units.Bandwidth { return o.readBW }
-
-// BytesWritten implements Offloader.
-func (o *SSDOffloader) BytesWritten() units.Bytes { return o.store.Written() }
-
-// BytesRead implements Offloader.
-func (o *SSDOffloader) BytesRead() units.Bytes { return o.store.Read() }
-
-// PeakResident implements Offloader.
-func (o *SSDOffloader) PeakResident() units.Bytes { return o.store.PeakUsed() }
-
-// StoreDrainTime returns when the store queue's backlog finishes.
-func (o *SSDOffloader) StoreDrainTime() time.Duration { return o.storeQ.BusyUntil() }
-
-var _ Offloader = (*SSDOffloader)(nil)
+var _ Tier = (*SSDOffloader)(nil)
 
 // CPUOffloader targets a pre-allocated pinned host-memory pool over the
 // PCIe link — the paper's second offloader, intended for clusters with
 // remote SSD storage (§III-A). The pool is sized by profiling the first
 // training step.
 type CPUOffloader struct {
-	name  string
-	link  *pcie.Link
-	store *ssd.BlockStore[TensorID]
-
-	storeQ *sim.Server
-	loadQ  *sim.Server
-
-	latency time.Duration
+	tierBase
+	link *pcie.Link
 
 	// capacity is the pinned pool size; zero means profiling mode (grow
 	// freely and report the peak).
@@ -186,74 +258,53 @@ type CPUOffloader struct {
 // in profiling mode.
 func NewCPUOffloader(eng *sim.Engine, name string, link *pcie.Link, capacity units.Bytes) *CPUOffloader {
 	return &CPUOffloader{
-		name:     name,
+		tierBase: newTierBase(eng, name, link.Config().Latency, link.Effective(), link.Effective()),
 		link:     link,
-		store:    ssd.NewBlockStore[TensorID](),
-		storeQ:   sim.NewServer(eng, name+".storeq"),
-		loadQ:    sim.NewServer(eng, name+".loadq"),
-		latency:  link.Config().Latency,
 		capacity: capacity,
 	}
 }
 
-// Name implements Offloader.
-func (o *CPUOffloader) Name() string { return o.name }
-
 // SetCapacity fixes the pool size after profiling.
 func (o *CPUOffloader) SetCapacity(n units.Bytes) { o.capacity = n }
 
-// Capacity returns the configured pool size (0 = profiling).
+// Kind implements Tier.
+func (o *CPUOffloader) Kind() TierKind { return TierDRAM }
+
+// Capacity implements Tier: the configured pool size (0 = profiling).
 func (o *CPUOffloader) Capacity() units.Bytes { return o.capacity }
 
 // Store implements Offloader.
-func (o *CPUOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration) (time.Duration, time.Duration) {
+func (o *CPUOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration) (time.Duration, time.Duration, error) {
 	n := t.Bytes()
-	if o.capacity > 0 && o.store.Used()+n > o.capacity {
-		panic(fmt.Sprintf("core: pinned pool overflow: %v used + %v > %v capacity (re-profile the first step)",
-			o.store.Used(), n, o.capacity))
+	// Overwrites replace the existing file in place, so the capacity
+	// check is against net residency, not the transient double copy.
+	used := o.store.Used()
+	if prev, ok := o.store.Size(id); ok {
+		used -= prev
+	}
+	if o.capacity > 0 && used+n > o.capacity {
+		return 0, 0, &OverflowError{Tier: o.name, Used: used, Need: n, Capacity: o.capacity}
 	}
 	dur := o.latency + o.link.Effective().TimeFor(n)
 	finish := o.storeQ.Submit(ready, dur, nil)
 	start := finish - dur
 	o.link.Down(start, n, nil)
-	if data := t.Storage().Data(); data != nil {
-		o.store.WriteFile(id, data)
-	} else {
-		o.store.WriteSize(id, n)
-	}
-	return start, finish
+	o.writeBlock(id, t, n)
+	return start, finish, nil
 }
 
 // Load implements Offloader.
-func (o *CPUOffloader) Load(id TensorID, ready time.Duration) (time.Duration, time.Duration, []byte) {
+func (o *CPUOffloader) Load(id TensorID, ready time.Duration) (time.Duration, time.Duration, []byte, error) {
 	n, ok := o.store.Size(id)
 	if !ok {
-		panic(fmt.Sprintf("core: load of missing pinned buffer %s/%s", o.name, id.FileName()))
+		return 0, 0, nil, &MissingBlockError{Tier: o.name, ID: id}
 	}
 	dur := o.latency + o.link.Effective().TimeFor(n)
 	finish := o.loadQ.Submit(ready, dur, nil)
 	start := finish - dur
 	o.link.Up(start, n, nil)
 	data, _ := o.store.ReadFile(id)
-	return start, finish, data
+	return start, finish, data, nil
 }
 
-// Delete implements Offloader.
-func (o *CPUOffloader) Delete(id TensorID) { o.store.Delete(id) }
-
-// WriteBandwidth implements Offloader.
-func (o *CPUOffloader) WriteBandwidth() units.Bandwidth { return o.link.Effective() }
-
-// ReadBandwidth implements Offloader.
-func (o *CPUOffloader) ReadBandwidth() units.Bandwidth { return o.link.Effective() }
-
-// BytesWritten implements Offloader.
-func (o *CPUOffloader) BytesWritten() units.Bytes { return o.store.Written() }
-
-// BytesRead implements Offloader.
-func (o *CPUOffloader) BytesRead() units.Bytes { return o.store.Read() }
-
-// PeakResident implements Offloader.
-func (o *CPUOffloader) PeakResident() units.Bytes { return o.store.PeakUsed() }
-
-var _ Offloader = (*CPUOffloader)(nil)
+var _ Tier = (*CPUOffloader)(nil)

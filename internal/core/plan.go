@@ -108,6 +108,150 @@ func PlanModuleBudget(in ModulePlan) units.Bytes {
 	return budget
 }
 
+// TierPlan describes one rung of an offload hierarchy for budget
+// planning: its path bandwidths, its byte capacity (0 = unbounded), an
+// optional cap on its share of the planned volume (split placement;
+// 0 = no share cap), and whether the runtime can spill past it. A
+// Strict bounded rung (no spill below, e.g. a lone pinned pool) caps
+// the whole budget at its derated capacity — planning more than the
+// pool holds would only overflow it at run time.
+type TierPlan struct {
+	WriteBandwidth units.Bandwidth
+	ReadBandwidth  units.Bandwidth
+	Capacity       units.Bytes
+	Fraction       float64
+	Strict         bool
+}
+
+// volumeCap is the most bytes the planner expects the tier to absorb out
+// of a total volume v, honouring both the byte capacity and the share
+// cap.
+func (t TierPlan) volumeCap(v units.Bytes) units.Bytes {
+	out := v
+	if t.Capacity > 0 && t.Capacity < out {
+		out = t.Capacity
+	}
+	if t.Fraction > 0 {
+		if f := units.Bytes(t.Fraction * float64(v)); f < out {
+			out = f
+		}
+	}
+	return out
+}
+
+// PlanHierarchyBudget runs the Fig 3 module-granularity workflow over a
+// tier mix: the rungs fill front to back (the dram-first posture; split
+// placement expresses its routing through per-tier Fraction caps), reload
+// deadlines are checked against the blended read bandwidth of the
+// expected placement, and the store-drain clamp sums what each rung's
+// independent PCIe path can drain — capped by the rung's capacity, so a
+// small DRAM pool cannot promise more drain than it can hold.
+//
+// A mix that degenerates to a single used rung reduces, bit for bit, to
+// PlanModuleBudget on that rung's bandwidths: the paper's single-target
+// strategies re-expressed as one-tier stacks plan the same budgets.
+func PlanHierarchyBudget(in ModulePlan, tiers []TierPlan) units.Bytes {
+	if len(tiers) == 0 {
+		return 0
+	}
+	var total units.Bytes
+	for _, sb := range in.SavedBytes {
+		total += sb
+	}
+	// Expected fill at full eligible volume, front to back. Rungs that
+	// would take nothing drop out; one surviving rung is the degenerate
+	// case.
+	take := make([]units.Bytes, len(tiers))
+	remaining := total
+	var live []int
+	for i, t := range tiers {
+		take[i] = t.volumeCap(total)
+		if take[i] > remaining {
+			take[i] = remaining
+		}
+		remaining -= take[i]
+		if take[i] > 0 {
+			live = append(live, i)
+		}
+	}
+	// Whatever no rung claimed lands on the last one (unbounded NVMe in
+	// practice); keep the accounting consistent for degenerate detection.
+	if remaining > 0 {
+		last := len(tiers) - 1
+		if take[last] == 0 {
+			live = append(live, last)
+		}
+		take[last] += remaining
+	}
+	if len(live) <= 1 {
+		idx := len(tiers) - 1
+		if len(live) == 1 {
+			idx = live[0]
+		}
+		in.ReadBandwidth = tiers[idx].ReadBandwidth
+		in.WriteBandwidth = tiers[idx].WriteBandwidth
+		return strictClamp(PlanModuleBudget(in), tiers[idx], in.SafetyFactor)
+	}
+	// Blended read bandwidth: reloads of a mixed placement drain each
+	// rung in proportion, so the harmonic mean over placed fractions is
+	// the conservative effective rate.
+	var invRead float64
+	for _, i := range live {
+		if tiers[i].ReadBandwidth <= 0 {
+			return 0
+		}
+		invRead += float64(take[i]) / float64(total) / float64(tiers[i].ReadBandwidth)
+	}
+	if invRead <= 0 {
+		return 0
+	}
+	sf := in.SafetyFactor
+	if sf <= 0 || sf > 1 {
+		sf = 0.9
+	}
+	// Run the module-prefix workflow on the blended read rate with the
+	// write clamp disabled (WriteBandwidth 0), then apply the per-rung
+	// drain clamp.
+	in.ReadBandwidth = units.Bandwidth(1 / invRead)
+	in.WriteBandwidth = 0
+	budget := PlanModuleBudget(in)
+	drainWindow := in.ForwardTime + in.BackwardTime/2
+	var writable units.Bytes
+	for _, i := range live {
+		w := units.Bytes(sf * float64(tiers[i].WriteBandwidth) * drainWindow.Seconds())
+		if c := tiers[i].volumeCap(total); c < w {
+			w = c
+		}
+		writable += w
+	}
+	if writable < budget {
+		budget = writable
+	}
+	if last := tiers[len(tiers)-1]; last.Strict {
+		// No spill below the final rung: the whole plan must fit it.
+		budget = strictClamp(budget, last, in.SafetyFactor)
+	}
+	return budget
+}
+
+// strictClamp caps a budget at a strict bounded rung's derated capacity:
+// residency tracks the offloaded volume closely, and the safety factor
+// leaves headroom for the one-tensor budget overshoot and in-flight
+// reload buffers.
+func strictClamp(budget units.Bytes, tier TierPlan, safetyFactor float64) units.Bytes {
+	if !tier.Strict || tier.Capacity <= 0 {
+		return budget
+	}
+	sf := safetyFactor
+	if sf <= 0 || sf > 1 {
+		sf = 0.9
+	}
+	if derated := units.Bytes(sf * float64(tier.Capacity)); derated < budget {
+		return derated
+	}
+	return budget
+}
+
 // PlanBudget sets the activation offload amount (the "Set: offload size"
 // box of Fig 3): offload no more than the store queue can drain while
 // forward compute proceeds, no more than the load queue can feed back

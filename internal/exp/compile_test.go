@@ -59,12 +59,12 @@ func seedRun(t *testing.T, cfg RunConfig) *RunResult {
 	}
 	// Compile from a plan built around this uncached graph.
 	p := &Plan{
-		shape:         shapeKey(cfg),
-		tmpl:          graph,
-		saved:         blockSavedBytes(graph),
-		bwd:           blockBwdTimes(graph),
-		weightBytes:   graph.WeightBytes(),
-		budgetByShare: make(map[float64]units.Bytes),
+		shape:       shapeKey(cfg),
+		tmpl:        graph,
+		saved:       blockSavedBytes(graph),
+		bwd:         blockBwdTimes(graph),
+		weightBytes: graph.WeightBytes(),
+		budgetByKey: make(map[budgetKey]units.Bytes),
 	}
 	p.fwdTime, p.bwdTime = graphTimes(graph)
 	p.eligible, p.lastModule = eligibleBytes(graph)

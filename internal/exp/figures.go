@@ -281,6 +281,28 @@ func Fig6Table(rows []Fig6Row) *trace.Table {
 	return t
 }
 
+// Fig7Table renders the recompute-offload-keep points as text.
+func Fig7Table(hidden int, pts []ROKPoint) *trace.Table {
+	t := trace.NewTable(
+		fmt.Sprintf("Fig 7 — recompute-offload-keep design space (BERT H%d L3)", hidden),
+		"strategy", "batch", "activation peak", "throughput", "step")
+	for _, p := range pts {
+		t.AddRow(string(p.Strategy), p.Batch, p.Peak, p.Throughput, p.StepTime.Round(time.Millisecond))
+	}
+	return t
+}
+
+// Table3Table renders the offload-volume validation rows as text.
+func Table3Table(rows []Table3Row) *trace.Table {
+	t := trace.NewTable("Table III — measured vs estimated offload volume (BERT, batch 16)",
+		"geometry", "offloaded", "estimate", "ratio", "write BW")
+	for _, r := range rows {
+		t.AddRow(geomLabel(r.Hidden, r.Layers), r.Offloaded, r.Estimate,
+			fmt.Sprintf("%.2f", float64(r.Offloaded)/float64(r.Estimate)), r.WriteBW)
+	}
+	return t
+}
+
 func geomLabel(h, l int) string {
 	return fmt.Sprintf("H%d L%d", h, l)
 }

@@ -1,0 +1,62 @@
+package exp
+
+import (
+	"os"
+	"testing"
+)
+
+// readGolden loads a byte-identity anchor captured at 370fcb2, before
+// the offload layer became a tiered hierarchy. Regenerate (only for a
+// deliberate behaviour change) with `go run ./goldengen`.
+func readGolden(t *testing.T, path string) string {
+	t.Helper()
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(blob)
+}
+
+// TestFig6ByteIdentical pins Fig 6 — every column of which now runs
+// through the tiered offloader as a degenerate one-tier NVMe stack —
+// to the pre-refactor rendering.
+func TestFig6ByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale geometry")
+	}
+	rows, err := Fig6(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := Fig6Table(rows).String(), readGolden(t, "testdata/fig6.golden"); got != want {
+		t.Errorf("Fig 6 diverged from 370fcb2:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestFig7ByteIdentical pins the recompute-offload-keep curve.
+func TestFig7ByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale geometry")
+	}
+	pts, err := Fig7(12288, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := Fig7Table(12288, pts).String(), readGolden(t, "testdata/fig7.golden"); got != want {
+		t.Errorf("Fig 7 diverged from 370fcb2:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestTable3ByteIdentical pins the offload-volume validation table.
+func TestTable3ByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale geometry")
+	}
+	rows, err := Table3()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := Table3Table(rows).String(), readGolden(t, "testdata/table3.golden"); got != want {
+		t.Errorf("Table III diverged from 370fcb2:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -44,9 +44,19 @@ type Plan struct {
 	// without using it; the Plan owns it now.
 	lastModule units.Bytes
 
-	// budgetByShare memoizes the Fig 3 budget per bandwidth share.
-	mu            sync.Mutex
-	budgetByShare map[float64]units.Bytes
+	// budgetByKey memoizes the Fig 3 budget per (bandwidth share,
+	// placement, DRAM capacity, split ratio) combination.
+	mu          sync.Mutex
+	budgetByKey map[budgetKey]units.Bytes
+}
+
+// budgetKey identifies one planned budget within a plan: every cheap
+// knob that changes the hierarchy's bandwidth/capacity mix.
+type budgetKey struct {
+	share     float64
+	placement Placement
+	dramCap   units.Bytes
+	ratio     float64
 }
 
 // shapeKey reduces a defaulted config to plan identity by zeroing the
@@ -57,6 +67,9 @@ func shapeKey(cfg RunConfig) RunConfig {
 	cfg.Warmup = 0
 	cfg.SSDBandwidthShare = 0
 	cfg.AdaptiveSteps = false
+	cfg.Placement = ""
+	cfg.DRAMCapacity = 0
+	cfg.SplitRatio = 0
 	return cfg
 }
 
@@ -74,7 +87,7 @@ var planFlight lru.Singleflight[RunConfig, *Plan]
 // same shape twice returns the same plan.
 func Compile(cfg RunConfig) (*Plan, error) {
 	cfg = cfg.withDefaults()
-	if err := validateShare(cfg.SSDBandwidthShare); err != nil {
+	if err := validateKnobs(cfg); err != nil {
 		return nil, err
 	}
 	key := shapeKey(cfg)
@@ -104,13 +117,53 @@ func validateShare(s float64) error {
 	return nil
 }
 
+// validateKnobs checks the cheap knobs a plan absorbs at Execute time —
+// they are zeroed out of the plan's shape, so both Compile and Execute
+// validate them.
+func validateKnobs(cfg RunConfig) error {
+	if err := validateShare(cfg.SSDBandwidthShare); err != nil {
+		return err
+	}
+	if math.IsNaN(cfg.SplitRatio) || cfg.SplitRatio < 0 || cfg.SplitRatio > 1 {
+		return fmt.Errorf("exp: split ratio %v outside [0, 1]", cfg.SplitRatio)
+	}
+	if cfg.DRAMCapacity < 0 {
+		return fmt.Errorf("exp: negative DRAM capacity %v", cfg.DRAMCapacity)
+	}
+	switch cfg.Strategy {
+	case HybridOffload:
+		switch cfg.Placement {
+		case PlacementSSDOnly, PlacementDRAMFirst, PlacementSplit:
+		default:
+			return fmt.Errorf("exp: unknown placement %q", cfg.Placement)
+		}
+	case CPUOffload:
+		if cfg.Placement != "" {
+			return fmt.Errorf("exp: placement %q only applies to the %s strategy", cfg.Placement, HybridOffload)
+		}
+	default:
+		if cfg.Placement != "" {
+			return fmt.Errorf("exp: placement %q only applies to the %s strategy", cfg.Placement, HybridOffload)
+		}
+		if cfg.DRAMCapacity != 0 {
+			return fmt.Errorf("exp: DRAM capacity only applies to the %s and %s strategies", HybridOffload, CPUOffload)
+		}
+	}
+	if cfg.SplitRatio != 0 && (cfg.Strategy != HybridOffload || cfg.Placement != PlacementSplit) {
+		// A silently ignored ratio would still defeat Sweep's dedup
+		// (configs differing only in the dead knob measure twice).
+		return fmt.Errorf("exp: split ratio only applies to the %s strategy with %s placement", HybridOffload, PlacementSplit)
+	}
+	return nil
+}
+
 // compile does the actual shape-dependent work.
 func compile(key RunConfig) (*Plan, error) {
 	mcfg := key.Model
 	mcfg.Checkpoint = key.Strategy == Recompute
 
 	switch key.Strategy {
-	case NoOffload, Recompute, SSDTrain, CPUOffload:
+	case NoOffload, Recompute, SSDTrain, CPUOffload, HybridOffload:
 	default:
 		return nil, fmt.Errorf("exp: unknown strategy %q", key.Strategy)
 	}
@@ -122,12 +175,12 @@ func compile(key RunConfig) (*Plan, error) {
 	}
 
 	p := &Plan{
-		shape:         key,
-		tmpl:          tmpl,
-		saved:         blockSavedBytes(tmpl),
-		bwd:           blockBwdTimes(tmpl),
-		weightBytes:   tmpl.WeightBytes(),
-		budgetByShare: make(map[float64]units.Bytes),
+		shape:       key,
+		tmpl:        tmpl,
+		saved:       blockSavedBytes(tmpl),
+		bwd:         blockBwdTimes(tmpl),
+		weightBytes: tmpl.WeightBytes(),
+		budgetByKey: make(map[budgetKey]units.Bytes),
 	}
 	p.fwdTime, p.bwdTime = graphTimes(tmpl)
 	p.eligible, p.lastModule = eligibleBytes(tmpl)
@@ -149,25 +202,45 @@ func (p *Plan) LastModuleBytes() units.Bytes { return p.lastModule }
 // WeightBytes returns the per-GPU parameter volume.
 func (p *Plan) WeightBytes() units.Bytes { return p.weightBytes }
 
-// plannedBudget returns the Fig 3 budget for the given bandwidth share,
-// memoized per share.
+// plannedBudget returns the Fig 3 budget for the given single-target
+// bandwidths, memoized per bandwidth share.
 func (p *Plan) plannedBudget(share float64, readBW, writeBW units.Bandwidth) units.Bytes {
-	p.mu.Lock()
-	if b, ok := p.budgetByShare[share]; ok {
-		p.mu.Unlock()
-		return b
-	}
-	p.mu.Unlock()
-	b := core.PlanModuleBudget(core.ModulePlan{
+	return p.memoBudget(budgetKey{share: share}, func() units.Bytes {
+		return core.PlanModuleBudget(p.modulePlan(readBW, writeBW))
+	})
+}
+
+// plannedHierarchyBudget returns the Fig 3 budget for a tier mix,
+// memoized per (share, placement, DRAM capacity, split ratio).
+func (p *Plan) plannedHierarchyBudget(key budgetKey, tiers []core.TierPlan) units.Bytes {
+	return p.memoBudget(key, func() units.Bytes {
+		return core.PlanHierarchyBudget(p.modulePlan(0, 0), tiers)
+	})
+}
+
+// modulePlan assembles the module-granularity planner input.
+func (p *Plan) modulePlan(readBW, writeBW units.Bandwidth) core.ModulePlan {
+	return core.ModulePlan{
 		SavedBytes:     p.saved,
 		BwdTime:        p.bwd,
 		ReadBandwidth:  readBW,
 		WriteBandwidth: writeBW,
 		ForwardTime:    p.fwdTime,
 		BackwardTime:   p.bwdTime,
-	})
+	}
+}
+
+// memoBudget caches one planned budget per key.
+func (p *Plan) memoBudget(key budgetKey, compute func() units.Bytes) units.Bytes {
 	p.mu.Lock()
-	p.budgetByShare[share] = b
+	if b, ok := p.budgetByKey[key]; ok {
+		p.mu.Unlock()
+		return b
+	}
+	p.mu.Unlock()
+	b := compute()
+	p.mu.Lock()
+	p.budgetByKey[key] = b
 	p.mu.Unlock()
 	return b
 }
@@ -178,7 +251,7 @@ func (p *Plan) plannedBudget(share float64, readBW, writeBW units.Bandwidth) uni
 // silently measuring the wrong model.
 func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
 	cfg = cfg.withDefaults()
-	if err := validateShare(cfg.SSDBandwidthShare); err != nil {
+	if err := validateKnobs(cfg); err != nil {
 		return nil, err
 	}
 	if shapeKey(cfg) != p.shape {
@@ -192,14 +265,15 @@ func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
 
 	var hooks autograd.Hooks
 	var cache *core.TensorCache
-	var offloader core.Offloader
+	var offloader *core.TieredOffloader
 
 	switch cfg.Strategy {
 	case NoOffload, Recompute:
 		hooks = autograd.NoHooks{}
-	case SSDTrain, CPUOffload:
-		link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
-		if cfg.Strategy == SSDTrain {
+	case SSDTrain, CPUOffload, HybridOffload:
+		// newSSDTier assembles the GDS rung: derated array spec under a
+		// bandwidth share, striped device array, malloc-hook registry.
+		newSSDTier := func(link *pcie.Link) *core.SSDOffloader {
 			spec := cfg.SSD.Spec
 			if s := cfg.SSDBandwidthShare; s > 0 && s < 1 {
 				spec.SeqWrite = units.Bandwidth(float64(spec.SeqWrite) * s)
@@ -214,14 +288,64 @@ func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
 			hook := gds.NewMallocHook(registry)
 			hook.Enabled = !cfg.DisableGDS
 			rt.Alloc.AddHook(hook)
-			offloader = core.NewSSDOffloader(rt.Eng, "/mnt/md1", link, array, registry)
-		} else {
-			offloader = core.NewCPUOffloader(rt.Eng, "/dev/shm", link, 0)
+			return core.NewSSDOffloader(rt.Eng, "/mnt/md1", link, array, registry)
 		}
+
+		var tiers []core.Tier
+		var policy core.PlacementPolicy
+		switch cfg.Strategy {
+		case SSDTrain:
+			link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
+			tiers = append(tiers, newSSDTier(link))
+			policy = core.SSDOnlyPolicy()
+		case CPUOffload:
+			link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
+			tiers = append(tiers, core.NewCPUOffloader(rt.Eng, "/dev/shm", link, cfg.DRAMCapacity))
+			policy = core.DRAMFirstPolicy()
+		case HybridOffload:
+			// DRAM rung (host DMA path) first, NVMe rung (GDS path) below
+			// it; each rung drains over its own PCIe path. A zero DRAM
+			// capacity degenerates the stack to NVMe-only.
+			if cfg.DRAMCapacity > 0 {
+				host := pcie.NewLink(rt.Eng, "pcie-host", pcie.DefaultGen4x16())
+				tiers = append(tiers, core.NewCPUOffloader(rt.Eng, "/dev/shm", host, cfg.DRAMCapacity))
+			}
+			link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
+			tiers = append(tiers, newSSDTier(link))
+			switch cfg.Placement {
+			case PlacementSSDOnly:
+				policy = core.SSDOnlyPolicy()
+			case PlacementSplit:
+				policy = core.SplitPolicy(cfg.SplitRatio)
+			default:
+				policy = core.DRAMFirstPolicy()
+			}
+		}
+		offloader = core.NewTieredOffloader(policy, tiers...)
 
 		budget := cfg.Budget
 		if budget == 0 {
-			budget = p.plannedBudget(cfg.SSDBandwidthShare, offloader.ReadBandwidth(), offloader.WriteBandwidth())
+			switch cfg.Strategy {
+			case HybridOffload:
+				key := budgetKey{share: cfg.SSDBandwidthShare, placement: cfg.Placement, dramCap: cfg.DRAMCapacity}
+				if cfg.Placement == PlacementSplit {
+					key.ratio = cfg.SplitRatio
+				}
+				budget = p.plannedHierarchyBudget(key, hierarchyPlans(cfg, tiers))
+			case CPUOffload:
+				// A bounded pinned pool has no spill rung, so the plan
+				// must fit it (Strict); capacity 0 reduces bit-for-bit to
+				// the unbounded single-target plan.
+				key := budgetKey{share: cfg.SSDBandwidthShare, dramCap: cfg.DRAMCapacity}
+				budget = p.plannedHierarchyBudget(key, []core.TierPlan{{
+					WriteBandwidth: offloader.WriteBandwidth(),
+					ReadBandwidth:  offloader.ReadBandwidth(),
+					Capacity:       cfg.DRAMCapacity,
+					Strict:         true,
+				}})
+			default:
+				budget = p.plannedBudget(cfg.SSDBandwidthShare, offloader.ReadBandwidth(), offloader.WriteBandwidth())
+			}
 		}
 		res.PlannedBudget = budget
 
@@ -231,7 +355,7 @@ func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
 			Budget:          budget,
 			HostCost:        cfg.HostCost,
 			PrefetchAhead:   cfg.PrefetchAhead,
-			KeepLastModules: cfg.KeepLastModules,
+			KeepLastModules: max(cfg.KeepLastModules, 0), // -1 (canonical ablation) → keep nothing
 			Verify:          cfg.Verify,
 			NoForwarding:    cfg.NoForwarding,
 			NoDedup:         cfg.NoDedup,
@@ -266,7 +390,7 @@ func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 
-	runStep := func() StepMetrics {
+	runStep := func() (StepMetrics, error) {
 		sr := exec.Run()
 		m := StepMetrics{
 			Stats:      sr.Stats,
@@ -276,17 +400,22 @@ func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
 			UpdateTime: sr.UpdateTime,
 		}
 		if cache != nil {
+			if err := cache.Err(); err != nil {
+				return m, fmt.Errorf("exp: offload failed in step %d: %w", len(res.PerStep)+1, err)
+			}
 			m.IO = cache.LastStep()
 			m.Stats.OffloadedBytes = m.IO.Offloaded
 			m.Stats.ReloadedBytes = m.IO.Reloaded
 			m.Stats.ForwardedBytes = m.IO.Forwarded
 		}
 		res.PerStep = append(res.PerStep, m)
-		return m
+		return m, nil
 	}
 
 	for i := 0; i < cfg.Warmup; i++ {
-		runStep()
+		if _, err := runStep(); err != nil {
+			return nil, err
+		}
 	}
 	if cfg.AdaptiveSteps {
 		// Adaptive steady-state detection: measure until two consecutive
@@ -295,7 +424,10 @@ func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
 		// The converged measurement is identical to the fixed-step run's.
 		var prev StepMetrics
 		for i := 0; i < cfg.Steps; i++ {
-			m := runStep()
+			m, err := runStep()
+			if err != nil {
+				return nil, err
+			}
 			if i > 0 && stepsConverged(prev, m) {
 				break
 			}
@@ -303,7 +435,9 @@ func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
 		}
 	} else {
 		for i := 0; i < cfg.Steps; i++ {
-			runStep()
+			if _, err := runStep(); err != nil {
+				return nil, err
+			}
 		}
 	}
 
@@ -319,8 +453,45 @@ func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
 	res.Measured = res.PerStep[len(res.PerStep)-1]
 	if offloader != nil {
 		res.SSDPeak = offloader.PeakResident()
+		for _, t := range offloader.Tiers() {
+			res.Tiers = append(res.Tiers, TierUsage{
+				Name:     t.Name(),
+				Kind:     t.Kind(),
+				Written:  t.BytesWritten(),
+				Read:     t.BytesRead(),
+				Peak:     t.PeakResident(),
+				Capacity: t.Capacity(),
+			})
+		}
 	}
 	return res, nil
+}
+
+// hierarchyPlans maps the live tier stack to the planner's tier mix: the
+// ssd-only placement plans against the NVMe rung alone, split placement
+// caps the DRAM rung's share at the split ratio. A zero split ratio
+// routes every byte to NVMe at runtime, so the DRAM rung must drop out
+// of the plan too (TierPlan.Fraction 0 means "no share cap", not
+// "nothing").
+func hierarchyPlans(cfg RunConfig, tiers []core.Tier) []core.TierPlan {
+	dramless := cfg.Placement == PlacementSSDOnly ||
+		(cfg.Placement == PlacementSplit && cfg.SplitRatio == 0)
+	plans := make([]core.TierPlan, 0, len(tiers))
+	for _, t := range tiers {
+		if dramless && t.Kind() != core.TierNVMe {
+			continue
+		}
+		tp := core.TierPlan{
+			WriteBandwidth: t.WriteBandwidth(),
+			ReadBandwidth:  t.ReadBandwidth(),
+			Capacity:       t.Capacity(),
+		}
+		if cfg.Placement == PlacementSplit && t.Kind() == core.TierDRAM {
+			tp.Fraction = cfg.SplitRatio
+		}
+		plans = append(plans, tp)
+	}
+	return plans
 }
 
 // stepsConverged reports whether two consecutive measured steps are

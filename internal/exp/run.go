@@ -39,6 +39,27 @@ const (
 	Recompute Strategy = "recompute"
 	// CPUOffload offloads activations to pinned host memory.
 	CPUOffload Strategy = "cpu-offload"
+	// HybridOffload offloads activations across a tiered DRAM+NVMe
+	// hierarchy under a placement policy (§III-A generalized: both offload
+	// targets at once instead of either).
+	HybridOffload Strategy = "hybrid"
+)
+
+// Placement selects the tier-routing policy of the HybridOffload
+// hierarchy.
+type Placement string
+
+// Placement policies.
+const (
+	// PlacementSSDOnly routes everything to the NVMe rung (the paper's
+	// placement, expressed on the tiered stack).
+	PlacementSSDOnly Placement = "ssd-only"
+	// PlacementDRAMFirst fills the pinned DRAM pool first and spills
+	// overflow to NVMe (the 10Cache/ZeRO-Offload posture).
+	PlacementDRAMFirst Placement = "dram-first"
+	// PlacementSplit routes a fixed fraction of offloaded bytes to DRAM
+	// and the rest to NVMe, keeping both PCIe paths busy.
+	PlacementSplit Placement = "split"
 )
 
 // SSDSetup describes the per-GPU offload array.
@@ -86,6 +107,17 @@ type RunConfig struct {
 	// Materialize+Verify run byte-backed offloads with checksum checks.
 	Materialize bool
 	Verify      bool
+	// Placement selects the HybridOffload tier-routing policy (default
+	// dram-first). Only meaningful for the hybrid strategy.
+	Placement Placement
+	// DRAMCapacity bounds the pinned host-memory pool. For HybridOffload
+	// it sizes the DRAM rung (0 = no DRAM rung, making the hierarchy
+	// degenerate NVMe-only); for CPUOffload it bounds the single pinned
+	// pool (0 = profiling mode, grow freely).
+	DRAMCapacity units.Bytes
+	// SplitRatio is the DRAM share of offloaded bytes under
+	// PlacementSplit, in [0, 1].
+	SplitRatio float64
 	// SSDBandwidthShare scales the array's sequential bandwidths to model
 	// co-tenants contending for a shared NVMe array: a fleet simulation that
 	// places k equal offloading jobs on one node hands each a 1/k share.
@@ -124,7 +156,14 @@ func (c RunConfig) withDefaults() RunConfig {
 		c.KeepLastModules = 1
 	}
 	if c.KeepLastModules < 0 {
-		c.KeepLastModules = 0 // ablation: keep nothing
+		// Ablation: keep nothing. -1 is the canonical form so defaulting
+		// is idempotent — Sweep dedups on the defaulted config and Run
+		// defaults again, and a 0 here would turn into the keep-1 default
+		// on the second pass.
+		c.KeepLastModules = -1
+	}
+	if c.Strategy == HybridOffload && c.Placement == "" {
+		c.Placement = PlacementDRAMFirst
 	}
 	return c
 }
@@ -155,10 +194,24 @@ type RunResult struct {
 	// Graph facts for estimates and tables.
 	WeightBytes   units.Bytes
 	EligibleBytes units.Bytes
-	// SSDPeak is the offload target's resident high-water mark.
+	// SSDPeak is the offload hierarchy's resident high-water mark (all
+	// tiers combined).
 	SSDPeak units.Bytes
+	// Tiers reports per-tier traffic for the offloading strategies (one
+	// entry for the single-target strategies, DRAM+NVMe for hybrid).
+	Tiers []TierUsage
 	// Counters is the runtime counter set.
 	Counters *trace.Counters
+}
+
+// TierUsage summarizes one rung of the offload hierarchy after a run.
+type TierUsage struct {
+	Name     string
+	Kind     core.TierKind
+	Written  units.Bytes
+	Read     units.Bytes
+	Peak     units.Bytes
+	Capacity units.Bytes
 }
 
 // StepTime returns the steady-state step time.

@@ -71,6 +71,39 @@ func TestSSDTrainReducesPeakKeepsTime(t *testing.T) {
 		base.StepTime(), off.StepTime(), ratio)
 }
 
+// TestWithDefaultsIdempotent pins the defaulting to be a fixed point:
+// Sweep dedups on the defaulted config and Run defaults it again, so any
+// non-idempotent mapping silently changes swept configs. The seed's
+// KeepLastModules path did exactly that (-1 → 0 → 1), re-enabling the
+// keep-last heuristic on ablation configs routed through Sweep.
+func TestWithDefaultsIdempotent(t *testing.T) {
+	cfgs := []RunConfig{
+		{Model: smallConfig(models.BERT), Strategy: SSDTrain, KeepLastModules: -1, PrefetchAhead: -1},
+		{Model: smallConfig(models.GPT), Strategy: HybridOffload, DRAMCapacity: 1 << 30},
+		{Model: smallConfig(models.T5), Strategy: CPUOffload},
+	}
+	for _, cfg := range cfgs {
+		once := cfg.withDefaults()
+		if twice := once.withDefaults(); twice != once {
+			t.Errorf("withDefaults not idempotent:\nonce:  %+v\ntwice: %+v", once, twice)
+		}
+	}
+	// The behavioural consequence: a keep-nothing ablation measured via
+	// Sweep matches the same config measured via Run.
+	abl := RunConfig{Model: smallConfig(models.BERT), Strategy: SSDTrain, KeepLastModules: -1}
+	direct, err := Run(abl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swept, err := Sweep(0, []RunConfig{abl})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Measured != swept[0].Measured {
+		t.Errorf("swept ablation diverged from direct run:\n%+v\nvs\n%+v", swept[0].Measured, direct.Measured)
+	}
+}
+
 func TestOffloadRoundTripVerified(t *testing.T) {
 	cfg := smallConfig(models.GPT)
 	cfg.Hidden = 1024

@@ -1,0 +1,176 @@
+package exp
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"ssdtrain/internal/core"
+	"ssdtrain/internal/models"
+	"ssdtrain/internal/units"
+)
+
+// sameMeasurement compares everything observable about two runs except
+// their configs: per-step metrics, the steady-state step, the planned
+// budget and the hierarchy residency peak.
+func sameMeasurement(t *testing.T, label string, a, b *RunResult) {
+	t.Helper()
+	if a.Measured != b.Measured {
+		t.Errorf("%s: measured step diverged:\n%+v\nvs\n%+v", label, a.Measured, b.Measured)
+	}
+	if len(a.PerStep) != len(b.PerStep) {
+		t.Fatalf("%s: step counts %d vs %d", label, len(a.PerStep), len(b.PerStep))
+	}
+	for i := range a.PerStep {
+		if a.PerStep[i] != b.PerStep[i] {
+			t.Errorf("%s: step %d diverged", label, i)
+		}
+	}
+	if a.PlannedBudget != b.PlannedBudget {
+		t.Errorf("%s: planned budget %v vs %v", label, a.PlannedBudget, b.PlannedBudget)
+	}
+	if a.SSDPeak != b.SSDPeak {
+		t.Errorf("%s: residency peak %v vs %v", label, a.SSDPeak, b.SSDPeak)
+	}
+}
+
+// TestHybridZeroDRAMEqualsSSDOnly: a dram-first hierarchy with no DRAM
+// capacity degenerates to the paper's NVMe-only placement, byte for
+// byte.
+func TestHybridZeroDRAMEqualsSSDOnly(t *testing.T) {
+	cfg := smallConfig(models.BERT)
+	ssd, err := Run(RunConfig{Model: cfg, Strategy: SSDTrain})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, placement := range []Placement{PlacementDRAMFirst, PlacementSSDOnly} {
+		hyb, err := Run(RunConfig{Model: cfg, Strategy: HybridOffload, Placement: placement})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sameMeasurement(t, string(placement)+"/cap0 vs ssdtrain", hyb, ssd)
+		if len(hyb.Tiers) != 1 || hyb.Tiers[0].Kind != core.TierNVMe {
+			t.Fatalf("zero-DRAM hybrid stack = %+v, want one NVMe tier", hyb.Tiers)
+		}
+	}
+}
+
+// TestHybridFullDRAMEqualsCPUOffload: with the DRAM rung large enough to
+// hold the whole eligible set, dram-first never spills and reproduces the
+// pinned-host-memory strategy exactly — both under the Fig 3 planner and
+// under a pinned budget with the capacity squeezed down to the measured
+// peak residency.
+func TestHybridFullDRAMEqualsCPUOffload(t *testing.T) {
+	cfg := smallConfig(models.BERT)
+	cpu, err := Run(RunConfig{Model: cfg, Strategy: CPUOffload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hyb, err := Run(RunConfig{
+		Model: cfg, Strategy: HybridOffload,
+		Placement: PlacementDRAMFirst, DRAMCapacity: cpu.EligibleBytes,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMeasurement(t, "dram-first/cap≥eligible vs cpu-offload", hyb, cpu)
+	if len(hyb.Tiers) != 2 {
+		t.Fatalf("hybrid stack has %d tiers, want 2", len(hyb.Tiers))
+	}
+	if hyb.Tiers[1].Written != 0 {
+		t.Errorf("NVMe rung saw %v despite an all-fitting DRAM pool", hyb.Tiers[1].Written)
+	}
+
+	// Stronger form: capacity exactly at the measured peak residency,
+	// with the budget pinned so both runs offload the same set.
+	cpuPinned, err := Run(RunConfig{Model: cfg, Strategy: CPUOffload, Budget: cpu.PlannedBudget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hybPinned, err := Run(RunConfig{
+		Model: cfg, Strategy: HybridOffload, Budget: cpu.PlannedBudget,
+		Placement: PlacementDRAMFirst, DRAMCapacity: cpuPinned.SSDPeak,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sameMeasurement(t, "dram-first/cap=peak vs cpu-offload", hybPinned, cpuPinned)
+}
+
+// TestHybridSpillsToNVMe: a DRAM rung smaller than the offloaded set
+// fills to (at most) its capacity and spills the rest to the array.
+func TestHybridSpillsToNVMe(t *testing.T) {
+	cfg := smallConfig(models.BERT)
+	ref, err := Run(RunConfig{Model: cfg, Strategy: CPUOffload})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cap := ref.SSDPeak / 3
+	hyb, err := Run(RunConfig{
+		Model: cfg, Strategy: HybridOffload,
+		Placement: PlacementDRAMFirst, DRAMCapacity: cap,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(hyb.Tiers) != 2 {
+		t.Fatalf("hybrid stack has %d tiers, want 2", len(hyb.Tiers))
+	}
+	dram, nvme := hyb.Tiers[0], hyb.Tiers[1]
+	if dram.Kind != core.TierDRAM || nvme.Kind != core.TierNVMe {
+		t.Fatalf("tier order %v/%v", dram.Kind, nvme.Kind)
+	}
+	if dram.Written == 0 || nvme.Written == 0 {
+		t.Errorf("expected traffic on both rungs, got dram=%v nvme=%v", dram.Written, nvme.Written)
+	}
+	if dram.Peak > cap {
+		t.Errorf("DRAM residency %v exceeds its %v capacity", dram.Peak, cap)
+	}
+	if hyb.Measured.IO.Leaked != 0 {
+		t.Errorf("leaked %d records", hyb.Measured.IO.Leaked)
+	}
+}
+
+// TestHybridSplitRoutesByRatio: the split policy keeps the DRAM share of
+// placed bytes near the requested ratio.
+func TestHybridSplitRoutesByRatio(t *testing.T) {
+	cfg := smallConfig(models.BERT)
+	for _, ratio := range []float64{0.25, 0.5, 0.75} {
+		hyb, err := Run(RunConfig{
+			Model: cfg, Strategy: HybridOffload,
+			Placement: PlacementSplit, SplitRatio: ratio,
+			DRAMCapacity: 1 << 40,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		dram, nvme := hyb.Tiers[0], hyb.Tiers[1]
+		total := dram.Written + nvme.Written
+		if total == 0 {
+			t.Fatalf("ratio %.2f: no offload traffic", ratio)
+		}
+		got := float64(dram.Written) / float64(total)
+		// Per-tensor granularity keeps the greedy balance within one
+		// tensor of the target.
+		if math.Abs(got-ratio) > 0.15 {
+			t.Errorf("ratio %.2f: DRAM share %.3f", ratio, got)
+		}
+	}
+}
+
+// TestPoolOverflowSurfacesThroughRun: the seed panicked the process on
+// pinned-pool overflow; the typed error now aborts the run cleanly.
+func TestPoolOverflowSurfacesThroughRun(t *testing.T) {
+	cfg := smallConfig(models.BERT)
+	_, err := Run(RunConfig{
+		Model: cfg, Strategy: CPUOffload,
+		DRAMCapacity: 64 * units.MiB, // far below one block's activations
+	})
+	var ovf *core.OverflowError
+	if !errors.As(err, &ovf) {
+		t.Fatalf("Run error = %v, want wrapped *core.OverflowError", err)
+	}
+	if ovf.Capacity != 64*units.MiB {
+		t.Errorf("overflow capacity = %v", ovf.Capacity)
+	}
+}

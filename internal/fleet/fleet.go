@@ -22,10 +22,12 @@
 package fleet
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"time"
 
+	"ssdtrain/internal/core"
 	"ssdtrain/internal/exp"
 	"ssdtrain/internal/gpu"
 	"ssdtrain/internal/ssd"
@@ -40,6 +42,13 @@ type NodeSpec struct {
 	GPUs int
 	GPU  gpu.Spec
 	SSD  exp.SSDSetup
+	// DRAM is the node's pinned host-memory budget, contended by tenants
+	// whose strategy keeps a DRAM offload rung (hybrid and cpu-offload
+	// jobs): each DRAM-using GPU is granted an equal slice, capped at the
+	// job's requested capacity, mirroring how the NVMe array's bandwidth
+	// is shared. 0 disables the DRAM model (jobs keep their requested
+	// capacities unmodified).
+	DRAM units.Bytes
 }
 
 // DefaultNodeSpec is the fleet evaluation node: 4× A100-SXM-80GB (the GPU
@@ -52,6 +61,10 @@ func DefaultNodeSpec() NodeSpec {
 		GPUs: 4,
 		GPU:  gpu.A100SXM(),
 		SSD:  exp.SSDSetup{Spec: ssd.Samsung980Pro1TB(), Count: 8, Stripe: 512 * units.KiB},
+		// 512 GiB of host memory for pinned offload pools — 128 GiB per
+		// GPU when the node is full, comfortably above a single job's
+		// working set but tight once several hybrid tenants co-locate.
+		DRAM: 512 * units.GiB,
 	}
 }
 
@@ -120,7 +133,15 @@ type nodeState struct {
 	// offGPUs is the GPU count of SSD-offloading tenants; each offloading
 	// GPU gets a 1/offGPUs share of the array.
 	offGPUs int
-	wear    *ssd.ArrayWear
+	// dramGPUs is the GPU count of DRAM-consuming tenants; each gets an
+	// equal slice of the node's pinned-pool budget (capped at its job's
+	// request). Zero when the node models no DRAM.
+	dramGPUs int
+	// dramReserved/dramPeak track the pinned bytes currently granted and
+	// their high-water mark.
+	dramReserved units.Bytes
+	dramPeak     units.Bytes
+	wear         *ssd.ArrayWear
 	// writeSecs integrates min(demand/capacity, 1) for utilization.
 	writeSecs   float64
 	busyGPUSecs float64
@@ -149,14 +170,55 @@ func (n *nodeState) arrayWriteCapacity() float64 {
 // shareFor returns the per-GPU array share a tenant sees given the node's
 // offloading GPU population.
 func (n *nodeState) shareFor(j *jobState) float64 {
-	if j.Run.Strategy != exp.SSDTrain || n.offGPUs <= 0 {
+	if !offloadsToSSD(j.Job) || n.offGPUs <= 0 {
 		return 1
 	}
 	return 1 / float64(n.offGPUs)
 }
 
-// offloadsToSSD reports whether the job writes to the node array.
-func offloadsToSSD(j Job) bool { return j.Run.Strategy == exp.SSDTrain }
+// dramGrantFor returns the per-GPU pinned-pool grant a tenant sees given
+// the node's DRAM-consuming population: an equal slice of the node
+// budget, capped at the job's own request. Hybrid tenants that may
+// contend for the array count toward offGPUs even when granted enough
+// DRAM to avoid spilling — a conservative model that keeps the share a
+// pure function of tenancy.
+func (n *nodeState) dramGrantFor(j *jobState) units.Bytes {
+	return dramGrant(n.spec, j.Job, n.dramGPUs)
+}
+
+// dramGrant computes the per-GPU pinned grant for a job when dramGPUs
+// DRAM-consuming GPUs share the node's budget.
+func dramGrant(spec NodeSpec, j Job, dramGPUs int) units.Bytes {
+	if !wantsDRAM(j) || spec.DRAM <= 0 {
+		return j.Run.DRAMCapacity
+	}
+	if dramGPUs <= 0 {
+		dramGPUs = j.GPUs
+	}
+	slice := spec.DRAM / units.Bytes(dramGPUs)
+	if req := j.Run.DRAMCapacity; req > 0 && req < slice {
+		return req
+	}
+	return slice
+}
+
+// offloadsToSSD reports whether the job can write to the node array
+// (hybrid jobs spill their DRAM overflow there).
+func offloadsToSSD(j Job) bool {
+	return j.Run.Strategy == exp.SSDTrain || j.Run.Strategy == exp.HybridOffload
+}
+
+// wantsDRAM reports whether the job keeps a pinned host-memory rung and
+// therefore consumes the node's DRAM budget.
+func wantsDRAM(j Job) bool {
+	switch j.Run.Strategy {
+	case exp.HybridOffload:
+		return j.Run.DRAMCapacity > 0
+	case exp.CPUOffload:
+		return true
+	}
+	return false
+}
 
 // validate checks the configuration and that every job can run somewhere.
 func (c Config) validate() error {
@@ -268,13 +330,14 @@ func Simulate(cfg Config) (*Report, error) {
 }
 
 // exclusiveProfile is the job's behaviour alone on a node: its own GPUs
-// still share the array with each other.
+// still share the array (and the DRAM budget) with each other.
 func (s *simState) exclusiveProfile(j *Job) (Profile, error) {
 	share := 1.0
 	if offloadsToSSD(*j) {
 		share = 1 / float64(j.GPUs)
 	}
-	return s.prof.Measure(j.Run, s.cfg.Cluster.Node, share)
+	grant := dramGrant(s.cfg.Cluster.Node, *j, j.GPUs)
+	return s.prof.Measure(j.Run, s.cfg.Cluster.Node, share, grant)
 }
 
 // admitArrivals moves jobs whose submit time has passed into the queue.
@@ -293,35 +356,51 @@ const timeEps = 1e-9
 const stepEps = 1e-6
 
 // canPlace reports whether the job fits node n right now: enough free
-// GPUs, and the resulting contention leaves every offloading tenant
-// (including the newcomer) within GPU memory.
+// GPUs, and the resulting contention — thinner array shares AND thinner
+// DRAM grants — leaves every affected tenant (including the newcomer)
+// within GPU memory.
 func (s *simState) canPlace(j *jobState, n int) (bool, error) {
 	node := s.nodes[n]
 	if node.freeGPUs < j.GPUs {
 		return false, nil
 	}
-	newOff := node.offGPUs
+	newOff, newDram := node.offGPUs, node.dramGPUs
 	if offloadsToSSD(j.Job) {
 		newOff += j.GPUs
 	}
-	if newOff == 0 {
+	if wantsDRAM(j.Job) && node.spec.DRAM > 0 {
+		newDram += j.GPUs
+	}
+	if newOff == 0 && newDram == 0 {
 		return true, nil
 	}
-	share := 1 / float64(newOff)
 	check := func(job *Job) (bool, error) {
-		p, err := s.prof.Measure(job.Run, node.spec, share)
+		share := 1.0
+		if offloadsToSSD(*job) && newOff > 0 {
+			share = 1 / float64(newOff)
+		}
+		p, err := s.prof.Measure(job.Run, node.spec, share, dramGrant(node.spec, *job, newDram))
 		if err != nil {
+			// A cpu-offload tenant whose thinned grant cannot hold its
+			// working set overflows its pool (it has no spill rung): that
+			// is placement infeasibility, exactly like a GPU-memory miss,
+			// not a fleet-wide failure.
+			var ovf *core.OverflowError
+			if errors.As(err, &ovf) {
+				return false, nil
+			}
 			return false, err
 		}
 		return p.TotalPeak <= node.spec.GPU.Memory, nil
 	}
-	if offloadsToSSD(j.Job) {
+	affected := func(job *Job) bool { return offloadsToSSD(*job) || wantsDRAM(*job) }
+	if affected(&j.Job) {
 		if ok, err := check(&j.Job); !ok || err != nil {
 			return false, err
 		}
 	}
 	for _, t := range node.running {
-		if !offloadsToSSD(t.Job) {
+		if !affected(&t.Job) {
 			continue
 		}
 		if ok, err := check(&t.Job); !ok || err != nil {
@@ -371,6 +450,9 @@ func (s *simState) place(j *jobState, n int) error {
 	if offloadsToSSD(j.Job) {
 		node.offGPUs += j.GPUs
 	}
+	if wantsDRAM(j.Job) && node.spec.DRAM > 0 {
+		node.dramGPUs += j.GPUs
+	}
 	return s.refreshRates(n)
 }
 
@@ -383,12 +465,13 @@ func (s *simState) removeFromQueue(j *jobState) {
 	}
 }
 
-// refreshRates recomputes every tenant's step and write rates after the
-// node's tenancy changed.
+// refreshRates recomputes every tenant's step and write rates (and the
+// node's DRAM reservation ledger) after the node's tenancy changed.
 func (s *simState) refreshRates(n int) error {
 	node := s.nodes[n]
+	var reserved units.Bytes
 	for _, j := range node.running {
-		p, err := s.prof.Measure(j.Run, node.spec, node.shareFor(j))
+		p, err := s.prof.Measure(j.Run, node.spec, node.shareFor(j), node.dramGrantFor(j))
 		if err != nil {
 			return err
 		}
@@ -397,6 +480,13 @@ func (s *simState) refreshRates(n int) error {
 			return fmt.Errorf("fleet: job %d (%s) has zero progress rate", j.ID, j.Name)
 		}
 		j.writeRate = float64(p.WriteRate()) * float64(j.GPUs)
+		if wantsDRAM(j.Job) && node.spec.DRAM > 0 {
+			reserved += node.dramGrantFor(j) * units.Bytes(j.GPUs)
+		}
+	}
+	node.dramReserved = reserved
+	if reserved > node.dramPeak {
+		node.dramPeak = reserved
 	}
 	return nil
 }
@@ -464,6 +554,9 @@ func (s *simState) completeFinished() {
 				node.freeGPUs += j.GPUs
 				if offloadsToSSD(j.Job) {
 					node.offGPUs -= j.GPUs
+				}
+				if wantsDRAM(j.Job) && node.spec.DRAM > 0 {
+					node.dramGPUs -= j.GPUs
 				}
 				s.completed++
 				changed = true

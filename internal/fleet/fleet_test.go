@@ -388,11 +388,11 @@ func TestProfilerMemoization(t *testing.T) {
 	p := NewProfiler(0)
 	node := DefaultNodeSpec()
 	run := exp.RunConfig{Model: models.PaperConfig(models.BERT, 8192, 4, 8), Strategy: exp.SSDTrain}
-	a, err := p.Measure(run, node, 0.5)
+	a, err := p.Measure(run, node, 0.5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := p.Measure(run, node, 0.5)
+	b, err := p.Measure(run, node, 0.5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -409,7 +409,7 @@ func TestProfilerMemoization(t *testing.T) {
 		t.Fatalf("degenerate profile: %+v", a)
 	}
 	// A thinner share must not offload more.
-	quarter, err := p.Measure(run, node, 0.25)
+	quarter, err := p.Measure(run, node, 0.25, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -421,7 +421,7 @@ func TestProfilerMemoization(t *testing.T) {
 
 // TestProfileWriteRate sanity-checks the fluid rate helpers.
 func TestProfileWriteRate(t *testing.T) {
-	p := Profile{StepTime: 2 * time.Second, OffloadedPerStep: 10 * units.GB}
+	p := Profile{StepTime: 2 * time.Second, OffloadedPerStep: 10 * units.GB, ArrayPerStep: 10 * units.GB}
 	if got := p.StepsPerSecond(); got != 0.5 {
 		t.Errorf("StepsPerSecond = %v", got)
 	}

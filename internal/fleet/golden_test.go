@@ -1,0 +1,29 @@
+package fleet
+
+import (
+	"os"
+	"testing"
+)
+
+// TestFleetReportByteIdentical pins a three-policy fleet sweep — whose
+// per-job profiles now run through the tiered offload path — to the
+// report rendering captured at 370fcb2 (pre-refactor). Regenerate (only
+// for a deliberate behaviour change) with `go run ./goldengen`.
+func TestFleetReportByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale profiles")
+	}
+	want, err := os.ReadFile("testdata/fleet_report.golden")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := ClusterSpec{Nodes: 2, Node: DefaultNodeSpec()}
+	jobs := DefaultJobMix(MixConfig{Jobs: 10, Seed: 1})
+	reports, err := PolicySweep(cluster, jobs, Policies(), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := RenderReports(reports); got != string(want) {
+		t.Errorf("fleet report diverged from 370fcb2:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

@@ -25,6 +25,11 @@ type MixConfig struct {
 	// MaxGPUs caps job footprints so every job fits the target node
 	// (default 4, the default node's size).
 	MaxGPUs int
+	// HybridFrac converts roughly this fraction of the SSDTrain jobs to
+	// dram-first hybrid tenants that contend for node DRAM as well as the
+	// array. It draws from its own generator, so HybridFrac 0 reproduces
+	// pre-hierarchy mixes byte for byte.
+	HybridFrac float64
 }
 
 func (c MixConfig) withDefaults() MixConfig {
@@ -121,6 +126,22 @@ func DefaultJobMix(cfg MixConfig) []Job {
 			Steps:  steps,
 			Submit: submit,
 		})
+	}
+	if cfg.HybridFrac > 0 {
+		// A second seeded generator leaves the base mix's draw sequence
+		// untouched: the same seed with HybridFrac 0 stays byte-identical.
+		hrng := rand.New(rand.NewSource(cfg.Seed ^ 0x7a1e5))
+		pools := []units.Bytes{16 * units.GiB, 32 * units.GiB, 64 * units.GiB}
+		for i := range jobs {
+			j := &jobs[i]
+			if j.Run.Strategy != exp.SSDTrain || hrng.Float64() >= cfg.HybridFrac {
+				continue
+			}
+			j.Run.Strategy = exp.HybridOffload
+			j.Run.Placement = exp.PlacementDRAMFirst
+			j.Run.DRAMCapacity = pools[hrng.Intn(len(pools))]
+			j.Name += "+dram"
+		}
 	}
 	return jobs
 }

@@ -1,9 +1,11 @@
 package fleet
 
 import (
+	"errors"
 	"sync/atomic"
 	"time"
 
+	"ssdtrain/internal/core"
 	"ssdtrain/internal/exp"
 	"ssdtrain/internal/lru"
 	"ssdtrain/internal/units"
@@ -19,9 +21,13 @@ type Profile struct {
 	// budget is pinned (memory-constrained jobs) dilate under contention;
 	// jobs using the Fig 3 planner instead offload less.
 	StepTime time.Duration
-	// OffloadedPerStep is the per-GPU activation volume written to the
-	// array each step.
+	// OffloadedPerStep is the per-GPU activation volume offloaded each
+	// step, across every tier of the job's hierarchy.
 	OffloadedPerStep units.Bytes
+	// ArrayPerStep is the slice of OffloadedPerStep that lands on the
+	// node's shared NVMe array — the part that contends. A dram-first
+	// hybrid granted enough DRAM writes nothing here.
+	ArrayPerStep units.Bytes
 	// ActPeak and TotalPeak are the per-GPU memory high-water marks; a
 	// placement is feasible only if TotalPeak fits the GPU.
 	ActPeak   units.Bytes
@@ -39,12 +45,14 @@ func (p Profile) StepsPerSecond() float64 {
 	return 1 / p.StepTime.Seconds()
 }
 
-// WriteRate is the per-GPU sustained write bandwidth at this share.
+// WriteRate is the per-GPU sustained write bandwidth against the shared
+// array at this share; DRAM-rung traffic stays off the array and is
+// excluded.
 func (p Profile) WriteRate() units.Bandwidth {
 	if p.StepTime <= 0 {
 		return 0
 	}
-	return units.Bandwidth(float64(p.OffloadedPerStep) / p.StepTime.Seconds())
+	return units.Bandwidth(float64(p.ArrayPerStep) / p.StepTime.Seconds())
 }
 
 // Profiler measures job profiles by running the experiment harness with
@@ -57,8 +65,8 @@ func (p Profile) WriteRate() units.Bandwidth {
 // tree, so it serves as the cache key directly — no serialization on the
 // hot lookup path.
 type Profiler struct {
-	cache  *Cache[exp.RunConfig, Profile]
-	flight lru.Singleflight[exp.RunConfig, Profile]
+	cache  *Cache[exp.RunConfig, profEntry]
+	flight lru.Singleflight[exp.RunConfig, profEntry]
 	// runs counts actual measurement executions (cache misses that did
 	// the work); with an adequate cache capacity it equals the number of
 	// distinct profiles, independent of concurrency.
@@ -66,6 +74,17 @@ type Profiler struct {
 	// coalesced counts requests that piggybacked on another caller's
 	// in-flight measurement.
 	coalesced atomic.Int64
+}
+
+// profEntry is one cached measurement outcome: a profile, or the
+// overflow that proved the (config, share, grant) combination
+// infeasible. Caching the verdict matters — every scheduler event
+// re-probes infeasible co-locations through canPlace, and without it
+// each probe would re-run the whole measurement just to rediscover the
+// same overflow.
+type profEntry struct {
+	profile  Profile
+	overflow *core.OverflowError
 }
 
 // DefaultCacheCapacity holds every profile a large sweep needs: distinct
@@ -78,48 +97,69 @@ func NewProfiler(capacity int) *Profiler {
 	if capacity <= 0 {
 		capacity = DefaultCacheCapacity
 	}
-	return &Profiler{cache: NewCache[exp.RunConfig, Profile](capacity)}
+	return &Profiler{cache: NewCache[exp.RunConfig, profEntry](capacity)}
 }
 
-// contendedRun binds a job's run config to its node hardware and array
-// share: the node's GPU and shared SSD array replace whatever the config
-// carried, and SSD-offloading runs see only their bandwidth share.
-func contendedRun(run exp.RunConfig, node NodeSpec, share float64) exp.RunConfig {
+// contendedRun binds a job's run config to its node hardware, array
+// share and DRAM grant: the node's GPU and shared SSD array replace
+// whatever the config carried, SSD-writing runs see only their bandwidth
+// share, and DRAM-consuming runs see only their granted pool slice.
+func contendedRun(run exp.RunConfig, node NodeSpec, share float64, dramGrant units.Bytes) exp.RunConfig {
 	run.GPU = node.GPU
 	run.SSD = node.SSD
-	if run.Strategy == exp.SSDTrain && share > 0 && share < 1 {
+	arrayBound := run.Strategy == exp.SSDTrain || run.Strategy == exp.HybridOffload
+	if arrayBound && share > 0 && share < 1 {
 		run.SSDBandwidthShare = share
 	} else {
 		run.SSDBandwidthShare = 0
 	}
+	if (run.Strategy == exp.HybridOffload || run.Strategy == exp.CPUOffload) && node.DRAM > 0 {
+		run.DRAMCapacity = dramGrant
+	}
 	return run
 }
 
-// Measure returns the job's profile at the given array share, running the
-// measurement on a miss. Concurrent misses on one key share a single
-// measurement via singleflight.
-func (p *Profiler) Measure(run exp.RunConfig, node NodeSpec, share float64) (Profile, error) {
-	key := contendedRun(run, node, share)
+// Measure returns the job's profile at the given array share and DRAM
+// grant, running the measurement on a miss. Concurrent misses on one key
+// share a single measurement via singleflight.
+func (p *Profiler) Measure(run exp.RunConfig, node NodeSpec, share float64, dramGrant units.Bytes) (Profile, error) {
+	key := contendedRun(run, node, share, dramGrant)
 	if v, ok := p.cache.Get(key); ok {
-		return v, nil
+		return v.unpack()
 	}
-	v, err, shared := p.flight.Do(key, func() (Profile, error) {
+	v, err, shared := p.flight.Do(key, func() (profEntry, error) {
 		// Double-check under the flight: a racing caller may have filled
 		// the cache between our miss and the flight acquisition.
 		if v, ok := p.cache.GetQuiet(key); ok {
 			return v, nil
 		}
-		v, err := measure(key)
-		if err == nil {
-			p.runs.Add(1)
-			p.cache.Put(key, v)
+		prof, err := measure(key)
+		e := profEntry{profile: prof}
+		// Pool overflow is a deterministic property of the key, so the
+		// infeasibility verdict is cached like any profile; other errors
+		// are not (nothing should produce them repeatedly).
+		if !errors.As(err, &e.overflow) && err != nil {
+			return e, err
 		}
-		return v, err
+		p.runs.Add(1)
+		p.cache.Put(key, e)
+		return e, nil
 	})
 	if shared {
 		p.coalesced.Add(1)
 	}
-	return v, err
+	if err != nil {
+		return Profile{}, err
+	}
+	return v.unpack()
+}
+
+// unpack returns the entry's profile or its cached infeasibility error.
+func (e profEntry) unpack() (Profile, error) {
+	if e.overflow != nil {
+		return Profile{}, e.overflow
+	}
+	return e.profile, nil
 }
 
 // measure executes one profiling run.
@@ -128,13 +168,36 @@ func measure(bound exp.RunConfig) (Profile, error) {
 	if err != nil {
 		return Profile{}, err
 	}
-	return Profile{
+	prof := Profile{
 		StepTime:         res.StepTime(),
 		OffloadedPerStep: res.Measured.IO.Offloaded,
 		ActPeak:          res.Measured.ActPeak,
 		TotalPeak:        res.Measured.TotalPeak,
 		PlannedBudget:    res.PlannedBudget,
-	}, nil
+	}
+	prof.ArrayPerStep = arraySlice(res, prof.OffloadedPerStep)
+	return prof, nil
+}
+
+// arraySlice apportions the steady-state per-step offload volume to the
+// NVMe rungs using the run's cumulative per-tier traffic split. A
+// single-rung NVMe run keeps the volume bit-exact.
+func arraySlice(res *exp.RunResult, perStep units.Bytes) units.Bytes {
+	var nvme, total units.Bytes
+	for _, t := range res.Tiers {
+		total += t.Written
+		if t.Kind == core.TierNVMe {
+			nvme += t.Written
+		}
+	}
+	switch {
+	case total == 0 || nvme == 0:
+		return 0
+	case nvme == total:
+		return perStep
+	default:
+		return units.Bytes(float64(perStep) * float64(nvme) / float64(total))
+	}
 }
 
 // Runs reports how many measurement executions the profiler performed.
@@ -150,39 +213,63 @@ func (p *Profiler) Cached() int { return p.cache.Len() }
 // CacheStats returns the underlying cache's hit/miss counters.
 func (p *Profiler) CacheStats() (hits, misses int64) { return p.cache.Stats() }
 
-// primeItem is one (config, share) measurement to precompute.
+// primeItem is one (config, share, grant) measurement to precompute.
 type primeItem struct {
 	run   exp.RunConfig
 	share float64
+	grant units.Bytes
 }
 
 // Prime concurrently precomputes every profile a simulation of the given
-// jobs can request: SSD-offloading jobs contend at per-GPU shares 1/t for
-// t = 1..node GPUs, all other strategies only ever run exclusively.
-// Because each profile is deterministic, priming with any worker count
-// leaves the cache in the same logical state, which is what makes the
-// fleet simulation's reports independent of parallelism.
+// jobs can request: array-writing jobs contend at per-GPU shares 1/t for
+// t = 1..node GPUs, DRAM-consuming jobs at every pool slice the node can
+// grant (the cross product, for hybrid jobs that contend on both axes),
+// and all other strategies only ever run exclusively. Because each
+// profile is deterministic, priming with any worker count leaves the
+// cache in the same logical state, which is what makes the fleet
+// simulation's reports independent of parallelism.
 func (p *Profiler) Prime(jobs []Job, node NodeSpec, workers int) error {
 	seen := make(map[exp.RunConfig]bool)
 	var items []primeItem
-	add := func(run exp.RunConfig, share float64) {
-		key := contendedRun(run, node, share)
+	add := func(run exp.RunConfig, share float64, grant units.Bytes) {
+		key := contendedRun(run, node, share, grant)
 		if !seen[key] {
 			seen[key] = true
-			items = append(items, primeItem{run: run, share: share})
+			items = append(items, primeItem{run: run, share: share, grant: grant})
 		}
 	}
 	for _, j := range jobs {
-		if j.Run.Strategy == exp.SSDTrain {
+		shares := []float64{1}
+		if offloadsToSSD(j) {
+			shares = shares[:0]
 			for t := 1; t <= node.GPUs; t++ {
-				add(j.Run, 1/float64(t))
+				shares = append(shares, 1/float64(t))
 			}
-		} else {
-			add(j.Run, 1)
+		}
+		grants := []units.Bytes{j.Run.DRAMCapacity}
+		if wantsDRAM(j) && node.DRAM > 0 {
+			grants = grants[:0]
+			for t := 1; t <= node.GPUs; t++ {
+				grants = append(grants, dramGrant(node, j, t))
+			}
+		}
+		for _, share := range shares {
+			for _, grant := range grants {
+				add(j.Run, share, grant)
+			}
 		}
 	}
 	_, err := ParallelMap(workers, items, func(it primeItem) (Profile, error) {
-		return p.Measure(it.run, node, it.share)
+		prof, err := p.Measure(it.run, node, it.share, it.grant)
+		// A pinned-budget tenant can overflow its pool at contention
+		// levels the scheduler will never actually grant it: that combo
+		// is simply infeasible — the verdict is now cached, and canPlace
+		// maps it to "cannot co-locate" — not a priming failure.
+		var ovf *core.OverflowError
+		if errors.As(err, &ovf) {
+			return Profile{}, nil
+		}
+		return prof, err
 	})
 	return err
 }

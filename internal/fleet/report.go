@@ -28,6 +28,9 @@ type NodeReport struct {
 	// LifespanYears projects the array's life if this window's write
 	// pressure continued (100 = effectively idle).
 	LifespanYears float64
+	// DRAMPeak is the high-water mark of pinned host memory granted to
+	// DRAM-offloading tenants (0 when the node ran none).
+	DRAMPeak units.Bytes
 }
 
 // JobReport summarizes one job's fate.
@@ -69,6 +72,12 @@ type Report struct {
 	MeanLifespanYears float64
 	NodeReports       []NodeReport
 	JobReports        []JobReport
+	// UsesDRAM marks that at least one tenant consumed the node DRAM
+	// budget; the tables add their DRAM columns only then, keeping
+	// NVMe-only reports byte-identical to the pre-hierarchy renderings.
+	UsesDRAM bool
+	// DRAMBudget echoes the per-node pinned-pool budget when used.
+	DRAMBudget units.Bytes
 }
 
 // report assembles the Report after the event loop drains.
@@ -138,6 +147,11 @@ func (s *simState) report() *Report {
 			MeanWriteBW:   node.wear.MeanWriteBandwidth(),
 			WearFraction:  node.wear.WearFraction(),
 			LifespanYears: years,
+			DRAMPeak:      node.dramPeak,
+		}
+		if node.dramPeak > 0 {
+			r.UsesDRAM = true
+			r.DRAMBudget = node.spec.DRAM
 		}
 		if makespan > 0 {
 			nr.GPUUtil = node.busyGPUSecs / (float64(node.spec.GPUs) * makespan)
@@ -162,13 +176,18 @@ func seconds(s float64) time.Duration {
 	return time.Duration(s*1e6+0.5) * time.Microsecond
 }
 
-// NodeTable renders per-node SSD utilization and endurance.
+// NodeTable renders per-node SSD utilization and endurance, plus the
+// pinned-DRAM high-water mark when any tenant offloaded to host memory.
 func (r *Report) NodeTable() *trace.Table {
+	cols := []string{"node", "jobs", "gpu util", "written", "write util", "mean BW", "wear", "lifespan"}
+	if r.UsesDRAM {
+		cols = append(cols, "dram peak")
+	}
 	t := trace.NewTable(
 		fmt.Sprintf("per-node shared-SSD utilization and endurance (%s)", r.Policy),
-		"node", "jobs", "gpu util", "written", "write util", "mean BW", "wear", "lifespan")
+		cols...)
 	for _, n := range r.NodeReports {
-		t.AddRow(
+		row := []any{
 			fmt.Sprintf("node%02d", n.Node),
 			n.Placements,
 			pctCell(n.GPUUtil),
@@ -177,7 +196,11 @@ func (r *Report) NodeTable() *trace.Table {
 			n.MeanWriteBW,
 			fmt.Sprintf("%.4f%%", n.WearFraction*100),
 			fmt.Sprintf("%.1f y", n.LifespanYears),
-		)
+		}
+		if r.UsesDRAM {
+			row = append(row, n.DRAMPeak)
+		}
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -215,12 +238,36 @@ func (r *Report) Summary() string {
 	fmt.Fprintf(&b, "  fleet writes    %v\n", r.TotalWritten)
 	fmt.Fprintf(&b, "  drive lifespan  min %.1f y, mean %.1f y\n",
 		r.MinLifespanYears, r.MeanLifespanYears)
+	if r.UsesDRAM {
+		peak := units.Bytes(0)
+		for _, n := range r.NodeReports {
+			if n.DRAMPeak > peak {
+				peak = n.DRAMPeak
+			}
+		}
+		fmt.Fprintf(&b, "  dram peak/node  %v of %v budget\n", peak, r.DRAMBudget)
+	}
 	return b.String()
 }
 
 // String renders the summary plus the node table.
 func (r *Report) String() string {
 	return r.Summary() + r.NodeTable().String()
+}
+
+// RenderReports renders a sweep's reports in full — per-report summary,
+// node table and job table, then the policy comparison. The
+// byte-identity goldens pin exactly this rendering, and goldengen
+// regenerates them through the same function, so the two cannot drift.
+func RenderReports(reports []*Report) string {
+	var b strings.Builder
+	for _, r := range reports {
+		b.WriteString(r.Summary())
+		b.WriteString(r.NodeTable().String())
+		b.WriteString(r.JobTable().String())
+	}
+	b.WriteString(CompareTable(reports).String())
+	return b.String()
 }
 
 func pctCell(f float64) string { return fmt.Sprintf("%.1f%%", f*100) }

@@ -25,7 +25,7 @@ func TestProfilerSingleflightRace(t *testing.T) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			p, err := prof.Measure(run, node, 0.5)
+			p, err := prof.Measure(run, node, 0.5, 0)
 			if err != nil {
 				t.Error(err)
 				return
@@ -64,7 +64,7 @@ func TestProfilerSingleflightDistinctKeys(t *testing.T) {
 			wg.Add(1)
 			go func(s float64) {
 				defer wg.Done()
-				if _, err := prof.Measure(run, node, s); err != nil {
+				if _, err := prof.Measure(run, node, s, 0); err != nil {
 					t.Error(err)
 				}
 			}(s)

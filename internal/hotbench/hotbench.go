@@ -69,6 +69,36 @@ func ShareSweep() error {
 	return nil
 }
 
+// TieredSweep runs the 8-point DRAM-capacity placement sweep once: a
+// dram-first hybrid at a quarter array share, capacities stepping
+// through the working set, all through one compiled plan. This is the
+// hot path a fleet of hybrid tenants exercises (every profile is one
+// such point), so its cost is recorded next to the engine and sweep
+// benches.
+func TieredSweep() error {
+	base := SweepBase()
+	base.SSDBandwidthShare = 0.25
+	base.Strategy = exp.HybridOffload
+	base.Placement = exp.PlacementDRAMFirst
+	plan, err := exp.Compile(base)
+	if err != nil {
+		return err
+	}
+	ref, err := plan.Execute(base)
+	if err != nil {
+		return err
+	}
+	scale := float64(ref.EligibleBytes)
+	for _, f := range []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 1} {
+		cfg := base
+		cfg.DRAMCapacity = units.Bytes(f * scale)
+		if _, err := plan.Execute(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // EngineSchedule performs n schedule-then-drain cycles with a bounded
 // queue and returns the engine for stats inspection.
 func EngineSchedule(n int) *sim.Engine {

@@ -45,6 +45,23 @@ const (
 	StrategyRecompute = exp.Recompute
 	// StrategyCPUOffload offloads activations to pinned host memory.
 	StrategyCPUOffload = exp.CPUOffload
+	// StrategyHybridOffload offloads across a tiered DRAM+NVMe hierarchy
+	// under a placement policy (RunConfig.Placement, DRAMCapacity,
+	// SplitRatio).
+	StrategyHybridOffload = exp.HybridOffload
+)
+
+// Tier placement policies for StrategyHybridOffload.
+const (
+	// PlacementSSDOnly routes everything to the NVMe rung (the paper's
+	// placement expressed on the tiered stack).
+	PlacementSSDOnly = exp.PlacementSSDOnly
+	// PlacementDRAMFirst fills the pinned DRAM pool first and spills
+	// overflow to NVMe.
+	PlacementDRAMFirst = exp.PlacementDRAMFirst
+	// PlacementSplit routes a fixed fraction of offloaded bytes to DRAM
+	// and the rest to NVMe, keeping both PCIe paths busy.
+	PlacementSplit = exp.PlacementSplit
 )
 
 // Re-exported configuration and result types.
@@ -66,6 +83,15 @@ type (
 	// Plan is a compiled measurement: the memoized config-shape-dependent
 	// work of a run (graph template, activation vectors, budget plan).
 	Plan = exp.Plan
+	// Placement selects the hybrid strategy's tier-routing policy.
+	Placement = exp.Placement
+	// TierUsage summarizes one rung of the offload hierarchy after a run.
+	TierUsage = exp.TierUsage
+	// DRAMSweepResult is a DRAM-capacity sweep with its single-target
+	// endpoints.
+	DRAMSweepResult = exp.DRAMSweepResult
+	// DRAMSweepRow is one point of a DRAM-capacity sweep.
+	DRAMSweepRow = exp.DRAMSweepRow
 )
 
 // PaperConfig returns the paper's §IV-A evaluation configuration for an
@@ -90,6 +116,16 @@ func Compile(cfg RunConfig) (*Plan, error) { return exp.Compile(cfg) }
 func TrainSweep(workers int, cfgs []RunConfig) ([]*RunResult, error) {
 	return exp.Sweep(workers, cfgs)
 }
+
+// DRAMSweep measures dram-first hybrid step time against DRAM capacity
+// (fractions of the cpu-offload endpoint's residency peak; nil selects
+// ninths), returning the sweep and both single-target endpoints.
+func DRAMSweep(base RunConfig, fracs []float64) (*DRAMSweepResult, error) {
+	return exp.DRAMSweep(base, fracs)
+}
+
+// DRAMSweepTable renders a DRAM-capacity sweep as text.
+func DRAMSweepTable(r *DRAMSweepResult) *trace.Table { return exp.DRAMSweepTable(r) }
 
 // Fig6 measures step time and activation peak for all nine evaluation
 // points (Fig 6). batch 0 selects the paper's 16.
