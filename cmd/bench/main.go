@@ -1,14 +1,21 @@
 // Command bench runs the hot-path benchmark workloads (the same ones
-// behind `go test -bench 'BenchmarkEngine|BenchmarkCompiled|BenchmarkTiered'`)
-// through testing.Benchmark and writes two records: BENCH_hotpath.json
+// behind `go test -bench 'BenchmarkEngine|BenchmarkCompiled|BenchmarkTiered|BenchmarkSession'`)
+// through testing.Benchmark and writes three records: BENCH_hotpath.json
 // (ns/op and allocs/op for the event engine and the compiled sweeps,
-// next to the pre-PR baselines) and BENCH_tier.json (the tiered
-// DRAM+NVMe placement sweep), so the simulator's perf trajectory is
-// recorded instead of anecdotal.
+// next to the pre-PR baselines), BENCH_tier.json (the tiered DRAM+NVMe
+// placement sweep), and BENCH_session.json (the same share and tiered
+// sweeps on reused exp.Sessions, with the fresh-Execute numbers measured
+// in the same invocation on the same host as the baseline), so the
+// simulator's perf trajectory is recorded instead of anecdotal.
+//
+// The -cpuprofile and -memprofile flags capture pprof profiles of the
+// benchmark run, so hot-path regressions can be diagnosed without
+// editing benchmark code.
 //
 // Usage:
 //
-//	bench [-o BENCH_hotpath.json] [-tier-o BENCH_tier.json]
+//	bench [-o BENCH_hotpath.json] [-tier-o BENCH_tier.json] [-session-o BENCH_session.json]
+//	      [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -19,8 +26,10 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"testing"
 
+	"ssdtrain/internal/exp"
 	"ssdtrain/internal/hotbench"
 )
 
@@ -64,19 +73,23 @@ func measure(name string, fn func(b *testing.B)) measurement {
 		BytesPerOp:  r.AllocedBytesPerOp(),
 	}
 	if b, ok := baselines[name]; ok {
-		bl := b
-		m.Baseline = &bl
-		if m.NsPerOp > 0 {
-			m.Speedup = bl.NsPerOp / m.NsPerOp
-		}
-		if m.AllocsPerOp > 0 {
-			m.AllocsRatio = float64(bl.AllocsPerOp) / float64(m.AllocsPerOp)
-		}
-		// AllocsPerOp == 0 with a nonzero baseline leaves AllocsRatio
-		// unset: the path became allocation-free and no finite ratio
-		// describes that.
+		m.compareTo(b)
 	}
 	return m
+}
+
+// compareTo fills the measurement's baseline-relative fields.
+func (m *measurement) compareTo(bl baseline) {
+	m.Baseline = &bl
+	if m.NsPerOp > 0 {
+		m.Speedup = bl.NsPerOp / m.NsPerOp
+	}
+	if m.AllocsPerOp > 0 {
+		m.AllocsRatio = float64(bl.AllocsPerOp) / float64(m.AllocsPerOp)
+	}
+	// AllocsPerOp == 0 with a nonzero baseline leaves AllocsRatio
+	// unset: the path became allocation-free and no finite ratio
+	// describes that.
 }
 
 // benchReport is one emitted JSON record.
@@ -122,7 +135,22 @@ func emit(w io.Writer, path string, report benchReport, order []string) {
 func main() {
 	out := flag.String("o", "BENCH_hotpath.json", "output file (- for stdout)")
 	tierOut := flag.String("tier-o", "BENCH_tier.json", "tiered-placement output file (- for stdout)")
+	sessionOut := flag.String("session-o", "BENCH_session.json", "session-reuse output file (- for stdout)")
+	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
+	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the benchmarks to this file")
 	flag.Parse()
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
 
 	report := benchReport{
 		Note:    "hot-path perf record: event engine + compiled sweeps; baselines measured pre-refactor at d58ffb6 (seed exp.Run per point, container/heap engine); ns/op speedups are valid only on hardware comparable to the baseline host — allocs/op ratios are machine-independent",
@@ -157,7 +185,7 @@ func main() {
 	})
 
 	var rows io.Writer = os.Stdout
-	if *out == "-" || *tierOut == "-" {
+	if *out == "-" || *tierOut == "-" || *sessionOut == "-" {
 		rows = os.Stderr
 	}
 	emit(rows, *out, report, []string{"engine_schedule", "engine_steady_state", "compiled_sweep", "compiled_share_sweep"})
@@ -177,4 +205,47 @@ func main() {
 		}
 	})
 	emit(rows, *tierOut, tier, []string{"tiered_sweep"})
+
+	// Session-reuse record: the same share and tiered sweep points on one
+	// reused exp.Session per sweep. The baselines are the fresh-Execute
+	// measurements taken moments ago in this same process, so the
+	// fresh-vs-session comparison is same-host, same-run by construction.
+	session := benchReport{
+		Note:    "session-reuse hot path: the share and tiered sweeps re-executed on one recycled exp.Session per sweep (arena built once, reset in place per point); baselines are the fresh-Execute numbers measured in the same run on the same host, so both ns/op and allocs/op ratios are directly comparable",
+		GoVer:   runtime.Version(),
+		CPUs:    runtime.NumCPU(),
+		Results: map[string]measurement{},
+	}
+	sessionBench := func(newSession func() (*exp.Session, error), sweep func(*exp.Session) error) func(b *testing.B) {
+		return func(b *testing.B) {
+			hotbench.SessionSweepBench(b, newSession, sweep)
+		}
+	}
+	mShare := measure("session_share_sweep", sessionBench(hotbench.NewShareSweepSession, hotbench.SessionShareSweep))
+	mShare.compareTo(baseline{
+		NsPerOp:     report.Results["compiled_share_sweep"].NsPerOp,
+		AllocsPerOp: report.Results["compiled_share_sweep"].AllocsPerOp,
+		Commit:      "same-run fresh Execute",
+	})
+	session.Results["session_share_sweep"] = mShare
+	mTier := measure("session_tiered_sweep", sessionBench(hotbench.NewTieredSweepSession, hotbench.SessionTieredSweep))
+	mTier.compareTo(baseline{
+		NsPerOp:     tier.Results["tiered_sweep"].NsPerOp,
+		AllocsPerOp: tier.Results["tiered_sweep"].AllocsPerOp,
+		Commit:      "same-run fresh Execute",
+	})
+	session.Results["session_tiered_sweep"] = mTier
+	emit(rows, *sessionOut, session, []string{"session_share_sweep", "session_tiered_sweep"})
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		runtime.GC()
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			log.Fatal(err)
+		}
+	}
 }

@@ -1,13 +1,18 @@
 // Example compiled_sweep demonstrates the compiled-plan API: compile a
-// measurement once, then execute a budget sweep and a bandwidth-share
-// sweep against the shared plan, with adaptive steady-state detection
-// cutting the per-point simulation cost. The equivalent one-shot calls
-// (ssdtrain.Train / ssdtrain.TrainSweep) hit the same plan cache.
+// measurement once, bind a reusable Session to the plan, then execute a
+// budget sweep and a bandwidth-share sweep against the shared arena,
+// with adaptive steady-state detection cutting the per-point simulation
+// cost. The session resets in place between points instead of
+// rebuilding the simulated machine, and its results are byte-identical
+// to one-shot runs — the equivalent calls (ssdtrain.Train /
+// ssdtrain.TrainSweep) hit the same plan cache and pool sessions
+// internally.
 package main
 
 import (
 	"fmt"
 	"log"
+	"reflect"
 	"time"
 
 	"ssdtrain"
@@ -29,26 +34,47 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One reusable arena for every point of the sweep: Execute resets it
+	// in place (engine clock, weights, offload queues, cache pools)
+	// instead of rebuilding runtime + graph + offload stack per point.
+	sess, err := ssdtrain.NewSession(plan)
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Reference run: let the Fig 3 planner pick the budget.
-	ref, err := plan.Execute(base)
+	ref, err := sess.Execute(base)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("%s  planned budget %v  step %v  activation peak %v\n\n",
 		model, ref.PlannedBudget, ref.StepTime(), ref.Measured.ActPeak)
 
-	// Budget sweep: every point reuses the compiled graph and vectors.
+	// Budget sweep: every point reuses the compiled graph, vectors and
+	// the session's recycled arena.
 	fmt.Println("offload budget sweep (fraction of planned):")
 	for _, f := range []float64{0.25, 0.5, 0.75, 1.0} {
 		cfg := base
 		cfg.Budget = units.Bytes(f * float64(ref.PlannedBudget))
-		res, err := plan.Execute(cfg)
+		res, err := sess.Execute(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("  %4.0f%%  offloaded %8v  step %v  peak %v\n",
 			f*100, res.Measured.IO.Offloaded, res.StepTime(), res.Measured.ActPeak)
 	}
+
+	// The recycled arena is an optimization, never a behavior change:
+	// a single-use Execute of the same config must agree byte-for-byte.
+	fresh, err := plan.Execute(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	again, err := sess.Execute(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsession reuse byte-identical to fresh Execute: %v\n", reflect.DeepEqual(fresh, again))
 
 	// Share sweep via the deduplicated batch API: 8 requested points,
 	// 4 distinct — duplicates share one simulation.

@@ -52,6 +52,21 @@ func BenchmarkTieredSweep(b *testing.B) {
 	}
 }
 
+// BenchmarkSessionShareSweep runs the 4-point bandwidth-share sweep on
+// one reused exp.Session: the arena (runtime, graph, offload stack) is
+// built once outside the loop and reset in place per point. Recorded to
+// BENCH_session.json by cmd/bench next to the fresh-Execute baseline.
+func BenchmarkSessionShareSweep(b *testing.B) {
+	hotbench.SessionSweepBench(b, hotbench.NewShareSweepSession, hotbench.SessionShareSweep)
+}
+
+// BenchmarkSessionTieredSweep runs the 8-point DRAM-capacity placement
+// sweep on one reused exp.Session (dram-first hybrid at a quarter array
+// share) — the fleet profiler's hot path with arena recycling.
+func BenchmarkSessionTieredSweep(b *testing.B) {
+	hotbench.SessionSweepBench(b, hotbench.NewTieredSweepSession, hotbench.SessionTieredSweep)
+}
+
 // BenchmarkDedupSweep measures the exp.Sweep dedup layer on a batch with
 // heavy repetition (16 requested points, 4 distinct), the shape fleet
 // mixes produce. Sequential workers isolate dedup from parallelism.

@@ -43,6 +43,19 @@ type opRun struct {
 	saved  []savedRef
 	finish time.Duration
 	out    *tensor.Tensor
+
+	// outT..recMaskT are the op's recycled tensors: every step (and every
+	// run on a recycled arena) produces the same tensor population, so
+	// instead of allocating fresh tensor+storage pairs each iteration the
+	// executor re-zeroes these in place (reviveInto). Identity semantics
+	// are preserved — a revived storage is unstamped and unreferenced, so
+	// the allocator and the cache treat it exactly like a new allocation.
+	outT     *tensor.Tensor
+	gradT    *tensor.Tensor
+	maskT    *tensor.Tensor
+	statsT   *tensor.Tensor
+	recT     *tensor.Tensor
+	recMaskT *tensor.Tensor
 }
 
 // blockRun records one executed forward block. blockRuns live on the
@@ -106,10 +119,23 @@ type Executor struct {
 	hooks Hooks
 	cfg   ExecConfig
 
-	clock    time.Duration // start of the next step
-	seed     uint64
-	gradOf   map[int64]*tensor.Tensor // weight storage seq → grad tensor
-	consumer map[int]int              // block index → forward consumer count
+	clock time.Duration // start of the next step
+	seed  uint64
+	// weights caches the graph's distinct parameters (graph order): the
+	// optimizer touches them every step and Reset re-registers them, so
+	// recomputing the list per use would put a map+slice on the hot path.
+	weights []*tensor.Tensor
+	gradOf  map[int64]*tensor.Tensor // weight storage seq → grad tensor
+	// gradAllocated marks grad buffers registered with the allocator in
+	// the current run; cleared by Reset so a recycled arena re-allocates
+	// them at first backward touch exactly like a fresh executor.
+	gradAllocated map[int64]bool
+	consumer      map[int]int // block index → forward consumer count
+
+	// inT/gradSeedT are the recycled per-micro-batch graph input and loss
+	// gradient seed (see opRun's recycled tensors).
+	inT       *tensor.Tensor
+	gradSeedT *tensor.Tensor
 
 	static []blockStatic
 	// runs/outs/finishes are per-step scratch, reset every micro-batch.
@@ -140,19 +166,55 @@ func NewExecutor(rt *Runtime, g *Graph, hooks Hooks, cfg ExecConfig) (*Executor,
 		cfg.AccumCost = func(*tensor.Tensor) time.Duration { return 0 }
 	}
 	e := &Executor{
-		rt:     rt,
-		graph:  g,
-		hooks:  hooks,
-		cfg:    cfg,
-		seed:   cfg.Seed,
-		gradOf: make(map[int64]*tensor.Tensor),
+		rt:            rt,
+		graph:         g,
+		hooks:         hooks,
+		cfg:           cfg,
+		seed:          cfg.Seed,
+		weights:       g.Weights(),
+		gradOf:        make(map[int64]*tensor.Tensor),
+		gradAllocated: make(map[int64]bool),
 	}
-	for _, w := range g.Weights() {
+	for _, w := range e.weights {
 		rt.Life.Alloc(0, w.Storage(), gpu.ClassWeights)
 	}
 	e.computeConsumers()
 	e.computeStatics()
 	return e, nil
+}
+
+// Weights returns the graph's distinct parameter tensors in graph order.
+func (e *Executor) Weights() []*tensor.Tensor { return e.weights }
+
+// Reset rewinds the executor for a new measurement on a recycled arena:
+// the step clock restarts, the materialization seed replays, gradient
+// buffers are treated as unallocated again (re-registered at first
+// backward touch, as a fresh executor would), and the weights are
+// re-registered with the (reset) allocator. Call after Runtime.Reset and
+// after the weight storages were reset in place.
+func (e *Executor) Reset() {
+	e.clock = 0
+	e.seed = e.cfg.Seed
+	clear(e.gradAllocated)
+	for _, w := range e.weights {
+		e.rt.Life.Alloc(0, w.Storage(), gpu.ClassWeights)
+	}
+}
+
+// reviveInto returns the cached tensor with its storage re-zeroed,
+// allocating the tensor on first use. A revived tensor keeps its identity
+// (name, shape, dtype); its storage is unstamped, unreferenced and
+// unmaterialized, indistinguishable from a fresh allocation to the
+// allocator and the cache.
+func reviveInto(slot **tensor.Tensor, name string, shape tensor.Shape, dt tensor.DType) *tensor.Tensor {
+	t := *slot
+	if t == nil {
+		t = tensor.New(name, shape, dt, tensor.GPU)
+		*slot = t
+		return t
+	}
+	t.Storage().ResetForReuse()
+	return t
 }
 
 // computeConsumers precomputes forward fan-out per block output.
@@ -265,7 +327,7 @@ func (e *Executor) Run() StepResult {
 
 		// Graph input (token ids). It carries a producer ref plus one
 		// consumer ref for the first block.
-		in := tensor.New("input", e.graph.InputShape, e.graph.InputDType, tensor.GPU)
+		in := reviveInto(&e.inT, "input", e.graph.InputShape, e.graph.InputDType)
 		e.rt.Life.Alloc(hostNow, in.Storage(), gpu.ClassWorkspace)
 		e.rt.Life.Retain(in.Storage())
 
@@ -299,7 +361,7 @@ func (e *Executor) Run() StepResult {
 		final := e.outs[len(e.outs)-1]
 		finalFinish := e.finishes[len(e.finishes)-1]
 		// Loss gradient seed, shaped like the final output.
-		grad := tensor.New("gradseed", final.Shape(), final.DType(), tensor.GPU)
+		grad := reviveInto(&e.gradSeedT, "gradseed", final.Shape(), final.DType())
 		e.rt.Life.Alloc(hostNow, grad.Storage(), gpu.ClassWorkspace)
 		// The loss consumer ref on the final output: the gradient seed's
 		// computation reads it once the forward output exists.
@@ -324,7 +386,7 @@ func (e *Executor) Run() StepResult {
 	// Optimizer.
 	bwdEndAll := e.rt.Compute.BusyUntil()
 	e.hooks.Phase(PhaseOptimizer, 0, hostNow)
-	for _, w := range e.graph.Weights() {
+	for _, w := range e.weights {
 		hostNow += e.rt.Spec.HostIssue
 		e.rt.Compute.Submit(hostNow, e.cfg.UpdateCost(w), nil)
 	}
@@ -455,9 +517,9 @@ func (e *Executor) forwardBlock(run *blockRun, st *blockStatic, bi int, inFinish
 		start := finish - op.FwdTime
 		*modelFLOPs += op.FwdFLOPs
 
-		out := tensor.New(st.ops[oi].outName, op.OutShape, op.OutDType, tensor.GPU)
-		e.rt.Life.Alloc(start, out.Storage(), gpu.ClassActivations)
 		rec := &run.ops[oi]
+		out := reviveInto(&rec.outT, st.ops[oi].outName, op.OutShape, op.OutDType)
+		e.rt.Life.Alloc(start, out.Storage(), gpu.ClassActivations)
 		rec.spec, rec.finish, rec.out = op, finish, out
 		rec.saved = rec.saved[:0]
 
@@ -529,14 +591,14 @@ func (e *Executor) saveForBackward(rec *opRun, os *opStatic, b *Block, oi int, i
 		rec.saved = append(rec.saved, e.pack(extras[op.SaveExtra1-1], start, hostNow))
 	}
 	if op.SaveMask {
-		mask := tensor.New(os.maskName, op.OutShape, tensor.BOOL, tensor.GPU)
+		mask := reviveInto(&rec.maskT, os.maskName, op.OutShape, tensor.BOOL)
 		e.rt.Life.Alloc(start, mask.Storage(), gpu.ClassActivations)
 		ref := e.pack(mask, finish, hostNow)
 		e.rt.Life.Release(mask.Storage(), finish) // producer ref
 		rec.saved = append(rec.saved, ref)
 	}
 	if op.SaveStatsElems > 0 {
-		stats := tensor.New(os.statsName, os.statsShape, tensor.FP32, tensor.GPU)
+		stats := reviveInto(&rec.statsT, os.statsName, os.statsShape, tensor.FP32)
 		e.rt.Life.Alloc(start, stats.Storage(), gpu.ClassActivations)
 		ref := e.pack(stats, finish, hostNow)
 		e.rt.Life.Release(stats.Storage(), finish)
@@ -562,11 +624,11 @@ func (e *Executor) backwardBlock(run *blockRun, st *blockStatic, gradIn *tensor.
 			*hostNow += e.rt.Spec.HostIssue
 			finish := e.rt.Compute.Submit(*hostNow, op.FwdTime, nil)
 			start := finish - op.FwdTime
-			out := tensor.New(st.ops[oi].recName, op.OutShape, op.OutDType, tensor.GPU)
+			out := reviveInto(&run.ops[oi].recT, st.ops[oi].recName, op.OutShape, op.OutDType)
 			e.rt.Life.Alloc(start, out.Storage(), gpu.ClassActivations)
 			run.recomputed[oi] = out
 			if op.SaveMask {
-				m := tensor.New(st.ops[oi].maskName, op.OutShape, tensor.BOOL, tensor.GPU)
+				m := reviveInto(&run.ops[oi].recMaskT, st.ops[oi].maskName, op.OutShape, tensor.BOOL)
 				e.rt.Life.Alloc(start, m.Storage(), gpu.ClassActivations)
 				run.recMasks = append(run.recMasks, m)
 			}
@@ -602,17 +664,24 @@ func (e *Executor) backwardBlock(run *blockRun, st *blockStatic, gradIn *tensor.
 		} else {
 			inShape, inDType = run.in.Shape(), run.in.DType()
 		}
-		gnext := tensor.New(st.ops[oi].gradName, inShape, inDType, tensor.GPU)
+		gnext := reviveInto(&run.ops[oi].gradT, st.ops[oi].gradName, inShape, inDType)
 		e.rt.Life.Alloc(start, gnext.Storage(), gpu.ClassWorkspace)
 
 		// Weight gradient buffer, allocated on first backward touch and
-		// retained across steps (frameworks keep .grad buffers resident).
+		// retained across steps (frameworks keep .grad buffers resident);
+		// a recycled arena revives the buffer instead of reallocating it.
 		if op.Weight != nil {
 			seq := op.Weight.Storage().Seq()
-			if _, ok := e.gradOf[seq]; !ok {
-				g := tensor.New(op.Weight.Name()+".grad", op.Weight.Shape(), op.Weight.DType(), tensor.GPU)
+			if !e.gradAllocated[seq] {
+				g, ok := e.gradOf[seq]
+				if !ok {
+					g = tensor.New(op.Weight.Name()+".grad", op.Weight.Shape(), op.Weight.DType(), tensor.GPU)
+					e.gradOf[seq] = g
+				} else {
+					g.Storage().ResetForReuse()
+				}
 				e.rt.Life.Alloc(start, g.Storage(), gpu.ClassGradients)
-				e.gradOf[seq] = g
+				e.gradAllocated[seq] = true
 			}
 			if mb > 0 {
 				// Accumulation read-modify-write for later micro-batches.

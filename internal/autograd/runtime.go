@@ -40,6 +40,21 @@ func NewRuntime(spec gpu.Spec) *Runtime {
 	}
 }
 
+// Reset rewinds the whole simulated device for reuse by a new
+// measurement on the same arena: virtual time restarts, the allocator's
+// recorded run is discarded (hooks survive), pending lifetime bookkeeping
+// is dropped, the compute stream is idle, and the counters read zero.
+// Warm capacity — the engine's event pool, the allocator's event buffer,
+// map buckets everywhere — is retained; that is what makes a reset
+// cheaper than a rebuild.
+func (rt *Runtime) Reset() {
+	rt.Eng.Reset()
+	rt.Alloc.Reset()
+	rt.Life.Reset()
+	rt.Compute.Reset()
+	rt.Counters.Reset()
+}
+
 // Lifetimes coordinates reference-counted storage release between the
 // executor and the tensor cache. A storage is freed into the allocator
 // when its last strong reference is dropped, at the latest virtual time
@@ -79,6 +94,12 @@ func (l *Lifetimes) Release(s *tensor.Storage, at time.Duration) {
 		delete(l.freeAt, seq)
 	}
 }
+
+// Reset drops any pending release bookkeeping for reuse by a new run. A
+// clean run ends quiescent, so this usually clears nothing; after an
+// aborted run it discards the partial state a fresh tracker would never
+// have seen.
+func (l *Lifetimes) Reset() { clear(l.freeAt) }
 
 // MustBeQuiescent panics if any tracked release times remain for live
 // storages — a leak detector used by tests at step boundaries.

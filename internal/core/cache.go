@@ -95,6 +95,19 @@ type record struct {
 	consumed int
 
 	checksum uint32
+
+	// self is the record's boxed handle, created once and reused for every
+	// Pack return while the record lives (including recycled lives) — the
+	// interface conversion would otherwise allocate on every registration.
+	self autograd.Packed
+}
+
+// handleOf returns the record's boxed handle, boxing on first use.
+func (r *record) handleOf() autograd.Packed {
+	if r.self == nil {
+		r.self = handle{r}
+	}
+	return r.self
 }
 
 // handle is what the cache returns from Pack in place of the tensor — the
@@ -139,6 +152,18 @@ type TensorCache struct {
 	// learned from the previous forward order.
 	keepLast  map[*autograd.Module]bool
 	prevOrder []*autograd.Module
+	// spareOrder is the retired forward-order buffer prevOrder displaced;
+	// the next micro-batch records into it, so order tracking rotates
+	// through two buffers instead of allocating one per micro-batch.
+	spareOrder []*autograd.Module
+
+	// Recycling pools: every step churns through the same population of
+	// records, per-micro-batch record maps and reload buffers, so the
+	// end-of-step sweep returns them here instead of to the garbage
+	// collector and the steady-state step allocates (almost) nothing.
+	recPool  []*record
+	freeRecs []map[TensorID]*record
+	reloads  map[reloadKey][]*tensor.Tensor
 
 	scopeStack []*autograd.Module
 	inBackward bool
@@ -167,7 +192,41 @@ func NewTensorCache(cfg Config) *TensorCache {
 		ids:          NewIDSource(),
 		weightStamps: make(map[int64]bool),
 		keepLast:     make(map[*autograd.Module]bool),
+		byModule:     make(map[*autograd.Module][]*record),
+		moduleIndex:  make(map[*autograd.Module]int),
+		reloads:      make(map[reloadKey][]*tensor.Tensor),
 	}
+}
+
+// Reset rewinds the cache for a new measurement on a recycled arena under
+// a freshly planned offload budget. All per-run state — records, module
+// orders, the learned keep-last set, error latches, I/O totals, the stamp
+// clock and the registered weight set — returns to the just-constructed
+// state; the recycling pools and map buckets survive, which is what makes
+// a reused cache cheaper than a new one. The caller must have reset the
+// previously stamped storages in place (the ID clock restarts) and must
+// re-register the run's weights afterwards.
+func (c *TensorCache) Reset(budget units.Bytes) {
+	c.recycleStepState()
+	c.cfg.Budget = budget
+	c.ids.Reset()
+	clear(c.weightStamps)
+	c.curMB = 0
+	clear(c.moduleIndex)
+	if cap(c.moduleOrder) > cap(c.spareOrder) {
+		c.spareOrder = c.moduleOrder[:0]
+	}
+	if cap(c.prevOrder) > cap(c.spareOrder) {
+		c.spareOrder = c.prevOrder[:0]
+	}
+	c.moduleOrder, c.prevOrder = nil, nil
+	c.offloadedMB = 0
+	clear(c.keepLast)
+	c.scopeStack = c.scopeStack[:0]
+	c.inBackward = false
+	c.dedupSalt = 0
+	c.cur, c.last, c.totals = StepIO{}, StepIO{}, StepIO{}
+	c.err = nil
 }
 
 // RegisterWeights records the identifiers of all parameters (and, via the
@@ -203,30 +262,124 @@ func (c *TensorCache) Phase(ev autograd.PhaseEvent, mb int, hostNow time.Duratio
 	switch ev {
 	case autograd.PhaseStepStart:
 		c.cur = StepIO{}
-		c.stepRecs = nil
+		c.stepRecs = c.stepRecs[:0]
 	case autograd.PhaseForward:
-		// Micro-batch switch (② in Fig 2): fresh record set.
+		// Micro-batch switch (② in Fig 2): fresh record set. Maps and
+		// order buffers are recycled, not reallocated — the step's record
+		// population is the same every iteration.
 		c.inBackward = false
 		c.curMB = mb
 		if c.recs != nil {
 			c.stepRecs = append(c.stepRecs, c.recs)
 		}
-		c.recs = make(map[TensorID]*record)
-		c.byModule = make(map[*autograd.Module][]*record)
-		c.moduleIndex = make(map[*autograd.Module]int)
-		c.moduleOrder = nil
+		c.recs = c.popRecMap()
+		for m, rs := range c.byModule {
+			c.byModule[m] = rs[:0]
+		}
+		clear(c.moduleIndex)
+		c.moduleOrder = c.spareOrder[:0]
+		c.spareOrder = nil
 		c.offloadedMB = 0
 		// Learn the keep-last set from the previous forward order.
-		c.keepLast = make(map[*autograd.Module]bool)
+		clear(c.keepLast)
 		for i := 0; i < c.cfg.KeepLastModules && i < len(c.prevOrder); i++ {
 			c.keepLast[c.prevOrder[len(c.prevOrder)-1-i]] = true
 		}
 	case autograd.PhaseBackward:
 		c.inBackward = true
+		// The displaced previous order becomes the next micro-batch's
+		// recording buffer; keepLast above reads prevOrder before the swap
+		// ever reuses it.
+		c.spareOrder = c.prevOrder[:0]
 		c.prevOrder = c.moduleOrder
 	case autograd.PhaseStepEnd:
 		c.sweep(hostNow)
 	}
+}
+
+// popRecMap returns a cleared record map from the pool, or a fresh one.
+func (c *TensorCache) popRecMap() map[TensorID]*record {
+	if n := len(c.freeRecs); n > 0 {
+		m := c.freeRecs[n-1]
+		c.freeRecs[n-1] = nil
+		c.freeRecs = c.freeRecs[:n-1]
+		return m
+	}
+	return make(map[TensorID]*record)
+}
+
+// newRecord returns a zeroed record from the pool, or a fresh one.
+func (c *TensorCache) newRecord() *record {
+	if n := len(c.recPool); n > 0 {
+		rec := c.recPool[n-1]
+		c.recPool[n-1] = nil
+		c.recPool = c.recPool[:n-1]
+		return rec
+	}
+	return &record{}
+}
+
+// recycleRecord zeroes a fully processed record and pools it, salvaging
+// its reload buffer and boxed handle for the next step.
+func (c *TensorCache) recycleRecord(rec *record) {
+	if rec.loaded != nil {
+		c.poolReload(rec.loaded)
+	}
+	self := rec.self
+	*rec = record{self: self}
+	c.recPool = append(c.recPool, rec)
+}
+
+// reloadKey indexes the reload-buffer pool by tensor geometry; the pooled
+// tensor's shape is verified on pop, so a hash collision degrades to an
+// allocation, never to a wrong buffer.
+type reloadKey struct {
+	shape uint64
+	dtype tensor.DType
+}
+
+// poolReload returns a released reload buffer to the pool.
+func (c *TensorCache) poolReload(buf *tensor.Tensor) {
+	k := reloadKey{shape: buf.Shape().Hash(), dtype: buf.DType()}
+	c.reloads[k] = append(c.reloads[k], buf)
+}
+
+// newReload returns a reload buffer shaped like t: a recycled buffer with
+// its storage re-zeroed when one fits, a fresh allocation otherwise. A
+// recycled buffer keeps the diagnostic name of its first life; everything
+// the simulation observes — storage size, shape, dtype, payload — is
+// indistinguishable from a fresh buffer.
+func (c *TensorCache) newReload(t *tensor.Tensor) *tensor.Tensor {
+	k := reloadKey{shape: t.Shape().Hash(), dtype: t.DType()}
+	if pool := c.reloads[k]; len(pool) > 0 {
+		buf := pool[len(pool)-1]
+		if buf.Shape().Equal(t.Shape()) {
+			pool[len(pool)-1] = nil
+			c.reloads[k] = pool[:len(pool)-1]
+			buf.Storage().ResetForReuse()
+			return buf
+		}
+	}
+	return tensor.New(t.Name()+".reload", t.Shape(), t.DType(), tensor.GPU)
+}
+
+// recycleStepState drains any outstanding per-step record maps into the
+// pools without leak accounting (used by Reset after an aborted run; the
+// end-of-step sweep recycles inline with its leak pass).
+func (c *TensorCache) recycleStepState() {
+	maps := c.stepRecs
+	if c.recs != nil {
+		maps = append(maps, c.recs)
+	}
+	for _, m := range maps {
+		for _, rec := range m {
+			c.recycleRecord(rec)
+		}
+		clear(m)
+		c.freeRecs = append(c.freeRecs, m)
+	}
+	c.stepRecs = c.stepRecs[:0]
+	c.recs = nil
 }
 
 // ForwardPre implements autograd.Hooks: push the module scope and record
@@ -330,7 +483,7 @@ func (c *TensorCache) issueLoad(rec *record, ready time.Duration) {
 		start, finish, data = ready, ready, nil
 		c.rt.Counters.Add("cache.load_errors", 1)
 	}
-	buf := tensor.New(rec.t.Name()+".reload", rec.t.Shape(), rec.t.DType(), tensor.GPU)
+	buf := c.newReload(rec.t)
 	if data != nil {
 		buf.Storage().SetData(data)
 		if c.cfg.Verify {
@@ -388,17 +541,16 @@ func (c *TensorCache) Pack(t *tensor.Tensor, producedAt, hostNow time.Duration) 
 		rec.refs++
 		c.cur.DedupHits++
 		c.rt.Counters.Add("cache.dedup_hits", 1)
-		return handle{rec}
+		return rec.handleOf()
 	}
 
-	rec := &record{
-		id:    id,
-		mb:    c.curMB,
-		bytes: t.Bytes(),
-		scope: c.curScope(),
-		t:     t,
-		refs:  1,
-	}
+	rec := c.newRecord()
+	rec.id = id
+	rec.mb = c.curMB
+	rec.bytes = t.Bytes()
+	rec.scope = c.curScope()
+	rec.t = t
+	rec.refs = 1
 	c.recs[id] = rec
 	c.byModule[rec.scope] = append(c.byModule[rec.scope], rec)
 
@@ -430,7 +582,7 @@ func (c *TensorCache) Pack(t *tensor.Tensor, producedAt, hostNow time.Duration) 
 			c.rt.Counters.Add("cache.stores", 1)
 		}
 	}
-	return handle{rec}
+	return rec.handleOf()
 }
 
 // Unpack implements autograd.Hooks — Alg. 1's unpack_hook. It returns the
@@ -512,9 +664,11 @@ func (c *TensorCache) finishRecord(rec *record, at time.Duration) {
 	}
 }
 
-// sweep closes out the step: any record that was never fully consumed
-// (which indicates an executor bug or an aborted step) has its references
-// released and is counted as leaked.
+// sweep closes out the step in one pass over the step's record maps: any
+// record that was never fully consumed (which indicates an executor bug
+// or an aborted step) has its references released and is counted as
+// leaked, and every record and map is recycled into the pools for the
+// next step.
 func (c *TensorCache) sweep(at time.Duration) {
 	maps := c.stepRecs
 	if c.recs != nil {
@@ -522,22 +676,23 @@ func (c *TensorCache) sweep(at time.Duration) {
 	}
 	for _, m := range maps {
 		for _, rec := range m {
-			if rec.consumed >= rec.refs {
-				continue
+			if rec.consumed < rec.refs {
+				c.cur.Leaked++
+				c.rt.Counters.Add("cache.leaks", 1)
+				if rec.offloaded && !rec.forwarded && rec.loaded == nil {
+					c.releaseOriginal(rec)
+					c.off.Delete(rec.id)
+				} else {
+					c.finishRecord(rec, at)
+				}
 			}
-			c.cur.Leaked++
-			c.rt.Counters.Add("cache.leaks", 1)
-			if rec.offloaded && !rec.forwarded && rec.loaded == nil {
-				c.releaseOriginal(rec)
-				c.off.Delete(rec.id)
-				continue
-			}
-			c.finishRecord(rec, at)
+			c.recycleRecord(rec)
 		}
+		clear(m)
+		c.freeRecs = append(c.freeRecs, m)
 	}
-	c.stepRecs = nil
+	c.stepRecs = c.stepRecs[:0]
 	c.recs = nil
-	c.byModule = nil
 	c.last = c.cur
 	c.totals.Offloaded += c.cur.Offloaded
 	c.totals.Kept += c.cur.Kept

@@ -50,6 +50,12 @@ type IDSource struct {
 // NewIDSource returns a fresh logical clock.
 func NewIDSource() *IDSource { return &IDSource{} }
 
+// Reset rewinds the logical clock for a new run on a recycled arena.
+// Only valid when the storages stamped by the previous run have been
+// reset in place (or discarded): restamping then replays the identical
+// stamp sequence a fresh clock would issue.
+func (s *IDSource) Reset() { s.clock = 0 }
+
 // GetID returns the tensor's stable identifier, stamping the underlying
 // storage on first encounter.
 func (s *IDSource) GetID(t *tensor.Tensor) TensorID {

@@ -125,6 +125,15 @@ func newTierBase(eng *sim.Engine, name string, latency time.Duration, writeBW, r
 	}
 }
 
+// reset clears the shared tier machinery — block store, both FIFO queues —
+// for reuse by a new simulation on the same (reset) engine. Bandwidths and
+// latency are left for the owning tier, which may need to re-derate them.
+func (b *tierBase) reset() {
+	b.store.Reset()
+	b.storeQ.Reset()
+	b.loadQ.Reset()
+}
+
 // Name implements Offloader.
 func (b *tierBase) Name() string { return b.name }
 
@@ -172,22 +181,30 @@ type SSDOffloader struct {
 	registry *gds.Registry
 }
 
+// gdsPathRates returns the per-direction effective rates of the GDS
+// path: transfers stream through the root complex, so bandwidth is
+// min(link, array aggregate) per direction. Shared by construction and
+// Reset so a recycled tier can never plan against different rates than a
+// fresh one.
+func gdsPathRates(link *pcie.Link, array *ssd.Array) (wb, rb units.Bandwidth) {
+	wb = link.Effective()
+	if aw := array.AggregateWrite(); aw < wb {
+		wb = aw
+	}
+	rb = link.Effective()
+	if ar := array.AggregateRead(); ar < rb {
+		rb = ar
+	}
+	return wb, rb
+}
+
 // NewSSDOffloader builds the SSD offloader over a PCIe link and an array.
-// The effective rates are the path bottlenecks: GDS transfers stream
-// through the root complex, so bandwidth is min(link, array) per
-// direction.
+// The effective rates are the path bottlenecks (gdsPathRates).
 func NewSSDOffloader(eng *sim.Engine, name string, link *pcie.Link, array *ssd.Array, registry *gds.Registry) *SSDOffloader {
 	if registry == nil {
 		registry = gds.NewRegistry()
 	}
-	wb := link.Effective()
-	if aw := array.AggregateWrite(); aw < wb {
-		wb = aw
-	}
-	rb := link.Effective()
-	if ar := array.AggregateRead(); ar < rb {
-		rb = ar
-	}
+	wb, rb := gdsPathRates(link, array)
 	return &SSDOffloader{
 		tierBase: newTierBase(eng, name, link.Config().Latency+10*time.Microsecond, wb, rb),
 		link:     link,
@@ -198,6 +215,22 @@ func NewSSDOffloader(eng *sim.Engine, name string, link *pcie.Link, array *ssd.A
 
 // Registry returns the GDS registration registry.
 func (o *SSDOffloader) Registry() *gds.Registry { return o.registry }
+
+// Reset clears the tier for reuse by a new simulation and rebinds the
+// member devices to spec — the same (possibly bandwidth-share-derated)
+// spec a fresh tier would be constructed with — recomputing the path
+// bottleneck rates. The GDS registry is reset too: registrations belong
+// to the finished run's storages.
+func (o *SSDOffloader) Reset(spec ssd.Spec) {
+	for _, d := range o.array.Devices() {
+		d.Reset(spec)
+	}
+	o.array.Reset()
+	o.link.Reset()
+	o.registry.Reset()
+	o.tierBase.reset()
+	o.writeBW, o.readBW = gdsPathRates(o.link, o.array)
+}
 
 // BlockStore exposes the byte store for verification tests.
 func (o *SSDOffloader) BlockStore() *ssd.BlockStore[TensorID] { return o.store }
@@ -266,6 +299,14 @@ func NewCPUOffloader(eng *sim.Engine, name string, link *pcie.Link, capacity uni
 
 // SetCapacity fixes the pool size after profiling.
 func (o *CPUOffloader) SetCapacity(n units.Bytes) { o.capacity = n }
+
+// Reset clears the tier for reuse by a new simulation and installs the
+// new run's pool capacity (0 returns to profiling mode).
+func (o *CPUOffloader) Reset(capacity units.Bytes) {
+	o.link.Reset()
+	o.tierBase.reset()
+	o.capacity = capacity
+}
 
 // Kind implements Tier.
 func (o *CPUOffloader) Kind() TierKind { return TierDRAM }

@@ -165,6 +165,55 @@ func NewTieredOffloader(policy PlacementPolicy, tiers ...Tier) *TieredOffloader 
 	}
 }
 
+// Reset rebinds the hierarchy to a (possibly different) tier stack and
+// policy and clears all placement state for reuse by a new simulation.
+// A recycled arena owns one offloader whose stack composition can change
+// between runs (a dram-first hybrid with zero DRAM grant degenerates to
+// NVMe-only), so the stack is an argument rather than construction-fixed.
+// The member tiers are reset separately by their owner. Map buckets and
+// slice capacity are retained; the diagnostic name is rebuilt only when
+// the stack actually changed.
+func (o *TieredOffloader) Reset(policy PlacementPolicy, tiers ...Tier) {
+	if len(tiers) == 0 {
+		panic("core: tiered offloader needs at least one tier")
+	}
+	if policy == nil {
+		policy = DRAMFirstPolicy()
+	}
+	if !sameTiers(o.tiers, tiers) {
+		o.tiers = append(o.tiers[:0], tiers...)
+		names := make([]string, len(tiers))
+		for i, t := range tiers {
+			names[i] = t.Name()
+		}
+		o.name = "tiered(" + strings.Join(names, ",") + ")"
+	}
+	o.policy = policy
+	clear(o.where)
+	if cap(o.placed) >= len(o.tiers) {
+		o.placed = o.placed[:len(o.tiers)]
+		for i := range o.placed {
+			o.placed[i] = 0
+		}
+	} else {
+		o.placed = make([]units.Bytes, len(o.tiers))
+	}
+	o.used, o.peak = 0, 0
+}
+
+// sameTiers reports whether the stacks hold the same tiers in order.
+func sameTiers(a, b []Tier) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Name implements Offloader.
 func (o *TieredOffloader) Name() string { return o.name }
 

@@ -4,17 +4,14 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ssdtrain/internal/autograd"
 	"ssdtrain/internal/core"
-	"ssdtrain/internal/gds"
 	"ssdtrain/internal/gpu"
 	"ssdtrain/internal/lru"
 	"ssdtrain/internal/models"
-	"ssdtrain/internal/pcie"
-	"ssdtrain/internal/ssd"
-	"ssdtrain/internal/tensor"
 	"ssdtrain/internal/units"
 )
 
@@ -22,10 +19,11 @@ import (
 // of Run — the model graph template, the per-block activation and
 // backward-time vectors, and the Fig 3 offload budget — memoized so a
 // sweep that varies only the cheap knobs (Budget, Steps, Warmup,
-// SSDBandwidthShare, AdaptiveSteps) pays graph construction and analysis
-// once. A Plan is immutable after Compile and safe for concurrent
-// Execute calls: each execution instantiates its own graph (fresh weight
-// storages) and runtime.
+// SSDBandwidthShare, AdaptiveSteps, Placement, DRAMCapacity, SplitRatio)
+// pays graph construction and analysis once. A Plan is immutable after
+// Compile and safe for concurrent Execute calls: each execution runs on
+// its own arena (a Session), either single-use (Plan.Execute) or
+// recycled (Session.Execute via a SessionPool).
 type Plan struct {
 	// shape is the plan's identity: the defaulted config with the cheap
 	// knobs zeroed.
@@ -43,11 +41,18 @@ type Plan struct {
 	// immediately (Fig 2 ④). The seed threaded this value through Run
 	// without using it; the Plan owns it now.
 	lastModule units.Bytes
+	// devNames are the per-GPU array's member device names ("nvme0"...),
+	// rendered once at compile so arena construction never formats
+	// strings on the sweep path.
+	devNames []string
 
 	// budgetByKey memoizes the Fig 3 budget per (bandwidth share,
-	// placement, DRAM capacity, split ratio) combination.
-	mu          sync.Mutex
-	budgetByKey map[budgetKey]units.Bytes
+	// placement, DRAM capacity, split ratio) combination; budgetFlight
+	// coalesces concurrent planner runs for one uncached key.
+	mu             sync.Mutex
+	budgetByKey    map[budgetKey]units.Bytes
+	budgetFlight   lru.Singleflight[budgetKey, units.Bytes]
+	budgetComputes atomic.Int64
 }
 
 // budgetKey identifies one planned budget within a plan: every cheap
@@ -82,9 +87,8 @@ var planCache = lru.New[RunConfig, *Plan](256)
 var planFlight lru.Singleflight[RunConfig, *Plan]
 
 // Compile builds the run plan for a configuration. The returned plan can
-// Execute any config that differs from cfg only in Budget, Steps, Warmup,
-// SSDBandwidthShare, or AdaptiveSteps. Plans are cached: compiling the
-// same shape twice returns the same plan.
+// Execute any config that differs from cfg only in the cheap knobs.
+// Plans are cached: compiling the same shape twice returns the same plan.
 func Compile(cfg RunConfig) (*Plan, error) {
 	cfg = cfg.withDefaults()
 	if err := validateKnobs(cfg); err != nil {
@@ -181,10 +185,23 @@ func compile(key RunConfig) (*Plan, error) {
 		bwd:         blockBwdTimes(tmpl),
 		weightBytes: tmpl.WeightBytes(),
 		budgetByKey: make(map[budgetKey]units.Bytes),
+		devNames:    make([]string, key.SSD.Count),
+	}
+	for i := range p.devNames {
+		p.devNames[i] = fmt.Sprintf("nvme%d", i)
 	}
 	p.fwdTime, p.bwdTime = graphTimes(tmpl)
 	p.eligible, p.lastModule = eligibleBytes(tmpl)
 	return p, nil
+}
+
+// devName returns the precomputed member-device name, formatting on the
+// spot for plans assembled outside compile (tests build bare literals).
+func (p *Plan) devName(i int) string {
+	if i < len(p.devNames) {
+		return p.devNames[i]
+	}
+	return fmt.Sprintf("nvme%d", i)
 }
 
 // Shape returns the plan's identity config (defaulted, cheap knobs
@@ -230,7 +247,11 @@ func (p *Plan) modulePlan(readBW, writeBW units.Bandwidth) core.ModulePlan {
 	}
 }
 
-// memoBudget caches one planned budget per key.
+// memoBudget caches one planned budget per key. Concurrent computes of
+// one uncached key are coalesced through a singleflight: a fleet Prime
+// fans the same (share, grant) keys across its workers, and without the
+// flight every worker would run the full Fig 3 planner just to overwrite
+// the same memo entry (last write wins, work wasted).
 func (p *Plan) memoBudget(key budgetKey, compute func() units.Bytes) units.Bytes {
 	p.mu.Lock()
 	if b, ok := p.budgetByKey[key]; ok {
@@ -238,271 +259,52 @@ func (p *Plan) memoBudget(key budgetKey, compute func() units.Bytes) units.Bytes
 		return b
 	}
 	p.mu.Unlock()
-	b := compute()
-	p.mu.Lock()
-	p.budgetByKey[key] = b
-	p.mu.Unlock()
+	b, _, _ := p.budgetFlight.Do(key, func() (units.Bytes, error) {
+		// Double-check under the flight: a racing caller may have filled
+		// the memo between our miss and the flight acquisition.
+		p.mu.Lock()
+		if b, ok := p.budgetByKey[key]; ok {
+			p.mu.Unlock()
+			return b, nil
+		}
+		p.mu.Unlock()
+		p.budgetComputes.Add(1)
+		b := compute()
+		p.mu.Lock()
+		p.budgetByKey[key] = b
+		p.mu.Unlock()
+		return b, nil
+	})
 	return b
 }
 
-// Execute runs one measurement under the plan. cfg must match the plan's
-// shape in everything except Budget, Steps, Warmup, SSDBandwidthShare,
-// and AdaptiveSteps; Execute rejects mismatched configs rather than
-// silently measuring the wrong model.
+// BudgetComputes reports how many Fig 3 planner executions the plan has
+// performed. With the memo and the singleflight it equals the number of
+// distinct budget keys requested so far, independent of concurrency.
+func (p *Plan) BudgetComputes() int64 { return p.budgetComputes.Load() }
+
+// Execute runs one measurement under the plan on a fresh, single-use
+// arena. cfg must match the plan's shape in everything except the cheap
+// knobs (Budget, Steps, Warmup, SSDBandwidthShare, AdaptiveSteps,
+// Placement, DRAMCapacity, SplitRatio); Execute rejects mismatched
+// configs rather than silently measuring the wrong model. Callers that
+// Execute one shape repeatedly should hold a Session (or route through a
+// SessionPool) instead: a recycled arena produces byte-identical results
+// at a fraction of the allocations.
 func (p *Plan) Execute(cfg RunConfig) (*RunResult, error) {
-	cfg = cfg.withDefaults()
-	if err := validateKnobs(cfg); err != nil {
+	// Fail fast: reject bad knobs and mismatched shapes before paying
+	// arena construction. Session.Execute re-validates (it is also a
+	// public entry point); validation is idempotent and cheap.
+	d := cfg.withDefaults()
+	if err := validateKnobs(d); err != nil {
 		return nil, err
 	}
-	if shapeKey(cfg) != p.shape {
-		return nil, fmt.Errorf("exp: config shape %+v does not match compiled plan %+v", shapeKey(cfg), p.shape)
+	if key := shapeKey(d); key != p.shape {
+		return nil, fmt.Errorf("exp: config shape %+v does not match compiled plan %+v", key, p.shape)
 	}
-
-	rt := autograd.NewRuntime(cfg.GPU)
-	graph := p.tmpl.CloneWithFreshWeights()
-
-	res := &RunResult{Config: cfg, Counters: rt.Counters, WeightBytes: p.weightBytes, EligibleBytes: p.eligible}
-
-	var hooks autograd.Hooks
-	var cache *core.TensorCache
-	var offloader *core.TieredOffloader
-
-	switch cfg.Strategy {
-	case NoOffload, Recompute:
-		hooks = autograd.NoHooks{}
-	case SSDTrain, CPUOffload, HybridOffload:
-		// newSSDTier assembles the GDS rung: derated array spec under a
-		// bandwidth share, striped device array, malloc-hook registry.
-		newSSDTier := func(link *pcie.Link) *core.SSDOffloader {
-			spec := cfg.SSD.Spec
-			if s := cfg.SSDBandwidthShare; s > 0 && s < 1 {
-				spec.SeqWrite = units.Bandwidth(float64(spec.SeqWrite) * s)
-				spec.SeqRead = units.Bandwidth(float64(spec.SeqRead) * s)
-			}
-			devs := make([]*ssd.Device, cfg.SSD.Count)
-			for i := range devs {
-				devs[i] = ssd.NewDevice(rt.Eng, fmt.Sprintf("nvme%d", i), spec)
-			}
-			array := ssd.NewArray(rt.Eng, "/mnt/md1", cfg.SSD.Stripe, devs...)
-			registry := gds.NewRegistry()
-			hook := gds.NewMallocHook(registry)
-			hook.Enabled = !cfg.DisableGDS
-			rt.Alloc.AddHook(hook)
-			return core.NewSSDOffloader(rt.Eng, "/mnt/md1", link, array, registry)
-		}
-
-		var tiers []core.Tier
-		var policy core.PlacementPolicy
-		switch cfg.Strategy {
-		case SSDTrain:
-			link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
-			tiers = append(tiers, newSSDTier(link))
-			policy = core.SSDOnlyPolicy()
-		case CPUOffload:
-			link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
-			tiers = append(tiers, core.NewCPUOffloader(rt.Eng, "/dev/shm", link, cfg.DRAMCapacity))
-			policy = core.DRAMFirstPolicy()
-		case HybridOffload:
-			// DRAM rung (host DMA path) first, NVMe rung (GDS path) below
-			// it; each rung drains over its own PCIe path. A zero DRAM
-			// capacity degenerates the stack to NVMe-only.
-			if cfg.DRAMCapacity > 0 {
-				host := pcie.NewLink(rt.Eng, "pcie-host", pcie.DefaultGen4x16())
-				tiers = append(tiers, core.NewCPUOffloader(rt.Eng, "/dev/shm", host, cfg.DRAMCapacity))
-			}
-			link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
-			tiers = append(tiers, newSSDTier(link))
-			switch cfg.Placement {
-			case PlacementSSDOnly:
-				policy = core.SSDOnlyPolicy()
-			case PlacementSplit:
-				policy = core.SplitPolicy(cfg.SplitRatio)
-			default:
-				policy = core.DRAMFirstPolicy()
-			}
-		}
-		offloader = core.NewTieredOffloader(policy, tiers...)
-
-		budget := cfg.Budget
-		if budget == 0 {
-			switch cfg.Strategy {
-			case HybridOffload:
-				key := budgetKey{share: cfg.SSDBandwidthShare, placement: cfg.Placement, dramCap: cfg.DRAMCapacity}
-				if cfg.Placement == PlacementSplit {
-					key.ratio = cfg.SplitRatio
-				}
-				budget = p.plannedHierarchyBudget(key, hierarchyPlans(cfg, tiers))
-			case CPUOffload:
-				// A bounded pinned pool has no spill rung, so the plan
-				// must fit it (Strict); capacity 0 reduces bit-for-bit to
-				// the unbounded single-target plan.
-				key := budgetKey{share: cfg.SSDBandwidthShare, dramCap: cfg.DRAMCapacity}
-				budget = p.plannedHierarchyBudget(key, []core.TierPlan{{
-					WriteBandwidth: offloader.WriteBandwidth(),
-					ReadBandwidth:  offloader.ReadBandwidth(),
-					Capacity:       cfg.DRAMCapacity,
-					Strict:         true,
-				}})
-			default:
-				budget = p.plannedBudget(cfg.SSDBandwidthShare, offloader.ReadBandwidth(), offloader.WriteBandwidth())
-			}
-		}
-		res.PlannedBudget = budget
-
-		cache = core.NewTensorCache(core.Config{
-			Runtime:         rt,
-			Offloader:       offloader,
-			Budget:          budget,
-			HostCost:        cfg.HostCost,
-			PrefetchAhead:   cfg.PrefetchAhead,
-			KeepLastModules: max(cfg.KeepLastModules, 0), // -1 (canonical ablation) → keep nothing
-			Verify:          cfg.Verify,
-			NoForwarding:    cfg.NoForwarding,
-			NoDedup:         cfg.NoDedup,
-		})
-		cache.RegisterWeights(graph.Weights())
-		for _, w := range graph.Weights() {
-			// The executor registers the transposed views; pre-register
-			// them the way the paper's setup script bookkeeps weights.
-			cache.RegisterWeights([]*tensor.Tensor{w.Transpose()})
-		}
-		hooks = cache
-	default:
-		return nil, fmt.Errorf("exp: unknown strategy %q", cfg.Strategy)
-	}
-
-	exec, err := autograd.NewExecutor(rt, graph, hooks, autograd.ExecConfig{
-		MicroBatches: cfg.MicroBatches,
-		UpdateCost: func(w *tensor.Tensor) time.Duration {
-			// The FP16 training update pipeline touches each parameter
-			// and gradient several times per step: gradient unscale +
-			// clip (2 passes over grads), the loss-scale overflow check
-			// (1 pass), and the SGD update itself (read w, read g,
-			// write w) — about 8 parameter-sized passes total.
-			return rt.Cost.MemoryBound(8 * w.Bytes())
-		},
-		AccumCost: func(w *tensor.Tensor) time.Duration {
-			return rt.Cost.MemoryBound(3 * w.Bytes())
-		},
-		Materialize: cfg.Materialize,
-	})
+	s, err := NewSession(p)
 	if err != nil {
 		return nil, err
 	}
-
-	runStep := func() (StepMetrics, error) {
-		sr := exec.Run()
-		m := StepMetrics{
-			Stats:      sr.Stats,
-			Start:      sr.Start,
-			End:        sr.End,
-			HostTime:   sr.HostTime,
-			UpdateTime: sr.UpdateTime,
-		}
-		if cache != nil {
-			if err := cache.Err(); err != nil {
-				return m, fmt.Errorf("exp: offload failed in step %d: %w", len(res.PerStep)+1, err)
-			}
-			m.IO = cache.LastStep()
-			m.Stats.OffloadedBytes = m.IO.Offloaded
-			m.Stats.ReloadedBytes = m.IO.Reloaded
-			m.Stats.ForwardedBytes = m.IO.Forwarded
-		}
-		res.PerStep = append(res.PerStep, m)
-		return m, nil
-	}
-
-	for i := 0; i < cfg.Warmup; i++ {
-		if _, err := runStep(); err != nil {
-			return nil, err
-		}
-	}
-	if cfg.AdaptiveSteps {
-		// Adaptive steady-state detection: measure until two consecutive
-		// steps agree exactly (the simulator is deterministic, so a truly
-		// steady state repeats to the nanosecond), bounded by cfg.Steps.
-		// The converged measurement is identical to the fixed-step run's.
-		var prev StepMetrics
-		for i := 0; i < cfg.Steps; i++ {
-			m, err := runStep()
-			if err != nil {
-				return nil, err
-			}
-			if i > 0 && stepsConverged(prev, m) {
-				break
-			}
-			prev = m
-		}
-	} else {
-		for i := 0; i < cfg.Steps; i++ {
-			if _, err := runStep(); err != nil {
-				return nil, err
-			}
-		}
-	}
-
-	rep := rt.Alloc.Finalize(true)
-	res.Mem = rep
-	for i := range res.PerStep {
-		s := &res.PerStep[i]
-		s.ActPeak = rep.ActTimeline.PeakBetween(s.Start, s.End)
-		s.TotalPeak = rep.Timeline.PeakBetween(s.Start, s.End)
-		s.Stats.ActivationPeak = s.ActPeak
-		s.Stats.TotalPeak = s.TotalPeak
-	}
-	res.Measured = res.PerStep[len(res.PerStep)-1]
-	if offloader != nil {
-		res.SSDPeak = offloader.PeakResident()
-		for _, t := range offloader.Tiers() {
-			res.Tiers = append(res.Tiers, TierUsage{
-				Name:     t.Name(),
-				Kind:     t.Kind(),
-				Written:  t.BytesWritten(),
-				Read:     t.BytesRead(),
-				Peak:     t.PeakResident(),
-				Capacity: t.Capacity(),
-			})
-		}
-	}
-	return res, nil
-}
-
-// hierarchyPlans maps the live tier stack to the planner's tier mix: the
-// ssd-only placement plans against the NVMe rung alone, split placement
-// caps the DRAM rung's share at the split ratio. A zero split ratio
-// routes every byte to NVMe at runtime, so the DRAM rung must drop out
-// of the plan too (TierPlan.Fraction 0 means "no share cap", not
-// "nothing").
-func hierarchyPlans(cfg RunConfig, tiers []core.Tier) []core.TierPlan {
-	dramless := cfg.Placement == PlacementSSDOnly ||
-		(cfg.Placement == PlacementSplit && cfg.SplitRatio == 0)
-	plans := make([]core.TierPlan, 0, len(tiers))
-	for _, t := range tiers {
-		if dramless && t.Kind() != core.TierNVMe {
-			continue
-		}
-		tp := core.TierPlan{
-			WriteBandwidth: t.WriteBandwidth(),
-			ReadBandwidth:  t.ReadBandwidth(),
-			Capacity:       t.Capacity(),
-		}
-		if cfg.Placement == PlacementSplit && t.Kind() == core.TierDRAM {
-			tp.Fraction = cfg.SplitRatio
-		}
-		plans = append(plans, tp)
-	}
-	return plans
-}
-
-// stepsConverged reports whether two consecutive measured steps are
-// behaviourally identical: the full step stats (duration, FLOPs, stall,
-// I/O volumes), host time and optimizer time. The memory-peak fields of
-// Stats are still zero at this point (they are filled from the timeline
-// after the run), so whole-struct equality is safe and strictly stronger
-// than any field subset.
-func stepsConverged(a, b StepMetrics) bool {
-	return a.Stats == b.Stats &&
-		a.HostTime == b.HostTime &&
-		a.UpdateTime == b.UpdateTime &&
-		a.IO == b.IO
+	return s.Execute(cfg)
 }

@@ -200,7 +200,9 @@ type RunResult struct {
 	// Tiers reports per-tier traffic for the offloading strategies (one
 	// entry for the single-target strategies, DRAM+NVMe for hybrid).
 	Tiers []TierUsage
-	// Counters is the runtime counter set.
+	// Counters is a snapshot of the runtime counter set at the end of the
+	// run (a snapshot because execution arenas are recycled: the live set
+	// belongs to the arena and is reset by its next Execute).
 	Counters *trace.Counters
 }
 

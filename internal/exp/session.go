@@ -1,0 +1,485 @@
+package exp
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"ssdtrain/internal/autograd"
+	"ssdtrain/internal/core"
+	"ssdtrain/internal/gds"
+	"ssdtrain/internal/pcie"
+	"ssdtrain/internal/ssd"
+	"ssdtrain/internal/tensor"
+	"ssdtrain/internal/units"
+)
+
+// Session is a reusable execution arena bound to a Plan's shape: one
+// simulated runtime, one instantiated graph, and one offload stack, all
+// built once and reset in place between measurements. Session.Execute
+// produces bit-for-bit the same RunResult a fresh Plan.Execute would —
+// the two share one code path, and every substrate's Reset returns it to
+// its just-constructed state — while recycling the arena's warm capacity
+// (event pools, map buckets, tensor storages, record and reload pools),
+// which is what makes repeated Execute across a sweep or a fleet profile
+// nearly allocation-free (SSDTrain §III's own rule: pre-allocate once,
+// never re-malloc on the hot path).
+//
+// A Session is single-owner: it must not run two Executes concurrently.
+// Use a SessionPool to share arenas across sweep workers. The per-call
+// cheap knobs — Budget, Steps, Warmup, SSDBandwidthShare, AdaptiveSteps,
+// Placement, DRAMCapacity, SplitRatio — may differ freely between calls
+// on one session; everything else must match the plan's shape.
+type Session struct {
+	plan    *Plan
+	rt      *autograd.Runtime
+	graph   *autograd.Graph
+	weights []*tensor.Tensor
+	exec    *autograd.Executor
+
+	// cache and offloader are nil for the strategies that install no
+	// hooks (no-offload, recompute).
+	cache     *core.TensorCache
+	offloader *core.TieredOffloader
+	// ssdTier/cpuTier are the arena's rungs; the hybrid strategy builds
+	// both and Execute assembles the per-call stack from them (a zero
+	// DRAM grant excludes the DRAM rung, as a fresh build would).
+	ssdTier *core.SSDOffloader
+	cpuTier *core.CPUOffloader
+	// stack is the per-call tier assembly scratch.
+	stack []core.Tier
+}
+
+// NewSession builds an execution arena for the plan. The arena is fully
+// reset at the start of every Execute, so a freshly built session and a
+// reused one run the identical code path.
+func NewSession(p *Plan) (*Session, error) {
+	shape := p.shape
+	rt := autograd.NewRuntime(shape.GPU)
+	graph := p.tmpl.CloneWithFreshWeights()
+	s := &Session{plan: p, rt: rt, graph: graph, weights: graph.Weights()}
+
+	var hooks autograd.Hooks = autograd.NoHooks{}
+	switch shape.Strategy {
+	case NoOffload, Recompute:
+		// No offload stack: the executor keeps (or recomputes) everything.
+	case SSDTrain, CPUOffload, HybridOffload:
+		if shape.Strategy != SSDTrain {
+			// DRAM rung over the host DMA path. The hybrid arena builds it
+			// even though zero-grant calls exclude it from the stack: the
+			// rung is wiring, and an unused tier schedules nothing.
+			name := "pcie0"
+			if shape.Strategy == HybridOffload {
+				name = "pcie-host"
+			}
+			host := pcie.NewLink(rt.Eng, name, pcie.DefaultGen4x16())
+			s.cpuTier = core.NewCPUOffloader(rt.Eng, "/dev/shm", host, 0)
+		}
+		if shape.Strategy != CPUOffload {
+			// NVMe rung over the GDS peer-to-peer path: striped device
+			// array, malloc-hook registry. Devices are built with the base
+			// spec; Execute re-derates them per call's bandwidth share.
+			link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
+			devs := make([]*ssd.Device, shape.SSD.Count)
+			for i := range devs {
+				devs[i] = ssd.NewDevice(rt.Eng, p.devName(i), shape.SSD.Spec)
+			}
+			array := ssd.NewArray(rt.Eng, "/mnt/md1", shape.SSD.Stripe, devs...)
+			registry := gds.NewRegistry()
+			hook := gds.NewMallocHook(registry)
+			hook.Enabled = !shape.DisableGDS
+			rt.Alloc.AddHook(hook)
+			s.ssdTier = core.NewSSDOffloader(rt.Eng, "/mnt/md1", link, array, registry)
+		}
+		var tiers []core.Tier
+		if s.cpuTier != nil {
+			tiers = append(tiers, s.cpuTier)
+		}
+		if s.ssdTier != nil {
+			tiers = append(tiers, s.ssdTier)
+		}
+		s.offloader = core.NewTieredOffloader(nil, tiers...)
+		s.cache = core.NewTensorCache(core.Config{
+			Runtime:         rt,
+			Offloader:       s.offloader,
+			HostCost:        shape.HostCost,
+			PrefetchAhead:   shape.PrefetchAhead,
+			KeepLastModules: max(shape.KeepLastModules, 0), // -1 (canonical ablation) → keep nothing
+			Verify:          shape.Verify,
+			NoForwarding:    shape.NoForwarding,
+			NoDedup:         shape.NoDedup,
+		})
+		hooks = s.cache
+	default:
+		return nil, fmt.Errorf("exp: unknown strategy %q", shape.Strategy)
+	}
+
+	exec, err := autograd.NewExecutor(rt, graph, hooks, autograd.ExecConfig{
+		MicroBatches: shape.MicroBatches,
+		UpdateCost: func(w *tensor.Tensor) time.Duration {
+			// The FP16 training update pipeline touches each parameter
+			// and gradient several times per step: gradient unscale +
+			// clip (2 passes over grads), the loss-scale overflow check
+			// (1 pass), and the SGD update itself (read w, read g,
+			// write w) — about 8 parameter-sized passes total.
+			return rt.Cost.MemoryBound(8 * w.Bytes())
+		},
+		AccumCost: func(w *tensor.Tensor) time.Duration {
+			return rt.Cost.MemoryBound(3 * w.Bytes())
+		},
+		Materialize: shape.Materialize,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.exec = exec
+	return s, nil
+}
+
+// Plan returns the plan the session's arena is bound to.
+func (s *Session) Plan() *Plan { return s.plan }
+
+// Execute runs one measurement on the session's arena, resetting it in
+// place first. cfg must match the session plan's shape in everything
+// except the cheap knobs; mismatched configs are rejected rather than
+// silently measuring the wrong model. The result is byte-identical to a
+// fresh Plan.Execute of the same config.
+func (s *Session) Execute(cfg RunConfig) (*RunResult, error) {
+	cfg = cfg.withDefaults()
+	if err := validateKnobs(cfg); err != nil {
+		return nil, err
+	}
+	if key := shapeKey(cfg); key != s.plan.shape {
+		return nil, fmt.Errorf("exp: config shape %+v does not match compiled plan %+v", key, s.plan.shape)
+	}
+	p := s.plan
+
+	// Rewind the arena: virtual time, allocator, counters, weights. The
+	// weight storages are re-zeroed in place — the cheap alternative to
+	// CloneWithFreshWeights — and restamped below in the same order the
+	// clone's fresh storages would be.
+	s.rt.Reset()
+	for _, w := range s.weights {
+		w.Storage().ResetForReuse()
+	}
+
+	res := &RunResult{Config: cfg, WeightBytes: p.weightBytes, EligibleBytes: p.eligible}
+
+	if s.cache != nil {
+		// Rebind the offload stack to this call's knobs: rederated NVMe
+		// spec, this call's DRAM grant, this call's placement policy.
+		if s.ssdTier != nil {
+			spec := cfg.SSD.Spec
+			if sh := cfg.SSDBandwidthShare; sh > 0 && sh < 1 {
+				spec.SeqWrite = units.Bandwidth(float64(spec.SeqWrite) * sh)
+				spec.SeqRead = units.Bandwidth(float64(spec.SeqRead) * sh)
+			}
+			s.ssdTier.Reset(spec)
+		}
+		if s.cpuTier != nil {
+			s.cpuTier.Reset(cfg.DRAMCapacity)
+		}
+		stack := s.stack[:0]
+		var policy core.PlacementPolicy
+		switch cfg.Strategy {
+		case SSDTrain:
+			stack = append(stack, s.ssdTier)
+			policy = core.SSDOnlyPolicy()
+		case CPUOffload:
+			stack = append(stack, s.cpuTier)
+			policy = core.DRAMFirstPolicy()
+		case HybridOffload:
+			// DRAM rung (host DMA path) first, NVMe rung (GDS path) below
+			// it; each rung drains over its own PCIe path. A zero DRAM
+			// capacity degenerates the stack to NVMe-only.
+			if cfg.DRAMCapacity > 0 {
+				stack = append(stack, s.cpuTier)
+			}
+			stack = append(stack, s.ssdTier)
+			switch cfg.Placement {
+			case PlacementSSDOnly:
+				policy = core.SSDOnlyPolicy()
+			case PlacementSplit:
+				policy = core.SplitPolicy(cfg.SplitRatio)
+			default:
+				policy = core.DRAMFirstPolicy()
+			}
+		}
+		s.stack = stack
+		s.offloader.Reset(policy, stack...)
+
+		budget := cfg.Budget
+		if budget == 0 {
+			switch cfg.Strategy {
+			case HybridOffload:
+				key := budgetKey{share: cfg.SSDBandwidthShare, placement: cfg.Placement, dramCap: cfg.DRAMCapacity}
+				if cfg.Placement == PlacementSplit {
+					key.ratio = cfg.SplitRatio
+				}
+				budget = p.plannedHierarchyBudget(key, hierarchyPlans(cfg, stack))
+			case CPUOffload:
+				// A bounded pinned pool has no spill rung, so the plan
+				// must fit it (Strict); capacity 0 reduces bit-for-bit to
+				// the unbounded single-target plan.
+				key := budgetKey{share: cfg.SSDBandwidthShare, dramCap: cfg.DRAMCapacity}
+				budget = p.plannedHierarchyBudget(key, []core.TierPlan{{
+					WriteBandwidth: s.offloader.WriteBandwidth(),
+					ReadBandwidth:  s.offloader.ReadBandwidth(),
+					Capacity:       cfg.DRAMCapacity,
+					Strict:         true,
+				}})
+			default:
+				budget = p.plannedBudget(cfg.SSDBandwidthShare, s.offloader.ReadBandwidth(), s.offloader.WriteBandwidth())
+			}
+		}
+		res.PlannedBudget = budget
+
+		// The cache restarts its stamp clock; re-registering the weights
+		// replays the stamps their fresh-clone counterparts would get.
+		// (Transposed weight views share their parameter's storage, and
+		// stamps live on the storage, so registering the parameters covers
+		// every view the executor packs.)
+		s.cache.Reset(budget)
+		s.cache.RegisterWeights(s.weights)
+	}
+
+	s.exec.Reset()
+	if err := runMeasurement(cfg, s.rt, s.exec, s.cache, s.offloader, res); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// runMeasurement drives the warmup + measurement loop on a prepared arena
+// and fills in the result — the single code path behind both fresh and
+// session-reused Executes.
+func runMeasurement(cfg RunConfig, rt *autograd.Runtime, exec *autograd.Executor, cache *core.TensorCache, off *core.TieredOffloader, res *RunResult) error {
+	runStep := func() (StepMetrics, error) {
+		sr := exec.Run()
+		m := StepMetrics{
+			Stats:      sr.Stats,
+			Start:      sr.Start,
+			End:        sr.End,
+			HostTime:   sr.HostTime,
+			UpdateTime: sr.UpdateTime,
+		}
+		if cache != nil {
+			if err := cache.Err(); err != nil {
+				return m, fmt.Errorf("exp: offload failed in step %d: %w", len(res.PerStep)+1, err)
+			}
+			m.IO = cache.LastStep()
+			m.Stats.OffloadedBytes = m.IO.Offloaded
+			m.Stats.ReloadedBytes = m.IO.Reloaded
+			m.Stats.ForwardedBytes = m.IO.Forwarded
+		}
+		res.PerStep = append(res.PerStep, m)
+		return m, nil
+	}
+
+	for i := 0; i < cfg.Warmup; i++ {
+		if _, err := runStep(); err != nil {
+			return err
+		}
+	}
+	if cfg.AdaptiveSteps {
+		// Adaptive steady-state detection: measure until two consecutive
+		// steps agree exactly (the simulator is deterministic, so a truly
+		// steady state repeats to the nanosecond), bounded by cfg.Steps.
+		// The converged measurement is identical to the fixed-step run's.
+		var prev StepMetrics
+		for i := 0; i < cfg.Steps; i++ {
+			m, err := runStep()
+			if err != nil {
+				return err
+			}
+			if i > 0 && stepsConverged(prev, m) {
+				break
+			}
+			prev = m
+		}
+	} else {
+		for i := 0; i < cfg.Steps; i++ {
+			if _, err := runStep(); err != nil {
+				return err
+			}
+		}
+	}
+
+	rep := rt.Alloc.Finalize(true)
+	res.Mem = rep
+	for i := range res.PerStep {
+		s := &res.PerStep[i]
+		s.ActPeak = rep.ActTimeline.PeakBetween(s.Start, s.End)
+		s.TotalPeak = rep.Timeline.PeakBetween(s.Start, s.End)
+		s.Stats.ActivationPeak = s.ActPeak
+		s.Stats.TotalPeak = s.TotalPeak
+	}
+	res.Measured = res.PerStep[len(res.PerStep)-1]
+	if cache != nil && off != nil {
+		res.SSDPeak = off.PeakResident()
+		for _, t := range off.Tiers() {
+			res.Tiers = append(res.Tiers, TierUsage{
+				Name:     t.Name(),
+				Kind:     t.Kind(),
+				Written:  t.BytesWritten(),
+				Read:     t.BytesRead(),
+				Peak:     t.PeakResident(),
+				Capacity: t.Capacity(),
+			})
+		}
+	}
+	// Snapshot the counters: the live set belongs to the arena and is
+	// reset by the next Execute; the result keeps its own copy.
+	res.Counters = rt.Counters.Clone()
+	return nil
+}
+
+// hierarchyPlans maps the live tier stack to the planner's tier mix: the
+// ssd-only placement plans against the NVMe rung alone, split placement
+// caps the DRAM rung's share at the split ratio. A zero split ratio
+// routes every byte to NVMe at runtime, so the DRAM rung must drop out
+// of the plan too (TierPlan.Fraction 0 means "no share cap", not
+// "nothing").
+func hierarchyPlans(cfg RunConfig, tiers []core.Tier) []core.TierPlan {
+	dramless := cfg.Placement == PlacementSSDOnly ||
+		(cfg.Placement == PlacementSplit && cfg.SplitRatio == 0)
+	plans := make([]core.TierPlan, 0, len(tiers))
+	for _, t := range tiers {
+		if dramless && t.Kind() != core.TierNVMe {
+			continue
+		}
+		tp := core.TierPlan{
+			WriteBandwidth: t.WriteBandwidth(),
+			ReadBandwidth:  t.ReadBandwidth(),
+			Capacity:       t.Capacity(),
+		}
+		if cfg.Placement == PlacementSplit && t.Kind() == core.TierDRAM {
+			tp.Fraction = cfg.SplitRatio
+		}
+		plans = append(plans, tp)
+	}
+	return plans
+}
+
+// stepsConverged reports whether two consecutive measured steps are
+// behaviourally identical: the full step stats (duration, FLOPs, stall,
+// I/O volumes), host time and optimizer time. The memory-peak fields of
+// Stats are still zero at this point (they are filled from the timeline
+// after the run), so whole-struct equality is safe and strictly stronger
+// than any field subset.
+func stepsConverged(a, b StepMetrics) bool {
+	return a.Stats == b.Stats &&
+		a.HostTime == b.HostTime &&
+		a.UpdateTime == b.UpdateTime &&
+		a.IO == b.IO
+}
+
+// DefaultMaxIdleSessions bounds how many idle arenas a SessionPool
+// retains in total; a release into a full pool evicts the oldest idle
+// arena, which also ages out sessions for plans the shared plan cache
+// has since evicted.
+const DefaultMaxIdleSessions = 32
+
+// SessionPool shares Sessions between goroutines: Execute compiles (via
+// the shared plan cache), borrows an arena for the config's plan — or
+// builds one — runs, and returns the arena for the next caller. A sweep
+// routed through a pool pays arena construction at most once per (plan,
+// concurrent worker) instead of once per point, and the fleet profiler's
+// cache-miss measurements recycle arenas across its whole lifetime.
+type SessionPool struct {
+	mu   sync.Mutex
+	free map[*Plan][]*Session
+	// fifo records the release order of idle sessions (one plan entry per
+	// idle session, oldest first), so a full pool evicts its oldest arena
+	// rather than refusing the newest. Eviction is what keeps a long-lived
+	// pool from pinning arenas for plans the shared plan cache has since
+	// evicted and re-compiled to new pointers — stale entries age out as
+	// fresh releases come in, and emptied map keys are deleted.
+	fifo []*Plan
+	// maxIdle bounds total retained arenas across all plans.
+	maxIdle int
+}
+
+// NewSessionPool creates a pool retaining at most maxIdle idle sessions
+// (0 or negative uses DefaultMaxIdleSessions).
+func NewSessionPool(maxIdle int) *SessionPool {
+	if maxIdle <= 0 {
+		maxIdle = DefaultMaxIdleSessions
+	}
+	return &SessionPool{free: make(map[*Plan][]*Session), maxIdle: maxIdle}
+}
+
+// Execute runs one measurement on a pooled arena: Compile (hitting the
+// shared plan cache), borrow or build a session, Execute, return the
+// session. Results are byte-identical to Run's for any pool state. The
+// session is returned to the pool even when the run errors — Execute
+// fully resets the arena on entry, so a failed run cannot leak state
+// into the next one.
+func (sp *SessionPool) Execute(cfg RunConfig) (*RunResult, error) {
+	plan, err := Compile(cfg)
+	if err != nil {
+		return nil, err
+	}
+	s, err := sp.acquire(plan)
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Execute(cfg)
+	sp.release(plan, s)
+	return res, err
+}
+
+// acquire pops an idle session for the plan or builds a new one.
+func (sp *SessionPool) acquire(p *Plan) (*Session, error) {
+	sp.mu.Lock()
+	if ss := sp.free[p]; len(ss) > 0 {
+		s := ss[len(ss)-1]
+		ss[len(ss)-1] = nil
+		if len(ss) == 1 {
+			delete(sp.free, p)
+		} else {
+			sp.free[p] = ss[:len(ss)-1]
+		}
+		// Drop one fifo entry for this plan (the newest, matching the
+		// popped session; any entry works — they are interchangeable).
+		for i := len(sp.fifo) - 1; i >= 0; i-- {
+			if sp.fifo[i] == p {
+				sp.fifo = append(sp.fifo[:i], sp.fifo[i+1:]...)
+				break
+			}
+		}
+		sp.mu.Unlock()
+		return s, nil
+	}
+	sp.mu.Unlock()
+	return NewSession(p)
+}
+
+// release returns a session to the pool, evicting the oldest idle arena
+// when the pool is full.
+func (sp *SessionPool) release(p *Plan, s *Session) {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	if len(sp.fifo) >= sp.maxIdle {
+		old := sp.fifo[0]
+		sp.fifo = sp.fifo[1:]
+		if ss := sp.free[old]; len(ss) > 0 {
+			if len(ss) == 1 {
+				delete(sp.free, old)
+			} else {
+				copy(ss, ss[1:])
+				ss[len(ss)-1] = nil
+				sp.free[old] = ss[:len(ss)-1]
+			}
+		}
+	}
+	sp.free[p] = append(sp.free[p], s)
+	sp.fifo = append(sp.fifo, p)
+}
+
+// Idle reports how many arenas the pool currently retains.
+func (sp *SessionPool) Idle() int {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return len(sp.fifo)
+}

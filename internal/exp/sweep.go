@@ -7,13 +7,16 @@ import (
 // Sweep executes a batch of measurements with deduplicated work at every
 // level: configs that are value-identical run once and share a result,
 // configs that differ only in cheap knobs (Budget, Steps, Warmup,
-// SSDBandwidthShare, AdaptiveSteps) share a compiled plan, and configs
-// that share a model shape reuse one graph template. Results are returned
-// in input order; duplicate configs receive the same *RunResult. workers
-// bounds parallelism (0 = GOMAXPROCS); simulations are independent and
-// deterministic, so the worker count never changes the results, only the
-// wall-clock time. On error, the lowest-indexed failing config's error is
-// returned (also independent of worker count).
+// SSDBandwidthShare, AdaptiveSteps, Placement, DRAMCapacity, SplitRatio)
+// share a compiled plan AND a pool of recycled execution arenas, and
+// configs that share a model shape reuse one graph template. Results are
+// returned in input order; duplicate configs receive the same
+// *RunResult. workers bounds parallelism (0 = GOMAXPROCS); simulations
+// are independent and deterministic, and sessions reset to a
+// just-constructed state between points, so neither the worker count nor
+// arena recycling ever changes the results, only the wall-clock time and
+// the allocation bill. On error, the lowest-indexed failing config's
+// error is returned (also independent of worker count).
 func Sweep(workers int, cfgs []RunConfig) ([]*RunResult, error) {
 	// Dedup identical configs (after defaulting, so spelled-out and
 	// defaulted forms of one measurement coincide). slotOf maps each
@@ -34,7 +37,11 @@ func Sweep(workers int, cfgs []RunConfig) ([]*RunResult, error) {
 		slotOf[i] = s
 	}
 
-	runs, err := pool.ParallelMap(workers, distinct, Run)
+	// A sweep-local session pool: each worker recycles at most one arena
+	// per plan shape across its items, so arena construction is paid
+	// O(plans × workers) times instead of O(points).
+	sp := NewSessionPool(0)
+	runs, err := pool.ParallelMap(workers, distinct, sp.Execute)
 	if err != nil {
 		return nil, err
 	}

@@ -53,6 +53,16 @@ func NewRegistry() *Registry {
 	return &Registry{registered: make(map[int64]bool), BouncePenalty: 0.5}
 }
 
+// Reset forgets all registrations and zeroes the counters for reuse by a
+// new simulation; the bounce penalty (a property of the hardware path, not
+// of a run) is kept. Map buckets are retained so re-registration of a
+// replayed workload allocates nothing.
+func (r *Registry) Reset() {
+	clear(r.registered)
+	r.registrations = 0
+	r.deregistrations = 0
+}
+
 // Register marks a storage as DMA-registered. Registering twice is a no-op
 // (cuFileBufRegister is idempotent per region in practice).
 func (r *Registry) Register(s *tensor.Storage) {

@@ -83,6 +83,18 @@ func NewAllocator(capacity units.Bytes) *Allocator {
 // AddHook attaches an allocation observer.
 func (a *Allocator) AddHook(h AllocHook) { a.hooks = append(a.hooks, h) }
 
+// Reset discards the recorded run (events, live set, any finalized
+// report) for reuse by a new simulation on the same arena. Attached hooks
+// survive — they are wiring, not run state — and the event buffer's
+// capacity is retained so a replayed run appends without growing.
+func (a *Allocator) Reset() {
+	a.events = a.events[:0]
+	clear(a.live)
+	a.seq = 0
+	a.final = false
+	a.report = nil
+}
+
 // Alloc records that storage s of the given class is resident from virtual
 // time at.
 func (a *Allocator) Alloc(at time.Duration, s *tensor.Storage, class Class) {
@@ -172,8 +184,11 @@ func (a *Allocator) Finalize(record bool) *MemReport {
 		return a.report
 	}
 	a.final = true
-	evs := make([]memEvent, len(a.events))
-	copy(evs, a.events)
+	// Sorting in place is safe: the allocator is terminal after Finalize
+	// (until Reset, which discards the buffer's contents anyway), and
+	// skipping the defensive copy keeps Finalize off the sweep allocation
+	// budget.
+	evs := a.events
 	sort.SliceStable(evs, func(i, j int) bool {
 		if evs[i].at != evs[j].at {
 			return evs[i].at < evs[j].at

@@ -6,6 +6,7 @@ package hotbench
 
 import (
 	"fmt"
+	"testing"
 	"time"
 
 	"ssdtrain/internal/exp"
@@ -97,6 +98,91 @@ func TieredSweep() error {
 		}
 	}
 	return nil
+}
+
+// NewShareSweepSession binds a reusable execution arena to the
+// share-sweep plan, for benchmarking repeated Execute.
+func NewShareSweepSession() (*exp.Session, error) {
+	plan, err := exp.Compile(SweepBase())
+	if err != nil {
+		return nil, err
+	}
+	return exp.NewSession(plan)
+}
+
+// SessionShareSweep runs the 4-point bandwidth-share sweep once on a
+// reused session — the same points as ShareSweep, with the arena reset
+// in place between Executes instead of rebuilt.
+func SessionShareSweep(s *exp.Session) error {
+	base := SweepBase()
+	for _, sh := range []float64{0, 0.5, 0.25, 0.125} {
+		cfg := base
+		cfg.SSDBandwidthShare = sh
+		if _, err := s.Execute(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// tieredBase is the tiered-sweep base config (shared by the fresh and
+// session variants).
+func tieredBase() exp.RunConfig {
+	base := SweepBase()
+	base.SSDBandwidthShare = 0.25
+	base.Strategy = exp.HybridOffload
+	base.Placement = exp.PlacementDRAMFirst
+	return base
+}
+
+// NewTieredSweepSession binds a reusable execution arena to the
+// tiered-sweep plan.
+func NewTieredSweepSession() (*exp.Session, error) {
+	plan, err := exp.Compile(tieredBase())
+	if err != nil {
+		return nil, err
+	}
+	return exp.NewSession(plan)
+}
+
+// SessionTieredSweep runs the 8-point DRAM-capacity placement sweep once
+// on a reused session — the same points as TieredSweep.
+func SessionTieredSweep(s *exp.Session) error {
+	base := tieredBase()
+	if _, err := s.Execute(base); err != nil {
+		return err
+	}
+	scale := float64(s.Plan().EligibleBytes())
+	for _, f := range []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 1} {
+		cfg := base
+		cfg.DRAMCapacity = units.Bytes(f * scale)
+		if _, err := s.Execute(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SessionSweepBench is the shared session-reuse benchmark body: build
+// the arena once, run one warm pass so its pools are filled, then time
+// b.N sweep passes — the record measures steady-state repeated Execute.
+// Both cmd/bench and the `go test -bench` benchmarks call this, so
+// BENCH_session.json records exactly what the benchmarks measure.
+func SessionSweepBench(b *testing.B, newSession func() (*exp.Session, error), sweep func(*exp.Session) error) {
+	sess, err := newSession()
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := sweep(sess); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := sweep(sess); err != nil {
+			b.Fatal(err)
+		}
+	}
 }
 
 // EngineSchedule performs n schedule-then-drain cycles with a bounded

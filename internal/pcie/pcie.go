@@ -87,6 +87,13 @@ func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
 // Config returns the link configuration.
 func (l *Link) Config() LinkConfig { return l.cfg }
 
+// Reset clears both directions' queues and accounting for reuse by a new
+// simulation on the same (reset) engine.
+func (l *Link) Reset() {
+	l.down.Reset()
+	l.up.Reset()
+}
+
 // Effective returns the usable bandwidth per direction.
 func (l *Link) Effective() units.Bandwidth { return l.cfg.Effective() }
 

@@ -86,8 +86,11 @@ type Engine struct {
 	running bool
 	stats   Stats
 	// limit aborts Run after this many events (0 = unlimited); it guards
-	// against accidental event storms in misconfigured experiments.
-	limit uint64
+	// against accidental event storms in misconfigured experiments. The
+	// limit is per run on a recycled engine: limitBase snapshots the
+	// cumulative Processed counter at the last Reset.
+	limit     uint64
+	limitBase uint64
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -97,6 +100,27 @@ func NewEngine() *Engine {
 
 // Now returns the current virtual time.
 func (e *Engine) Now() time.Duration { return e.now }
+
+// Reset rewinds the engine to virtual time zero for reuse by a new
+// simulation on the same arena: pending events are recycled into the free
+// list (their callbacks never run) and the sequence counter restarts, so
+// a replayed workload schedules with identical (time, seq) ordering. The
+// event pool and cumulative Stats survive — recycling warm pool capacity
+// across runs is the point of resetting instead of reallocating.
+func (e *Engine) Reset() {
+	if e.running {
+		panic("sim: Reset during Run")
+	}
+	for _, ev := range e.queue {
+		e.recycle(ev)
+	}
+	e.queue = e.queue[:0]
+	e.now = 0
+	e.seq = 0
+	// The event limit guards one run; rebase it so a recycled engine gets
+	// the same headroom every run instead of exhausting a lifetime budget.
+	e.limitBase = e.stats.Processed
+}
 
 // Processed reports how many events have executed so far.
 func (e *Engine) Processed() uint64 { return e.stats.Processed }
@@ -166,7 +190,7 @@ func (e *Engine) Run() time.Duration {
 		}
 		e.now = ev.at
 		e.stats.Processed++
-		if e.limit > 0 && e.stats.Processed > e.limit {
+		if e.limit > 0 && e.stats.Processed-e.limitBase > e.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded", e.limit))
 		}
 		fn := ev.fn
@@ -197,7 +221,7 @@ func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
 		e.heapPop()
 		e.now = ev.at
 		e.stats.Processed++
-		if e.limit > 0 && e.stats.Processed > e.limit {
+		if e.limit > 0 && e.stats.Processed-e.limitBase > e.limit {
 			panic(fmt.Sprintf("sim: event limit %d exceeded", e.limit))
 		}
 		fn := ev.fn

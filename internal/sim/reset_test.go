@@ -1,0 +1,107 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// TestEngineResetReplaysIdentically asserts a reset engine reproduces the
+// exact (time, seq) execution order of a fresh engine while serving the
+// replay from the recycled event pool.
+func TestEngineResetReplaysIdentically(t *testing.T) {
+	workload := func(eng *Engine) []time.Duration {
+		var fired []time.Duration
+		for i := 5; i > 0; i-- {
+			d := time.Duration(i) * time.Microsecond
+			eng.After(d, func() { fired = append(fired, eng.Now()) })
+		}
+		// Two events at one timestamp: insertion order must hold.
+		eng.After(3*time.Microsecond, func() { fired = append(fired, eng.Now()) })
+		eng.Run()
+		return fired
+	}
+
+	eng := NewEngine()
+	first := workload(eng)
+	if eng.Now() == 0 {
+		t.Fatal("workload did not advance time")
+	}
+	misses := eng.Stats().PoolMisses
+
+	eng.Reset()
+	if eng.Now() != 0 || eng.QueueLen() != 0 {
+		t.Fatalf("reset left now=%v queue=%d", eng.Now(), eng.QueueLen())
+	}
+	second := workload(eng)
+	if len(first) != len(second) {
+		t.Fatalf("replay fired %d events, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("replay diverged at %d: %v != %v", i, second[i], first[i])
+		}
+	}
+	if got := eng.Stats().PoolMisses; got != misses {
+		t.Errorf("replay allocated %d fresh events, want 0 (pool misses %d -> %d)", got-misses, misses, got)
+	}
+}
+
+// TestEngineResetRecyclesPending asserts events still queued at Reset are
+// discarded without running and their objects return to the pool.
+func TestEngineResetRecyclesPending(t *testing.T) {
+	eng := NewEngine()
+	ran := false
+	eng.After(time.Millisecond, func() { ran = true })
+	eng.Reset()
+	eng.Run()
+	if ran {
+		t.Fatal("cancelled event ran after Reset")
+	}
+	if eng.Pending() != 0 {
+		t.Fatalf("pending = %d after reset", eng.Pending())
+	}
+	eng.After(time.Microsecond, func() {})
+	if eng.Stats().PoolHits == 0 {
+		t.Error("recycled pending event not reused from pool")
+	}
+}
+
+// TestEngineResetRebasesEventLimit asserts the runaway guard budgets
+// each run separately on a recycled engine instead of charging a
+// lifetime total.
+func TestEngineResetRebasesEventLimit(t *testing.T) {
+	eng := NewEngine()
+	eng.SetEventLimit(4)
+	run := func() {
+		for i := 0; i < 3; i++ {
+			eng.After(time.Microsecond, func() {})
+		}
+		eng.Run()
+	}
+	run()
+	for i := 0; i < 3; i++ {
+		eng.Reset()
+		run() // would exceed a cumulative limit of 4 by the second run
+	}
+	if eng.Processed() != 12 {
+		t.Fatalf("processed %d events, want 12", eng.Processed())
+	}
+}
+
+// TestServerReset asserts a reset server accepts jobs like a fresh one.
+func TestServerReset(t *testing.T) {
+	eng := NewEngine()
+	s := NewServer(eng, "q")
+	s.Submit(0, 5*time.Microsecond, nil)
+	s.Submit(0, 5*time.Microsecond, nil)
+	if s.BusyUntil() != 10*time.Microsecond || s.Jobs() != 2 {
+		t.Fatalf("unexpected pre-reset state: busyUntil=%v jobs=%d", s.BusyUntil(), s.Jobs())
+	}
+	s.Reset()
+	if s.BusyUntil() != 0 || s.BusyTime() != 0 || s.Jobs() != 0 {
+		t.Fatalf("reset left busyUntil=%v busy=%v jobs=%d", s.BusyUntil(), s.BusyTime(), s.Jobs())
+	}
+	if finish := s.Submit(0, 3*time.Microsecond, nil); finish != 3*time.Microsecond {
+		t.Fatalf("post-reset submit finished at %v, want 3µs", finish)
+	}
+}

@@ -28,6 +28,15 @@ func NewServer(eng *Engine, name string) *Server {
 // Name returns the server's diagnostic name.
 func (s *Server) Name() string { return s.name }
 
+// Reset clears the server's backlog and accounting for reuse by a new
+// simulation on the same (reset) engine: the queue is empty and no busy
+// time has accrued, exactly like a freshly constructed server.
+func (s *Server) Reset() {
+	s.busyUntil = 0
+	s.busy = 0
+	s.jobs = 0
+}
+
 // Submit enqueues a job of the given duration that additionally cannot
 // start before ready (use the engine's current time for "now"). done, if
 // non-nil, runs at the job's finish time. Submit returns the finish time.

@@ -16,6 +16,10 @@ import (
 // paper-style "/mnt/md1/t1.pt" name is deferred to diagnostics.
 type BlockStore[K comparable] struct {
 	files map[K]*storedFile
+	// free recycles storedFile boxes across the write/delete churn of a
+	// training step (every offload file is written and unlinked once per
+	// step), so steady-state stores allocate nothing.
+	free []*storedFile
 
 	written units.Bytes
 	read    units.Bytes
@@ -40,7 +44,9 @@ func (b *BlockStore[K]) WriteFile(path K, data []byte) {
 	b.remove(path)
 	cp := make([]byte, len(data))
 	copy(cp, data)
-	b.put(path, &storedFile{size: units.Bytes(len(data)), data: cp})
+	f := b.newFile()
+	f.size, f.data = units.Bytes(len(data)), cp
+	b.put(path, f)
 }
 
 // WriteSize stores a size-only file (no payload).
@@ -49,7 +55,20 @@ func (b *BlockStore[K]) WriteSize(path K, n units.Bytes) {
 		panic(fmt.Sprintf("ssd: negative file size %d", n))
 	}
 	b.remove(path)
-	b.put(path, &storedFile{size: n})
+	f := b.newFile()
+	f.size = n
+	b.put(path, f)
+}
+
+// newFile pops a recycled file box or allocates one.
+func (b *BlockStore[K]) newFile() *storedFile {
+	if n := len(b.free); n > 0 {
+		f := b.free[n-1]
+		b.free[n-1] = nil
+		b.free = b.free[:n-1]
+		return f
+	}
+	return &storedFile{}
 }
 
 func (b *BlockStore[K]) put(path K, f *storedFile) {
@@ -66,7 +85,21 @@ func (b *BlockStore[K]) remove(path K) {
 		b.used -= old.size
 		b.deleted += old.size
 		delete(b.files, path)
+		old.size, old.data = 0, nil
+		b.free = append(b.free, old)
 	}
+}
+
+// Reset empties the store and zeroes all counters for reuse by a new
+// simulation, returning live file boxes to the free pool; map buckets and
+// pool capacity are retained so a replayed workload allocates nothing.
+func (b *BlockStore[K]) Reset() {
+	for path, f := range b.files {
+		delete(b.files, path)
+		f.size, f.data = 0, nil
+		b.free = append(b.free, f)
+	}
+	b.written, b.read, b.deleted, b.used, b.peak = 0, 0, 0, 0, 0
 }
 
 // ReadFile returns a copy of a payload-backed file's bytes. Reading a

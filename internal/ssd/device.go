@@ -36,6 +36,23 @@ func NewDevice(eng *sim.Engine, name string, spec Spec) *Device {
 // Spec returns the device specification.
 func (d *Device) Spec() Spec { return d.spec }
 
+// Reset clears the device's queues and host byte counters for reuse by a
+// new simulation and installs the given spec — reused devices are rebound
+// to a (possibly differently derated) spec the same way a fresh device
+// would be constructed with it. An attached FTL's wear state is NOT
+// touched: wear is cumulative physical history, and the endurance
+// experiments that attach FTLs do not run on recycled arenas.
+func (d *Device) Reset(spec Spec) {
+	d.spec = spec
+	d.writeQ.Reset()
+	d.readQ.Reset()
+	d.hostWritten = 0
+	d.hostRead = 0
+	if d.mapper != nil {
+		d.mapper.next = 0
+	}
+}
+
 // AttachFTL enables page-accurate wear accounting. All subsequent writes
 // are mirrored into the FTL as sequential page writes.
 func (d *Device) AttachFTL(f *FTL) {

@@ -38,6 +38,12 @@ func (a *Array) Name() string { return a.name }
 // Devices returns the member devices.
 func (a *Array) Devices() []*Device { return a.devices }
 
+// Reset rewinds the stripe round-robin cursor for reuse by a new
+// simulation, so a replayed transfer sequence lands on the same member
+// devices. Member devices are reset separately by their owner (they may
+// need a rederated spec).
+func (a *Array) Reset() { a.rr = 0 }
+
 // AggregateWrite returns the sum of member sequential-write bandwidths,
 // the array's headline rate.
 func (a *Array) AggregateWrite() units.Bandwidth {

@@ -105,6 +105,21 @@ func (s *Storage) SetStamp(v int64) {
 // Freed reports whether the storage has been released.
 func (s *Storage) Freed() bool { return s.freed }
 
+// ResetForReuse returns the storage to its just-constructed state —
+// unstamped, unreferenced, unmaterialized — while keeping its size,
+// device and allocation number. This is the in-place alternative to
+// rebinding views onto a brand-new storage: a recycled execution arena
+// "re-zeroes" its weight and activation storages between runs, and the
+// cache's ID source then restamps them exactly as it would stamp fresh
+// allocations. The caller owns the invariant that nothing live still
+// references the storage.
+func (s *Storage) ResetForReuse() {
+	s.stamp = 0
+	s.strong = 0
+	s.freed = false
+	s.data = nil
+}
+
 // Retain adds a strong reference.
 func (s *Storage) Retain() {
 	if s.freed {

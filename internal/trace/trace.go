@@ -124,6 +124,21 @@ func NewCounters() *Counters {
 // Add increments a counter by n.
 func (c *Counters) Add(name string, n int64) { c.vals[name] += n }
 
+// Reset zeroes every counter for reuse by a new run; map buckets are
+// retained so a replayed run's increments allocate nothing.
+func (c *Counters) Reset() { clear(c.vals) }
+
+// Clone returns an independent snapshot of the counter set, so a result
+// can keep a run's final counters while the live set is reset for the
+// next run.
+func (c *Counters) Clone() *Counters {
+	cp := &Counters{vals: make(map[string]int64, len(c.vals))}
+	for k, v := range c.vals {
+		cp.vals[k] = v
+	}
+	return cp
+}
+
 // Get returns a counter's value (zero if never touched).
 func (c *Counters) Get(name string) int64 { return c.vals[name] }
 

@@ -83,6 +83,13 @@ type (
 	// Plan is a compiled measurement: the memoized config-shape-dependent
 	// work of a run (graph template, activation vectors, budget plan).
 	Plan = exp.Plan
+	// Session is a reusable execution arena bound to a Plan's shape:
+	// repeated Execute calls reset it in place instead of rebuilding the
+	// simulated machine, with byte-identical results.
+	Session = exp.Session
+	// SessionPool shares Sessions between goroutines (used internally by
+	// TrainSweep and the fleet profiler).
+	SessionPool = exp.SessionPool
 	// Placement selects the hybrid strategy's tier-routing policy.
 	Placement = exp.Placement
 	// TierUsage summarizes one rung of the offload hierarchy after a run.
@@ -106,8 +113,14 @@ func Train(cfg RunConfig) (*RunResult, error) { return exp.Run(cfg) }
 
 // Compile builds (or fetches from the shared plan cache) the run plan
 // for a configuration; plan.Execute then measures any variant differing
-// only in Budget, Steps, Warmup, SSDBandwidthShare, or AdaptiveSteps.
+// only in the cheap knobs (Budget, Steps, Warmup, SSDBandwidthShare,
+// AdaptiveSteps, Placement, DRAMCapacity, SplitRatio).
 func Compile(cfg RunConfig) (*Plan, error) { return exp.Compile(cfg) }
+
+// NewSession binds a reusable execution arena to a compiled plan, for
+// callers that drive their own repeated-Execute loops; Train and
+// TrainSweep pool sessions automatically.
+func NewSession(p *Plan) (*Session, error) { return exp.NewSession(p) }
 
 // TrainSweep executes a batch of measurements with deduplicated work:
 // identical configs run once, cheap-knob variants share compiled plans,
