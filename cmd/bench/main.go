@@ -6,7 +6,9 @@
 // placement sweep), and BENCH_session.json (the same share and tiered
 // sweeps on reused exp.Sessions, with the fresh-Execute numbers measured
 // in the same invocation on the same host as the baseline), so the
-// simulator's perf trajectory is recorded instead of anecdotal.
+// simulator's perf trajectory is recorded instead of anecdotal. The
+// record schema lives in internal/benchfmt, shared with cmd/benchcheck
+// (the CI validator and regression gate).
 //
 // The -cpuprofile and -memprofile flags capture pprof profiles of the
 // benchmark run, so hot-path regressions can be diagnosed without
@@ -29,26 +31,10 @@ import (
 	"runtime/pprof"
 	"testing"
 
+	"ssdtrain/internal/benchfmt"
 	"ssdtrain/internal/exp"
 	"ssdtrain/internal/hotbench"
 )
-
-// baseline is a recorded pre-PR measurement.
-type baseline struct {
-	NsPerOp     float64 `json:"ns_per_op"`
-	AllocsPerOp int64   `json:"allocs_per_op"`
-	Commit      string  `json:"commit"`
-}
-
-// measurement is one benchmark's current numbers next to its baseline.
-type measurement struct {
-	NsPerOp     float64   `json:"ns_per_op"`
-	AllocsPerOp int64     `json:"allocs_per_op"`
-	BytesPerOp  int64     `json:"bytes_per_op"`
-	Baseline    *baseline `json:"baseline,omitempty"`
-	Speedup     float64   `json:"speedup,omitempty"`
-	AllocsRatio float64   `json:"allocs_ratio,omitempty"`
-}
 
 // Baselines measured at the seed of this PR (commit d58ffb6) on the CI
 // reference machine class: the engine used container/heap with a fresh
@@ -58,52 +44,30 @@ type measurement struct {
 // comparison (the emitted JSON says so); allocs/op is machine-
 // independent and is the durable part of the record. To re-anchor on new
 // hardware, re-measure the baseline commit there and update this table.
-var baselines = map[string]baseline{
+var baselines = map[string]benchfmt.Baseline{
 	"engine_schedule":      {NsPerOp: 412.8, AllocsPerOp: 1, Commit: "d58ffb6"},
 	"engine_steady_state":  {NsPerOp: 118.2, AllocsPerOp: 1, Commit: "d58ffb6"},
 	"compiled_sweep":       {NsPerOp: 25988057, AllocsPerOp: 221509, Commit: "d58ffb6"},
 	"compiled_share_sweep": {NsPerOp: 9409902, AllocsPerOp: 93492, Commit: "d58ffb6"},
 }
 
-func measure(name string, fn func(b *testing.B)) measurement {
+func measure(name string, fn func(b *testing.B)) benchfmt.Measurement {
 	r := testing.Benchmark(fn)
-	m := measurement{
+	m := benchfmt.Measurement{
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
 	}
 	if b, ok := baselines[name]; ok {
-		m.compareTo(b)
+		m.CompareTo(b)
 	}
 	return m
-}
-
-// compareTo fills the measurement's baseline-relative fields.
-func (m *measurement) compareTo(bl baseline) {
-	m.Baseline = &bl
-	if m.NsPerOp > 0 {
-		m.Speedup = bl.NsPerOp / m.NsPerOp
-	}
-	if m.AllocsPerOp > 0 {
-		m.AllocsRatio = float64(bl.AllocsPerOp) / float64(m.AllocsPerOp)
-	}
-	// AllocsPerOp == 0 with a nonzero baseline leaves AllocsRatio
-	// unset: the path became allocation-free and no finite ratio
-	// describes that.
-}
-
-// benchReport is one emitted JSON record.
-type benchReport struct {
-	Note    string                 `json:"note"`
-	GoVer   string                 `json:"go"`
-	CPUs    int                    `json:"cpus"`
-	Results map[string]measurement `json:"results"`
 }
 
 // emit writes the report to path ("-" for stdout) and prints its summary
 // rows to w. Callers pass os.Stderr for w whenever any report goes to
 // stdout, keeping the stdout stream pure JSON for machine consumers.
-func emit(w io.Writer, path string, report benchReport, order []string) {
+func emit(w io.Writer, path string, report benchfmt.Report, order []string) {
 	blob, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		log.Fatal(err)
@@ -152,11 +116,11 @@ func main() {
 		defer pprof.StopCPUProfile()
 	}
 
-	report := benchReport{
+	report := benchfmt.Report{
 		Note:    "hot-path perf record: event engine + compiled sweeps; baselines measured pre-refactor at d58ffb6 (seed exp.Run per point, container/heap engine); ns/op speedups are valid only on hardware comparable to the baseline host — allocs/op ratios are machine-independent",
-		GoVer:   runtime.Version(),
+		Go:      runtime.Version(),
 		CPUs:    runtime.NumCPU(),
-		Results: map[string]measurement{},
+		Results: map[string]benchfmt.Measurement{},
 	}
 
 	report.Results["engine_schedule"] = measure("engine_schedule", func(b *testing.B) {
@@ -190,11 +154,11 @@ func main() {
 	}
 	emit(rows, *out, report, []string{"engine_schedule", "engine_steady_state", "compiled_sweep", "compiled_share_sweep"})
 
-	tier := benchReport{
+	tier := benchfmt.Report{
 		Note:    "tiered-placement hot path: 8-point DRAM-capacity sweep of a dram-first DRAM+NVMe hybrid at a quarter array share through one compiled plan — the per-profile cost a fleet of hybrid tenants pays; first recorded in the PR that introduced the hierarchy, so there is no pre-refactor baseline",
-		GoVer:   runtime.Version(),
+		Go:      runtime.Version(),
 		CPUs:    runtime.NumCPU(),
-		Results: map[string]measurement{},
+		Results: map[string]benchfmt.Measurement{},
 	}
 	tier.Results["tiered_sweep"] = measure("tiered_sweep", func(b *testing.B) {
 		b.ReportAllocs()
@@ -210,11 +174,11 @@ func main() {
 	// reused exp.Session per sweep. The baselines are the fresh-Execute
 	// measurements taken moments ago in this same process, so the
 	// fresh-vs-session comparison is same-host, same-run by construction.
-	session := benchReport{
+	session := benchfmt.Report{
 		Note:    "session-reuse hot path: the share and tiered sweeps re-executed on one recycled exp.Session per sweep (arena built once, reset in place per point); baselines are the fresh-Execute numbers measured in the same run on the same host, so both ns/op and allocs/op ratios are directly comparable",
-		GoVer:   runtime.Version(),
+		Go:      runtime.Version(),
 		CPUs:    runtime.NumCPU(),
-		Results: map[string]measurement{},
+		Results: map[string]benchfmt.Measurement{},
 	}
 	sessionBench := func(newSession func() (*exp.Session, error), sweep func(*exp.Session) error) func(b *testing.B) {
 		return func(b *testing.B) {
@@ -222,20 +186,33 @@ func main() {
 		}
 	}
 	mShare := measure("session_share_sweep", sessionBench(hotbench.NewShareSweepSession, hotbench.SessionShareSweep))
-	mShare.compareTo(baseline{
+	mShare.CompareTo(benchfmt.Baseline{
 		NsPerOp:     report.Results["compiled_share_sweep"].NsPerOp,
 		AllocsPerOp: report.Results["compiled_share_sweep"].AllocsPerOp,
 		Commit:      "same-run fresh Execute",
 	})
 	session.Results["session_share_sweep"] = mShare
 	mTier := measure("session_tiered_sweep", sessionBench(hotbench.NewTieredSweepSession, hotbench.SessionTieredSweep))
-	mTier.compareTo(baseline{
+	mTier.CompareTo(benchfmt.Baseline{
 		NsPerOp:     tier.Results["tiered_sweep"].NsPerOp,
 		AllocsPerOp: tier.Results["tiered_sweep"].AllocsPerOp,
 		Commit:      "same-run fresh Execute",
 	})
 	session.Results["session_tiered_sweep"] = mTier
 	emit(rows, *sessionOut, session, []string{"session_share_sweep", "session_tiered_sweep"})
+
+	// Pool observability: run the share sweep twice through one
+	// SessionPool (the serve-layer execution path) and print its counters,
+	// so the recorded run also witnesses arena recycling end to end.
+	sp := exp.NewSessionPool(0)
+	for i := 0; i < 2; i++ {
+		if err := hotbench.PooledShareSweep(sp); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := sp.Stats()
+	fmt.Fprintf(rows, "session pool            %d hits / %d misses / %d evictions, %.0f%% hit rate (%d idle)\n",
+		st.Hits, st.Misses, st.Evictions, st.HitRate()*100, st.Idle)
 
 	if *memprofile != "" {
 		f, err := os.Create(*memprofile)

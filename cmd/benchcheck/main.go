@@ -1,0 +1,87 @@
+// Command benchcheck validates the repo's committed benchmark records
+// (BENCH_hotpath.json, BENCH_tier.json, BENCH_session.json) and, given a
+// directory of freshly measured records, enforces the CI regression
+// gate: any required result whose ns_per_op or allocs_per_op worsened
+// beyond tolerance versus the committed record fails the build. It
+// replaces the inline python validator CI used to carry — the schema,
+// the well-formedness rules and the gate all live in internal/benchfmt
+// next to the emitter (cmd/bench), so they cannot drift.
+//
+// allocs/op is machine-independent and the durable part of the gate;
+// ns/op mixes hardware speed into the comparison, so its tolerance is
+// separately tunable (and can be disabled with -ns-tolerance -1) for
+// heterogeneous CI fleets.
+//
+// Usage:
+//
+//	benchcheck [-dir .] [-fresh DIR] [-ns-tolerance 0.25] [-alloc-tolerance 0.25]
+//
+// With only -dir it validates the committed records' well-formedness.
+// With -fresh it additionally validates the fresh records and gates them
+// against the committed ones.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+
+	"ssdtrain/internal/benchfmt"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding the committed BENCH_*.json records")
+	fresh := flag.String("fresh", "", "directory holding freshly measured records to gate against the committed ones")
+	nsTol := flag.Float64("ns-tolerance", 0.25, "allowed ns_per_op worsening (0.25 = +25%); negative disables the ns gate")
+	allocTol := flag.Float64("alloc-tolerance", 0.25, "allowed allocs_per_op worsening (0.25 = +25%)")
+	flag.Parse()
+
+	failed := false
+	for _, spec := range benchfmt.Specs() {
+		committed, err := benchfmt.ReadReport(filepath.Join(*dir, spec.File))
+		if err != nil {
+			log.Printf("benchcheck: %v", err)
+			failed = true
+			continue
+		}
+		if err := benchfmt.Validate(committed, spec); err != nil {
+			log.Printf("benchcheck: committed: %v", err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%-20s committed record well-formed (%d results)\n", spec.File, len(committed.Results))
+		if *fresh == "" {
+			continue
+		}
+		freshRep, err := benchfmt.ReadReport(filepath.Join(*fresh, spec.File))
+		if err != nil {
+			log.Printf("benchcheck: fresh: %v", err)
+			failed = true
+			continue
+		}
+		if err := benchfmt.Validate(freshRep, spec); err != nil {
+			log.Printf("benchcheck: fresh: %v", err)
+			failed = true
+			continue
+		}
+		nt := *nsTol
+		if nt < 0 {
+			// Effectively infinite tolerance: the ns gate is off.
+			nt = 1e18
+		}
+		regs := benchfmt.Gate(committed, freshRep, spec, nt, *allocTol)
+		for _, r := range regs {
+			log.Printf("benchcheck: REGRESSION: %s", r)
+			failed = true
+		}
+		if len(regs) == 0 {
+			fmt.Printf("%-20s fresh record within gate (ns +%.0f%%, allocs +%.0f%%)\n",
+				spec.File, *nsTol*100, *allocTol*100)
+		}
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,129 @@
+// Command serve runs the what-if planning service: an HTTP/JSON API over
+// the experiment harness answering single-run plans (/v1/plan),
+// cheap-knob sweeps streamed as NDJSON (/v1/sweep) and fleet scheduling
+// what-ifs (/v1/fleet), with /metrics exposing every cache, pool and
+// dedup counter behind them. Concurrent identical requests coalesce into
+// one simulation; compatible cheap-knob requests micro-batch onto one
+// pooled execution arena; saturation answers 429 with Retry-After.
+//
+// Usage:
+//
+//	serve [-addr :8080] [-workers N] [-queue N] [-cache N]
+//	      [-batch-window 2ms] [-max-idle-sessions N]
+//
+// Self-check mode starts the server on an ephemeral port, drives it with
+// the built-in load generator and exits non-zero unless the run was
+// clean (zero 5xx, zero body mismatches) and the caching layers did
+// their job (singleflight dedup observed):
+//
+//	serve -selfcheck [-n 200] [-c 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"time"
+
+	"ssdtrain/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	workers := flag.Int("workers", 0, "max concurrently executing requests (0 = GOMAXPROCS)")
+	queue := flag.Int("queue", 0, "max requests waiting for a worker before 429 (0 = default 64)")
+	cache := flag.Int("cache", 0, "result cache capacity in rendered bodies (0 = default 1024)")
+	batchWindow := flag.Duration("batch-window", 0, "request coalescing window (0 = default 2ms, negative = disabled)")
+	maxIdle := flag.Int("max-idle-sessions", 0, "execution arena pool size (0 = default 32)")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "per-request response deadline; bounds how long a stalled client can pin a connection (0 = none)")
+	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run the load generator against it, verify, exit")
+	n := flag.Int("n", 200, "selfcheck: total plan requests")
+	c := flag.Int("c", 8, "selfcheck: client concurrency")
+	flag.Parse()
+
+	srv := serve.New(serve.Options{
+		Workers:         *workers,
+		Queue:           *queue,
+		CacheCapacity:   *cache,
+		BatchWindow:     *batchWindow,
+		MaxIdleSessions: *maxIdle,
+	})
+
+	if *selfcheck {
+		os.Exit(runSelfcheck(srv, *n, *c))
+	}
+
+	// Handlers never hold worker slots across response writes, so a slow
+	// client costs a connection, not a slot; the timeouts bound even that.
+	hs := &http.Server{
+		Addr:              *addr,
+		Handler:           srv.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      *writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	log.Printf("serve: listening on %s", *addr)
+	log.Fatal(hs.ListenAndServe())
+}
+
+// runSelfcheck is the CI smoke: a real server on a loopback listener, a
+// real load run through the HTTP stack, and hard assertions on the
+// outcome.
+func runSelfcheck(srv *serve.Server, n, c int) int {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Printf("selfcheck: listen: %v", err)
+		return 1
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	defer hs.Close()
+	base := "http://" + ln.Addr().String()
+	log.Printf("selfcheck: server on %s, driving %d requests from %d workers", base, n, c)
+
+	start := time.Now()
+	rep, err := serve.RunLoad(serve.LoadOptions{BaseURL: base, Requests: n, Concurrency: c})
+	if err != nil {
+		log.Printf("selfcheck: load run failed: %v", err)
+		return 1
+	}
+	fmt.Print(rep.String())
+	log.Printf("selfcheck: finished in %v", time.Since(start).Round(time.Millisecond))
+
+	failed := false
+	fail := func(format string, args ...any) {
+		log.Printf("selfcheck FAIL: "+format, args...)
+		failed = true
+	}
+	if rep.Status5xx > 0 || rep.Server5xx > 0 {
+		fail("%d client-observed / %d server-observed 5xx responses, want 0", rep.Status5xx, rep.Server5xx)
+	}
+	if rep.TransportErrors > 0 {
+		fail("%d transport errors, want 0", rep.TransportErrors)
+	}
+	if rep.Mismatches > 0 {
+		fail("%d response mismatches, want 0", rep.Mismatches)
+	}
+	if rep.SweepErrors > 0 {
+		// On this dedicated idle server no sweep point has any excuse to
+		// error (a shared production server might legitimately answer
+		// saturation inline; serve_client therefore only warns).
+		fail("%d sweep points answered with inline errors, want 0", rep.SweepErrors)
+	}
+	if rep.Coalesced == 0 {
+		fail("singleflight dedup never fired (coalesced = 0)")
+	}
+	if rep.Status2xx == 0 {
+		fail("no successful requests")
+	}
+	if failed {
+		return 1
+	}
+	log.Printf("selfcheck: OK (dedup %d, result-cache hits %d, session hits %d, zero 5xx)",
+		rep.Coalesced, rep.ResultCacheHits, rep.SessionHits)
+	return 0
+}

@@ -1,0 +1,44 @@
+// Command serve_client drives a running `cmd/serve` instance with the
+// built-in load generator: a barrier-released wave of identical requests
+// (provoking singleflight dedup), a mixed-palette load, and a small
+// sweep, then prints the latency profile and the server's own dedup and
+// cache counters. Exit status is non-zero if the server returned any 5xx
+// or any pair of identical concurrent requests disagreed.
+//
+// Usage:
+//
+//	serve_client [-addr http://127.0.0.1:8080] [-n 200] [-c 8]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"ssdtrain/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:8080", "server base URL")
+	n := flag.Int("n", 200, "total plan requests")
+	c := flag.Int("c", 8, "client concurrency")
+	flag.Parse()
+
+	rep, err := serve.RunLoad(serve.LoadOptions{BaseURL: *addr, Requests: *n, Concurrency: *c})
+	if err != nil {
+		log.Fatalf("serve_client: %v", err)
+	}
+	fmt.Print(rep.String())
+	if rep.Status5xx > 0 || rep.Server5xx > 0 || rep.Mismatches > 0 || rep.TransportErrors > 0 {
+		log.Printf("serve_client: FAILED (5xx %d/%d, mismatches %d, transport errors %d)",
+			rep.Status5xx, rep.Server5xx, rep.Mismatches, rep.TransportErrors)
+		os.Exit(1)
+	}
+	if rep.SweepErrors > 0 {
+		log.Printf("serve_client: warning: %d sweep points answered with inline errors (server saturated?)", rep.SweepErrors)
+	}
+	if rep.Coalesced == 0 {
+		log.Printf("serve_client: warning: no singleflight dedup observed (server may have been warm)")
+	}
+}

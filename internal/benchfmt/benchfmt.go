@@ -1,0 +1,201 @@
+// Package benchfmt defines the schema of the repo's committed benchmark
+// records (BENCH_hotpath.json, BENCH_tier.json, BENCH_session.json),
+// shared by cmd/bench (which emits them) and cmd/benchcheck (which
+// validates them in CI and gates regressions against the committed
+// numbers). One schema in one package is what keeps the emitter and the
+// gate from drifting apart — the failure mode of the inline python
+// validator this replaces.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// Baseline is a recorded reference measurement a result is compared to:
+// either a pinned historical commit or a same-run fresh-path baseline.
+type Baseline struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	Commit      string  `json:"commit"`
+}
+
+// Measurement is one benchmark's numbers, optionally next to a baseline.
+type Measurement struct {
+	NsPerOp     float64   `json:"ns_per_op"`
+	AllocsPerOp int64     `json:"allocs_per_op"`
+	BytesPerOp  int64     `json:"bytes_per_op"`
+	Baseline    *Baseline `json:"baseline,omitempty"`
+	Speedup     float64   `json:"speedup,omitempty"`
+	AllocsRatio float64   `json:"allocs_ratio,omitempty"`
+}
+
+// CompareTo fills the measurement's baseline-relative fields. An
+// AllocsPerOp of 0 with a nonzero baseline leaves AllocsRatio unset: the
+// path became allocation-free and no finite ratio describes that.
+func (m *Measurement) CompareTo(bl Baseline) {
+	m.Baseline = &bl
+	if m.NsPerOp > 0 {
+		m.Speedup = bl.NsPerOp / m.NsPerOp
+	}
+	if m.AllocsPerOp > 0 {
+		m.AllocsRatio = float64(bl.AllocsPerOp) / float64(m.AllocsPerOp)
+	}
+}
+
+// Report is one emitted record file.
+type Report struct {
+	Note    string                 `json:"note"`
+	Go      string                 `json:"go"`
+	CPUs    int                    `json:"cpus"`
+	Results map[string]Measurement `json:"results"`
+}
+
+// ReadReport loads and decodes one record file.
+func ReadReport(path string) (*Report, error) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r Report
+	if err := json.Unmarshal(blob, &r); err != nil {
+		return nil, fmt.Errorf("benchfmt: %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Check declares what one result in a record must look like.
+type Check struct {
+	// Result is the results-map key.
+	Result string
+	// AllocFree marks hot paths that are allowed (indeed expected) to
+	// report zero allocs/op; everything else must allocate something or
+	// the record is mismeasured.
+	AllocFree bool
+	// BaselineCommit, when set, requires a baseline with exactly this
+	// commit string and positive numbers.
+	BaselineCommit string
+}
+
+// Spec declares one record file's required shape.
+type Spec struct {
+	// File is the record's base name, e.g. "BENCH_session.json".
+	File   string
+	Checks []Check
+}
+
+// Specs returns the repo's three committed records and their required
+// results — the contract cmd/bench emits and CI enforces.
+func Specs() []Spec {
+	return []Spec{
+		{
+			File: "BENCH_hotpath.json",
+			Checks: []Check{
+				{Result: "engine_schedule", AllocFree: true, BaselineCommit: "d58ffb6"},
+				{Result: "engine_steady_state", AllocFree: true, BaselineCommit: "d58ffb6"},
+				{Result: "compiled_sweep", BaselineCommit: "d58ffb6"},
+				{Result: "compiled_share_sweep", BaselineCommit: "d58ffb6"},
+			},
+		},
+		{
+			File: "BENCH_tier.json",
+			Checks: []Check{
+				{Result: "tiered_sweep"},
+			},
+		},
+		{
+			File: "BENCH_session.json",
+			Checks: []Check{
+				{Result: "session_share_sweep", BaselineCommit: "same-run fresh Execute"},
+				{Result: "session_tiered_sweep", BaselineCommit: "same-run fresh Execute"},
+			},
+		},
+	}
+}
+
+// Validate checks a record against its spec: every required result
+// present, plausibly measured, and carrying its required baseline.
+func Validate(r *Report, spec Spec) error {
+	if len(r.Results) == 0 {
+		return fmt.Errorf("benchfmt: %s: no results", spec.File)
+	}
+	for _, c := range spec.Checks {
+		m, ok := r.Results[c.Result]
+		if !ok {
+			return fmt.Errorf("benchfmt: %s: missing result %q", spec.File, c.Result)
+		}
+		if m.NsPerOp <= 0 {
+			return fmt.Errorf("benchfmt: %s: %s: ns_per_op %v not positive", spec.File, c.Result, m.NsPerOp)
+		}
+		if m.AllocsPerOp < 0 {
+			return fmt.Errorf("benchfmt: %s: %s: negative allocs_per_op %d", spec.File, c.Result, m.AllocsPerOp)
+		}
+		if m.AllocsPerOp == 0 && !c.AllocFree {
+			return fmt.Errorf("benchfmt: %s: %s: allocs_per_op 0 on a path that must allocate (mismeasured?)", spec.File, c.Result)
+		}
+		if c.BaselineCommit != "" {
+			if m.Baseline == nil {
+				return fmt.Errorf("benchfmt: %s: %s: missing baseline", spec.File, c.Result)
+			}
+			if m.Baseline.Commit != c.BaselineCommit {
+				return fmt.Errorf("benchfmt: %s: %s: baseline commit %q, want %q", spec.File, c.Result, m.Baseline.Commit, c.BaselineCommit)
+			}
+			if m.Baseline.NsPerOp <= 0 || m.Baseline.AllocsPerOp <= 0 {
+				return fmt.Errorf("benchfmt: %s: %s: baseline numbers not positive (%+v)", spec.File, c.Result, *m.Baseline)
+			}
+		}
+	}
+	return nil
+}
+
+// Regression is one metric that worsened beyond tolerance.
+type Regression struct {
+	File      string
+	Result    string
+	Metric    string // "ns_per_op" or "allocs_per_op"
+	Committed float64
+	Fresh     float64
+	// Ratio is Fresh over Committed (∞ reported as 0-committed cases).
+	Ratio float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s: %s worsened %.2fx (committed %.1f, fresh %.1f)",
+		r.File, r.Result, r.Metric, r.Ratio, r.Committed, r.Fresh)
+}
+
+// Gate compares a freshly measured report against the committed one:
+// every required result whose ns_per_op or allocs_per_op worsened more
+// than the tolerance (0.25 = fail beyond +25%) is reported. A committed
+// allocation-free path regresses on its first fresh allocation —
+// "allocation-free" is a property the gate defends, not a ratio.
+func Gate(committed, fresh *Report, spec Spec, nsTol, allocTol float64) []Regression {
+	var regs []Regression
+	for _, c := range spec.Checks {
+		cm, okC := committed.Results[c.Result]
+		fm, okF := fresh.Results[c.Result]
+		if !okC || !okF {
+			// Validate reports missing results; the gate only compares.
+			continue
+		}
+		if fm.NsPerOp > cm.NsPerOp*(1+nsTol) {
+			regs = append(regs, Regression{
+				File: spec.File, Result: c.Result, Metric: "ns_per_op",
+				Committed: cm.NsPerOp, Fresh: fm.NsPerOp, Ratio: fm.NsPerOp / cm.NsPerOp,
+			})
+		}
+		climit := float64(cm.AllocsPerOp) * (1 + allocTol)
+		if float64(fm.AllocsPerOp) > climit {
+			reg := Regression{
+				File: spec.File, Result: c.Result, Metric: "allocs_per_op",
+				Committed: float64(cm.AllocsPerOp), Fresh: float64(fm.AllocsPerOp),
+			}
+			if cm.AllocsPerOp > 0 {
+				reg.Ratio = float64(fm.AllocsPerOp) / float64(cm.AllocsPerOp)
+			}
+			regs = append(regs, reg)
+		}
+	}
+	return regs
+}

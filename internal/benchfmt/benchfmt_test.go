@@ -1,0 +1,137 @@
+package benchfmt
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func sessionSpec(t *testing.T) Spec {
+	t.Helper()
+	for _, s := range Specs() {
+		if s.File == "BENCH_session.json" {
+			return s
+		}
+	}
+	t.Fatal("no session spec")
+	return Spec{}
+}
+
+func wellFormed() *Report {
+	bl := Baseline{NsPerOp: 2000, AllocsPerOp: 4000, Commit: "same-run fresh Execute"}
+	return &Report{
+		Note: "test",
+		Go:   "go1.24.0",
+		CPUs: 1,
+		Results: map[string]Measurement{
+			"session_share_sweep":  {NsPerOp: 1000, AllocsPerOp: 600, Baseline: &bl},
+			"session_tiered_sweep": {NsPerOp: 1500, AllocsPerOp: 500, Baseline: &bl},
+		},
+	}
+}
+
+// TestCommittedRecordsValidate is the live contract: the records
+// actually committed at the repo root must satisfy their specs.
+func TestCommittedRecordsValidate(t *testing.T) {
+	for _, spec := range Specs() {
+		r, err := ReadReport(filepath.Join("..", "..", spec.File))
+		if err != nil {
+			t.Fatalf("%s: %v", spec.File, err)
+		}
+		if err := Validate(r, spec); err != nil {
+			t.Errorf("committed record invalid: %v", err)
+		}
+	}
+}
+
+func TestValidateRejects(t *testing.T) {
+	spec := sessionSpec(t)
+	mutate := func(f func(*Report)) *Report {
+		r := wellFormed()
+		f(r)
+		return r
+	}
+	cases := []struct {
+		name string
+		r    *Report
+		want string
+	}{
+		{"missing result", mutate(func(r *Report) { delete(r.Results, "session_share_sweep") }), "missing result"},
+		{"zero ns", mutate(func(r *Report) {
+			m := r.Results["session_share_sweep"]
+			m.NsPerOp = 0
+			r.Results["session_share_sweep"] = m
+		}), "not positive"},
+		{"zero allocs on allocating path", mutate(func(r *Report) {
+			m := r.Results["session_share_sweep"]
+			m.AllocsPerOp = 0
+			r.Results["session_share_sweep"] = m
+		}), "must allocate"},
+		{"missing baseline", mutate(func(r *Report) {
+			m := r.Results["session_share_sweep"]
+			m.Baseline = nil
+			r.Results["session_share_sweep"] = m
+		}), "missing baseline"},
+		{"wrong baseline commit", mutate(func(r *Report) {
+			m := r.Results["session_share_sweep"]
+			bl := *m.Baseline
+			bl.Commit = "d58ffb6"
+			m.Baseline = &bl
+			r.Results["session_share_sweep"] = m
+		}), "baseline commit"},
+	}
+	for _, tc := range cases {
+		err := Validate(tc.r, spec)
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want containing %q", tc.name, err, tc.want)
+		}
+	}
+	if err := Validate(wellFormed(), spec); err != nil {
+		t.Errorf("well-formed record rejected: %v", err)
+	}
+}
+
+func TestGate(t *testing.T) {
+	spec := sessionSpec(t)
+	committed := wellFormed()
+
+	// Within tolerance: +20% on both metrics passes a 25% gate.
+	fresh := wellFormed()
+	m := fresh.Results["session_share_sweep"]
+	m.NsPerOp = 1200
+	m.AllocsPerOp = 720
+	fresh.Results["session_share_sweep"] = m
+	if regs := Gate(committed, fresh, spec, 0.25, 0.25); len(regs) != 0 {
+		t.Errorf("within-tolerance drift flagged: %v", regs)
+	}
+
+	// Beyond tolerance on both metrics of one result.
+	m.NsPerOp = 1400
+	m.AllocsPerOp = 800
+	fresh.Results["session_share_sweep"] = m
+	regs := Gate(committed, fresh, spec, 0.25, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want ns and allocs", regs)
+	}
+	for _, r := range regs {
+		if r.Result != "session_share_sweep" || r.Ratio < 1.3 {
+			t.Errorf("unexpected regression %+v", r)
+		}
+		if !strings.Contains(r.String(), "worsened") {
+			t.Errorf("rendering: %q", r.String())
+		}
+	}
+
+	// An allocation-free committed path regresses on any fresh alloc.
+	hot := Spec{File: "x", Checks: []Check{{Result: "engine", AllocFree: true}}}
+	c := &Report{Results: map[string]Measurement{"engine": {NsPerOp: 100, AllocsPerOp: 0}}}
+	f := &Report{Results: map[string]Measurement{"engine": {NsPerOp: 100, AllocsPerOp: 1}}}
+	if regs := Gate(c, f, hot, 0.25, 0.25); len(regs) != 1 || regs[0].Metric != "allocs_per_op" {
+		t.Errorf("allocation-free regression not caught: %v", regs)
+	}
+	// Faster + fewer allocs never regresses.
+	f = &Report{Results: map[string]Measurement{"engine": {NsPerOp: 10, AllocsPerOp: 0}}}
+	if regs := Gate(c, f, hot, 0.25, 0.25); len(regs) != 0 {
+		t.Errorf("improvement flagged: %v", regs)
+	}
+}

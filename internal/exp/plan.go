@@ -78,6 +78,37 @@ func shapeKey(cfg RunConfig) RunConfig {
 	return cfg
 }
 
+// Normalize validates cfg and returns it with the paper defaults filled
+// in — the canonical form under which value-identical measurements
+// coincide. Sweep's dedup map, the fleet profiler's cache and the serve
+// result cache all key on this form, so a spelled-out config and its
+// defaulted twin share one simulation.
+func Normalize(cfg RunConfig) (RunConfig, error) {
+	cfg = cfg.withDefaults()
+	switch cfg.Strategy {
+	case NoOffload, Recompute, SSDTrain, CPUOffload, HybridOffload:
+	default:
+		return RunConfig{}, fmt.Errorf("exp: unknown strategy %q", cfg.Strategy)
+	}
+	if err := validateKnobs(cfg); err != nil {
+		return RunConfig{}, err
+	}
+	return cfg, nil
+}
+
+// ShapeKey validates cfg and reduces it to its plan identity: the
+// normalized config with the cheap knobs zeroed. Two configs with equal
+// shape keys compile to the same *Plan and can share a pooled execution
+// arena — the grouping key behind the serve layer's request coalescing
+// windows.
+func ShapeKey(cfg RunConfig) (RunConfig, error) {
+	n, err := Normalize(cfg)
+	if err != nil {
+		return RunConfig{}, err
+	}
+	return shapeKey(n), nil
+}
+
 // planCache memoizes compiled plans across Run calls, so naive per-point
 // sweeps (the figure generators, fleet profiling) share plans without
 // managing them explicitly.
@@ -114,6 +145,15 @@ func Compile(cfg RunConfig) (*Plan, error) {
 // PlanCacheStats reports the shared plan cache's hit/miss counters.
 func PlanCacheStats() (hits, misses int64) { return planCache.Stats() }
 
+// PlanCacheSnapshot reports the shared plan cache's full counter set —
+// hit/miss plus evictions and resident size, so an observer (the serve
+// /metrics endpoint) can tell a big-enough cache from one thrashing on
+// capacity misses.
+func PlanCacheSnapshot() (hits, misses, evictions int64, length int) {
+	hits, misses = planCache.Stats()
+	return hits, misses, planCache.Evictions(), planCache.Len()
+}
+
 func validateShare(s float64) error {
 	if math.IsNaN(s) || s < 0 || s > 1 {
 		return fmt.Errorf("exp: SSD bandwidth share %v outside [0, 1]", s)
@@ -127,6 +167,24 @@ func validateShare(s float64) error {
 func validateKnobs(cfg RunConfig) error {
 	if err := validateShare(cfg.SSDBandwidthShare); err != nil {
 		return err
+	}
+	// withDefaults only replaces zeros, so negatives would otherwise leak
+	// through: negative Steps runs a warmup-only measurement (and with
+	// Warmup also negative, panics on an empty PerStep), and a negative
+	// Budget bypasses the planner with a nonsense bound. Reject them —
+	// the one deliberate negative is KeepLastModules (-1 = keep-nothing
+	// ablation), and PrefetchAhead < 0 (prefetch disabled).
+	if cfg.Steps < 0 {
+		return fmt.Errorf("exp: negative step count %d", cfg.Steps)
+	}
+	if cfg.Warmup < 0 {
+		return fmt.Errorf("exp: negative warmup count %d", cfg.Warmup)
+	}
+	if cfg.MicroBatches < 0 {
+		return fmt.Errorf("exp: negative micro-batch count %d", cfg.MicroBatches)
+	}
+	if cfg.Budget < 0 {
+		return fmt.Errorf("exp: negative offload budget %v", cfg.Budget)
 	}
 	if math.IsNaN(cfg.SplitRatio) || cfg.SplitRatio < 0 || cfg.SplitRatio > 1 {
 		return fmt.Errorf("exp: split ratio %v outside [0, 1]", cfg.SplitRatio)

@@ -1,0 +1,148 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"ssdtrain/internal/units"
+)
+
+// TestSessionPoolStats pins the pool's observable counters: a cold
+// Execute is a miss, a warm one is a hit, and releases beyond maxIdle
+// evict the oldest arena.
+func TestSessionPoolStats(t *testing.T) {
+	sp := NewSessionPool(1)
+	cfg := smallCfg(NoOffload)
+	if _, err := sp.Execute(cfg); err != nil {
+		t.Fatal(err)
+	}
+	st := sp.Stats()
+	if st.Hits != 0 || st.Misses != 1 || st.Evictions != 0 || st.Idle != 1 {
+		t.Fatalf("after cold execute: %+v", st)
+	}
+	if _, err := sp.Execute(cfg); err != nil {
+		t.Fatal(err)
+	}
+	st = sp.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Evictions != 0 || st.Idle != 1 {
+		t.Fatalf("after warm execute: %+v", st)
+	}
+	// A different shape misses and, with maxIdle 1, its release evicts
+	// the first shape's idle arena.
+	other := smallCfg(Recompute)
+	if _, err := sp.Execute(other); err != nil {
+		t.Fatal(err)
+	}
+	st = sp.Stats()
+	if st.Hits != 1 || st.Misses != 2 || st.Evictions != 1 || st.Idle != 1 {
+		t.Fatalf("after cross-shape execute: %+v", st)
+	}
+	if rate := st.HitRate(); rate <= 0.33 || rate >= 0.34 {
+		t.Fatalf("hit rate = %v, want 1/3", rate)
+	}
+}
+
+// TestExecuteBatch runs a same-shape knob batch on one borrowed arena
+// and checks every slot is byte-identical to a fresh Plan.Execute, with
+// per-item errors isolated from their neighbours.
+func TestExecuteBatch(t *testing.T) {
+	sp := NewSessionPool(0)
+	base := smallCfg(SSDTrain)
+	half := base
+	half.SSDBandwidthShare = 0.5
+	budget := base
+	budget.Budget = 32 * units.MiB
+	bad := base
+	bad.SSDBandwidthShare = 2 // invalid knob: fails Compile, not the batch
+	mismatch := smallCfg(Recompute)
+
+	results := sp.ExecuteBatch([]RunConfig{base, bad, half, mismatch, budget})
+	plan, err := Compile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, cfg := range []RunConfig{base, half, budget} {
+		slot := []int{0, 2, 4}[i]
+		if results[slot].Err != nil {
+			t.Fatalf("slot %d: %v", slot, results[slot].Err)
+		}
+		fresh, err := plan.Execute(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(fresh, results[slot].Result) {
+			t.Errorf("slot %d differs from fresh Execute", slot)
+		}
+	}
+	if results[1].Err == nil || results[1].Result != nil {
+		t.Errorf("invalid-knob slot: result=%v err=%v", results[1].Result, results[1].Err)
+	}
+	if err := results[3].Err; err == nil || !strings.Contains(err.Error(), "does not match compiled plan") {
+		t.Errorf("mismatched-shape slot error = %v", err)
+	}
+	st := sp.Stats()
+	if st.Misses != 1 {
+		t.Errorf("batch built %d arenas, want 1 (stats %+v)", st.Misses, st)
+	}
+}
+
+// TestNormalizeAndShapeKey pins the exported canonicalization: defaults
+// filled, knobs validated, and the shape key zeroing exactly the cheap
+// knobs.
+func TestNormalizeAndShapeKey(t *testing.T) {
+	cfg := smallCfg(HybridOffload)
+	cfg.SSDBandwidthShare = 0.25
+	cfg.DRAMCapacity = 512 * units.MiB
+	n, err := Normalize(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n.Placement != PlacementDRAMFirst || n.Steps != 3 || n.Warmup != 2 {
+		t.Fatalf("normalize did not fill defaults: %+v", n)
+	}
+	key, err := ShapeKey(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if key != shapeKey(n) {
+		t.Fatalf("ShapeKey = %+v, want internal shapeKey of normalized config", key)
+	}
+	if key.SSDBandwidthShare != 0 || key.DRAMCapacity != 0 || key.Placement != "" {
+		t.Fatalf("cheap knobs not zeroed in shape key: %+v", key)
+	}
+
+	if _, err := Normalize(RunConfig{Strategy: "warp-drive"}); err == nil {
+		t.Fatal("unknown strategy normalized without error")
+	}
+	bad := smallCfg(SSDTrain)
+	bad.SplitRatio = 0.5
+	if _, err := ShapeKey(bad); err == nil {
+		t.Fatal("dead split ratio accepted")
+	}
+}
+
+// TestNegativeKnobsRejected is the library-level pin for the hostile
+// knobs that once reached the executor: steps -1 with warmup -1 used to
+// panic on an empty PerStep, and a lone negative knob silently
+// mismeasured.
+func TestNegativeKnobsRejected(t *testing.T) {
+	base := smallCfg(SSDTrain)
+	mutations := map[string]func(*RunConfig){
+		"steps":         func(c *RunConfig) { c.Steps = -1 },
+		"warmup":        func(c *RunConfig) { c.Warmup = -1 },
+		"steps+warmup":  func(c *RunConfig) { c.Steps, c.Warmup = -1, -1 },
+		"micro batches": func(c *RunConfig) { c.MicroBatches = -3 },
+		"budget":        func(c *RunConfig) { c.Budget = -units.MiB },
+	}
+	for name, mutate := range mutations {
+		cfg := base
+		mutate(&cfg)
+		if _, err := Normalize(cfg); err == nil {
+			t.Errorf("%s: negative knob normalized without error", name)
+		}
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("%s: negative knob ran without error", name)
+		}
+	}
+}

@@ -398,6 +398,45 @@ type SessionPool struct {
 	fifo []*Plan
 	// maxIdle bounds total retained arenas across all plans.
 	maxIdle int
+	// hits/misses/evictions are the pool's lifetime counters: acquires
+	// served by an idle arena, acquires that had to build one, and idle
+	// arenas dropped to make room. Snapshotted by Stats.
+	hits, misses, evictions int64
+}
+
+// SessionPoolStats is a point-in-time snapshot of a pool's counters —
+// the observability the serve /metrics endpoint and cmd/bench surface so
+// "the arenas are being recycled" is a measured fact rather than an
+// assumption.
+type SessionPoolStats struct {
+	// Hits counts Execute calls served by a recycled idle arena.
+	Hits int64 `json:"hits"`
+	// Misses counts Execute calls that built a fresh arena.
+	Misses int64 `json:"misses"`
+	// Evictions counts idle arenas dropped because the pool was full.
+	Evictions int64 `json:"evictions"`
+	// Idle is the number of arenas currently retained.
+	Idle int `json:"idle"`
+}
+
+// HitRate returns Hits over all acquires, or 0 before the first one.
+func (s SessionPoolStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// Stats snapshots the pool's hit/miss/eviction counters.
+func (sp *SessionPool) Stats() SessionPoolStats {
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	return SessionPoolStats{
+		Hits:      sp.hits,
+		Misses:    sp.misses,
+		Evictions: sp.evictions,
+		Idle:      len(sp.fifo),
+	}
 }
 
 // NewSessionPool creates a pool retaining at most maxIdle idle sessions
@@ -433,6 +472,7 @@ func (sp *SessionPool) Execute(cfg RunConfig) (*RunResult, error) {
 func (sp *SessionPool) acquire(p *Plan) (*Session, error) {
 	sp.mu.Lock()
 	if ss := sp.free[p]; len(ss) > 0 {
+		sp.hits++
 		s := ss[len(ss)-1]
 		ss[len(ss)-1] = nil
 		if len(ss) == 1 {
@@ -451,6 +491,7 @@ func (sp *SessionPool) acquire(p *Plan) (*Session, error) {
 		sp.mu.Unlock()
 		return s, nil
 	}
+	sp.misses++
 	sp.mu.Unlock()
 	return NewSession(p)
 }
@@ -463,6 +504,7 @@ func (sp *SessionPool) release(p *Plan, s *Session) {
 	if len(sp.fifo) >= sp.maxIdle {
 		old := sp.fifo[0]
 		sp.fifo = sp.fifo[1:]
+		sp.evictions++
 		if ss := sp.free[old]; len(ss) > 0 {
 			if len(ss) == 1 {
 				delete(sp.free, old)
@@ -482,4 +524,54 @@ func (sp *SessionPool) Idle() int {
 	sp.mu.Lock()
 	defer sp.mu.Unlock()
 	return len(sp.fifo)
+}
+
+// BatchResult is one ExecuteBatch outcome: exactly one of Result and Err
+// is set.
+type BatchResult struct {
+	Result *RunResult
+	Err    error
+}
+
+// ExecuteBatch runs several measurements that share one plan shape on a
+// single borrowed arena: one Compile (via the shared plan cache), one
+// acquire, len(cfgs) Executes, one release. This is the micro-batching
+// primitive behind the serve layer's request coalescing windows —
+// compatible cheap-knob requests that arrive together pay arena traffic
+// once instead of once each. Failures are per-item: a config that fails
+// validation, mismatches the batch's shape, or errors mid-simulation
+// reports through its own slot without disturbing its neighbours
+// (Execute fully resets the arena on entry, so an errored run cannot
+// leak state into the next). Results are byte-identical to per-config
+// Plan.Execute calls.
+func (sp *SessionPool) ExecuteBatch(cfgs []RunConfig) []BatchResult {
+	out := make([]BatchResult, len(cfgs))
+	var plan *Plan
+	var sess *Session
+	for i, cfg := range cfgs {
+		if sess == nil {
+			// The first config that compiles establishes the batch's plan
+			// and arena. Later items are not recompiled: Session.Execute
+			// validates their knobs and shape itself, so a mismatched item
+			// errors individually — and the check cannot be confused by
+			// the shared plan cache evicting and recompiling the shape to
+			// a new pointer mid-batch.
+			p, err := Compile(cfg)
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+			s, err := sp.acquire(p)
+			if err != nil {
+				out[i].Err = err
+				continue
+			}
+			plan, sess = p, s
+		}
+		out[i].Result, out[i].Err = sess.Execute(cfg)
+	}
+	if sess != nil {
+		sp.release(plan, sess)
+	}
+	return out
 }

@@ -223,6 +223,12 @@ func (p *Profiler) Cached() int { return p.cache.Len() }
 // CacheStats returns the underlying cache's hit/miss counters.
 func (p *Profiler) CacheStats() (hits, misses int64) { return p.cache.Stats() }
 
+// PoolStats snapshots the profiler's session-pool counters — how often
+// cache-miss measurements recycled a warm arena instead of building one.
+// A long-lived profiler shared across serve requests surfaces these on
+// the /metrics endpoint.
+func (p *Profiler) PoolStats() exp.SessionPoolStats { return p.sessions.Stats() }
+
 // primeItem is one (config, share, grant) measurement to precompute.
 type primeItem struct {
 	run   exp.RunConfig

@@ -52,22 +52,36 @@ func BudgetSweep() error {
 	return err
 }
 
-// ShareSweep runs the 4-point bandwidth-share sweep once (fleet-style
-// contention profiling) through one compiled plan.
-func ShareSweep() error {
+// shareSweepPoints are the bandwidth shares every share-sweep variant
+// measures. The fresh, session and pooled sweeps are compared against
+// each other by cmd/bench, so they must iterate one list.
+var shareSweepPoints = []float64{0, 0.5, 0.25, 0.125}
+
+// shareSweep runs the bandwidth-share points through execute, the loop
+// shared by the fresh, session and pooled sweep variants.
+func shareSweep(execute func(exp.RunConfig) error) error {
 	base := SweepBase()
-	plan, err := exp.Compile(base)
-	if err != nil {
-		return err
-	}
-	for _, s := range []float64{0, 0.5, 0.25, 0.125} {
+	for _, sh := range shareSweepPoints {
 		cfg := base
-		cfg.SSDBandwidthShare = s
-		if _, err := plan.Execute(cfg); err != nil {
+		cfg.SSDBandwidthShare = sh
+		if err := execute(cfg); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// ShareSweep runs the 4-point bandwidth-share sweep once (fleet-style
+// contention profiling) through one compiled plan.
+func ShareSweep() error {
+	plan, err := exp.Compile(SweepBase())
+	if err != nil {
+		return err
+	}
+	return shareSweep(func(cfg exp.RunConfig) error {
+		_, err := plan.Execute(cfg)
+		return err
+	})
 }
 
 // TieredSweep runs the 8-point DRAM-capacity placement sweep once: a
@@ -114,15 +128,10 @@ func NewShareSweepSession() (*exp.Session, error) {
 // reused session — the same points as ShareSweep, with the arena reset
 // in place between Executes instead of rebuilt.
 func SessionShareSweep(s *exp.Session) error {
-	base := SweepBase()
-	for _, sh := range []float64{0, 0.5, 0.25, 0.125} {
-		cfg := base
-		cfg.SSDBandwidthShare = sh
-		if _, err := s.Execute(cfg); err != nil {
-			return err
-		}
-	}
-	return nil
+	return shareSweep(func(cfg exp.RunConfig) error {
+		_, err := s.Execute(cfg)
+		return err
+	})
 }
 
 // tieredBase is the tiered-sweep base config (shared by the fresh and
@@ -220,4 +229,15 @@ func EngineSteadyState(n int) *sim.Engine {
 		panic(fmt.Sprintf("hotbench: pool hit rate %v, want ≈1", hr))
 	}
 	return eng
+}
+
+// PooledShareSweep runs the 4-point bandwidth-share sweep through a
+// shared SessionPool — the serve-layer execution path, where arenas are
+// borrowed and returned per point. cmd/bench runs it to report the
+// pool's hit/miss/eviction counters next to the perf records.
+func PooledShareSweep(sp *exp.SessionPool) error {
+	return shareSweep(func(cfg exp.RunConfig) error {
+		_, err := sp.Execute(cfg)
+		return err
+	})
 }

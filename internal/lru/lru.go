@@ -19,6 +19,7 @@ type Cache[K comparable, V any] struct {
 	ll           *list.List
 	index        map[K]*list.Element
 	hits, misses int64
+	evictions    int64
 }
 
 type entry[K comparable, V any] struct {
@@ -82,6 +83,7 @@ func (c *Cache[K, V]) Put(k K, v V) {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.index, last.Value.(*entry[K, V]).key)
+		c.evictions++
 	}
 }
 
@@ -97,6 +99,16 @@ func (c *Cache[K, V]) Stats() (hits, misses int64) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses
+}
+
+// Evictions returns how many entries capacity pressure has pushed out.
+// Observing it from outside (the serve /metrics endpoint does) is what
+// distinguishes "the cache is big enough" from "every miss is a
+// capacity miss re-paying a simulation".
+func (c *Cache[K, V]) Evictions() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.evictions
 }
 
 // Singleflight coalesces concurrent calls with equal keys into one

@@ -163,3 +163,24 @@ func TestSingleflightPropagatesError(t *testing.T) {
 		t.Fatalf("second call: v=%d err=%v", v, err)
 	}
 }
+
+func TestCacheEvictionCounter(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 1)
+	c.Put(2, 2)
+	if n := c.Evictions(); n != 0 {
+		t.Fatalf("evictions before overflow = %d", n)
+	}
+	c.Put(1, 10) // refresh, not an insert: must not evict
+	if n := c.Evictions(); n != 0 {
+		t.Fatalf("evictions after refresh = %d", n)
+	}
+	c.Put(3, 3)
+	c.Put(4, 4)
+	if n := c.Evictions(); n != 2 {
+		t.Fatalf("evictions = %d, want 2", n)
+	}
+	if n := c.Len(); n != 2 {
+		t.Fatalf("len = %d, want 2", n)
+	}
+}

@@ -1,0 +1,105 @@
+package serve
+
+import (
+	"context"
+	"sync"
+	"time"
+
+	"ssdtrain/internal/exp"
+)
+
+// batcher implements the request coalescing windows: /v1/plan requests
+// whose configs share a plan shape and arrive within one window are
+// micro-batched onto a single borrowed arena — one Compile, one session
+// acquire, N Executes — instead of each borrowing (or worse, building)
+// an arena of its own. Identical configs never reach the batcher (the
+// singleflight upstream already coalesces them), so a batch is a set of
+// distinct cheap-knob variants of one shape, exactly the workload
+// Session.Execute recycles an arena across.
+//
+// The batcher owns worker-slot accounting for windowed runs: members
+// wait in the window holding nothing, and the flush claims ONE slot for
+// the whole batch — a batch is one sequential execution stream, so
+// charging it one worker keeps an N-member batch from starving other
+// requests of N slots while only one simulation runs at a time.
+type batcher struct {
+	// exec runs one same-shape batch on a pooled arena; the server wires
+	// in its panic-containing executor, so a simulation panic in the
+	// flush goroutine becomes per-member errors instead of process death.
+	exec    func([]exp.RunConfig) []exp.BatchResult
+	limiter *limiter
+	window  time.Duration
+	stats   *stats
+
+	mu      sync.Mutex
+	pending map[exp.RunConfig]*batch // keyed by plan shape
+}
+
+type batch struct {
+	cfgs []exp.RunConfig
+	outs []chan exp.BatchResult
+}
+
+func newBatcher(exec func([]exp.RunConfig) []exp.BatchResult, limiter *limiter, window time.Duration, st *stats) *batcher {
+	return &batcher{
+		exec:    exec,
+		limiter: limiter,
+		window:  window,
+		stats:   st,
+		pending: make(map[exp.RunConfig]*batch),
+	}
+}
+
+// run executes cfg (which must be normalized), sharing an arena — and a
+// single worker slot — with other same-shape requests that arrive
+// within the window. Callers must not hold a worker slot; run is only
+// called with batching enabled (window > 0).
+func (b *batcher) run(cfg exp.RunConfig) (*exp.RunResult, error) {
+	shape, err := exp.ShapeKey(cfg)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan exp.BatchResult, 1)
+	b.mu.Lock()
+	bt := b.pending[shape]
+	if bt == nil {
+		bt = &batch{}
+		b.pending[shape] = bt
+		// The window opens when the first request of a shape arrives and
+		// flushes once for everything that joined while it was open.
+		time.AfterFunc(b.window, func() { b.flush(shape) })
+	}
+	bt.cfgs = append(bt.cfgs, cfg)
+	bt.outs = append(bt.outs, ch)
+	b.mu.Unlock()
+	r := <-ch
+	return r.Result, r.Err
+}
+
+// flush closes a shape's window and runs its batch on one arena under
+// one worker slot. The slot wait uses a background context: batch
+// members' own request contexts must not abort work their flight
+// joiners are still waiting on, and progress is guaranteed because
+// every slot holder releases in bounded time. If even the wait queue is
+// full, the whole batch reports saturation.
+func (b *batcher) flush(shape exp.RunConfig) {
+	b.mu.Lock()
+	bt := b.pending[shape]
+	delete(b.pending, shape)
+	b.mu.Unlock()
+	if bt == nil {
+		return
+	}
+	if !b.limiter.acquire(context.Background()) {
+		for _, ch := range bt.outs {
+			ch <- exp.BatchResult{Err: errSaturated}
+		}
+		return
+	}
+	results := b.exec(bt.cfgs)
+	b.limiter.release()
+	b.stats.recordBatch(len(bt.cfgs))
+	for i, ch := range bt.outs {
+		ch <- results[i]
+	}
+}

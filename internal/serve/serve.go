@@ -1,0 +1,474 @@
+// Package serve exposes the experiment harness as a long-lived
+// planning-as-a-service process: an HTTP/JSON API answering single-run
+// what-ifs (/v1/plan), cheap-knob sweeps streamed as NDJSON (/v1/sweep)
+// and fleet-scale scheduling questions (/v1/fleet), plus a /metrics
+// snapshot of every cache and pool behind them.
+//
+// The server is the first subsystem where many users share one process,
+// and it is built directly on the reuse layers of the harness: rendered
+// results sit in an LRU keyed by the normalized config, concurrent
+// identical requests coalesce into one simulation through a
+// singleflight, compatible cheap-knob requests that arrive within a
+// coalescing window micro-batch onto a single pooled execution arena
+// (exp.SessionPool → exp.Session, keyed per plan shape), and fleet
+// what-ifs share one profiler cache across all requests. Admission is
+// bounded: a fixed worker count plus a bounded wait queue, with 429 +
+// Retry-After beyond that. Responses are deterministic — a served body
+// is byte-identical to rendering a fresh Plan.Execute of the same
+// config, whichever cache, flight or batch actually produced it.
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"time"
+
+	"ssdtrain/internal/exp"
+	"ssdtrain/internal/fleet"
+	"ssdtrain/internal/lru"
+)
+
+// Options configures a Server. The zero value is a working production
+// default.
+type Options struct {
+	// Workers bounds concurrently executing requests (0 = GOMAXPROCS).
+	Workers int
+	// Queue bounds requests waiting for a worker slot; beyond it the
+	// server answers 429 (0 = DefaultQueue, negative = no queue).
+	Queue int
+	// CacheCapacity sizes the rendered-result LRU (0 = DefaultCacheCapacity).
+	CacheCapacity int
+	// BatchWindow is the request coalescing window: same-shape plan
+	// requests arriving within it share one execution arena
+	// (0 = DefaultBatchWindow, negative = disabled).
+	BatchWindow time.Duration
+	// MaxIdleSessions bounds the arena pool (0 = exp.DefaultMaxIdleSessions).
+	MaxIdleSessions int
+	// FleetCacheCapacity sizes the shared fleet profiler's cache
+	// (0 = fleet.DefaultCacheCapacity).
+	FleetCacheCapacity int
+}
+
+// Defaults for Options' zero values.
+const (
+	DefaultQueue         = 64
+	DefaultCacheCapacity = 1024
+	DefaultBatchWindow   = 2 * time.Millisecond
+	// defaultFleetBodies bounds the rendered fleet-response LRU; fleet
+	// requests are few and bodies small, so a handful suffices.
+	defaultFleetBodies = 64
+)
+
+// Server is a concurrent what-if planning service.
+type Server struct {
+	opts     Options
+	stats    *stats
+	results  *lru.Cache[exp.RunConfig, []byte]
+	flight   lru.Singleflight[exp.RunConfig, []byte]
+	fleetRes *lru.Cache[string, []byte]
+	fleetFl  lru.Singleflight[string, []byte]
+	sessions *exp.SessionPool
+	batcher  *batcher
+	limiter  *limiter
+	profiler *fleet.Profiler
+	mux      *http.ServeMux
+}
+
+// New builds a Server.
+func New(opts Options) *Server {
+	if opts.Workers <= 0 {
+		opts.Workers = runtime.GOMAXPROCS(0)
+	}
+	switch {
+	case opts.Queue == 0:
+		opts.Queue = DefaultQueue
+	case opts.Queue < 0:
+		opts.Queue = 0
+	}
+	if opts.CacheCapacity <= 0 {
+		opts.CacheCapacity = DefaultCacheCapacity
+	}
+	switch {
+	case opts.BatchWindow == 0:
+		opts.BatchWindow = DefaultBatchWindow
+	case opts.BatchWindow < 0:
+		opts.BatchWindow = 0
+	}
+	s := &Server{
+		opts:     opts,
+		stats:    newStats(time.Now(), "plan", "sweep", "fleet", "metrics"),
+		results:  lru.New[exp.RunConfig, []byte](opts.CacheCapacity),
+		fleetRes: lru.New[string, []byte](defaultFleetBodies),
+		sessions: exp.NewSessionPool(opts.MaxIdleSessions),
+		limiter:  newLimiter(opts.Workers, opts.Queue),
+		profiler: fleet.NewProfiler(opts.FleetCacheCapacity),
+		mux:      http.NewServeMux(),
+	}
+	s.batcher = newBatcher(s.runPooled, s.limiter, opts.BatchWindow, s.stats)
+	s.mux.HandleFunc("/v1/plan", s.instrument("plan", s.handlePlan))
+	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
+	s.mux.HandleFunc("/v1/fleet", s.instrument("fleet", s.handleFleet))
+	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
+	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		io.WriteString(w, "ok\n")
+	})
+	return s
+}
+
+// Handler returns the server's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// statusRecorder captures the response status for instrumentation while
+// passing streaming flushes through.
+type statusRecorder struct {
+	http.ResponseWriter
+	status int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.status = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
+	ep := s.stats.endpoint(name)
+	return func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		h(rec, r)
+		ep.observe(rec.status, time.Since(start))
+	}
+}
+
+// errorBody is every non-2xx JSON response.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	blob, _ := json.Marshal(errorBody{Error: err.Error()})
+	w.Write(append(blob, '\n'))
+}
+
+// maxBodyBytes bounds request bodies; planning requests are small.
+const maxBodyBytes = 1 << 20
+
+func decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(into); err != nil {
+		return fmt.Errorf("serve: bad request body: %w", err)
+	}
+	return nil
+}
+
+// errSaturated reports backpressure: the worker slots are busy and the
+// wait queue is full. Handlers translate it to 429 + Retry-After.
+var errSaturated = errors.New("serve: saturated, retry later")
+
+// writeBackpressure answers 429 + Retry-After; rejected_requests counts
+// exactly these responses, wherever the saturation was detected.
+func (s *Server) writeBackpressure(w http.ResponseWriter) {
+	s.stats.rejected.Add(1)
+	w.Header().Set("Retry-After", "1")
+	writeError(w, http.StatusTooManyRequests, errSaturated)
+}
+
+// runPooled executes cfgs on the shared session pool, converting any
+// panic in the simulation stack into per-item errors so one poisonous
+// request cannot take down the process. This matters most for the
+// batcher's flush, which runs in a timer goroutine outside net/http's
+// per-connection recovery — an unrecovered panic there would kill the
+// whole server. A panicked ExecuteBatch also never releases its arena,
+// so a possibly-corrupted session is dropped rather than recycled.
+func (s *Server) runPooled(cfgs []exp.RunConfig) []exp.BatchResult {
+	return recoverBatch(cfgs, s.sessions.ExecuteBatch)
+}
+
+// recoverBatch runs exec, converting a panic into per-item errors.
+func recoverBatch(cfgs []exp.RunConfig, exec func([]exp.RunConfig) []exp.BatchResult) (out []exp.BatchResult) {
+	defer func() {
+		if r := recover(); r != nil {
+			err := fmt.Errorf("serve: simulation panicked: %v", r)
+			out = make([]exp.BatchResult, len(cfgs))
+			for i := range out {
+				out[i].Err = err
+			}
+		}
+	}()
+	return exec(cfgs)
+}
+
+// RenderPlanResult renders a measurement result to the canonical
+// /v1/plan body (newline-terminated JSON). The handler, the sweep
+// stream, the result cache and the byte-identity tests all go through
+// this one function, so "served == freshly executed" is checkable with
+// bytes.Equal.
+func RenderPlanResult(res *exp.RunResult) []byte {
+	blob, err := json.Marshal(NewPlanResponse(res))
+	if err != nil {
+		// The response type marshals by construction; any failure here is
+		// a programming error, not an input condition.
+		panic(fmt.Sprintf("serve: rendering plan response: %v", err))
+	}
+	return append(blob, '\n')
+}
+
+// acquireSlot claims a worker slot, mapping failure to the caller's
+// own context error (the client went away — not saturation) or to
+// errSaturated (slots busy, queue full).
+func (s *Server) acquireSlot(ctx context.Context) error {
+	if s.limiter.acquire(ctx) {
+		return nil
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return errSaturated
+}
+
+// ownerDied reports a shared flight outcome that reflects the OWNER's
+// request dying (its context canceled or timed out), not a property of
+// the work itself.
+func ownerDied(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// cachedBody is the one serving discipline both /v1/plan and /v1/fleet
+// follow: answer from the rendered-body cache, else join a singleflight
+// whose owner alone does the work (run must claim any worker slot it
+// needs and Put the rendered body). Cache reads and flight joins hold
+// no worker slot, so a saturated server still answers everything it
+// already knows; a joiner whose owner's client died mid-wait retries so
+// a surviving caller becomes the new owner; and only successfully
+// shared work counts as dedup — a joiner inheriting the owner's 429 or
+// simulation error is not coalescing the selfcheck gate should credit.
+func cachedBody[K comparable](ctx context.Context, s *Server, cache *lru.Cache[K, []byte], fl *lru.Singleflight[K, []byte], key K, run func() ([]byte, error)) ([]byte, error) {
+	for {
+		if body, ok := cache.Get(key); ok {
+			return body, nil
+		}
+		body, err, shared := fl.Do(key, func() ([]byte, error) {
+			if b, ok := cache.GetQuiet(key); ok {
+				return b, nil
+			}
+			return run()
+		})
+		if shared && err != nil && ownerDied(err) && ctx.Err() == nil {
+			continue
+		}
+		if shared && err == nil {
+			s.stats.coalesced.Add(1)
+		}
+		return body, err
+	}
+}
+
+// planBody answers one normalized config through cachedBody over a
+// (possibly batched) pooled execution. Only for the duration of the
+// simulation is a worker slot held — never across client-paced response
+// writes — which is also why no caller can deadlock holding a slot
+// another flight's owner is waiting for. viaBatch selects whether a
+// cold config waits in a coalescing window; sweep points skip the
+// window — their arena reuse comes from the session pool, and a window
+// would only add its delay to every point of an already-batched
+// request.
+func (s *Server) planBody(ctx context.Context, cfg exp.RunConfig, viaBatch bool) ([]byte, error) {
+	return cachedBody(ctx, s, s.results, &s.flight, cfg, func() ([]byte, error) {
+		var res *exp.RunResult
+		var err error
+		if viaBatch && s.batcher.window > 0 {
+			// Windowed path: the batcher claims one worker slot per
+			// flushed batch; the member waits holding nothing.
+			res, err = s.batcher.run(cfg)
+		} else {
+			if err := s.acquireSlot(ctx); err != nil {
+				return nil, err
+			}
+			out := s.runPooled([]exp.RunConfig{cfg})
+			s.limiter.release()
+			res, err = out[0].Result, out[0].Err
+		}
+		if err != nil {
+			return nil, err
+		}
+		b := RenderPlanResult(res)
+		s.results.Put(cfg, b)
+		return b, nil
+	})
+}
+
+func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
+		return
+	}
+	var req PlanRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := req.runConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := s.planBody(r.Context(), cfg, true)
+	if errors.Is(err, errSaturated) {
+		s.writeBackpressure(w)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
+		return
+	}
+	var req SweepRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfgs, err := req.configs()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Each point claims a worker slot only while simulating (inside its
+	// flight), so the sweep holds nothing while writing to a slow client
+	// and saturation surfaces per point, not as a held-slot outage.
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	for _, cfg := range cfgs {
+		body, err := s.planBody(r.Context(), cfg, false)
+		if err != nil {
+			// The stream is already committed at 200; a failing point
+			// reports inline and the sweep continues, so one infeasible
+			// corner doesn't cost the rest of the grid.
+			blob, _ := json.Marshal(errorBody{Error: err.Error()})
+			body = append(blob, '\n')
+		}
+		if _, err := w.Write(body); err != nil {
+			return // client went away
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
+		return
+	}
+	var req FleetRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	norm, key, err := req.normalize()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, err := cachedBody(r.Context(), s, s.fleetRes, &s.fleetFl, key, func() ([]byte, error) {
+		if err := s.acquireSlot(r.Context()); err != nil {
+			return nil, err
+		}
+		defer s.limiter.release()
+		resp, err := s.runFleetSafe(norm)
+		if err != nil {
+			return nil, err
+		}
+		blob, err := json.Marshal(resp)
+		if err != nil {
+			return nil, err
+		}
+		blob = append(blob, '\n')
+		s.fleetRes.Put(key, blob)
+		return blob, nil
+	})
+	if errors.Is(err, errSaturated) {
+		s.writeBackpressure(w)
+		return
+	}
+	if err != nil {
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: GET only"))
+		return
+	}
+	blob, err := json.MarshalIndent(s.Metrics(), "", "  ")
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(blob, '\n'))
+}
+
+// Metrics snapshots every counter the server exposes on /metrics.
+func (s *Server) Metrics() Metrics {
+	m := Metrics{
+		UptimeSeconds:     time.Since(s.stats.start).Seconds(),
+		Endpoints:         make(map[string]EndpointMetrics),
+		CoalescedRequests: s.stats.coalesced.Load(),
+		RejectedRequests:  s.stats.rejected.Load(),
+		Batch: BatchMetrics{
+			Flushes:         s.stats.flushes.Load(),
+			BatchedRequests: s.stats.batched.Load(),
+			MaxBatch:        s.stats.maxBatch.Load(),
+		},
+		Sessions: s.sessions.Stats(),
+	}
+	s.stats.mu.Lock()
+	for name, ep := range s.stats.endpoints {
+		m.Endpoints[name] = ep.metrics()
+	}
+	s.stats.mu.Unlock()
+	ph, pm, pe, pl := exp.PlanCacheSnapshot()
+	m.PlanCache = cacheMetrics(ph, pm, pe, pl)
+	rh, rm := s.results.Stats()
+	m.ResultCache = cacheMetrics(rh, rm, s.results.Evictions(), s.results.Len())
+	fh, fm := s.fleetRes.Stats()
+	m.FleetCache = cacheMetrics(fh, fm, s.fleetRes.Evictions(), s.fleetRes.Len())
+	ch, cm := s.profiler.CacheStats()
+	m.FleetProfiler = FleetProfilerMetrics{
+		Runs:        s.profiler.Runs(),
+		Coalesced:   s.profiler.Coalesced(),
+		Cached:      s.profiler.Cached(),
+		CacheHits:   ch,
+		CacheMisses: cm,
+		Pool:        s.profiler.PoolStats(),
+	}
+	return m
+}

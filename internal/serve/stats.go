@@ -1,0 +1,214 @@
+package serve
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssdtrain/internal/exp"
+)
+
+// histBuckets is the latency histogram resolution: bucket i holds
+// observations in [2^i, 2^(i+1)) microseconds, so 32 buckets span 1 µs
+// to ~71 minutes — wider than any simulation the service runs.
+const histBuckets = 32
+
+// histogram is a lock-free log2 latency histogram.
+type histogram struct {
+	buckets [histBuckets]atomic.Int64
+	count   atomic.Int64
+	sumNs   atomic.Int64
+}
+
+func (h *histogram) observe(d time.Duration) {
+	us := d.Microseconds()
+	i := 0
+	for us > 1 && i < histBuckets-1 {
+		us >>= 1
+		i++
+	}
+	h.buckets[i].Add(1)
+	h.count.Add(1)
+	h.sumNs.Add(d.Nanoseconds())
+}
+
+// quantile returns the upper bound (in µs) of the bucket holding the
+// q-th observation — an upward-biased estimate within one power of two,
+// plenty for spotting an order-of-magnitude latency regression.
+func (h *histogram) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	rank := int64(q*float64(total) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	var seen int64
+	for i := 0; i < histBuckets; i++ {
+		seen += h.buckets[i].Load()
+		if seen >= rank {
+			// Bucket i holds observations in [2^i, 2^(i+1)) µs.
+			return int64(1) << (i + 1)
+		}
+	}
+	return int64(1) << histBuckets
+}
+
+// endpointStats accumulates one endpoint's request counters and latency.
+type endpointStats struct {
+	count     atomic.Int64
+	status2xx atomic.Int64
+	status4xx atomic.Int64
+	status5xx atomic.Int64
+	hist      histogram
+}
+
+func (e *endpointStats) observe(status int, d time.Duration) {
+	e.count.Add(1)
+	switch {
+	case status >= 500:
+		e.status5xx.Add(1)
+	case status >= 400:
+		e.status4xx.Add(1)
+	default:
+		e.status2xx.Add(1)
+	}
+	e.hist.observe(d)
+}
+
+// stats is the server's metrics registry.
+type stats struct {
+	start     time.Time
+	mu        sync.Mutex
+	endpoints map[string]*endpointStats
+	// coalesced counts requests that shared another caller's in-flight
+	// simulation (singleflight dedup).
+	coalesced atomic.Int64
+	// rejected counts 429 backpressure responses.
+	rejected atomic.Int64
+	// flushes/batched/maxBatch describe the coalescing windows: window
+	// flushes, requests that went through them, and the largest batch.
+	flushes  atomic.Int64
+	batched  atomic.Int64
+	maxBatch atomic.Int64
+}
+
+func newStats(start time.Time, endpoints ...string) *stats {
+	s := &stats{start: start, endpoints: make(map[string]*endpointStats, len(endpoints))}
+	for _, name := range endpoints {
+		s.endpoints[name] = &endpointStats{}
+	}
+	return s
+}
+
+// endpoint returns the named endpoint's registry entry; unknown names
+// get one lazily so instrumenting a new route cannot panic the server.
+func (s *stats) endpoint(name string) *endpointStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	e, ok := s.endpoints[name]
+	if !ok {
+		e = &endpointStats{}
+		s.endpoints[name] = e
+	}
+	return e
+}
+
+func (s *stats) recordBatch(n int) {
+	s.flushes.Add(1)
+	s.batched.Add(int64(n))
+	for {
+		cur := s.maxBatch.Load()
+		if int64(n) <= cur || s.maxBatch.CompareAndSwap(cur, int64(n)) {
+			return
+		}
+	}
+}
+
+// EndpointMetrics is one endpoint's snapshot in a /metrics response.
+type EndpointMetrics struct {
+	Count     int64 `json:"count"`
+	Status2xx int64 `json:"status_2xx"`
+	Status4xx int64 `json:"status_4xx"`
+	Status5xx int64 `json:"status_5xx"`
+	MeanUs    int64 `json:"mean_us"`
+	P50Us     int64 `json:"p50_us"`
+	P90Us     int64 `json:"p90_us"`
+	P99Us     int64 `json:"p99_us"`
+}
+
+// CacheMetrics is one cache's snapshot in a /metrics response.
+type CacheMetrics struct {
+	Hits      int64   `json:"hits"`
+	Misses    int64   `json:"misses"`
+	Evictions int64   `json:"evictions"`
+	Len       int     `json:"len"`
+	HitRate   float64 `json:"hit_rate"`
+}
+
+func cacheMetrics(hits, misses, evictions int64, length int) CacheMetrics {
+	m := CacheMetrics{Hits: hits, Misses: misses, Evictions: evictions, Len: length}
+	if total := hits + misses; total > 0 {
+		m.HitRate = float64(hits) / float64(total)
+	}
+	return m
+}
+
+// BatchMetrics describes the request coalescing windows.
+type BatchMetrics struct {
+	Flushes         int64 `json:"flushes"`
+	BatchedRequests int64 `json:"batched_requests"`
+	MaxBatch        int64 `json:"max_batch"`
+}
+
+// FleetProfilerMetrics snapshots the shared fleet profiler.
+type FleetProfilerMetrics struct {
+	Runs        int64                `json:"runs"`
+	Coalesced   int64                `json:"coalesced"`
+	Cached      int                  `json:"cached"`
+	CacheHits   int64                `json:"cache_hits"`
+	CacheMisses int64                `json:"cache_misses"`
+	Pool        exp.SessionPoolStats `json:"pool"`
+}
+
+// Metrics is the /metrics response: every cache, pool, dedup and latency
+// counter the serving layers expose, so "the arenas are shared and the
+// simulations are deduplicated" is observable per process rather than
+// asserted in documentation.
+type Metrics struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+	// CoalescedRequests counts requests answered by another request's
+	// in-flight simulation (singleflight dedup).
+	CoalescedRequests int64 `json:"coalesced_requests"`
+	// RejectedRequests counts 429 backpressure responses.
+	RejectedRequests int64        `json:"rejected_requests"`
+	Batch            BatchMetrics `json:"batch"`
+	// PlanCache is the process-wide compiled-plan cache.
+	PlanCache CacheMetrics `json:"plan_cache"`
+	// ResultCache holds rendered /v1/plan bodies.
+	ResultCache CacheMetrics `json:"result_cache"`
+	// FleetCache holds rendered /v1/fleet bodies.
+	FleetCache CacheMetrics `json:"fleet_cache"`
+	// Sessions is the server's execution-arena pool.
+	Sessions exp.SessionPoolStats `json:"sessions"`
+	// FleetProfiler is the shared cross-request fleet profiler.
+	FleetProfiler FleetProfilerMetrics `json:"fleet_profiler"`
+}
+
+func (e *endpointStats) metrics() EndpointMetrics {
+	m := EndpointMetrics{
+		Count:     e.count.Load(),
+		Status2xx: e.status2xx.Load(),
+		Status4xx: e.status4xx.Load(),
+		Status5xx: e.status5xx.Load(),
+		P50Us:     e.hist.quantile(0.50),
+		P90Us:     e.hist.quantile(0.90),
+		P99Us:     e.hist.quantile(0.99),
+	}
+	if n := e.hist.count.Load(); n > 0 {
+		m.MeanUs = e.hist.sumNs.Load() / n / 1e3
+	}
+	return m
+}
