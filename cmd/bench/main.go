@@ -1,14 +1,16 @@
 // Command bench runs the hot-path benchmark workloads (the same ones
 // behind `go test -bench 'BenchmarkEngine|BenchmarkCompiled|BenchmarkTiered|BenchmarkSession'`)
-// through testing.Benchmark and writes three records: BENCH_hotpath.json
+// through testing.Benchmark and writes four records: BENCH_hotpath.json
 // (ns/op and allocs/op for the event engine and the compiled sweeps,
 // next to the pre-PR baselines), BENCH_tier.json (the tiered DRAM+NVMe
-// placement sweep), and BENCH_session.json (the same share and tiered
+// placement sweep), BENCH_session.json (the same share and tiered
 // sweeps on reused exp.Sessions, with the fresh-Execute numbers measured
-// in the same invocation on the same host as the baseline), so the
-// simulator's perf trajectory is recorded instead of anecdotal. The
-// record schema lives in internal/benchfmt, shared with cmd/benchcheck
-// (the CI validator and regression gate).
+// in the same invocation on the same host as the baseline), and
+// BENCH_trace.json (the flight recorder's disabled-path emit — gated
+// allocation-free — and the traced share sweep against its same-run
+// untraced baseline), so the simulator's perf trajectory is recorded
+// instead of anecdotal. The record schema lives in internal/benchfmt,
+// shared with cmd/benchcheck (the CI validator and regression gate).
 //
 // The -cpuprofile and -memprofile flags capture pprof profiles of the
 // benchmark run, so hot-path regressions can be diagnosed without
@@ -17,7 +19,7 @@
 // Usage:
 //
 //	bench [-o BENCH_hotpath.json] [-tier-o BENCH_tier.json] [-session-o BENCH_session.json]
-//	      [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-trace-o BENCH_trace.json] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -100,6 +102,7 @@ func main() {
 	out := flag.String("o", "BENCH_hotpath.json", "output file (- for stdout)")
 	tierOut := flag.String("tier-o", "BENCH_tier.json", "tiered-placement output file (- for stdout)")
 	sessionOut := flag.String("session-o", "BENCH_session.json", "session-reuse output file (- for stdout)")
+	traceOut := flag.String("trace-o", "BENCH_trace.json", "flight-recorder output file (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the benchmarks to this file")
 	flag.Parse()
@@ -149,7 +152,7 @@ func main() {
 	})
 
 	var rows io.Writer = os.Stdout
-	if *out == "-" || *tierOut == "-" || *sessionOut == "-" {
+	if *out == "-" || *tierOut == "-" || *sessionOut == "-" || *traceOut == "-" {
 		rows = os.Stderr
 	}
 	emit(rows, *out, report, []string{"engine_schedule", "engine_steady_state", "compiled_sweep", "compiled_share_sweep"})
@@ -200,6 +203,33 @@ func main() {
 	})
 	session.Results["session_tiered_sweep"] = mTier
 	emit(rows, *sessionOut, session, []string{"session_share_sweep", "session_tiered_sweep"})
+
+	// Flight-recorder record: what tracing costs. The disabled-emit
+	// micro-bench pins the zero-overhead-when-disabled contract
+	// (allocation-free, gated in CI); the traced share sweep measures the
+	// full enabled-path cost against the untraced sweep run moments ago on
+	// the same reused session, so the overhead ratio is same-host,
+	// same-arena by construction.
+	traceRep := benchfmt.Report{
+		Note:    "flight-recorder cost record: the disabled recorder's per-span emit (must stay allocation-free — every simulated resource calls it whether or not anyone is tracing) and the share sweep re-executed with tracing on, against the same-run untraced sweep; traced overhead buys a full span capture + snapshot per point",
+		Go:      runtime.Version(),
+		CPUs:    runtime.NumCPU(),
+		Results: map[string]benchfmt.Measurement{},
+	}
+	traceRep.Results["recorder_disabled_emit"] = measure("recorder_disabled_emit", func(b *testing.B) {
+		b.ReportAllocs()
+		hotbench.RecorderDisabledEmit(b.N)
+	})
+	mUntraced := measure("untraced_share_sweep", sessionBench(hotbench.NewShareSweepSession, hotbench.SessionShareSweep))
+	traceRep.Results["untraced_share_sweep"] = mUntraced
+	mTraced := measure("traced_share_sweep", sessionBench(hotbench.NewShareSweepSession, hotbench.SessionTracedShareSweep))
+	mTraced.CompareTo(benchfmt.Baseline{
+		NsPerOp:     mUntraced.NsPerOp,
+		AllocsPerOp: mUntraced.AllocsPerOp,
+		Commit:      "same-run untraced Execute",
+	})
+	traceRep.Results["traced_share_sweep"] = mTraced
+	emit(rows, *traceOut, traceRep, []string{"recorder_disabled_emit", "untraced_share_sweep", "traced_share_sweep"})
 
 	// Pool observability: run the share sweep twice through one
 	// SessionPool (the serve-layer execution path) and print its counters,

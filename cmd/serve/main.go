@@ -1,31 +1,43 @@
 // Command serve runs the what-if planning service: an HTTP/JSON API over
 // the experiment harness answering single-run plans (/v1/plan),
-// cheap-knob sweeps streamed as NDJSON (/v1/sweep) and fleet scheduling
-// what-ifs (/v1/fleet), with /metrics exposing every cache, pool and
-// dedup counter behind them. Concurrent identical requests coalesce into
-// one simulation; compatible cheap-knob requests micro-batch onto one
-// pooled execution arena; saturation answers 429 with Retry-After.
+// cheap-knob sweeps streamed as NDJSON (/v1/sweep), fleet scheduling
+// what-ifs (/v1/fleet) and flight-recorder traces (/v1/trace), with
+// /metrics exposing every cache, pool and dedup counter behind them (JSON
+// by default, Prometheus text under Accept: text/plain). Concurrent
+// identical requests coalesce into one simulation; compatible cheap-knob
+// requests micro-batch onto one pooled execution arena; saturation
+// answers 429 with Retry-After.
 //
 // Usage:
 //
 //	serve [-addr :8080] [-workers N] [-queue N] [-cache N]
-//	      [-batch-window 2ms] [-max-idle-sessions N]
+//	      [-batch-window 2ms] [-max-idle-sessions N] [-pprof]
+//
+// /debug/buildinfo always reports the binary's module and VCS stamp;
+// -pprof additionally mounts net/http/pprof under /debug/pprof/ (off by
+// default — profiles are a debugging surface, not a public API).
 //
 // Self-check mode starts the server on an ephemeral port, drives it with
-// the built-in load generator and exits non-zero unless the run was
-// clean (zero 5xx, zero body mismatches) and the caching layers did
-// their job (singleflight dedup observed):
+// the built-in load generator, exercises /v1/trace and /debug/buildinfo,
+// and exits non-zero unless the run was clean (zero 5xx, zero body
+// mismatches, well-formed trace JSON) and the caching layers did their
+// job (singleflight dedup observed):
 //
 //	serve -selfcheck [-n 200] [-c 8]
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"os"
+	"runtime/debug"
 	"time"
 
 	"ssdtrain/internal/serve"
@@ -39,6 +51,7 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 0, "request coalescing window (0 = default 2ms, negative = disabled)")
 	maxIdle := flag.Int("max-idle-sessions", 0, "execution arena pool size (0 = default 32)")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "per-request response deadline; bounds how long a stalled client can pin a connection (0 = none)")
+	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run the load generator against it, verify, exit")
 	n := flag.Int("n", 200, "selfcheck: total plan requests")
 	c := flag.Int("c", 8, "selfcheck: client concurrency")
@@ -51,16 +64,17 @@ func main() {
 		BatchWindow:     *batchWindow,
 		MaxIdleSessions: *maxIdle,
 	})
+	handler := buildHandler(srv, *pprofOn)
 
 	if *selfcheck {
-		os.Exit(runSelfcheck(srv, *n, *c))
+		os.Exit(runSelfcheck(handler, *n, *c))
 	}
 
 	// Handlers never hold worker slots across response writes, so a slow
 	// client costs a connection, not a slot; the timeouts bound even that.
 	hs := &http.Server{
 		Addr:              *addr,
-		Handler:           srv.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      *writeTimeout,
@@ -70,16 +84,65 @@ func main() {
 	log.Fatal(hs.ListenAndServe())
 }
 
+// buildHandler wraps the API handler with the process-debugging surface:
+// /debug/buildinfo always, /debug/pprof/ only when asked for. The pprof
+// handlers are mounted on this private mux, never the default one, so no
+// stray import can expose profiles the flag did not.
+func buildHandler(srv *serve.Server, pprofOn bool) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/", srv.Handler())
+	mux.HandleFunc("/debug/buildinfo", handleBuildinfo)
+	if pprofOn {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+	return mux
+}
+
+// handleBuildinfo answers which binary is serving: module path and
+// version plus the VCS stamp, as JSON. Answering "what exactly is
+// deployed" is the first question of any incident.
+func handleBuildinfo(w http.ResponseWriter, r *http.Request) {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		http.Error(w, "build info unavailable", http.StatusInternalServerError)
+		return
+	}
+	body := struct {
+		Path      string            `json:"path"`
+		Version   string            `json:"version"`
+		GoVersion string            `json:"go_version"`
+		Settings  map[string]string `json:"settings,omitempty"`
+	}{Path: info.Main.Path, Version: info.Main.Version, GoVersion: info.GoVersion}
+	body.Settings = make(map[string]string)
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision", "vcs.time", "vcs.modified", "GOARCH", "GOOS":
+			body.Settings[s.Key] = s.Value
+		}
+	}
+	blob, err := json.MarshalIndent(body, "", "  ")
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(append(blob, '\n'))
+}
+
 // runSelfcheck is the CI smoke: a real server on a loopback listener, a
 // real load run through the HTTP stack, and hard assertions on the
 // outcome.
-func runSelfcheck(srv *serve.Server, n, c int) int {
+func runSelfcheck(handler http.Handler, n, c int) int {
 	ln, err := net.Listen("tcp", "127.0.0.1:0")
 	if err != nil {
 		log.Printf("selfcheck: listen: %v", err)
 		return 1
 	}
-	hs := &http.Server{Handler: srv.Handler()}
+	hs := &http.Server{Handler: handler}
 	go hs.Serve(ln)
 	defer hs.Close()
 	base := "http://" + ln.Addr().String()
@@ -120,10 +183,89 @@ func runSelfcheck(srv *serve.Server, n, c int) int {
 	if rep.Status2xx == 0 {
 		fail("no successful requests")
 	}
+	if err := checkTrace(base); err != nil {
+		fail("trace endpoint: %v", err)
+	}
+	if err := checkBuildinfo(base); err != nil {
+		fail("buildinfo endpoint: %v", err)
+	}
 	if failed {
 		return 1
 	}
-	log.Printf("selfcheck: OK (dedup %d, result-cache hits %d, session hits %d, zero 5xx)",
+	log.Printf("selfcheck: OK (dedup %d, result-cache hits %d, session hits %d, trace + buildinfo well-formed, zero 5xx)",
 		rep.Coalesced, rep.ResultCacheHits, rep.SessionHits)
 	return 0
+}
+
+// checkTrace POSTs a planning question to /v1/trace and validates the
+// answer strictly as Chrome trace-event JSON: the container parses, the
+// event list is non-empty, and every event carries the keys the viewers
+// require. A malformed trace fails the selfcheck — a trace nobody can
+// load is worse than none.
+func checkTrace(base string) error {
+	req := `{"model":{"arch":"bert","hidden":2048,"layers":2,"batch":4},"strategy":"ssdtrain"}`
+	resp, err := http.Post(base+"/v1/trace", "application/json", bytes.NewReader([]byte(req)))
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var doc struct {
+		DisplayTimeUnit string                       `json:"displayTimeUnit"`
+		TraceEvents     []map[string]json.RawMessage `json:"traceEvents"`
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&doc); err != nil {
+		return fmt.Errorf("not trace-event JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("empty traceEvents")
+	}
+	for i, ev := range doc.TraceEvents {
+		for _, key := range []string{"ph", "pid"} {
+			if _, ok := ev[key]; !ok {
+				return fmt.Errorf("event %d missing %q", i, key)
+			}
+		}
+		// Every event except process-level metadata names its thread.
+		if _, ok := ev["tid"]; !ok && string(ev["ph"]) != `"M"` {
+			return fmt.Errorf("event %d missing \"tid\"", i)
+		}
+	}
+	log.Printf("selfcheck: /v1/trace OK (%d events, %d bytes)", len(doc.TraceEvents), len(body))
+	return nil
+}
+
+// checkBuildinfo verifies the always-on debug endpoint answers JSON.
+func checkBuildinfo(base string) error {
+	resp, err := http.Get(base + "/debug/buildinfo")
+	if err != nil {
+		return err
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("status %d: %s", resp.StatusCode, body)
+	}
+	var info struct {
+		Path      string `json:"path"`
+		GoVersion string `json:"go_version"`
+	}
+	if err := json.Unmarshal(body, &info); err != nil {
+		return fmt.Errorf("not JSON: %v", err)
+	}
+	if info.Path == "" || info.GoVersion == "" {
+		return fmt.Errorf("incomplete build info: %s", body)
+	}
+	return nil
 }

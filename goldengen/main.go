@@ -48,4 +48,10 @@ func main() {
 		log.Fatal(err)
 	}
 	write("internal/fleet/testdata/fleet_report.golden", fleet.RenderReports(reports))
+
+	chrome, err := exp.ReferenceChromeTrace()
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("internal/exp/testdata/trace_chrome.golden", string(chrome))
 }

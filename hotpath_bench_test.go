@@ -67,6 +67,21 @@ func BenchmarkSessionTieredSweep(b *testing.B) {
 	hotbench.SessionSweepBench(b, hotbench.NewTieredSweepSession, hotbench.SessionTieredSweep)
 }
 
+// BenchmarkRecorderDisabledEmit measures the flight recorder's per-span
+// emit with the recorder off — the cost every simulated resource pays on
+// an untraced run. BENCH_trace.json's gate defends allocation-free.
+func BenchmarkRecorderDisabledEmit(b *testing.B) {
+	b.ReportAllocs()
+	hotbench.RecorderDisabledEmit(b.N)
+}
+
+// BenchmarkTracedShareSweep runs the 4-point bandwidth-share sweep on one
+// reused exp.Session with the flight recorder capturing — the enabled-path
+// cost recorded to BENCH_trace.json against the same-run untraced sweep.
+func BenchmarkTracedShareSweep(b *testing.B) {
+	hotbench.SessionSweepBench(b, hotbench.NewShareSweepSession, hotbench.SessionTracedShareSweep)
+}
+
 // BenchmarkDedupSweep measures the exp.Sweep dedup layer on a batch with
 // heavy repetition (16 requested points, 4 distinct), the shape fleet
 // mixes produce. Sequential workers isolate dedup from parallelism.

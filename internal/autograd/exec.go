@@ -5,9 +5,17 @@ import (
 	"time"
 
 	"ssdtrain/internal/gpu"
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/tensor"
 	"ssdtrain/internal/trace"
 	"ssdtrain/internal/units"
+)
+
+// Stall causes recorded on the compute track when the host blocks on
+// in-flight reloads (the attribution report buckets stall time by these).
+const (
+	stallReloadWait       = "reload-wait"
+	stallCheckpointInputs = "checkpoint-inputs"
 )
 
 // ExecConfig configures the training-step executor.
@@ -373,7 +381,7 @@ func (e *Executor) Run() StepResult {
 
 		var bwdEnd time.Duration
 		for bi := len(e.runs) - 1; bi >= 0; bi-- {
-			grad, bwdEnd = e.backwardBlock(&e.runs[bi], &e.static[bi], grad, &hostNow, &stall, mb)
+			grad, bwdEnd = e.backwardBlock(&e.runs[bi], &e.static[bi], grad, &hostNow, &stall, mb, bi)
 		}
 		// The gradient wrt the graph input is discarded once its producing
 		// kernel completes.
@@ -388,7 +396,9 @@ func (e *Executor) Run() StepResult {
 	e.hooks.Phase(PhaseOptimizer, 0, hostNow)
 	for _, w := range e.weights {
 		hostNow += e.rt.Spec.HostIssue
-		e.rt.Compute.Submit(hostNow, e.cfg.UpdateCost(w), nil)
+		dur := e.cfg.UpdateCost(w)
+		f := e.rt.Compute.Submit(hostNow, dur, nil)
+		e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindOptimizer, -1, w.Name(), f-dur, f, 0, 0)
 	}
 	end := e.rt.Compute.BusyUntil()
 	if hostNow > end {
@@ -447,7 +457,7 @@ func (e *Executor) pack(t *tensor.Tensor, producedAt time.Duration, hostNow *tim
 // unpackAll resolves an op's saved refs, blocking host time on reloads,
 // and returns the data-ready lower bound for the backward kernel. The
 // returned slice is shared scratch, valid until the next unpackAll call.
-func (e *Executor) unpackAll(saved []savedRef, hostNow *time.Duration, stall *time.Duration) ([]*tensor.Tensor, time.Duration) {
+func (e *Executor) unpackAll(saved []savedRef, hostNow *time.Duration, stall *time.Duration, cause string) ([]*tensor.Tensor, time.Duration) {
 	base := *hostNow
 	if bu := e.rt.Compute.BusyUntil(); bu > base {
 		base = bu
@@ -472,6 +482,7 @@ func (e *Executor) unpackAll(saved []savedRef, hostNow *time.Duration, stall *ti
 	e.unpacked = tensors
 	if dataReady > base {
 		*stall += dataReady - base
+		e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindStall, -1, cause, base, dataReady, 0, 0)
 	}
 	return tensors, dataReady
 }
@@ -515,6 +526,7 @@ func (e *Executor) forwardBlock(run *blockRun, st *blockStatic, bi int, inFinish
 		*hostNow += e.rt.Spec.HostIssue
 		finish := e.rt.Compute.Submit(*hostNow, op.FwdTime, nil)
 		start := finish - op.FwdTime
+		e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindForward, int32(bi), st.ops[oi].outName, start, finish, 0, 0)
 		*modelFLOPs += op.FwdFLOPs
 
 		rec := &run.ops[oi]
@@ -609,7 +621,7 @@ func (e *Executor) saveForBackward(rec *opRun, os *opStatic, b *Block, oi int, i
 // backwardBlock executes one block's backward pass, consuming the
 // incoming gradient. It returns the gradient wrt the block input and the
 // completion time of the block's last backward kernel.
-func (e *Executor) backwardBlock(run *blockRun, st *blockStatic, gradIn *tensor.Tensor, hostNow *time.Duration, stall *time.Duration, mb int) (*tensor.Tensor, time.Duration) {
+func (e *Executor) backwardBlock(run *blockRun, st *blockStatic, gradIn *tensor.Tensor, hostNow *time.Duration, stall *time.Duration, mb, bi int) (*tensor.Tensor, time.Duration) {
 	b := run.block
 	e.hooks.BackwardPre(b.Module, *hostNow)
 
@@ -618,12 +630,13 @@ func (e *Executor) backwardBlock(run *blockRun, st *blockStatic, gradIn *tensor.
 		// Resolve the block inputs, then re-run the forward chain.
 		run.chkRefs = append(run.chkRefs[:0], run.inPacked)
 		run.chkRefs = append(run.chkRefs, run.extraPacked...)
-		e.unpackAll(run.chkRefs, hostNow, stall)
+		e.unpackAll(run.chkRefs, hostNow, stall, stallCheckpointInputs)
 		for oi := range b.Ops {
 			op := &b.Ops[oi]
 			*hostNow += e.rt.Spec.HostIssue
 			finish := e.rt.Compute.Submit(*hostNow, op.FwdTime, nil)
 			start := finish - op.FwdTime
+			e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindRecompute, int32(bi), st.ops[oi].recName, start, finish, 0, 0)
 			out := reviveInto(&run.ops[oi].recT, st.ops[oi].recName, op.OutShape, op.OutDType)
 			e.rt.Life.Alloc(start, out.Storage(), gpu.ClassActivations)
 			run.recomputed[oi] = out
@@ -642,7 +655,7 @@ func (e *Executor) backwardBlock(run *blockRun, st *blockStatic, gradIn *tensor.
 		op := &b.Ops[oi]
 		var dataReady time.Duration
 		if !b.Checkpoint {
-			_, dataReady = e.unpackAll(run.ops[oi].saved, hostNow, stall)
+			_, dataReady = e.unpackAll(run.ops[oi].saved, hostNow, stall, stallReloadWait)
 		} else {
 			dataReady = *hostNow
 		}
@@ -654,6 +667,7 @@ func (e *Executor) backwardBlock(run *blockRun, st *blockStatic, gradIn *tensor.
 		}
 		finish := e.rt.Compute.Submit(ready, op.BwdTime, nil)
 		start := finish - op.BwdTime
+		e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindBackward, int32(bi), st.ops[oi].gradName, start, finish, 0, 0)
 		lastFinish = finish
 
 		// Gradient wrt this op's input.
@@ -685,7 +699,9 @@ func (e *Executor) backwardBlock(run *blockRun, st *blockStatic, gradIn *tensor.
 			}
 			if mb > 0 {
 				// Accumulation read-modify-write for later micro-batches.
-				e.rt.Compute.Submit(finish, e.cfg.AccumCost(op.Weight), nil)
+				dur := e.cfg.AccumCost(op.Weight)
+				af := e.rt.Compute.Submit(finish, dur, nil)
+				e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindAccum, int32(bi), op.Weight.Name(), af-dur, af, 0, 0)
 			}
 		}
 

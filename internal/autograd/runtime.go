@@ -6,6 +6,7 @@ import (
 
 	"ssdtrain/internal/gpu"
 	"ssdtrain/internal/sim"
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/tensor"
 	"ssdtrain/internal/trace"
 )
@@ -23,20 +24,33 @@ type Runtime struct {
 	Life     *Lifetimes
 	Compute  *sim.Server
 	Counters *trace.Counters
+
+	// Rec is the arena's flight recorder, constructed disabled; the
+	// measurement harness enables it around traced runs. ComputeTrack is
+	// the executor's kernel track on it.
+	Rec          *spans.Recorder
+	ComputeTrack spans.TrackID
 }
 
-// NewRuntime builds a runtime for one GPU.
+// NewRuntime builds a runtime for one GPU. The flight recorder is wired
+// before any substrate is constructed so every substrate built on the
+// engine — here and later in the arena — registers its tracks on it.
 func NewRuntime(spec gpu.Spec) *Runtime {
 	eng := sim.NewEngine()
+	rec := spans.NewRecorder(0)
+	eng.SetRecorder(rec)
 	alloc := gpu.NewAllocator(spec.Memory)
+	alloc.SetRecorder(rec)
 	return &Runtime{
-		Eng:      eng,
-		Spec:     spec,
-		Cost:     gpu.DefaultCostModel(spec),
-		Alloc:    alloc,
-		Life:     NewLifetimes(alloc),
-		Compute:  sim.NewServer(eng, "gpu.compute"),
-		Counters: trace.NewCounters(),
+		Eng:          eng,
+		Spec:         spec,
+		Cost:         gpu.DefaultCostModel(spec),
+		Alloc:        alloc,
+		Life:         NewLifetimes(alloc),
+		Compute:      sim.NewServer(eng, "gpu.compute"),
+		Counters:     trace.NewCounters(),
+		Rec:          rec,
+		ComputeTrack: rec.RegisterTrack("gpu.compute"),
 	}
 }
 

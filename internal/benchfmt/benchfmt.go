@@ -1,6 +1,6 @@
 // Package benchfmt defines the schema of the repo's committed benchmark
-// records (BENCH_hotpath.json, BENCH_tier.json, BENCH_session.json),
-// shared by cmd/bench (which emits them) and cmd/benchcheck (which
+// records (BENCH_hotpath.json, BENCH_tier.json, BENCH_session.json,
+// BENCH_trace.json), shared by cmd/bench (which emits them) and cmd/benchcheck (which
 // validates them in CI and gates regressions against the committed
 // numbers). One schema in one package is what keeps the emitter and the
 // gate from drifting apart — the failure mode of the inline python
@@ -85,7 +85,7 @@ type Spec struct {
 	Checks []Check
 }
 
-// Specs returns the repo's three committed records and their required
+// Specs returns the repo's committed records and their required
 // results — the contract cmd/bench emits and CI enforces.
 func Specs() []Spec {
 	return []Spec{
@@ -109,6 +109,16 @@ func Specs() []Spec {
 			Checks: []Check{
 				{Result: "session_share_sweep", BaselineCommit: "same-run fresh Execute"},
 				{Result: "session_tiered_sweep", BaselineCommit: "same-run fresh Execute"},
+			},
+		},
+		{
+			File: "BENCH_trace.json",
+			Checks: []Check{
+				// The disabled-recorder emit is the cost every resource pays
+				// when tracing is off; the gate defends allocation-free.
+				{Result: "recorder_disabled_emit", AllocFree: true},
+				{Result: "untraced_share_sweep"},
+				{Result: "traced_share_sweep", BaselineCommit: "same-run untraced Execute"},
 			},
 		},
 	}

@@ -38,6 +38,21 @@ func (id TensorID) FileName() string {
 	return fmt.Sprintf("t%d_%016x.pt", id.Stamp, id.ShapeHash)
 }
 
+// FlowID folds the ID into a non-zero 64-bit value for Chrome trace flow
+// events, which link a tensor's offload span to its reload span. The
+// splitmix-style finalizer keeps nearby stamps from producing nearby flow
+// ids (trace viewers bucket flows by id).
+func (id TensorID) FlowID() uint64 {
+	h := uint64(id.Stamp)*0x9E3779B97F4A7C15 + id.ShapeHash
+	h ^= h >> 29
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 32
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
 // IDSource implements get_id(): a monotonic logical clock whose ticks are
 // attached to storages the first time they are processed. Because the
 // stamp lives on the storage, every view — including the transposed

@@ -7,9 +7,20 @@ import (
 	"ssdtrain/internal/gds"
 	"ssdtrain/internal/pcie"
 	"ssdtrain/internal/sim"
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/ssd"
 	"ssdtrain/internal/tensor"
 	"ssdtrain/internal/units"
+)
+
+// Span names for tier store/load traffic. Stores on the GDS path record
+// which transfer path they took; the bounce-path spans are how a trace
+// shows the efficiency cliff unregistered memory falls off.
+const (
+	spanStoreDirect = "store direct"
+	spanStoreBounce = "store bounce"
+	spanStore       = "store"
+	spanLoad        = "load"
 )
 
 // Offloader moves tensor payloads between GPU memory and an offload
@@ -110,10 +121,16 @@ type tierBase struct {
 	writeBW units.Bandwidth
 	readBW  units.Bandwidth
 	latency time.Duration
+
+	// rec and the two tracks carry the tier's store/load spans; the
+	// per-direction queues map one-to-one onto trace tracks.
+	rec           *spans.Recorder
+	storeT, loadT spans.TrackID
 }
 
 // newTierBase wires the shared tier machinery onto the engine.
 func newTierBase(eng *sim.Engine, name string, latency time.Duration, writeBW, readBW units.Bandwidth) tierBase {
+	rec := eng.Recorder()
 	return tierBase{
 		name:    name,
 		store:   ssd.NewBlockStore[TensorID](),
@@ -122,6 +139,9 @@ func newTierBase(eng *sim.Engine, name string, latency time.Duration, writeBW, r
 		writeBW: writeBW,
 		readBW:  readBW,
 		latency: latency,
+		rec:     rec,
+		storeT:  rec.RegisterTrack(name + ".store"),
+		loadT:   rec.RegisterTrack(name + ".load"),
 	}
 }
 
@@ -254,6 +274,13 @@ func (o *SSDOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration)
 	o.array.Write(start, n, nil)
 	o.link.Down(start, n, nil)
 	o.writeBlock(id, t, n)
+	if o.rec.Enabled() {
+		name := spanStoreDirect
+		if o.registry.PathFor(t.Storage()) == gds.Bounce {
+			name = spanStoreBounce
+		}
+		o.rec.Span(o.storeT, spans.KindStore, -1, name, start, finish, n, id.FlowID())
+	}
 	return start, finish, nil
 }
 
@@ -268,6 +295,7 @@ func (o *SSDOffloader) Load(id TensorID, ready time.Duration) (time.Duration, ti
 	start := finish - dur
 	o.array.Read(start, n, nil)
 	o.link.Up(start, n, nil)
+	o.rec.Span(o.loadT, spans.KindLoad, -1, spanLoad, start, finish, n, id.FlowID())
 	data, _ := o.store.ReadFile(id)
 	return start, finish, data, nil
 }
@@ -331,6 +359,7 @@ func (o *CPUOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration)
 	start := finish - dur
 	o.link.Down(start, n, nil)
 	o.writeBlock(id, t, n)
+	o.rec.Span(o.storeT, spans.KindStore, -1, spanStore, start, finish, n, id.FlowID())
 	return start, finish, nil
 }
 
@@ -344,6 +373,7 @@ func (o *CPUOffloader) Load(id TensorID, ready time.Duration) (time.Duration, ti
 	finish := o.loadQ.Submit(ready, dur, nil)
 	start := finish - dur
 	o.link.Up(start, n, nil)
+	o.rec.Span(o.loadT, spans.KindLoad, -1, spanLoad, start, finish, n, id.FlowID())
 	data, _ := o.store.ReadFile(id)
 	return start, finish, data, nil
 }

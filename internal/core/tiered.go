@@ -5,9 +5,20 @@ import (
 	"strings"
 	"time"
 
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/tensor"
 	"ssdtrain/internal/units"
 )
+
+// placeCounter names the flight-recorder counter for a placement decision.
+// The hierarchy has no timestamp of its own (routing is instantaneous), so
+// placement is reported as counters rather than spans.
+func placeCounter(k TierKind) string {
+	if k == TierDRAM {
+		return "tiered.place.dram"
+	}
+	return "tiered.place.nvme"
+}
 
 // StackView is a placement policy's read-only view of the hierarchy: the
 // ordered tier stack (fastest first, by convention DRAM before NVMe) and
@@ -141,6 +152,8 @@ type TieredOffloader struct {
 
 	used units.Bytes
 	peak units.Bytes
+
+	rec *spans.Recorder
 }
 
 // NewTieredOffloader builds a hierarchy over the given tier stack
@@ -214,6 +227,10 @@ func sameTiers(a, b []Tier) bool {
 	return true
 }
 
+// SetRecorder attaches the flight recorder placement counters are
+// reported to. Like tier wiring, the recorder survives Reset.
+func (o *TieredOffloader) SetRecorder(rec *spans.Recorder) { o.rec = rec }
+
 // Name implements Offloader.
 func (o *TieredOffloader) Name() string { return o.name }
 
@@ -253,6 +270,7 @@ func (o *TieredOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Durati
 	if err != nil {
 		return 0, 0, err
 	}
+	o.rec.Count(placeCounter(o.tiers[i].Kind()), 1)
 	if prev, ok := o.where[id]; ok {
 		// Same tier: its block store already overwrote the file in place.
 		if prev.tier != i {

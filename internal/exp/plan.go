@@ -75,6 +75,9 @@ func shapeKey(cfg RunConfig) RunConfig {
 	cfg.Placement = ""
 	cfg.DRAMCapacity = 0
 	cfg.SplitRatio = 0
+	// Tracing observes a run without changing it, so traced and untraced
+	// configs share one plan (and one pooled arena).
+	cfg.Trace = false
 	return cfg
 }
 

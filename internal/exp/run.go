@@ -19,6 +19,7 @@ import (
 	"ssdtrain/internal/core"
 	"ssdtrain/internal/gpu"
 	"ssdtrain/internal/models"
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/ssd"
 	"ssdtrain/internal/trace"
 	"ssdtrain/internal/units"
@@ -133,6 +134,13 @@ type RunConfig struct {
 	// fixed-step run's; only PerStep's length differs, so leave this off
 	// when a sweep must stay byte-identical to the seed path.
 	AdaptiveSteps bool
+	// Trace enables the flight recorder for the run: every simulated
+	// resource (compute stream, PCIe directions, NVMe devices, tier
+	// queues, allocator) records typed spans, returned on
+	// RunResult.Trace. Tracing observes completion times the simulation
+	// computes anyway, so a traced run's metrics are byte-identical to
+	// the untraced run's.
+	Trace bool
 }
 
 // withDefaults fills unset fields with the paper's setup.
@@ -204,6 +212,10 @@ type RunResult struct {
 	// run (a snapshot because execution arenas are recycled: the live set
 	// belongs to the arena and is reset by its next Execute).
 	Counters *trace.Counters
+	// Trace is the flight-recorder snapshot of a traced run (nil unless
+	// RunConfig.Trace was set). Like Counters it is a snapshot: the
+	// recorder itself belongs to the arena.
+	Trace *spans.Trace
 }
 
 // TierUsage summarizes one rung of the offload hierarchy after a run.

@@ -86,6 +86,7 @@ func NewSession(p *Plan) (*Session, error) {
 			}
 			array := ssd.NewArray(rt.Eng, "/mnt/md1", shape.SSD.Stripe, devs...)
 			registry := gds.NewRegistry()
+			registry.SetRecorder(rt.Rec)
 			hook := gds.NewMallocHook(registry)
 			hook.Enabled = !shape.DisableGDS
 			rt.Alloc.AddHook(hook)
@@ -99,6 +100,7 @@ func NewSession(p *Plan) (*Session, error) {
 			tiers = append(tiers, s.ssdTier)
 		}
 		s.offloader = core.NewTieredOffloader(nil, tiers...)
+		s.offloader.SetRecorder(rt.Rec)
 		s.cache = core.NewTensorCache(core.Config{
 			Runtime:         rt,
 			Offloader:       s.offloader,
@@ -153,6 +155,18 @@ func (s *Session) Execute(cfg RunConfig) (*RunResult, error) {
 		return nil, fmt.Errorf("exp: config shape %+v does not match compiled plan %+v", key, s.plan.shape)
 	}
 	p := s.plan
+
+	// Arm (or silence) the flight recorder before anything touches the
+	// arena: a traced run records from the executor's weight
+	// re-registration at t=0 onward, exactly what a fresh arena's first
+	// traced run sees. The recorder's track table survives Reset, so a
+	// reused arena records onto the same track ids as a fresh one.
+	if cfg.Trace {
+		s.rt.Rec.Reset()
+		s.rt.Rec.Enable()
+	} else {
+		s.rt.Rec.Disable()
+	}
 
 	// Rewind the arena: virtual time, allocator, counters, weights. The
 	// weight storages are re-zeroed in place — the cheap alternative to
@@ -245,7 +259,14 @@ func (s *Session) Execute(cfg RunConfig) (*RunResult, error) {
 
 	s.exec.Reset()
 	if err := runMeasurement(cfg, s.rt, s.exec, s.cache, s.offloader, res); err != nil {
+		// Leave no armed recorder behind: the next (possibly untraced)
+		// Execute on this arena must not record.
+		s.rt.Rec.Disable()
 		return nil, err
+	}
+	if cfg.Trace {
+		res.Trace = s.rt.Rec.Snapshot()
+		s.rt.Rec.Disable()
 	}
 	return res, nil
 }
@@ -331,6 +352,10 @@ func runMeasurement(cfg RunConfig, rt *autograd.Runtime, exec *autograd.Executor
 	// Snapshot the counters: the live set belongs to the arena and is
 	// reset by the next Execute; the result keeps its own copy.
 	res.Counters = rt.Counters.Clone()
+	// Fold this run's engine counters into the process-wide totals the
+	// /metrics endpoint reports (delta-based, so repeated Executes on one
+	// arena publish each run once).
+	rt.Eng.PublishStats()
 	return nil
 }
 

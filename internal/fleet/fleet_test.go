@@ -433,3 +433,39 @@ func TestProfileWriteRate(t *testing.T) {
 		t.Error("zero profile must have zero rates")
 	}
 }
+
+// TestProfilerSampleTrace: a sampled per-job trace carries spans for the
+// same contended measurement the cached profile describes, and sampling
+// does not perturb the profile cache.
+func TestProfilerSampleTrace(t *testing.T) {
+	p := NewProfiler(0)
+	node := DefaultNodeSpec()
+	run := exp.RunConfig{Model: models.PaperConfig(models.BERT, 8192, 4, 8), Strategy: exp.SSDTrain}
+	prof, err := p.Measure(run, node, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runsBefore := p.Runs()
+	tr, err := p.SampleTrace(run, node, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr == nil || len(tr.Spans) == 0 {
+		t.Fatal("sampled trace is empty")
+	}
+	if len(tr.Tracks) == 0 {
+		t.Fatal("sampled trace has no tracks")
+	}
+	// Sampling is cache-neutral: no profile run was charged, and the
+	// cached profile is untouched.
+	if p.Runs() != runsBefore {
+		t.Errorf("sampling charged a profile run: %d -> %d", runsBefore, p.Runs())
+	}
+	again, err := p.Measure(run, node, 0.5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(prof, again) {
+		t.Error("profile changed after trace sampling")
+	}
+}

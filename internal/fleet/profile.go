@@ -8,6 +8,7 @@ import (
 	"ssdtrain/internal/core"
 	"ssdtrain/internal/exp"
 	"ssdtrain/internal/lru"
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/units"
 )
 
@@ -228,6 +229,23 @@ func (p *Profiler) CacheStats() (hits, misses int64) { return p.cache.Stats() }
 // A long-lived profiler shared across serve requests surfaces these on
 // the /metrics endpoint.
 func (p *Profiler) PoolStats() exp.SessionPoolStats { return p.sessions.Stats() }
+
+// SampleTrace re-runs one job's profiling measurement — same node
+// binding, same share, same DRAM grant — with the flight recorder on and
+// returns the span snapshot. Traced runs bypass the profile cache (a
+// trace is a diagnostic sample, not a rate) but reuse the same pooled
+// arenas, and because tracing cannot perturb a run, the sampled spans
+// describe exactly the measurement whose cached profile the fleet
+// simulation is using.
+func (p *Profiler) SampleTrace(run exp.RunConfig, node NodeSpec, share float64, dramGrant units.Bytes) (*spans.Trace, error) {
+	key := contendedRun(run, node, share, dramGrant)
+	key.Trace = true
+	res, err := p.sessions.Execute(key)
+	if err != nil {
+		return nil, err
+	}
+	return res.Trace, nil
+}
 
 // primeItem is one (config, share, grant) measurement to precompute.
 type primeItem struct {

@@ -13,6 +13,7 @@
 package gds
 
 import (
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/tensor"
 	"ssdtrain/internal/units"
 )
@@ -46,6 +47,12 @@ type Registry struct {
 
 	registrations   int
 	deregistrations int
+
+	// rec receives registration counters when tracing. Registration calls
+	// carry no virtual timestamp (the malloc hook fires on host-side
+	// allocator traffic), so the flight recorder sees them as counters
+	// rather than spans.
+	rec *spans.Recorder
 }
 
 // NewRegistry returns an empty registry with the default bounce penalty.
@@ -63,12 +70,17 @@ func (r *Registry) Reset() {
 	r.deregistrations = 0
 }
 
+// SetRecorder attaches the flight recorder the registry reports
+// registration counters to.
+func (r *Registry) SetRecorder(rec *spans.Recorder) { r.rec = rec }
+
 // Register marks a storage as DMA-registered. Registering twice is a no-op
 // (cuFileBufRegister is idempotent per region in practice).
 func (r *Registry) Register(s *tensor.Storage) {
 	if !r.registered[s.Seq()] {
 		r.registered[s.Seq()] = true
 		r.registrations++
+		r.rec.Count("gds.register", 1)
 	}
 }
 
@@ -77,6 +89,7 @@ func (r *Registry) Deregister(s *tensor.Storage) {
 	if r.registered[s.Seq()] {
 		delete(r.registered, s.Seq())
 		r.deregistrations++
+		r.rec.Count("gds.deregister", 1)
 	}
 }
 

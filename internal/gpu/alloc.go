@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/tensor"
 	"ssdtrain/internal/trace"
 	"ssdtrain/internal/units"
@@ -72,12 +73,24 @@ type Allocator struct {
 	seq      int
 	final    bool
 
+	// rec/memT emit instant alloc/free events (named by class) when the
+	// flight recorder is on. Like the hooks, the wiring survives Reset.
+	rec  *spans.Recorder
+	memT spans.TrackID
+
 	report *MemReport
 }
 
 // NewAllocator creates an allocator for a device with the given capacity.
 func NewAllocator(capacity units.Bytes) *Allocator {
-	return &Allocator{capacity: capacity, live: make(map[int64]memEvent)}
+	return &Allocator{capacity: capacity, live: make(map[int64]memEvent), memT: -1}
+}
+
+// SetRecorder attaches the flight recorder and registers the allocator's
+// event track. Call at arena construction, before the first Alloc.
+func (a *Allocator) SetRecorder(r *spans.Recorder) {
+	a.rec = r
+	a.memT = r.RegisterTrack("gpu.mem")
 }
 
 // AddHook attaches an allocation observer.
@@ -108,6 +121,7 @@ func (a *Allocator) Alloc(at time.Duration, s *tensor.Storage, class Class) {
 	ev := memEvent{at: at, delta: s.Bytes(), class: class, seq: a.seq}
 	a.live[s.Seq()] = ev
 	a.events = append(a.events, ev)
+	a.rec.Span(a.memT, spans.KindAlloc, -1, class.String(), at, at, s.Bytes(), 0)
 	for _, h := range a.hooks {
 		h.OnAlloc(s)
 	}
@@ -132,6 +146,7 @@ func (a *Allocator) Free(at time.Duration, s *tensor.Storage) {
 	delete(a.live, s.Seq())
 	a.seq++
 	a.events = append(a.events, memEvent{at: at, delta: -ev.delta, class: ev.class, seq: a.seq})
+	a.rec.Span(a.memT, spans.KindFree, -1, ev.class.String(), at, at, ev.delta, 0)
 	for _, h := range a.hooks {
 		h.OnFree(s)
 	}

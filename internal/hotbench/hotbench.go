@@ -12,6 +12,7 @@ import (
 	"ssdtrain/internal/exp"
 	"ssdtrain/internal/models"
 	"ssdtrain/internal/sim"
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/units"
 )
 
@@ -229,6 +230,42 @@ func EngineSteadyState(n int) *sim.Engine {
 		panic(fmt.Sprintf("hotbench: pool hit rate %v, want ≈1", hr))
 	}
 	return eng
+}
+
+// RecorderDisabledEmit drives n span emits through a disabled recorder —
+// the hot-path cost every simulated resource pays when tracing is off.
+// The benchmark gate pins this path allocation-free; anything else would
+// tax every untraced simulation for an observability feature it isn't
+// using. A small ring keeps the constructor's one-time allocation from
+// polluting the per-op numbers at low N.
+func RecorderDisabledEmit(n int) *spans.Recorder {
+	rec := spans.NewRecorder(16)
+	track := rec.RegisterTrack("bench")
+	for i := 0; i < n; i++ {
+		rec.Span(track, spans.KindDMA, -1, "emit", 0, time.Microsecond, 4096, 0)
+	}
+	if rec.Enabled() {
+		panic("hotbench: disabled recorder reports enabled")
+	}
+	return rec
+}
+
+// SessionTracedShareSweep runs the 4-point bandwidth-share sweep with the
+// flight recorder on, on a reused session — the same points as
+// SessionShareSweep, so cmd/bench records the enabled-path cost against
+// the same-run untraced baseline.
+func SessionTracedShareSweep(s *exp.Session) error {
+	return shareSweep(func(cfg exp.RunConfig) error {
+		cfg.Trace = true
+		res, err := s.Execute(cfg)
+		if err != nil {
+			return err
+		}
+		if res.Trace == nil || len(res.Trace.Spans) == 0 {
+			return fmt.Errorf("hotbench: traced sweep point recorded no spans")
+		}
+		return nil
+	})
 }
 
 // PooledShareSweep runs the 4-point bandwidth-share sweep through a

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"ssdtrain/internal/sim"
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/units"
 )
 
@@ -71,16 +72,25 @@ func (c LinkConfig) Effective() units.Bandwidth {
 // matching how DMA read and write engines operate concurrently.
 type Link struct {
 	cfg  LinkConfig
+	name string
 	down *sim.Server // toward the device (GPU→SSD writes)
 	up   *sim.Server // toward the GPU (SSD→GPU reads)
+
+	rec        *spans.Recorder
+	downT, upT spans.TrackID
 }
 
 // NewLink creates a link on the engine.
 func NewLink(eng *sim.Engine, name string, cfg LinkConfig) *Link {
+	rec := eng.Recorder()
 	return &Link{
-		cfg:  cfg,
-		down: sim.NewServer(eng, name+".down"),
-		up:   sim.NewServer(eng, name+".up"),
+		cfg:   cfg,
+		name:  name,
+		down:  sim.NewServer(eng, name+".down"),
+		up:    sim.NewServer(eng, name+".up"),
+		rec:   rec,
+		downT: rec.RegisterTrack(name + ".down"),
+		upT:   rec.RegisterTrack(name + ".up"),
 	}
 }
 
@@ -100,13 +110,19 @@ func (l *Link) Effective() units.Bandwidth { return l.cfg.Effective() }
 // Down submits a device-bound transfer (e.g. activation store) that cannot
 // begin before ready; done runs at completion. Returns the finish time.
 func (l *Link) Down(ready time.Duration, n units.Bytes, done func()) time.Duration {
-	return l.down.Submit(ready, l.cfg.Latency+l.Effective().TimeFor(n), done)
+	dur := l.cfg.Latency + l.Effective().TimeFor(n)
+	finish := l.down.Submit(ready, dur, done)
+	l.rec.Span(l.downT, spans.KindDMA, -1, l.name, finish-dur, finish, n, 0)
+	return finish
 }
 
 // Up submits a GPU-bound transfer (e.g. activation reload). Returns the
 // finish time.
 func (l *Link) Up(ready time.Duration, n units.Bytes, done func()) time.Duration {
-	return l.up.Submit(ready, l.cfg.Latency+l.Effective().TimeFor(n), done)
+	dur := l.cfg.Latency + l.Effective().TimeFor(n)
+	finish := l.up.Submit(ready, dur, done)
+	l.rec.Span(l.upT, spans.KindDMA, -1, l.name, finish-dur, finish, n, 0)
+	return finish
 }
 
 // DownBusyTime returns cumulative busy time in the device direction.

@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Prometheus renders the metrics snapshot in the Prometheus text
+// exposition format (version 0.0.4), the body /metrics serves when the
+// client's Accept header asks for text/plain or OpenMetrics. The same
+// snapshot backs both formats, so a scraper and a JSON reader always see
+// one consistent view; output ordering is deterministic (sorted label
+// values) so the body is diffable and testable.
+func (m Metrics) Prometheus() []byte {
+	var b strings.Builder
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, rows func()) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		rows()
+	}
+
+	gauge("ssdtrain_uptime_seconds", "Seconds since the server started.", m.UptimeSeconds)
+
+	names := make([]string, 0, len(m.Endpoints))
+	for name := range m.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	counter("ssdtrain_requests_total", "Requests served, by endpoint and status class.", func() {
+		for _, name := range names {
+			ep := m.Endpoints[name]
+			for _, c := range []struct {
+				class string
+				n     int64
+			}{{"2xx", ep.Status2xx}, {"4xx", ep.Status4xx}, {"5xx", ep.Status5xx}} {
+				fmt.Fprintf(&b, "ssdtrain_requests_total{endpoint=%q,class=%q} %d\n", name, c.class, c.n)
+			}
+		}
+	})
+	fmt.Fprintf(&b, "# HELP ssdtrain_request_latency_us Request latency quantiles in microseconds (upper bucket bound).\n# TYPE ssdtrain_request_latency_us gauge\n")
+	for _, name := range names {
+		ep := m.Endpoints[name]
+		for _, q := range []struct {
+			q string
+			v int64
+		}{{"0.5", ep.P50Us}, {"0.9", ep.P90Us}, {"0.99", ep.P99Us}} {
+			fmt.Fprintf(&b, "ssdtrain_request_latency_us{endpoint=%q,quantile=%q} %d\n", name, q.q, q.v)
+		}
+	}
+
+	counter("ssdtrain_coalesced_requests_total", "Requests answered by another request's in-flight simulation.", func() {
+		fmt.Fprintf(&b, "ssdtrain_coalesced_requests_total %d\n", m.CoalescedRequests)
+	})
+	counter("ssdtrain_rejected_requests_total", "429 backpressure responses.", func() {
+		fmt.Fprintf(&b, "ssdtrain_rejected_requests_total %d\n", m.RejectedRequests)
+	})
+	counter("ssdtrain_batch_flushes_total", "Coalescing-window flushes.", func() {
+		fmt.Fprintf(&b, "ssdtrain_batch_flushes_total %d\n", m.Batch.Flushes)
+	})
+	counter("ssdtrain_batched_requests_total", "Requests executed through a coalescing window.", func() {
+		fmt.Fprintf(&b, "ssdtrain_batched_requests_total %d\n", m.Batch.BatchedRequests)
+	})
+
+	counter("ssdtrain_cache_events_total", "Cache traffic, by cache and event.", func() {
+		for _, c := range []struct {
+			name string
+			m    CacheMetrics
+		}{{"plan", m.PlanCache}, {"result", m.ResultCache}, {"fleet", m.FleetCache}} {
+			fmt.Fprintf(&b, "ssdtrain_cache_events_total{cache=%q,event=\"hit\"} %d\n", c.name, c.m.Hits)
+			fmt.Fprintf(&b, "ssdtrain_cache_events_total{cache=%q,event=\"miss\"} %d\n", c.name, c.m.Misses)
+			fmt.Fprintf(&b, "ssdtrain_cache_events_total{cache=%q,event=\"eviction\"} %d\n", c.name, c.m.Evictions)
+		}
+	})
+
+	counter("ssdtrain_session_pool_total", "Execution-arena pool traffic, by event.", func() {
+		fmt.Fprintf(&b, "ssdtrain_session_pool_total{event=\"hit\"} %d\n", m.Sessions.Hits)
+		fmt.Fprintf(&b, "ssdtrain_session_pool_total{event=\"miss\"} %d\n", m.Sessions.Misses)
+		fmt.Fprintf(&b, "ssdtrain_session_pool_total{event=\"eviction\"} %d\n", m.Sessions.Evictions)
+	})
+	gauge("ssdtrain_session_pool_idle", "Execution arenas currently retained in the pool.", float64(m.Sessions.Idle))
+
+	counter("ssdtrain_engine_events_total", "Simulation-engine event traffic across all arenas, by event.", func() {
+		fmt.Fprintf(&b, "ssdtrain_engine_events_total{event=\"processed\"} %d\n", m.Engine.EventsProcessed)
+		fmt.Fprintf(&b, "ssdtrain_engine_events_total{event=\"scheduled\"} %d\n", m.Engine.EventsScheduled)
+		fmt.Fprintf(&b, "ssdtrain_engine_events_total{event=\"pool_hit\"} %d\n", m.Engine.PoolHits)
+		fmt.Fprintf(&b, "ssdtrain_engine_events_total{event=\"pool_miss\"} %d\n", m.Engine.PoolMisses)
+	})
+	gauge("ssdtrain_engine_pool_hit_rate", "Fraction of event schedules served from the engine free list.", m.Engine.PoolHitRate)
+
+	counter("ssdtrain_span_snapshots_total", "Traced runs snapshotted by the flight recorder.", func() {
+		fmt.Fprintf(&b, "ssdtrain_span_snapshots_total %d\n", m.Spans.Snapshots)
+	})
+	counter("ssdtrain_spans_total", "Spans delivered across all trace snapshots.", func() {
+		fmt.Fprintf(&b, "ssdtrain_spans_total %d\n", m.Spans.Spans)
+	})
+	counter("ssdtrain_spans_dropped_total", "Spans lost to recorder ring overwrites.", func() {
+		fmt.Fprintf(&b, "ssdtrain_spans_dropped_total %d\n", m.Spans.Dropped)
+	})
+
+	return []byte(b.String())
+}

@@ -26,11 +26,14 @@ import (
 	"io"
 	"net/http"
 	"runtime"
+	"strings"
 	"time"
 
 	"ssdtrain/internal/exp"
 	"ssdtrain/internal/fleet"
 	"ssdtrain/internal/lru"
+	"ssdtrain/internal/sim"
+	"ssdtrain/internal/spans"
 )
 
 // Options configures a Server. The zero value is a working production
@@ -101,7 +104,7 @@ func New(opts Options) *Server {
 	}
 	s := &Server{
 		opts:     opts,
-		stats:    newStats(time.Now(), "plan", "sweep", "fleet", "metrics"),
+		stats:    newStats(time.Now(), "plan", "sweep", "fleet", "trace", "metrics"),
 		results:  lru.New[exp.RunConfig, []byte](opts.CacheCapacity),
 		fleetRes: lru.New[string, []byte](defaultFleetBodies),
 		sessions: exp.NewSessionPool(opts.MaxIdleSessions),
@@ -113,6 +116,7 @@ func New(opts Options) *Server {
 	s.mux.HandleFunc("/v1/plan", s.instrument("plan", s.handlePlan))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/fleet", s.instrument("fleet", s.handleFleet))
+	s.mux.HandleFunc("/v1/trace", s.instrument("trace", s.handleTrace))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -422,12 +426,68 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 	w.Write(body)
 }
 
+// handleTrace answers POST /v1/trace: the same planning question as
+// /v1/plan, executed with the flight recorder on, streamed back as Chrome
+// trace-event JSON (load it in Perfetto / chrome://tracing). Trace bodies
+// are not cached — they are large, rarely repeated, and the traced run is
+// byte-identical to the untraced one, so caching them would only evict
+// the plan bodies the cache exists for. The pooled arena is still shared:
+// a traced request reuses (and re-warms) the same sessions /v1/plan does.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
+		return
+	}
+	var req PlanRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := req.runConfig()
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg.Trace = true
+	if err := s.acquireSlot(r.Context()); err != nil {
+		if errors.Is(err, errSaturated) {
+			s.writeBackpressure(w)
+			return
+		}
+		writeError(w, http.StatusUnprocessableEntity, err)
+		return
+	}
+	out := s.runPooled([]exp.RunConfig{cfg})
+	s.limiter.release()
+	if out[0].Err != nil {
+		writeError(w, http.StatusUnprocessableEntity, out[0].Err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(out[0].Result.Trace.ChromeJSON())
+}
+
+// wantsPrometheus reports whether the request negotiated the Prometheus
+// text exposition instead of the default JSON body. Anything naming
+// text/plain or OpenMetrics in Accept opts in; everything else (including
+// no Accept at all) keeps the original JSON byte-identical.
+func wantsPrometheus(r *http.Request) bool {
+	accept := r.Header.Get("Accept")
+	return strings.Contains(accept, "text/plain") || strings.Contains(accept, "openmetrics")
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: GET only"))
 		return
 	}
-	blob, err := json.MarshalIndent(s.Metrics(), "", "  ")
+	m := s.Metrics()
+	if wantsPrometheus(r) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(m.Prometheus())
+		return
+	}
+	blob, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
 		writeError(w, http.StatusInternalServerError, err)
 		return
@@ -469,6 +529,20 @@ func (s *Server) Metrics() Metrics {
 		CacheHits:   ch,
 		CacheMisses: cm,
 		Pool:        s.profiler.PoolStats(),
+	}
+	es := sim.GlobalStats()
+	m.Engine = EngineMetrics{
+		EventsProcessed: int64(es.Processed),
+		EventsScheduled: int64(es.Scheduled),
+		PoolHits:        int64(es.PoolHits),
+		PoolMisses:      int64(es.PoolMisses),
+		PoolHitRate:     es.PoolHitRate(),
+	}
+	sp := spans.Totals()
+	m.Spans = SpanMetrics{
+		Snapshots: int64(sp.Snapshots),
+		Spans:     int64(sp.Spans),
+		Dropped:   int64(sp.Dropped),
 	}
 	return m
 }

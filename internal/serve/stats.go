@@ -162,6 +162,26 @@ type BatchMetrics struct {
 	MaxBatch        int64 `json:"max_batch"`
 }
 
+// EngineMetrics snapshots the process-wide simulation-engine counters
+// published by every measurement (sim.GlobalStats): total event traffic
+// and the event-pool hit rate that keeps repeated Execute allocation-free.
+type EngineMetrics struct {
+	EventsProcessed int64   `json:"events_processed"`
+	EventsScheduled int64   `json:"events_scheduled"`
+	PoolHits        int64   `json:"pool_hits"`
+	PoolMisses      int64   `json:"pool_misses"`
+	PoolHitRate     float64 `json:"pool_hit_rate"`
+}
+
+// SpanMetrics snapshots the process-wide flight-recorder totals
+// (spans.Totals): traced runs snapshotted, spans delivered, and spans
+// lost to ring overwrites.
+type SpanMetrics struct {
+	Snapshots int64 `json:"snapshots"`
+	Spans     int64 `json:"spans"`
+	Dropped   int64 `json:"dropped"`
+}
+
 // FleetProfilerMetrics snapshots the shared fleet profiler.
 type FleetProfilerMetrics struct {
 	Runs        int64                `json:"runs"`
@@ -195,6 +215,10 @@ type Metrics struct {
 	Sessions exp.SessionPoolStats `json:"sessions"`
 	// FleetProfiler is the shared cross-request fleet profiler.
 	FleetProfiler FleetProfilerMetrics `json:"fleet_profiler"`
+	// Engine aggregates event-pool counters across every arena's engine.
+	Engine EngineMetrics `json:"engine"`
+	// Spans aggregates flight-recorder activity across every arena.
+	Spans SpanMetrics `json:"spans"`
 }
 
 func (e *endpointStats) metrics() EndpointMetrics {

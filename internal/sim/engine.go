@@ -13,7 +13,10 @@ package sim
 
 import (
 	"fmt"
+	"sync/atomic"
 	"time"
+
+	"ssdtrain/internal/spans"
 )
 
 // Event is a callback scheduled to run at a virtual time. Events are
@@ -91,6 +94,17 @@ type Engine struct {
 	// cumulative Processed counter at the last Reset.
 	limit     uint64
 	limitBase uint64
+	// rec is the flight recorder the substrates built on this engine emit
+	// spans to. The engine itself is the carrier, not an emitter: it is
+	// the one object every substrate already holds at construction, so
+	// threading the recorder through it reaches them all. Reset leaves the
+	// recorder alone — its lifecycle (enable, rewind, snapshot) belongs to
+	// the measurement harness, and a recorder that survives arena resets
+	// is what makes reused sessions trace identically to fresh ones.
+	rec *spans.Recorder
+	// published snapshots the stats folded into the package-wide totals by
+	// the last PublishStats call.
+	published Stats
 }
 
 // NewEngine returns an engine at virtual time zero.
@@ -127,6 +141,45 @@ func (e *Engine) Processed() uint64 { return e.stats.Processed }
 
 // Stats returns a snapshot of the engine counters.
 func (e *Engine) Stats() Stats { return e.stats }
+
+// SetRecorder installs the flight recorder substrates constructed on this
+// engine will emit to. Install before building substrates: they fetch the
+// recorder (and register their tracks) at construction time.
+func (e *Engine) SetRecorder(r *spans.Recorder) { e.rec = r }
+
+// Recorder returns the installed flight recorder (nil when tracing was
+// never wired; a nil recorder accepts and discards everything).
+func (e *Engine) Recorder() *spans.Recorder { return e.rec }
+
+// global accumulates counters published from individual engines, so an
+// observer (the serve /metrics endpoint) can report fleet-wide event-pool
+// behaviour without holding references to per-arena engines.
+var global struct {
+	processed, scheduled, poolHits, poolMisses atomic.Uint64
+}
+
+// PublishStats folds the engine's counter growth since the last publish
+// into the package-wide totals returned by GlobalStats. The harness calls
+// it once per measurement — off the event hot path.
+func (e *Engine) PublishStats() {
+	s := e.stats
+	global.processed.Add(s.Processed - e.published.Processed)
+	global.scheduled.Add(s.Scheduled - e.published.Scheduled)
+	global.poolHits.Add(s.PoolHits - e.published.PoolHits)
+	global.poolMisses.Add(s.PoolMisses - e.published.PoolMisses)
+	e.published = s
+}
+
+// GlobalStats returns the process-wide totals of all published engine
+// counters.
+func GlobalStats() Stats {
+	return Stats{
+		Processed:  global.processed.Load(),
+		Scheduled:  global.scheduled.Load(),
+		PoolHits:   global.poolHits.Load(),
+		PoolMisses: global.poolMisses.Load(),
+	}
+}
 
 // SetEventLimit sets the maximum number of events Run will process before
 // panicking. Zero disables the limit.

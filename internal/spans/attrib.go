@@ -1,0 +1,193 @@
+package spans
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// TrackUsage is one resource's share of the run.
+type TrackUsage struct {
+	Track string
+	// Busy is the merged (union) busy time of the track's spans.
+	Busy time.Duration
+	// Pct is Busy over the trace horizon.
+	Pct float64
+	// Spans counts the track's spans.
+	Spans int
+}
+
+// StallBucket is compute idle time attributed to one cause.
+type StallBucket struct {
+	Cause string
+	Total time.Duration
+}
+
+// Attribution explains where a run's time went: per-resource busy
+// fractions, how much of the I/O was hidden behind compute, and what the
+// GPU stalled on. It is the report form of the paper's overlap argument —
+// a config "works" exactly when Overlap ≈ IOBusy and the stall buckets
+// are empty.
+type Attribution struct {
+	// Horizon is the last span end (the traced run's extent).
+	Horizon time.Duration
+	// Tracks lists per-resource usage in track-registration order.
+	Tracks []TrackUsage
+	// ComputeBusy is the union busy time of compute-kind spans.
+	ComputeBusy time.Duration
+	// IOBusy is the union busy time of I/O-kind spans across all I/O
+	// resources (a transfer occupying PCIe and NVMe at once counts once).
+	IOBusy time.Duration
+	// Overlap is the intersection of compute-busy and I/O-busy time — the
+	// I/O the run hid behind kernels.
+	Overlap time.Duration
+	// Stall is total compute idle time waiting on reloads.
+	Stall time.Duration
+	// Stalls buckets Stall by cause, sorted by cause.
+	Stalls []StallBucket
+	// Counts are the trace's named counters.
+	Counts map[string]int64
+}
+
+// OverlapFrac returns the fraction of I/O busy time hidden behind
+// compute (1 = perfectly overlapped, the paper's headline claim).
+func (a *Attribution) OverlapFrac() float64 {
+	if a.IOBusy <= 0 {
+		return 0
+	}
+	return float64(a.Overlap) / float64(a.IOBusy)
+}
+
+// interval is a half-open busy window.
+type interval struct{ lo, hi time.Duration }
+
+// mergeIntervals sorts and unions overlapping windows in place.
+func mergeIntervals(iv []interval) []interval {
+	if len(iv) == 0 {
+		return iv
+	}
+	sort.Slice(iv, func(i, j int) bool { return iv[i].lo < iv[j].lo })
+	out := iv[:1]
+	for _, cur := range iv[1:] {
+		last := &out[len(out)-1]
+		if cur.lo <= last.hi {
+			if cur.hi > last.hi {
+				last.hi = cur.hi
+			}
+			continue
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// sumIntervals totals merged window lengths.
+func sumIntervals(iv []interval) time.Duration {
+	var d time.Duration
+	for _, w := range iv {
+		d += w.hi - w.lo
+	}
+	return d
+}
+
+// intersect returns the total overlap between two merged interval lists.
+func intersect(a, b []interval) time.Duration {
+	var d time.Duration
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := max(a[i].lo, b[j].lo)
+		hi := min(a[i].hi, b[j].hi)
+		if hi > lo {
+			d += hi - lo
+		}
+		if a[i].hi < b[j].hi {
+			i++
+		} else {
+			j++
+		}
+	}
+	return d
+}
+
+// Attribution computes the step-time attribution report from the trace.
+func (t *Trace) Attribution() *Attribution {
+	a := &Attribution{Counts: t.Counts}
+	perTrack := make([][]interval, len(t.Tracks))
+	spanCount := make([]int, len(t.Tracks))
+	var compute, io []interval
+	stalls := make(map[string]time.Duration)
+	for _, s := range t.Spans {
+		if s.End > a.Horizon {
+			a.Horizon = s.End
+		}
+		if int(s.Track) < len(perTrack) {
+			spanCount[s.Track]++
+			if s.End > s.Start {
+				perTrack[s.Track] = append(perTrack[s.Track], interval{s.Start, s.End})
+			}
+		}
+		switch {
+		case s.Kind == KindStall:
+			a.Stall += s.End - s.Start
+			stalls[s.Name] += s.End - s.Start
+		case s.Kind.Compute():
+			compute = append(compute, interval{s.Start, s.End})
+		case s.Kind.IO():
+			io = append(io, interval{s.Start, s.End})
+		}
+	}
+	for i, name := range t.Tracks {
+		merged := mergeIntervals(perTrack[i])
+		busy := sumIntervals(merged)
+		u := TrackUsage{Track: name, Busy: busy, Spans: spanCount[i]}
+		if a.Horizon > 0 {
+			u.Pct = float64(busy) / float64(a.Horizon)
+		}
+		a.Tracks = append(a.Tracks, u)
+	}
+	computeMerged := mergeIntervals(compute)
+	ioMerged := mergeIntervals(io)
+	a.ComputeBusy = sumIntervals(computeMerged)
+	a.IOBusy = sumIntervals(ioMerged)
+	a.Overlap = intersect(computeMerged, ioMerged)
+	for cause, d := range stalls {
+		a.Stalls = append(a.Stalls, StallBucket{Cause: cause, Total: d})
+	}
+	sort.Slice(a.Stalls, func(i, j int) bool { return a.Stalls[i].Cause < a.Stalls[j].Cause })
+	return a
+}
+
+// String renders the report as an aligned table.
+func (a *Attribution) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "attribution over %v horizon\n", a.Horizon)
+	fmt.Fprintf(&b, "  %-28s %14s %7s %8s\n", "track", "busy", "busy%", "spans")
+	for _, u := range a.Tracks {
+		fmt.Fprintf(&b, "  %-28s %14v %6.1f%% %8d\n", u.Track, u.Busy, u.Pct*100, u.Spans)
+	}
+	fmt.Fprintf(&b, "compute busy %v, io busy %v, overlap %v (%.1f%% of io hidden behind compute)\n",
+		a.ComputeBusy, a.IOBusy, a.Overlap, a.OverlapFrac()*100)
+	if a.Stall > 0 {
+		fmt.Fprintf(&b, "compute stalls %v:", a.Stall)
+		for _, s := range a.Stalls {
+			fmt.Fprintf(&b, " %s=%v", s.Cause, s.Total)
+		}
+		b.WriteString("\n")
+	} else {
+		b.WriteString("no compute stalls (offload fully overlapped)\n")
+	}
+	if len(a.Counts) > 0 {
+		names := make([]string, 0, len(a.Counts))
+		for k := range a.Counts {
+			names = append(names, k)
+		}
+		sort.Strings(names)
+		b.WriteString("counters:")
+		for _, k := range names {
+			fmt.Fprintf(&b, " %s=%d", k, a.Counts[k])
+		}
+		b.WriteString("\n")
+	}
+	return b.String()
+}

@@ -1,0 +1,142 @@
+package spans
+
+import (
+	"bytes"
+	"encoding/json"
+	"strconv"
+	"time"
+)
+
+// ChromeJSON renders the trace in Chrome trace-event JSON object format,
+// loadable in Perfetto and chrome://tracing: one thread per track,
+// complete ("X") events for intervals, instant ("i") events for
+// alloc/free, and flow events ("s"/"f") linking each offload store to the
+// reloads of the same tensor. Rendering is deterministic — fixed field
+// order and fixed-precision timestamps — so reference traces can be
+// golden-pinned.
+func (t *Trace) ChromeJSON() []byte {
+	var b bytes.Buffer
+	b.Grow(256 + 160*len(t.Spans))
+	b.WriteString(`{"displayTimeUnit":"ms","traceEvents":[`)
+	n := 0
+	emit := func(ev string) {
+		if n > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(ev)
+		n++
+	}
+
+	emit(`{"ph":"M","pid":0,"name":"process_name","args":{"name":"ssdtrain-sim"}}`)
+	for i, name := range t.Tracks {
+		var e bytes.Buffer
+		e.WriteString(`{"ph":"M","pid":0,"tid":`)
+		e.WriteString(strconv.Itoa(i))
+		e.WriteString(`,"name":"thread_name","args":{"name":`)
+		e.Write(jsonString(name))
+		e.WriteString(`}}`)
+		emit(e.String())
+	}
+
+	// flowsOpen remembers which flow ids already emitted their "s" event:
+	// the first store of a tensor opens the flow, reloads terminate it.
+	// A "f" without a prior "s" would be dangling, so loads of never-traced
+	// stores (ring overwrote them) emit nothing.
+	flowsOpen := make(map[uint64]bool)
+	var e bytes.Buffer
+	for _, s := range t.Spans {
+		e.Reset()
+		if s.Kind == KindAlloc || s.Kind == KindFree {
+			e.WriteString(`{"ph":"i","s":"t","pid":0,"tid":`)
+			e.WriteString(strconv.Itoa(int(s.Track)))
+			e.WriteString(`,"ts":`)
+			e.WriteString(ts(s.Start))
+			e.WriteString(`,"name":`)
+			e.Write(jsonString(s.Name))
+			e.WriteString(`,"cat":"`)
+			e.WriteString(s.Kind.String())
+			e.WriteString(`","args":{"bytes":`)
+			e.WriteString(strconv.FormatInt(int64(s.Bytes), 10))
+			e.WriteString(`}}`)
+			emit(e.String())
+			continue
+		}
+		e.WriteString(`{"ph":"X","pid":0,"tid":`)
+		e.WriteString(strconv.Itoa(int(s.Track)))
+		e.WriteString(`,"ts":`)
+		e.WriteString(ts(s.Start))
+		e.WriteString(`,"dur":`)
+		e.WriteString(ts(s.End - s.Start))
+		e.WriteString(`,"name":`)
+		e.Write(jsonString(s.Name))
+		e.WriteString(`,"cat":"`)
+		e.WriteString(s.Kind.String())
+		e.WriteString(`","args":{`)
+		first := true
+		if s.Bytes > 0 {
+			e.WriteString(`"bytes":`)
+			e.WriteString(strconv.FormatInt(int64(s.Bytes), 10))
+			first = false
+		}
+		if s.Block >= 0 {
+			if !first {
+				e.WriteByte(',')
+			}
+			e.WriteString(`"block":`)
+			e.WriteString(strconv.Itoa(int(s.Block)))
+		}
+		e.WriteString(`}}`)
+		emit(e.String())
+
+		if s.Flow == 0 {
+			continue
+		}
+		switch s.Kind {
+		case KindStore:
+			if !flowsOpen[s.Flow] {
+				flowsOpen[s.Flow] = true
+				emit(flowEvent("s", "", s.Track, s.Start, s.Flow))
+			}
+		case KindLoad:
+			if flowsOpen[s.Flow] {
+				emit(flowEvent("f", `,"bp":"e"`, s.Track, s.End, s.Flow))
+			}
+		}
+	}
+	b.WriteString("]}\n")
+	return b.Bytes()
+}
+
+// flowEvent renders one flow phase event.
+func flowEvent(ph, extra string, track TrackID, at time.Duration, id uint64) string {
+	var e bytes.Buffer
+	e.WriteString(`{"ph":"`)
+	e.WriteString(ph)
+	e.WriteString(`"`)
+	e.WriteString(extra)
+	e.WriteString(`,"pid":0,"tid":`)
+	e.WriteString(strconv.Itoa(int(track)))
+	e.WriteString(`,"ts":`)
+	e.WriteString(ts(at))
+	e.WriteString(`,"id":`)
+	e.WriteString(strconv.FormatUint(id, 10))
+	e.WriteString(`,"name":"offload","cat":"flow"}`)
+	return e.String()
+}
+
+// ts formats a virtual time as microseconds with fixed nanosecond
+// precision — Chrome's ts unit, rendered deterministically for goldens.
+func ts(d time.Duration) string {
+	return strconv.FormatFloat(float64(d)/1e3, 'f', 3, 64)
+}
+
+// jsonString renders a JSON string literal (names come from model paths
+// and are plain ASCII, but escaping is delegated to encoding/json so odd
+// inputs can never corrupt the document).
+func jsonString(s string) []byte {
+	out, err := json.Marshal(s)
+	if err != nil {
+		return []byte(`"?"`)
+	}
+	return out
+}

@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"ssdtrain/internal/sim"
+	"ssdtrain/internal/spans"
 	"ssdtrain/internal/units"
 )
 
@@ -14,11 +15,15 @@ import (
 // timing skip it — simulating 10⁸ pages per step would be pointless).
 type Device struct {
 	spec   Spec
+	name   string
 	writeQ *sim.Server
 	readQ  *sim.Server
 
 	hostWritten units.Bytes
 	hostRead    units.Bytes
+
+	rec    *spans.Recorder
+	wT, rT spans.TrackID
 
 	ftl    *FTL
 	mapper *fileMapper
@@ -26,10 +31,15 @@ type Device struct {
 
 // NewDevice creates a device on the engine.
 func NewDevice(eng *sim.Engine, name string, spec Spec) *Device {
+	rec := eng.Recorder()
 	return &Device{
 		spec:   spec,
+		name:   name,
 		writeQ: sim.NewServer(eng, name+".wq"),
 		readQ:  sim.NewServer(eng, name+".rq"),
+		rec:    rec,
+		wT:     rec.RegisterTrack(name + ".write"),
+		rT:     rec.RegisterTrack(name + ".read"),
 	}
 }
 
@@ -70,13 +80,19 @@ func (d *Device) Write(ready time.Duration, n units.Bytes, done func()) time.Dur
 	if d.mapper != nil {
 		d.mapper.write(n)
 	}
-	return d.writeQ.Submit(ready, d.spec.WriteLatency+d.spec.SeqWrite.TimeFor(n), done)
+	dur := d.spec.WriteLatency + d.spec.SeqWrite.TimeFor(n)
+	finish := d.writeQ.Submit(ready, dur, done)
+	d.rec.Span(d.wT, spans.KindNVMe, -1, d.name, finish-dur, finish, n, 0)
+	return finish
 }
 
 // Read submits an n-byte sequential read. Returns the finish time.
 func (d *Device) Read(ready time.Duration, n units.Bytes, done func()) time.Duration {
 	d.hostRead += n
-	return d.readQ.Submit(ready, d.spec.ReadLatency+d.spec.SeqRead.TimeFor(n), done)
+	dur := d.spec.ReadLatency + d.spec.SeqRead.TimeFor(n)
+	finish := d.readQ.Submit(ready, dur, done)
+	d.rec.Span(d.rT, spans.KindNVMe, -1, d.name, finish-dur, finish, n, 0)
+	return finish
 }
 
 // HostWritten returns cumulative host bytes written.

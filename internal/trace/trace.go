@@ -30,6 +30,8 @@ type MemTimeline struct {
 	last    time.Duration
 	samples []MemSample
 	record  bool
+	// maxSamples caps the retained sample count (0 = exact retention).
+	maxSamples int
 }
 
 // NewMemTimeline creates a timeline. If record is true every sample is
@@ -41,6 +43,48 @@ func NewMemTimeline(name string, record bool) *MemTimeline {
 
 // Name returns the timeline's label.
 func (m *MemTimeline) Name() string { return m.name }
+
+// SetMaxSamples bounds the recorded sample count: once the timeline holds
+// n samples, recording halves them in place (keeping, of each adjacent
+// pair, the higher level — so every retained sample is a real level and
+// local peaks survive) before appending. The bound turns a recording
+// timeline's growth from linear in run length into amortized constant
+// memory, at the cost of PeakBetween resolution between surviving
+// samples; the default (0) retains every sample exactly, which the
+// harness's per-step peak attribution depends on. n < 2 other than 0 is
+// clamped to 2 so compression always makes room.
+func (m *MemTimeline) SetMaxSamples(n int) {
+	if n != 0 && n < 2 {
+		n = 2
+	}
+	m.maxSamples = n
+}
+
+// MaxSamples returns the configured sample cap (0 = unbounded).
+func (m *MemTimeline) MaxSamples() int { return m.maxSamples }
+
+// compress halves the sample buffer in place, keeping of each adjacent
+// pair the sample with the higher level (the later one on ties, biasing
+// toward fresher timestamps) and always keeping a trailing odd sample.
+// Sample order — one survivor per disjoint pair — stays monotonic in At.
+func (m *MemTimeline) compress() {
+	s := m.samples
+	n := len(s)
+	w := 0
+	for i := 0; i+1 < n; i += 2 {
+		keep := s[i+1]
+		if s[i].Total > keep.Total {
+			keep = s[i]
+		}
+		s[w] = keep
+		w++
+	}
+	if n%2 == 1 {
+		s[w] = s[n-1]
+		w++
+	}
+	m.samples = s[:w]
+}
 
 // Add applies a delta at virtual time at. Deltas may be negative (frees).
 // Time must be monotonically non-decreasing.
@@ -58,6 +102,9 @@ func (m *MemTimeline) Add(at time.Duration, delta units.Bytes) {
 		m.peakAt = at
 	}
 	if m.record {
+		if m.maxSamples > 0 && len(m.samples) >= m.maxSamples {
+			m.compress()
+		}
 		m.samples = append(m.samples, MemSample{At: at, Total: m.cur})
 	}
 }

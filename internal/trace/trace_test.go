@@ -113,6 +113,71 @@ func TestPeakBetweenProperty(t *testing.T) {
 	}
 }
 
+// TestMemTimelineMaxSamples pins the bounded-recording regression: a
+// capped recording timeline must stay within its cap, keep the global
+// peak sample alive through compression, and remain deterministic.
+func TestMemTimelineMaxSamples(t *testing.T) {
+	const cap = 64
+	build := func() *MemTimeline {
+		m := NewMemTimeline("capped", true)
+		m.SetMaxSamples(cap)
+		for i := 0; i < 10_000; i++ {
+			// Sawtooth with one towering spike mid-run.
+			d := units.Bytes(i%17 + 1)
+			if i%2 == 1 {
+				d = -units.Bytes(i % 17)
+			}
+			if i == 5_000 {
+				d = 1 << 30
+			}
+			m.Add(time.Duration(i)*time.Microsecond, d)
+			if i == 5_001 {
+				continue
+			}
+			if i == 5_002 {
+				m.Add(time.Duration(i)*time.Microsecond+time.Nanosecond, -(1 << 30))
+			}
+		}
+		return m
+	}
+	m := build()
+	if got := len(m.Samples()); got > cap {
+		t.Errorf("samples = %d, cap = %d", got, cap)
+	}
+	// The exact peak tracker is unaffected by downsampling.
+	if m.Peak() < 1<<30 {
+		t.Errorf("peak lost: %v", m.Peak())
+	}
+	// The peak's sample survives pairwise-max compression: PeakBetween
+	// over the full run still finds the spike.
+	if got := m.PeakBetween(0, time.Hour); got != m.Peak() {
+		t.Errorf("windowed peak %v != exact peak %v after compression", got, m.Peak())
+	}
+	// Deterministic: two identical runs retain identical samples.
+	a, b := build().Samples(), m.Samples()
+	if len(a) != len(b) {
+		t.Fatalf("nondeterministic sample count: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic sample %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestMemTimelineUncappedExact pins the default: without a cap every
+// sample is retained, byte-identical to the pre-knob behaviour.
+func TestMemTimelineUncappedExact(t *testing.T) {
+	m := NewMemTimeline("exact", true)
+	const n = 5_000
+	for i := 0; i < n; i++ {
+		m.Add(time.Duration(i)*time.Microsecond, 1)
+	}
+	if got := len(m.Samples()); got != n {
+		t.Errorf("samples = %d, want %d", got, n)
+	}
+}
+
 func TestCounters(t *testing.T) {
 	c := NewCounters()
 	c.Add("b", 2)
