@@ -12,6 +12,12 @@
 //
 //	serve [-addr :8080] [-workers N] [-queue N] [-cache N]
 //	      [-batch-window 2ms] [-max-idle-sessions N] [-pprof]
+//	      [-request-timeout 2m] [-drain-timeout 15s]
+//
+// Every request carries an end-to-end deadline (queue wait included);
+// expiry answers 503 so clients can tell "too slow right now" from "bad
+// config". SIGINT/SIGTERM drains: the listener closes at once and
+// in-flight requests get -drain-timeout to finish.
 //
 // /debug/buildinfo always reports the binary's module and VCS stamp;
 // -pprof additionally mounts net/http/pprof under /debug/pprof/ (off by
@@ -28,6 +34,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -37,7 +44,9 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"os/signal"
 	"runtime/debug"
+	"syscall"
 	"time"
 
 	"ssdtrain/internal/serve"
@@ -51,6 +60,8 @@ func main() {
 	batchWindow := flag.Duration("batch-window", 0, "request coalescing window (0 = default 2ms, negative = disabled)")
 	maxIdle := flag.Int("max-idle-sessions", 0, "execution arena pool size (0 = default 32)")
 	writeTimeout := flag.Duration("write-timeout", 5*time.Minute, "per-request response deadline; bounds how long a stalled client can pin a connection (0 = none)")
+	requestTimeout := flag.Duration("request-timeout", 0, "end-to-end deadline per request, queue wait included; expiry answers 503 (0 = default 2m, negative = none)")
+	drainTimeout := flag.Duration("drain-timeout", 15*time.Second, "on SIGINT/SIGTERM, how long in-flight requests get to finish (0 = wait indefinitely)")
 	pprofOn := flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run the load generator against it, verify, exit")
 	n := flag.Int("n", 200, "selfcheck: total plan requests")
@@ -63,6 +74,7 @@ func main() {
 		CacheCapacity:   *cache,
 		BatchWindow:     *batchWindow,
 		MaxIdleSessions: *maxIdle,
+		RequestTimeout:  *requestTimeout,
 	})
 	handler := buildHandler(srv, *pprofOn)
 
@@ -73,15 +85,29 @@ func main() {
 	// Handlers never hold worker slots across response writes, so a slow
 	// client costs a connection, not a slot; the timeouts bound even that.
 	hs := &http.Server{
-		Addr:              *addr,
 		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		ReadTimeout:       time.Minute,
 		WriteTimeout:      *writeTimeout,
 		IdleTimeout:       2 * time.Minute,
 	}
-	log.Printf("serve: listening on %s", *addr)
-	log.Fatal(hs.ListenAndServe())
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("serve: listen: %v", err)
+	}
+	// SIGINT/SIGTERM stops accepting and drains in-flight requests; a
+	// second signal kills the process the default way.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	log.Printf("serve: listening on %s", ln.Addr())
+	switch err := serve.ServeUntil(ctx, hs, ln, *drainTimeout); {
+	case err == nil:
+		log.Printf("serve: drained, bye")
+	case ctx.Err() != nil:
+		log.Fatalf("serve: shutdown: %v", err)
+	default:
+		log.Fatalf("serve: %v", err)
+	}
 }
 
 // buildHandler wraps the API handler with the process-debugging surface:

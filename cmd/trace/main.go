@@ -11,6 +11,12 @@
 // Usage:
 //
 //	trace -model bert -hidden 12288 -layers 3 -batch 16 -strategy ssdtrain -o trace.json
+//	trace -strategy ssdtrain -faults "death@50ms:dev1" -o faulted.json
+//
+// -faults injects a deterministic fault schedule into the traced run (a
+// device death and/or a degradation window); the capture then carries
+// fault and rebuild spans on the tier track, so the attribution report
+// shows the rebuild's bandwidth steal alongside the foreground I/O.
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"time"
 
 	"ssdtrain/internal/exp"
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/models"
 	"ssdtrain/internal/units"
 )
@@ -36,9 +43,14 @@ func main() {
 	splitRatio := flag.Float64("split-ratio", 0.5, "DRAM share of offloaded bytes under -placement split")
 	share := flag.Float64("share", 0, "SSD array bandwidth share under co-tenancy (0 or 1 = exclusive)")
 	steps := flag.Int("steps", 1, "measured steps after warmup (traces grow with each)")
+	faultsFlag := flag.String("faults", "", "fault schedule, e.g. \"death@50ms:dev1,degrade@10ms:0.5:100ms\" (empty = none)")
 	out := flag.String("o", "trace.json", "Chrome trace-event JSON output file (- for stdout)")
 	flag.Parse()
 
+	spec, err := faults.ParseSpec(*faultsFlag)
+	if err != nil {
+		log.Fatalf("trace: %v", err)
+	}
 	run := exp.RunConfig{
 		Model:             models.PaperConfig(models.Arch(*model), *hidden, *layers, *batch),
 		Strategy:          exp.Strategy(*strategy),
@@ -46,6 +58,7 @@ func main() {
 		DRAMCapacity:      units.Bytes(*dramGiB * float64(units.GiB)),
 		SSDBandwidthShare: *share,
 		Steps:             *steps,
+		Faults:            spec,
 	}
 	if run.Placement == exp.PlacementSplit {
 		run.SplitRatio = *splitRatio

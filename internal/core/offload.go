@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/gds"
 	"ssdtrain/internal/pcie"
 	"ssdtrain/internal/sim"
@@ -93,6 +94,25 @@ type OverflowError struct {
 func (e *OverflowError) Error() string {
 	return fmt.Sprintf("core: %s pool overflow: %v used + %v > %v capacity (re-profile the first step or spill to a lower tier)",
 		e.Tier, e.Used, e.Need, e.Capacity)
+}
+
+// DeviceFailedError reports a transfer refused because the tier's
+// backing device (or its whole array) is failed at the transfer's start
+// time and no surviving capacity can absorb it. It is a typed mid-run
+// error like OverflowError: Session.Execute surfaces it cleanly and the
+// arena stays reusable afterward.
+type DeviceFailedError struct {
+	// Tier names the failed tier.
+	Tier string
+	// At is the refused transfer's computed start time.
+	At time.Duration
+	// Op is the refused operation ("store" or "load").
+	Op string
+}
+
+// Error implements error.
+func (e *DeviceFailedError) Error() string {
+	return fmt.Sprintf("core: %s device failed: %s at %v refused, no surviving device", e.Tier, e.Op, e.At)
 }
 
 // MissingBlockError reports a load of an ID the tier does not hold.
@@ -199,6 +219,10 @@ type SSDOffloader struct {
 	link     *pcie.Link
 	array    *ssd.Array
 	registry *gds.Registry
+	// faults, when armed, degrades or refuses transfers as a function of
+	// their computed start time. nil (the default) is the healthy path:
+	// Store/Load keep their exact fault-free arithmetic.
+	faults *faults.Controller
 }
 
 // gdsPathRates returns the per-direction effective rates of the GDS
@@ -252,6 +276,64 @@ func (o *SSDOffloader) Reset(spec ssd.Spec) {
 	o.writeBW, o.readBW = gdsPathRates(o.link, o.array)
 }
 
+// Arm installs (or, with the empty spec, removes) fault injection for
+// the next run. Called once per Execute, after Reset: a reused arena
+// whose previous run was faulted must be explicitly disarmed, so
+// Session.Execute always calls Arm. The controller is rebuilt fresh each
+// time — its wear ledger and death registration are run state.
+func (o *SSDOffloader) Arm(spec faults.Spec) {
+	if spec.Empty() {
+		o.faults = nil
+		o.array.SetFaults(nil)
+		return
+	}
+	devs := o.array.Devices()
+	dspec := devs[0].Spec()
+	budget := float64(ssd.NewArrayWear(dspec, len(devs)).Model.LifetimeHostWrites())
+	steal := spec.RebuildSteal
+	if steal == 0 {
+		steal = faults.DefaultRebuildSteal
+	}
+	// Default rebuild time: rewriting one member's capacity with the
+	// stolen slice of its sequential-write bandwidth.
+	rebuild := faults.DefaultRebuildFor
+	if dspec.Capacity > 0 && dspec.SeqWrite > 0 {
+		rebuild = time.Duration(float64(dspec.SeqWrite.TimeFor(dspec.Capacity)) / steal)
+	}
+	o.faults = faults.NewController(spec, len(devs), budget, rebuild)
+	o.array.SetFaults(o.faults)
+}
+
+// Faults returns the armed controller (nil when healthy).
+func (o *SSDOffloader) Faults() *faults.Controller { return o.faults }
+
+// EmitFaultSpans records the run's fault windows on the tier's store
+// track, clamped to the measured horizon. Called once after a traced run
+// completes — fault windows are known a priori or registered during the
+// run, so emitting them post hoc cannot perturb the measurement.
+func (o *SSDOffloader) EmitFaultSpans(horizon time.Duration) {
+	if o.faults == nil || !o.rec.Enabled() || horizon <= 0 {
+		return
+	}
+	clamp := func(t time.Duration) time.Duration {
+		if t > horizon {
+			return horizon
+		}
+		return t
+	}
+	if from, to, ok := o.faults.DegradeWindow(); ok && from < horizon {
+		o.rec.Span(o.storeT, spans.KindFault, -1, "degrade", from, clamp(to), 0, 0)
+	}
+	if at, restored, failed, ok := o.faults.Death(); ok && at < horizon {
+		if failed {
+			o.rec.Span(o.storeT, spans.KindFault, -1, "array-failure", at, horizon, 0, 0)
+			return
+		}
+		o.rec.Span(o.storeT, spans.KindFault, -1, "device-death", at, clamp(restored), 0, 0)
+		o.rec.Span(o.storeT, spans.KindRebuild, -1, "rebuild", at, clamp(restored), 0, 0)
+	}
+}
+
 // BlockStore exposes the byte store for verification tests.
 func (o *SSDOffloader) BlockStore() *ssd.BlockStore[TensorID] { return o.store }
 
@@ -267,6 +349,19 @@ func (o *SSDOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration)
 	n := t.Bytes()
 	bw := o.registry.EffectiveBandwidth(t.Storage(), o.writeBW)
 	dur := o.latency + bw.TimeFor(n)
+	if o.faults != nil {
+		// Fault effects are functions of the transfer's start time, which
+		// Submit would compute — evaluate it first, refuse on a failed
+		// array, and only rewrite dur when degraded so the healthy path's
+		// arithmetic (and byte-identity) is untouched.
+		at := o.storeQ.StartFor(ready)
+		if o.faults.FailedAt(at) {
+			return 0, 0, &DeviceFailedError{Tier: o.name, At: at, Op: "store"}
+		}
+		if f := o.faults.Factor(at); f < 1 {
+			dur = o.latency + units.Bandwidth(float64(bw)*f).TimeFor(n)
+		}
+	}
 	finish := o.storeQ.Submit(ready, dur, nil)
 	start := finish - dur
 	// Account the bytes on the underlying devices and link for
@@ -274,6 +369,9 @@ func (o *SSDOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Duration)
 	o.array.Write(start, n, nil)
 	o.link.Down(start, n, nil)
 	o.writeBlock(id, t, n)
+	if o.faults != nil {
+		o.faults.NoteWrite(float64(n), finish)
+	}
 	if o.rec.Enabled() {
 		name := spanStoreDirect
 		if o.registry.PathFor(t.Storage()) == gds.Bounce {
@@ -291,6 +389,16 @@ func (o *SSDOffloader) Load(id TensorID, ready time.Duration) (time.Duration, ti
 		return 0, 0, nil, &MissingBlockError{Tier: o.name, ID: id}
 	}
 	dur := o.latency + o.readBW.TimeFor(n)
+	if o.faults != nil {
+		at := o.loadQ.StartFor(ready)
+		if o.faults.FailedAt(at) {
+			// The data went down with the array: a load cannot spill.
+			return 0, 0, nil, &DeviceFailedError{Tier: o.name, At: at, Op: "load"}
+		}
+		if f := o.faults.Factor(at); f < 1 {
+			dur = o.latency + units.Bandwidth(float64(o.readBW)*f).TimeFor(n)
+		}
+	}
 	finish := o.loadQ.Submit(ready, dur, nil)
 	start := finish - dur
 	o.array.Read(start, n, nil)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"strings"
 	"time"
@@ -268,7 +269,27 @@ func (o *TieredOffloader) Store(id TensorID, t *tensor.Tensor, ready time.Durati
 	}
 	start, finish, err := o.tiers[i].Store(id, t, ready)
 	if err != nil {
-		return 0, 0, err
+		// A failed device is a survivable event when another rung has
+		// room: re-place the tensor on the first surviving tier that fits
+		// (stack order). Overflow and other errors keep their existing
+		// contract — only device failure spills.
+		var df *DeviceFailedError
+		if !errors.As(err, &df) {
+			return 0, 0, err
+		}
+		for j := range o.tiers {
+			if j == i || !(StackView{Tiers: o.tiers, Placed: o.placed}).fits(j, n) {
+				continue
+			}
+			if start, finish, err = o.tiers[j].Store(id, t, ready); err == nil {
+				i = j
+				break
+			}
+		}
+		if err != nil {
+			return 0, 0, err
+		}
+		o.rec.Count("tiered.spill", 1)
 	}
 	o.rec.Count(placeCounter(o.tiers[i].Kind()), 1)
 	if prev, ok := o.where[id]; ok {

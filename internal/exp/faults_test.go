@@ -1,0 +1,216 @@
+package exp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ssdtrain/internal/core"
+	"ssdtrain/internal/faults"
+	"ssdtrain/internal/spans"
+	"ssdtrain/internal/units"
+)
+
+// neverFiring is a fault spec whose every trigger sits hours past any
+// test run's end: armed, consulted, but never answering "faulted".
+func neverFiring() faults.Spec {
+	return faults.Spec{
+		DeviceDeathAt: 1000 * time.Hour,
+		Device:        1,
+		DegradeAt:     2000 * time.Hour,
+		DegradeFactor: 0.5,
+		DegradeFor:    time.Hour,
+	}
+}
+
+// TestFaultsNeverFiringByteIdentical is the satellite property pin: for
+// every fault-capable strategy × placement, a schedule that never fires
+// produces a result identical to the fault-free run in everything but
+// the echoed config — arming the controller must cost nothing
+// observable. (The committed goldens stay valid for the same reason:
+// their configs carry the zero Spec.)
+func TestFaultsNeverFiringByteIdentical(t *testing.T) {
+	cases := map[string]RunConfig{
+		"ssdtrain": smallCfg(SSDTrain),
+		"hybrid/ssd-only": func() RunConfig {
+			c := smallCfg(HybridOffload)
+			c.Placement = PlacementSSDOnly
+			return c
+		}(),
+		"hybrid/dram-first": func() RunConfig {
+			c := smallCfg(HybridOffload)
+			c.Placement = PlacementDRAMFirst
+			c.DRAMCapacity = 256 * units.MiB
+			return c
+		}(),
+		"hybrid/split": func() RunConfig {
+			c := smallCfg(HybridOffload)
+			c.Placement = PlacementSplit
+			c.SplitRatio = 0.5
+			c.DRAMCapacity = 256 * units.MiB
+			return c
+		}(),
+	}
+	for name, cfg := range cases {
+		t.Run(name, func(t *testing.T) {
+			base, err := Run(cfg)
+			if err != nil {
+				t.Fatalf("fault-free run: %v", err)
+			}
+			armed := cfg
+			armed.Faults = neverFiring()
+			got, err := Run(armed)
+			if err != nil {
+				t.Fatalf("armed run: %v", err)
+			}
+			got.Config = base.Config
+			if !reflect.DeepEqual(base, got) {
+				t.Errorf("never-firing schedule perturbed the run (step %v vs %v, actpeak %v vs %v)",
+					got.StepTime(), base.StepTime(), got.Measured.ActPeak, base.Measured.ActPeak)
+			}
+		})
+	}
+}
+
+// fullOffloadCfg pins the budget far above the eligible set, forcing
+// every activation through the array — the memory-constrained posture
+// where array faults have to show up somewhere.
+func fullOffloadCfg() RunConfig {
+	cfg := smallCfg(SSDTrain)
+	cfg.Budget = units.Bytes(1) << 62
+	return cfg
+}
+
+// TestFaultDegradeVisible: a degradation window mid-run slows stores, so
+// the cache forwards more from GPU copies and the activation peak rises
+// (with forwarding on, bandwidth faults surface as memory pressure, not
+// step time — the same physics as the SSDBandwidthShare knob).
+func TestFaultDegradeVisible(t *testing.T) {
+	base := fullOffloadCfg()
+	healthy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deg := base
+	deg.Faults = faults.Spec{DegradeAt: time.Millisecond, DegradeFactor: 0.25}
+	got, err := Run(deg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Measured.ActPeak <= healthy.Measured.ActPeak {
+		t.Errorf("degraded array did not raise the activation peak: %v <= healthy %v",
+			got.Measured.ActPeak, healthy.Measured.ActPeak)
+	}
+}
+
+// TestFaultMemberDeathRedistributes: one member dying mid-run moves its
+// stripe share to the survivors — the run completes, but the thinner,
+// rebuild-taxed array leaves a visibly higher activation peak.
+func TestFaultMemberDeathRedistributes(t *testing.T) {
+	base := fullOffloadCfg()
+	healthy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	death := base
+	death.Faults = faults.Spec{DeviceDeathAt: 5 * time.Millisecond, Device: 1}
+	got, err := Run(death)
+	if err != nil {
+		t.Fatalf("a member death must degrade, not fail, the run: %v", err)
+	}
+	if got.Measured.ActPeak <= healthy.Measured.ActPeak {
+		t.Errorf("member death left the activation peak unchanged: %v <= healthy %v",
+			got.Measured.ActPeak, healthy.Measured.ActPeak)
+	}
+}
+
+// TestSessionReusableAfterDeviceFailure is the satellite-2 pin: a
+// whole-array death surfaces as *core.DeviceFailedError through
+// Session.Execute, and the same arena then serves fault-free runs
+// byte-identical to a fresh Execute — and fails identically again when
+// re-armed.
+func TestSessionReusableAfterDeviceFailure(t *testing.T) {
+	base := smallCfg(SSDTrain)
+	plan, err := Compile(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := plan.Execute(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dead := base
+	dead.Faults = faults.Spec{DeviceDeathAt: 20 * time.Millisecond, Device: -1}
+
+	_, err = sess.Execute(dead)
+	var dfe *core.DeviceFailedError
+	if !errors.As(err, &dfe) {
+		t.Fatalf("whole-array death: got %v, want *core.DeviceFailedError", err)
+	}
+	firstAt := dfe.At
+
+	got, err := sess.Execute(base)
+	if err != nil {
+		t.Fatalf("healthy execute after failure: %v", err)
+	}
+	if !reflect.DeepEqual(ref, got) {
+		t.Error("arena dirtied by a device failure no longer matches a fresh Execute")
+	}
+
+	_, err = sess.Execute(dead)
+	if !errors.As(err, &dfe) {
+		t.Fatalf("re-armed death: got %v, want *core.DeviceFailedError", err)
+	}
+	if dfe.At != firstAt {
+		t.Errorf("failure time drifted across session reuse: %v then %v", firstAt, dfe.At)
+	}
+
+	if got, err = sess.Execute(base); err != nil {
+		t.Fatalf("second healthy execute: %v", err)
+	} else if !reflect.DeepEqual(ref, got) {
+		t.Error("second recovery no longer matches a fresh Execute")
+	}
+}
+
+// TestFaultTracedMatchesUntraced extends the flight recorder's
+// observe-don't-perturb contract to faulted runs, and pins the fault and
+// rebuild spans the attribution view depends on.
+func TestFaultTracedMatchesUntraced(t *testing.T) {
+	cfg := smallCfg(SSDTrain)
+	cfg.Faults = faults.Spec{DeviceDeathAt: 50 * time.Millisecond, Device: 1}
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traced := cfg
+	traced.Trace = true
+	got, err := Run(traced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil {
+		t.Fatal("traced run returned no trace")
+	}
+	var nFault, nRebuild int
+	for _, sp := range got.Trace.Spans {
+		switch sp.Kind {
+		case spans.KindFault:
+			nFault++
+		case spans.KindRebuild:
+			nRebuild++
+		}
+	}
+	if nFault == 0 || nRebuild == 0 {
+		t.Errorf("trace misses fault attribution: %d fault spans, %d rebuild spans", nFault, nRebuild)
+	}
+	got.Trace = nil
+	got.Config.Trace = false
+	if !reflect.DeepEqual(plain, got) {
+		t.Error("tracing a faulted run changed its result")
+	}
+}

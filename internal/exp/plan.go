@@ -9,6 +9,7 @@ import (
 
 	"ssdtrain/internal/autograd"
 	"ssdtrain/internal/core"
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/gpu"
 	"ssdtrain/internal/lru"
 	"ssdtrain/internal/models"
@@ -78,6 +79,11 @@ func shapeKey(cfg RunConfig) RunConfig {
 	// Tracing observes a run without changing it, so traced and untraced
 	// configs share one plan (and one pooled arena).
 	cfg.Trace = false
+	// Fault injection changes when transfers happen, never the graph or
+	// the budget plan (budgets are planned against healthy bandwidths — a
+	// fault is a surprise, not something the planner anticipates), so a
+	// faulted config shares the fault-free plan.
+	cfg.Faults = faults.Spec{}
 	return cfg
 }
 
@@ -218,6 +224,20 @@ func validateKnobs(cfg RunConfig) error {
 		// A silently ignored ratio would still defeat Sweep's dedup
 		// (configs differing only in the dead knob measure twice).
 		return fmt.Errorf("exp: split ratio only applies to the %s strategy with %s placement", HybridOffload, PlacementSplit)
+	}
+	if !cfg.Faults.Empty() {
+		if cfg.Strategy != SSDTrain && cfg.Strategy != HybridOffload {
+			// Same dedup argument as SplitRatio: a spec the run would never
+			// consult must be rejected, not ignored.
+			return fmt.Errorf("exp: fault injection only applies to the %s and %s strategies", SSDTrain, HybridOffload)
+		}
+		devices := cfg.SSD.Count
+		if devices == 0 {
+			devices = PaperArray().Count
+		}
+		if err := cfg.Faults.Validate(devices); err != nil {
+			return err
+		}
 	}
 	return nil
 }

@@ -17,6 +17,7 @@ import (
 
 	"ssdtrain/internal/autograd"
 	"ssdtrain/internal/core"
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/gpu"
 	"ssdtrain/internal/models"
 	"ssdtrain/internal/spans"
@@ -141,6 +142,14 @@ type RunConfig struct {
 	// computes anyway, so a traced run's metrics are byte-identical to
 	// the untraced run's.
 	Trace bool
+	// Faults schedules deterministic fault injection against the NVMe
+	// array: device death (at a time or a wear threshold), transient
+	// bandwidth degradation, RAID-rebuild bandwidth steal. The zero Spec
+	// injects nothing and keeps the run byte-identical to a fault-free
+	// one. Only meaningful for strategies with an NVMe tier (SSDTrain,
+	// HybridOffload); a whole-array failure mid-run surfaces as a
+	// *core.DeviceFailedError unless a surviving tier absorbs the spill.
+	Faults faults.Spec
 }
 
 // withDefaults fills unset fields with the paper's setup.

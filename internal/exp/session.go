@@ -189,6 +189,9 @@ func (s *Session) Execute(cfg RunConfig) (*RunResult, error) {
 				spec.SeqRead = units.Bandwidth(float64(spec.SeqRead) * sh)
 			}
 			s.ssdTier.Reset(spec)
+			// Always arm (or, for the empty spec, disarm): a reused arena
+			// whose previous run injected faults must not carry them over.
+			s.ssdTier.Arm(cfg.Faults)
 		}
 		if s.cpuTier != nil {
 			s.cpuTier.Reset(cfg.DRAMCapacity)
@@ -265,6 +268,12 @@ func (s *Session) Execute(cfg RunConfig) (*RunResult, error) {
 		return nil, err
 	}
 	if cfg.Trace {
+		// Fault windows are emitted after the run (they cannot perturb
+		// it), clamped to the measured horizon so attribution sums stay
+		// within the run.
+		if s.ssdTier != nil {
+			s.ssdTier.EmitFaultSpans(res.Measured.End)
+		}
 		res.Trace = s.rt.Rec.Snapshot()
 		s.rt.Rec.Disable()
 	}

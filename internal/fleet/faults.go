@@ -1,0 +1,287 @@
+package fleet
+
+import (
+	"math"
+	"sort"
+
+	"ssdtrain/internal/faults"
+)
+
+// nodeFaults is one node's fault state: the events still pending against
+// it, the damage applied so far, and the recovery ledgers the report
+// renders. A node with no scheduled events never allocates one, which is
+// what keeps fault-free simulations byte-identical to the pre-fault
+// code path (healthFactor is exactly 1 and no new float arithmetic runs).
+type nodeFaults struct {
+	// timed holds pending time-triggered events in (At, original order).
+	timed []faults.Event
+	// wearDeaths holds pending wear-triggered member deaths.
+	wearDeaths []faults.Event
+
+	// steal and rebuildSecs come from the plan's cost model.
+	steal       float64
+	rebuildSecs float64
+
+	deadDevs    int
+	arrayFailed bool
+	// Window bounds in simulation seconds; the *Active flags mark windows
+	// whose expiry still needs a rate refresh.
+	rebuildUntil   float64
+	rebuildActive  bool
+	degradeFactor  float64
+	degradeUntil   float64
+	degradeActive  bool
+	drainedUntil   float64
+	drainedActive  bool
+	drainPermanent bool
+
+	// Report ledgers.
+	deaths      int
+	drains      int
+	killed      int
+	rebuildTime float64
+}
+
+// healthFactor is the fraction of the node array's healthy bandwidth
+// available at time now: surviving members' share, times the rebuild
+// steal while a dead member's stripe is being reconstructed, times any
+// transient degradation window. It is piecewise-constant between fault
+// events, so rates refreshed at event boundaries stay exact.
+func (n *nodeState) healthFactor(now float64) float64 {
+	nf := n.faults
+	if nf == nil {
+		return 1
+	}
+	f := 1.0
+	if devs := n.spec.SSD.Count; nf.deadDevs > 0 && devs > 0 {
+		f *= float64(devs-nf.deadDevs) / float64(devs)
+	}
+	if nf.rebuildActive && now < nf.rebuildUntil {
+		f *= 1 - nf.steal
+	}
+	if nf.degradeActive && now < nf.degradeUntil {
+		f *= nf.degradeFactor
+	}
+	return f
+}
+
+// drained reports whether the node refuses placements at time now.
+func (n *nodeState) drained(now float64) bool {
+	nf := n.faults
+	if nf == nil || !nf.drainedActive {
+		return false
+	}
+	return nf.drainPermanent || now < nf.drainedUntil
+}
+
+// initFaults distributes the plan's events onto the target nodes and
+// resolves the cost model. A nil receiver state on every node means the
+// simulation runs the exact pre-fault arithmetic.
+func (s *simState) initFaults() {
+	if s.cfg.Faults.Empty() {
+		return
+	}
+	s.plan = s.cfg.Faults.WithDefaults()
+	for _, ev := range s.plan.Events {
+		node := s.nodes[ev.Node]
+		if node.faults == nil {
+			node.faults = &nodeFaults{
+				steal:       s.plan.RebuildSteal,
+				rebuildSecs: s.plan.RebuildFor.Seconds(),
+			}
+		}
+		if ev.Kind == faults.Death && ev.WearThreshold > 0 {
+			node.faults.wearDeaths = append(node.faults.wearDeaths, ev)
+			continue
+		}
+		node.faults.timed = append(node.faults.timed, ev)
+	}
+	for _, node := range s.nodes {
+		if node.faults != nil {
+			sort.SliceStable(node.faults.timed, func(a, b int) bool {
+				return node.faults.timed[a].At < node.faults.timed[b].At
+			})
+		}
+	}
+}
+
+// faultEventTimes folds the fault schedule into the event horizon: the
+// next timed event, the analytic wear-crossing instant of any pending
+// wear-triggered death (writes accrue linearly at the tenants' current
+// rates), and every active window's expiry (rates — or placement
+// eligibility, for drains — change there).
+func (s *simState) faultEventTimes(consider func(float64)) {
+	for _, node := range s.nodes {
+		nf := node.faults
+		if nf == nil {
+			continue
+		}
+		if len(nf.timed) > 0 {
+			consider(nf.timed[0].At.Seconds())
+		}
+		if len(nf.wearDeaths) > 0 {
+			if t, ok := s.wearCrossing(node); ok {
+				consider(t)
+			}
+		}
+		if nf.rebuildActive {
+			consider(nf.rebuildUntil)
+		}
+		if nf.degradeActive {
+			consider(nf.degradeUntil)
+		}
+		if nf.drainedActive && !nf.drainPermanent {
+			consider(nf.drainedUntil)
+		}
+	}
+}
+
+// wearCrossing predicts when the node's wear fraction reaches its lowest
+// pending threshold, assuming tenants keep their current write rates.
+// Restart penalties pause a tenant's writes, so the prediction can land
+// early; applyFaults only fires on the fraction actually crossed, and the
+// loop re-predicts from the advanced state, so early landings cost one
+// extra (still strictly forward) event, never a wrong death time.
+func (s *simState) wearCrossing(node *nodeState) (float64, bool) {
+	low := math.Inf(1)
+	for _, ev := range node.faults.wearDeaths {
+		if ev.WearThreshold < low {
+			low = ev.WearThreshold
+		}
+	}
+	frac := node.wear.WearFraction()
+	if frac >= low {
+		return s.now, true
+	}
+	demand := 0.0
+	for _, j := range node.running {
+		demand += j.writeRate
+	}
+	if demand <= 0 {
+		return 0, false
+	}
+	budget := float64(node.wear.Model.LifetimeHostWrites())
+	if budget <= 0 {
+		return 0, false
+	}
+	return s.now + (low-frac)*budget/demand, true
+}
+
+// applyFaults fires every event that has come due at the current time and
+// expires any finished windows, refreshing the affected nodes' tenant
+// rates. It runs after advanceTo (state has progressed to the event
+// instant) and before completeFinished (a killed job must not complete).
+func (s *simState) applyFaults() error {
+	for n, node := range s.nodes {
+		nf := node.faults
+		if nf == nil {
+			continue
+		}
+		changed := false
+		for len(nf.timed) > 0 && nf.timed[0].At.Seconds() <= s.now+timeEps {
+			ev := nf.timed[0]
+			nf.timed = nf.timed[1:]
+			s.fireFault(n, ev)
+			changed = true
+		}
+		if len(nf.wearDeaths) > 0 {
+			frac := node.wear.WearFraction()
+			kept := nf.wearDeaths[:0]
+			for _, ev := range nf.wearDeaths {
+				if frac >= ev.WearThreshold {
+					s.fireFault(n, ev)
+					changed = true
+				} else {
+					kept = append(kept, ev)
+				}
+			}
+			nf.wearDeaths = kept
+		}
+		if nf.rebuildActive && s.now >= nf.rebuildUntil-timeEps {
+			nf.rebuildActive = false
+			changed = true
+		}
+		if nf.degradeActive && s.now >= nf.degradeUntil-timeEps {
+			nf.degradeActive = false
+			changed = true
+		}
+		if nf.drainedActive && !nf.drainPermanent && s.now >= nf.drainedUntil-timeEps {
+			nf.drainedActive = false
+		}
+		if changed {
+			if err := s.refreshRates(n); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// fireFault applies one due event to its node.
+func (s *simState) fireFault(n int, ev faults.Event) {
+	node := s.nodes[n]
+	nf := node.faults
+	switch ev.Kind {
+	case faults.Death:
+		nf.deaths++
+		devs := node.spec.SSD.Count
+		if ev.Device < 0 || nf.deadDevs+1 >= devs {
+			// The whole array (or its last member) is gone: jobs that
+			// offload to it cannot continue on this node.
+			nf.arrayFailed = true
+			nf.rebuildActive = false
+			s.killJobs(n, func(j *jobState) bool { return offloadsToSSD(j.Job) })
+			return
+		}
+		nf.deadDevs++
+		nf.rebuildUntil = s.now + nf.rebuildSecs
+		nf.rebuildActive = true
+		nf.rebuildTime += nf.rebuildSecs
+	case faults.Degrade:
+		nf.degradeFactor = ev.Factor
+		if ev.For > 0 {
+			nf.degradeUntil = s.now + ev.For.Seconds()
+		} else {
+			nf.degradeUntil = math.Inf(1)
+		}
+		nf.degradeActive = true
+	case faults.Drain:
+		nf.drains++
+		nf.drainPermanent = ev.For <= 0
+		nf.drainedUntil = s.now + ev.For.Seconds()
+		nf.drainedActive = true
+		s.killJobs(n, func(*jobState) bool { return true })
+	}
+}
+
+// killJobs evicts the node's running jobs the predicate selects, rolls
+// each back to its last checkpoint, charges the restart penalty, and
+// re-queues them in running order (placement order — deterministic).
+func (s *simState) killJobs(n int, victim func(*jobState) bool) {
+	node := s.nodes[n]
+	kept := node.running[:0]
+	for _, j := range node.running {
+		if !victim(j) {
+			kept = append(kept, j)
+			continue
+		}
+		done := float64(j.Steps) - j.remaining
+		ckpt := float64(s.plan.CheckpointSteps)
+		keptSteps := math.Floor(done/ckpt) * ckpt
+		j.remaining = float64(j.Steps) - keptSteps
+		j.penaltyLeft = s.plan.RestartPenalty.Seconds()
+		j.running = false
+		j.node = -1
+		j.restarts++
+		node.freeGPUs += j.GPUs
+		if offloadsToSSD(j.Job) {
+			node.offGPUs -= j.GPUs
+		}
+		if wantsDRAM(j.Job) && node.spec.DRAM > 0 {
+			node.dramGPUs -= j.GPUs
+		}
+		node.faults.killed++
+		s.queue = append(s.queue, j)
+	}
+	node.running = kept
+}

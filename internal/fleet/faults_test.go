@@ -1,0 +1,239 @@
+package fleet
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"ssdtrain/internal/faults"
+)
+
+// faultedConfig is a one-node cluster with a pin job (dilates under
+// thinner array shares) whose simulation runs long enough for mid-run
+// faults to land.
+func faultedConfig(plan faults.Plan) Config {
+	return Config{
+		Cluster: testCluster(1),
+		Jobs:    []Job{pinJob(0, 1, 400), planJob(1, 1, 200)},
+		Policy:  FIFO,
+		Faults:  plan,
+	}
+}
+
+// TestFaultsNeverFiringPlanKeepsOutcomes pins satellite property #3 at
+// the fleet level: a plan whose events all fire after the last job
+// finished must leave every numeric outcome identical to the fault-free
+// simulation (only the UsesFaults rendering flag differs).
+func TestFaultsNeverFiringPlanKeepsOutcomes(t *testing.T) {
+	base, err := Simulate(faultedConfig(faults.Plan{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	late := faults.Plan{Events: []faults.Event{
+		{Kind: faults.Death, At: 1000 * time.Hour, Node: 0, Device: 1},
+		{Kind: faults.Drain, At: 2000 * time.Hour, Node: 0},
+	}}
+	got, err := Simulate(faultedConfig(late))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.UsesFaults || base.UsesFaults {
+		t.Fatalf("UsesFaults flags: got %v, base %v", got.UsesFaults, base.UsesFaults)
+	}
+	if got.Makespan != base.Makespan || got.TotalWritten != base.TotalWritten ||
+		got.MeanSlowdown != base.MeanSlowdown || got.TotalRestarts != 0 {
+		t.Fatalf("never-firing plan changed outcomes:\nbase %v %v %.6f\ngot  %v %v %.6f restarts=%d",
+			base.Makespan, base.TotalWritten, base.MeanSlowdown,
+			got.Makespan, got.TotalWritten, got.MeanSlowdown, got.TotalRestarts)
+	}
+	for i := range base.JobReports {
+		if base.JobReports[i].Runtime != got.JobReports[i].Runtime {
+			t.Fatalf("job %d runtime %v != %v", i, got.JobReports[i].Runtime, base.JobReports[i].Runtime)
+		}
+	}
+}
+
+// TestFaultsDeviceDeathStealsBandwidth: a member death mid-run thins the
+// survivors' bandwidth (rebuild steal plus the lost member), so the pin
+// job's makespan grows and the node ledger records the death and rebuild.
+func TestFaultsDeviceDeathStealsBandwidth(t *testing.T) {
+	base, err := Simulate(faultedConfig(faults.Plan{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{Events: []faults.Event{
+		{Kind: faults.Death, At: 30 * time.Second, Node: 0, Device: 2},
+	}}
+	got, err := Simulate(faultedConfig(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan <= base.Makespan {
+		t.Errorf("device death did not slow the fleet: makespan %v <= healthy %v", got.Makespan, base.Makespan)
+	}
+	n := got.NodeReports[0]
+	if n.Deaths != 1 || n.RebuildTime <= 0 {
+		t.Errorf("node ledger: deaths=%d rebuild=%v, want 1 death with a rebuild window", n.Deaths, n.RebuildTime)
+	}
+	if got.TotalRestarts != 0 {
+		t.Errorf("a member death must not kill jobs, got %d restarts", got.TotalRestarts)
+	}
+	if !strings.Contains(got.Summary(), "faults") {
+		t.Errorf("summary misses the faults line:\n%s", got.Summary())
+	}
+}
+
+// TestFaultsDrainKillsAndRequeues: a temporary drain evicts every tenant;
+// they restart from their last checkpoint (paying the restart penalty)
+// once the drain lifts, so the work still completes — later and with
+// restart counts in the report.
+func TestFaultsDrainKillsAndRequeues(t *testing.T) {
+	base, err := Simulate(faultedConfig(faults.Plan{}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faults.Plan{
+		Events:          []faults.Event{{Kind: faults.Drain, At: 45 * time.Second, Node: 0, For: 2 * time.Minute}},
+		CheckpointSteps: 25,
+		RestartPenalty:  10 * time.Second,
+	}
+	got, err := Simulate(faultedConfig(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalRestarts == 0 {
+		t.Fatal("drain killed no jobs")
+	}
+	if got.NodeReports[0].Drains != 1 || got.NodeReports[0].Killed == 0 {
+		t.Errorf("node ledger: drains=%d killed=%d", got.NodeReports[0].Drains, got.NodeReports[0].Killed)
+	}
+	if got.Makespan <= base.Makespan {
+		t.Errorf("drain + checkpoint rollback did not extend makespan: %v <= %v", got.Makespan, base.Makespan)
+	}
+	restarts := 0
+	for _, j := range got.JobReports {
+		restarts += j.Restarts
+	}
+	if restarts != got.TotalRestarts {
+		t.Errorf("per-job restarts %d != total %d", restarts, got.TotalRestarts)
+	}
+}
+
+// TestFaultsArrayFailureReplacesJobs: when node 0's whole array fails,
+// its offloading tenants are killed and must finish on node 1; node 0
+// keeps taking non-offloading work.
+func TestFaultsArrayFailureReplacesJobs(t *testing.T) {
+	cfg := Config{
+		Cluster: testCluster(2),
+		Jobs:    []Job{pinJob(0, 1, 300), pinJob(1, 1, 300)},
+		Policy:  FIFO,
+		Faults: faults.Plan{Events: []faults.Event{
+			{Kind: faults.Death, At: 30 * time.Second, Node: 0, Device: -1},
+		}},
+	}
+	got, err := Simulate(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.TotalDeaths != 1 {
+		t.Fatalf("deaths = %d", got.TotalDeaths)
+	}
+	for _, j := range got.JobReports {
+		if j.Node != 1 {
+			t.Errorf("job %d finished on node %d; a failed array must push offloaders to node 1", j.ID, j.Node)
+		}
+	}
+	if got.TotalRestarts == 0 {
+		t.Error("array failure killed no jobs")
+	}
+}
+
+// TestFaultsArrayFailureDeadlocks: with nowhere left to offload, the
+// simulation must fail loudly instead of spinning.
+func TestFaultsArrayFailureDeadlocks(t *testing.T) {
+	cfg := faultedConfig(faults.Plan{Events: []faults.Event{
+		{Kind: faults.Death, At: 30 * time.Second, Node: 0, Device: -1},
+	}})
+	_, err := Simulate(cfg)
+	if err == nil || !strings.Contains(err.Error(), "deadlock") {
+		t.Fatalf("want deadlock error, got %v", err)
+	}
+}
+
+// TestFaultsWearTriggeredDeath: a death armed on a wear threshold fires
+// once the tenants' writes cross it, without any wall-clock trigger.
+func TestFaultsWearTriggeredDeath(t *testing.T) {
+	plan := faults.Plan{Events: []faults.Event{
+		{Kind: faults.Death, Node: 0, Device: 0, WearThreshold: 1e-9},
+	}}
+	got, err := Simulate(faultedConfig(plan))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.NodeReports[0].Deaths != 1 {
+		t.Fatalf("wear-triggered death never fired (wear %.3g%%)", got.NodeReports[0].WearFraction*100)
+	}
+}
+
+// TestFaultsDeterministicAcrossWorkers extends the subsystem's core
+// contract to faulted runs: one fault plan, byte-identical rendered
+// reports for every worker count (mid-run rate refreshes measure through
+// the same deterministic profiler the healthy path uses).
+func TestFaultsDeterministicAcrossWorkers(t *testing.T) {
+	mix := DefaultJobMix(MixConfig{Jobs: 12, Seed: 7, MinSteps: 10, MaxSteps: 60})
+	plan := faults.Plan{Events: []faults.Event{
+		{Kind: faults.Death, At: 20 * time.Second, Node: 0, Device: 1},
+		{Kind: faults.Degrade, At: 40 * time.Second, Node: 1, Factor: 0.5, For: time.Minute},
+		{Kind: faults.Drain, At: time.Minute, Node: 2, For: 2 * time.Minute},
+	}}
+	var want string
+	for _, workers := range []int{1, 4, runtime.NumCPU()} {
+		reports, err := PolicySweepWith(PolicySweepConfig{
+			Cluster: testCluster(4), Jobs: mix, Policies: Policies(),
+			Workers: workers, Faults: plan,
+		})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		got := renderAll(reports)
+		if want == "" {
+			want = got
+			continue
+		}
+		if got != want {
+			t.Fatalf("workers=%d: faulted report differs from workers=1", workers)
+		}
+	}
+}
+
+// TestFaultsPlanValidation: malformed plans are rejected before any
+// profiling work starts.
+func TestFaultsPlanValidation(t *testing.T) {
+	bad := faultedConfig(faults.Plan{Events: []faults.Event{
+		{Kind: faults.Death, At: time.Second, Node: 9, Device: 0},
+	}})
+	if _, err := Simulate(bad); err == nil || !strings.Contains(err.Error(), "node 9") {
+		t.Fatalf("want node-range error, got %v", err)
+	}
+	badDev := faultedConfig(faults.Plan{Events: []faults.Event{
+		{Kind: faults.Death, At: time.Second, Node: 0, Device: 64},
+	}})
+	if _, err := Simulate(badDev); err == nil || !strings.Contains(err.Error(), "device 64") {
+		t.Fatalf("want device-range error, got %v", err)
+	}
+}
+
+// TestFaultsMixCarriesPlan: the mix-config carrier round-trips a plan to
+// the sweep without perturbing the drawn jobs.
+func TestFaultsMixCarriesPlan(t *testing.T) {
+	plan := faults.Plan{Events: []faults.Event{{Kind: faults.Drain, At: time.Minute, Node: 0}}}
+	withPlan := DefaultJobMix(MixConfig{Jobs: 8, Seed: 3, FaultPlan: plan})
+	without := DefaultJobMix(MixConfig{Jobs: 8, Seed: 3})
+	for i := range without {
+		if withPlan[i].Name != without[i].Name || withPlan[i].Steps != without[i].Steps ||
+			withPlan[i].Run != without[i].Run {
+			t.Fatalf("job %d differs with a fault plan attached", i)
+		}
+	}
+}

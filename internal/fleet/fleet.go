@@ -29,6 +29,7 @@ import (
 
 	"ssdtrain/internal/core"
 	"ssdtrain/internal/exp"
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/gpu"
 	"ssdtrain/internal/ssd"
 	"ssdtrain/internal/units"
@@ -110,6 +111,13 @@ type Config struct {
 	// so mix adaptive and fixed sweeps over one shared Profiler only if
 	// paying both measurement sets is acceptable.
 	AdaptiveProfiles bool
+	// Faults schedules deterministic fleet-level fault injection: device
+	// deaths (timed or wear-triggered) that steal rebuild bandwidth from
+	// co-located tenants, transient degradation windows, and node drains
+	// that kill and re-queue jobs under a checkpoint-restart cost model.
+	// The empty plan injects nothing and keeps the report byte-identical
+	// to a fault-free simulation.
+	Faults faults.Plan
 }
 
 // jobState tracks one job through the simulation.
@@ -123,6 +131,11 @@ type jobState struct {
 	rate      float64 // steps per second at current share
 	writeRate float64 // bytes per second to the node array (all GPUs)
 	written   float64 // bytes written so far
+	// penaltyLeft is the restart penalty still to pay before the job makes
+	// progress again (a fault killed it and it restarted from checkpoint).
+	penaltyLeft float64
+	// restarts counts checkpoint restarts after fault kills.
+	restarts int
 }
 
 // nodeState tracks one node.
@@ -146,6 +159,10 @@ type nodeState struct {
 	writeSecs   float64
 	busyGPUSecs float64
 	placements  int
+	// faults is the node's fault-injection state (nil when the plan
+	// schedules nothing against this node, keeping the healthy arithmetic
+	// untouched).
+	faults *nodeFaults
 }
 
 // simState is the sequential cluster simulation.
@@ -159,6 +176,9 @@ type simState struct {
 	pending   []*jobState
 	now       float64
 	completed int
+	// plan is the resolved fault plan (cost-model defaults filled); zero
+	// when cfg.Faults is empty.
+	plan faults.Plan
 }
 
 // arrayWriteCapacity is the node array's aggregate sequential write
@@ -238,6 +258,9 @@ func (c Config) validate() error {
 	if len(c.Jobs) == 0 {
 		return fmt.Errorf("fleet: no jobs")
 	}
+	if err := c.Faults.Validate(c.Cluster.Nodes, n.SSD.Count); err != nil {
+		return err
+	}
 	ids := make(map[int]bool, len(c.Jobs))
 	for _, j := range c.Jobs {
 		// Schedulers and reports key on the ID; duplicates would silently
@@ -312,6 +335,7 @@ func Simulate(cfg Config) (*Report, error) {
 		}
 	}
 
+	s.initFaults()
 	sched := newScheduler(cfg.Policy)
 	for s.completed < len(s.jobs) {
 		s.admitArrivals()
@@ -320,13 +344,31 @@ func Simulate(cfg Config) (*Report, error) {
 		}
 		next, ok := s.nextEventTime()
 		if !ok {
-			return nil, fmt.Errorf("fleet: deadlock at t=%.1fs with %d jobs unfinished under %s",
-				s.now, len(s.jobs)-s.completed, cfg.Policy)
+			return nil, s.deadlockError()
 		}
 		s.advanceTo(next)
+		if err := s.applyFaults(); err != nil {
+			return nil, err
+		}
 		s.completeFinished()
 	}
 	return s.report(), nil
+}
+
+// deadlockError explains why the event loop has nowhere to go. Under
+// fault injection the common cause is a job whose only viable array
+// failed (or whose node drained permanently) with no surviving node able
+// to take it.
+func (s *simState) deadlockError() error {
+	blocked := ""
+	for _, node := range s.nodes {
+		if nf := node.faults; nf != nil && (nf.arrayFailed || nf.drainPermanent) {
+			blocked = " (a failed array or permanent drain leaves queued jobs unplaceable)"
+			break
+		}
+	}
+	return fmt.Errorf("fleet: deadlock at t=%.1fs with %d jobs unfinished under %s%s",
+		s.now, len(s.jobs)-s.completed, s.cfg.Policy, blocked)
 }
 
 // exclusiveProfile is the job's behaviour alone on a node: its own GPUs
@@ -362,6 +404,12 @@ const stepEps = 1e-6
 func (s *simState) canPlace(j *jobState, n int) (bool, error) {
 	node := s.nodes[n]
 	if node.freeGPUs < j.GPUs {
+		return false, nil
+	}
+	if node.drained(s.now) {
+		return false, nil
+	}
+	if nf := node.faults; nf != nil && nf.arrayFailed && offloadsToSSD(j.Job) {
 		return false, nil
 	}
 	newOff, newDram := node.offGPUs, node.dramGPUs
@@ -471,7 +519,17 @@ func (s *simState) refreshRates(n int) error {
 	node := s.nodes[n]
 	var reserved units.Bytes
 	for _, j := range node.running {
-		p, err := s.prof.Measure(j.Run, node.spec, node.shareFor(j), node.dramGrantFor(j))
+		share := node.shareFor(j)
+		if offloadsToSSD(j.Job) {
+			// A faulted array serves each tenant a thinner effective share:
+			// surviving members, minus the rebuild steal, minus transient
+			// degradation. healthFactor is exactly 1 on healthy nodes, so
+			// fault-free simulations measure at the original keys.
+			if h := node.healthFactor(s.now); h < 1 {
+				share *= h
+			}
+		}
+		p, err := s.prof.Measure(j.Run, node.spec, share, node.dramGrantFor(j))
 		if err != nil {
 			return err
 		}
@@ -505,9 +563,10 @@ func (s *simState) nextEventTime() (float64, bool) {
 	}
 	for _, node := range s.nodes {
 		for _, j := range node.running {
-			consider(s.now + j.remaining/j.rate)
+			consider(s.now + j.penaltyLeft + j.remaining/j.rate)
 		}
 	}
+	s.faultEventTimes(consider)
 	return next, ok
 }
 
@@ -520,16 +579,31 @@ func (s *simState) advanceTo(next float64) {
 	}
 	for _, node := range s.nodes {
 		demand := 0.0
+		// penaltySecs accumulates write-seconds lost to restart penalties:
+		// a restarting job holds its GPUs but neither progresses nor
+		// writes until the penalty drains. Zero on fault-free runs, so the
+		// wear arithmetic below stays bit-exact (x - 0.0 == x).
+		penaltySecs := 0.0
 		for _, j := range node.running {
-			j.remaining -= j.rate * dt
+			run := dt
+			if j.penaltyLeft > 0 {
+				use := run
+				if j.penaltyLeft < use {
+					use = j.penaltyLeft
+				}
+				j.penaltyLeft -= use
+				run -= use
+				penaltySecs += j.writeRate * use
+			}
+			j.remaining -= j.rate * run
 			if j.remaining < 0 {
 				j.remaining = 0
 			}
-			j.written += j.writeRate * dt
+			j.written += j.writeRate * run
 			demand += j.writeRate
 			node.busyGPUSecs += float64(j.GPUs) * dt
 		}
-		node.wear.Record(demand * dt)
+		node.wear.Record(demand*dt - penaltySecs)
 		if capacity := node.arrayWriteCapacity(); capacity > 0 && demand > 0 {
 			frac := demand / capacity
 			if frac > 1 {

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"ssdtrain/internal/exp"
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/models"
 	"ssdtrain/internal/units"
 )
@@ -30,6 +31,12 @@ type MixConfig struct {
 	// array. It draws from its own generator, so HybridFrac 0 reproduces
 	// pre-hierarchy mixes byte for byte.
 	HybridFrac float64
+	// FaultPlan rides along with the mix parameters so call sites that
+	// build a mix can thread a fault schedule to the simulation in one
+	// value (Config.Faults / PolicySweepConfig.Faults apply it).
+	// DefaultJobMix itself never reads it: the same seed draws the same
+	// jobs with or without faults.
+	FaultPlan faults.Plan
 }
 
 func (c MixConfig) withDefaults() MixConfig {

@@ -31,6 +31,15 @@ type NodeReport struct {
 	// DRAMPeak is the high-water mark of pinned host memory granted to
 	// DRAM-offloading tenants (0 when the node ran none).
 	DRAMPeak units.Bytes
+	// Deaths/Drains count fault events that fired against the node;
+	// RebuildTime is the total RAID-rebuild window during which the
+	// rebuild steal thinned tenant bandwidth; Killed counts job evictions
+	// (each one a checkpoint restart somewhere else). All zero without a
+	// fault plan.
+	Deaths      int
+	Drains      int
+	RebuildTime time.Duration
+	Killed      int
 }
 
 // JobReport summarizes one job's fate.
@@ -47,6 +56,9 @@ type JobReport struct {
 	Slowdown float64
 	// Written is the job's total host writes (all its GPUs).
 	Written units.Bytes
+	// Restarts counts checkpoint restarts after fault kills (0 without a
+	// fault plan).
+	Restarts int
 }
 
 // Report is the outcome of one fleet simulation. Given a fixed Config
@@ -78,6 +90,16 @@ type Report struct {
 	UsesDRAM bool
 	// DRAMBudget echoes the per-node pinned-pool budget when used.
 	DRAMBudget units.Bytes
+	// UsesFaults marks that the simulation ran under a fault plan; the
+	// tables and summary add their failure columns only then, mirroring
+	// UsesDRAM so fault-free reports stay byte-identical to the committed
+	// goldens.
+	UsesFaults bool
+	// TotalDeaths/TotalDrains/TotalRestarts aggregate the fault ledgers
+	// fleet-wide.
+	TotalDeaths   int
+	TotalDrains   int
+	TotalRestarts int
 }
 
 // report assembles the Report after the event loop drains.
@@ -87,6 +109,7 @@ func (s *simState) report() *Report {
 		Nodes:       len(s.nodes),
 		GPUsPerNode: s.cfg.Cluster.Node.GPUs,
 		JobCount:    len(s.jobs),
+		UsesFaults:  !s.cfg.Faults.Empty(),
 	}
 	makespan := 0.0
 	for _, j := range s.jobs {
@@ -128,7 +151,9 @@ func (s *simState) report() *Report {
 			Runtime:  seconds(runtime),
 			Slowdown: slow,
 			Written:  units.Bytes(j.written),
+			Restarts: j.restarts,
 		})
+		r.TotalRestarts += j.restarts
 	}
 	if n := len(s.jobs); n > 0 {
 		r.MeanWait = seconds(waitSum / float64(n))
@@ -152,6 +177,14 @@ func (s *simState) report() *Report {
 		if node.dramPeak > 0 {
 			r.UsesDRAM = true
 			r.DRAMBudget = node.spec.DRAM
+		}
+		if nf := node.faults; nf != nil {
+			nr.Deaths = nf.deaths
+			nr.Drains = nf.drains
+			nr.RebuildTime = seconds(nf.rebuildTime)
+			nr.Killed = nf.killed
+			r.TotalDeaths += nf.deaths
+			r.TotalDrains += nf.drains
 		}
 		if makespan > 0 {
 			nr.GPUUtil = node.busyGPUSecs / (float64(node.spec.GPUs) * makespan)
@@ -183,6 +216,9 @@ func (r *Report) NodeTable() *trace.Table {
 	if r.UsesDRAM {
 		cols = append(cols, "dram peak")
 	}
+	if r.UsesFaults {
+		cols = append(cols, "deaths", "rebuild", "killed")
+	}
 	t := trace.NewTable(
 		fmt.Sprintf("per-node shared-SSD utilization and endurance (%s)", r.Policy),
 		cols...)
@@ -200,6 +236,9 @@ func (r *Report) NodeTable() *trace.Table {
 		if r.UsesDRAM {
 			row = append(row, n.DRAMPeak)
 		}
+		if r.UsesFaults {
+			row = append(row, n.Deaths, n.RebuildTime.Round(time.Second), n.Killed)
+		}
 		t.AddRow(row...)
 	}
 	return t
@@ -207,11 +246,13 @@ func (r *Report) NodeTable() *trace.Table {
 
 // JobTable renders every job's fate.
 func (r *Report) JobTable() *trace.Table {
-	t := trace.NewTable(
-		fmt.Sprintf("per-job schedule (%s)", r.Policy),
-		"job", "name", "node", "gpus", "submit", "wait", "runtime", "slowdown", "written")
+	cols := []string{"job", "name", "node", "gpus", "submit", "wait", "runtime", "slowdown", "written"}
+	if r.UsesFaults {
+		cols = append(cols, "restarts")
+	}
+	t := trace.NewTable(fmt.Sprintf("per-job schedule (%s)", r.Policy), cols...)
 	for _, j := range r.JobReports {
-		t.AddRow(
+		row := []any{
 			j.ID,
 			j.Name,
 			fmt.Sprintf("node%02d", j.Node),
@@ -221,7 +262,11 @@ func (r *Report) JobTable() *trace.Table {
 			j.Runtime.Round(time.Millisecond),
 			fmt.Sprintf("%.2f×", j.Slowdown),
 			j.Written,
-		)
+		}
+		if r.UsesFaults {
+			row = append(row, j.Restarts)
+		}
+		t.AddRow(row...)
 	}
 	return t
 }
@@ -246,6 +291,10 @@ func (r *Report) Summary() string {
 			}
 		}
 		fmt.Fprintf(&b, "  dram peak/node  %v of %v budget\n", peak, r.DRAMBudget)
+	}
+	if r.UsesFaults {
+		fmt.Fprintf(&b, "  faults          %d device deaths, %d drains, %d job restarts\n",
+			r.TotalDeaths, r.TotalDrains, r.TotalRestarts)
 	}
 	return b.String()
 }

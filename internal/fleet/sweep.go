@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/trace"
 )
 
@@ -38,6 +39,10 @@ type PolicySweepConfig struct {
 	// AdaptiveProfiles opts profiling runs into adaptive steady-state
 	// detection (see Config.AdaptiveProfiles).
 	AdaptiveProfiles bool
+	// Faults applies one fault plan to every policy's simulation (see
+	// Config.Faults), so the comparison shows how each scheduler absorbs
+	// the same failure schedule.
+	Faults faults.Plan
 }
 
 // PolicySweep simulates the same cluster and job mix under each policy,
@@ -63,6 +68,7 @@ func PolicySweepWith(cfg PolicySweepConfig) ([]*Report, error) {
 				Workers:          cfg.Workers,
 				Profiler:         prof,
 				AdaptiveProfiles: cfg.AdaptiveProfiles,
+				Faults:           cfg.Faults,
 			},
 		}
 	}
@@ -71,10 +77,20 @@ func PolicySweepWith(cfg PolicySweepConfig) ([]*Report, error) {
 
 // CompareTable renders a policy-by-policy comparison of sweep reports.
 func CompareTable(reports []*Report) *trace.Table {
-	t := trace.NewTable("policy comparison",
-		"policy", "makespan", "mean wait", "max wait", "slowdown", "fleet writes", "min lifespan")
+	faulted := false
 	for _, r := range reports {
-		t.AddRow(
+		if r.UsesFaults {
+			faulted = true
+			break
+		}
+	}
+	cols := []string{"policy", "makespan", "mean wait", "max wait", "slowdown", "fleet writes", "min lifespan"}
+	if faulted {
+		cols = append(cols, "restarts")
+	}
+	t := trace.NewTable("policy comparison", cols...)
+	for _, r := range reports {
+		row := []any{
 			string(r.Policy),
 			r.Makespan.Round(time.Millisecond),
 			r.MeanWait.Round(time.Millisecond),
@@ -82,7 +98,11 @@ func CompareTable(reports []*Report) *trace.Table {
 			fmt.Sprintf("%.2f×", r.MeanSlowdown),
 			r.TotalWritten,
 			fmt.Sprintf("%.1f y", r.MinLifespanYears),
-		)
+		}
+		if faulted {
+			row = append(row, r.TotalRestarts)
+		}
+		t.AddRow(row...)
 	}
 	return t
 }

@@ -53,8 +53,11 @@ func newBatcher(exec func([]exp.RunConfig) []exp.BatchResult, limiter *limiter, 
 // run executes cfg (which must be normalized), sharing an arena — and a
 // single worker slot — with other same-shape requests that arrive
 // within the window. Callers must not hold a worker slot; run is only
-// called with batching enabled (window > 0).
-func (b *batcher) run(cfg exp.RunConfig) (*exp.RunResult, error) {
+// called with batching enabled (window > 0). A caller whose ctx ends
+// while waiting leaves without its result — the flush still runs the
+// batch for the members that stayed, and the buffered channel absorbs
+// the orphaned delivery.
+func (b *batcher) run(ctx context.Context, cfg exp.RunConfig) (*exp.RunResult, error) {
 	shape, err := exp.ShapeKey(cfg)
 	if err != nil {
 		return nil, err
@@ -72,8 +75,12 @@ func (b *batcher) run(cfg exp.RunConfig) (*exp.RunResult, error) {
 	bt.cfgs = append(bt.cfgs, cfg)
 	bt.outs = append(bt.outs, ch)
 	b.mu.Unlock()
-	r := <-ch
-	return r.Result, r.Err
+	select {
+	case r := <-ch:
+		return r.Result, r.Err
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // flush closes a shape's window and runs its batch on one arena under

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"time"
 
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/fleet"
 	"ssdtrain/internal/units"
 )
@@ -29,6 +30,10 @@ type FleetRequest struct {
 	MaxSteps         int      `json:"steps_max,omitempty"`
 	SubmitSpreadMs   int64    `json:"submit_spread_ms,omitempty"`
 	AdaptiveProfiles bool     `json:"adaptive_profiles,omitempty"`
+	// Faults is a fault plan in the cmd/fleet -faults syntax (e.g.
+	// "death@30s:node0:dev1,drain@2m:node1:5m,ckpt=25"); empty injects
+	// nothing.
+	Faults string `json:"faults,omitempty"`
 }
 
 // normalize fills defaults, validates policies, and renders the
@@ -76,6 +81,15 @@ func (r FleetRequest) normalize() (FleetRequest, string, error) {
 			return r, "", err
 		}
 	}
+	if r.Faults != "" {
+		plan, err := faults.ParsePlan(r.Faults)
+		if err != nil {
+			return r, "", err
+		}
+		if err := plan.Validate(r.Nodes, fleet.DefaultNodeSpec().SSD.Count); err != nil {
+			return r, "", err
+		}
+	}
 	key, err := json.Marshal(r)
 	if err != nil {
 		return r, "", err
@@ -94,6 +108,11 @@ type FleetPolicyResult struct {
 	TotalWrittenBytes int64   `json:"total_written_bytes"`
 	MinLifespanYears  float64 `json:"min_lifespan_years"`
 	MeanLifespanYears float64 `json:"mean_lifespan_years"`
+	// Fault outcome counters (present only when the request carried a
+	// fault plan).
+	Deaths   int `json:"deaths,omitempty"`
+	Drains   int `json:"drains,omitempty"`
+	Restarts int `json:"restarts,omitempty"`
 	// Summary is the human-oriented rendering (the cmd/fleet text).
 	Summary string `json:"summary"`
 }
@@ -129,6 +148,14 @@ func (s *Server) runFleet(req FleetRequest) (*FleetResponse, error) {
 	if req.DRAMGiB != nil {
 		node.DRAM = units.Bytes(*req.DRAMGiB * float64(units.GiB))
 	}
+	var plan faults.Plan
+	if req.Faults != "" {
+		// normalize already vetted the syntax; re-parse for the value.
+		var err error
+		if plan, err = faults.ParsePlan(req.Faults); err != nil {
+			return nil, err
+		}
+	}
 	jobs := fleet.DefaultJobMix(fleet.MixConfig{
 		Jobs:         req.Jobs,
 		Seed:         req.Seed,
@@ -137,6 +164,7 @@ func (s *Server) runFleet(req FleetRequest) (*FleetResponse, error) {
 		SubmitSpread: time.Duration(req.SubmitSpreadMs) * time.Millisecond,
 		MaxGPUs:      node.GPUs,
 		HybridFrac:   req.HybridFrac,
+		FaultPlan:    plan,
 	})
 	resp := &FleetResponse{
 		Nodes:       req.Nodes,
@@ -155,6 +183,7 @@ func (s *Server) runFleet(req FleetRequest) (*FleetResponse, error) {
 			Policy:           policy,
 			Profiler:         s.profiler,
 			AdaptiveProfiles: req.AdaptiveProfiles,
+			Faults:           plan,
 		})
 		if err != nil {
 			return nil, err
@@ -169,6 +198,9 @@ func (s *Server) runFleet(req FleetRequest) (*FleetResponse, error) {
 			TotalWrittenBytes: int64(report.TotalWritten),
 			MinLifespanYears:  report.MinLifespanYears,
 			MeanLifespanYears: report.MeanLifespanYears,
+			Deaths:            report.TotalDeaths,
+			Drains:            report.TotalDrains,
+			Restarts:          report.TotalRestarts,
 			Summary:           report.Summary(),
 		})
 	}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"ssdtrain/internal/exp"
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/models"
 	"ssdtrain/internal/units"
 )
@@ -103,6 +104,47 @@ type PlanRequest struct {
 	PrefetchAhead     int     `json:"prefetch_ahead,omitempty"`
 	AdaptiveSteps     bool    `json:"adaptive_steps,omitempty"`
 	DisableGDS        bool    `json:"disable_gds,omitempty"`
+	// Faults schedules deterministic fault injection against the run's
+	// NVMe array (nil = none).
+	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// FaultSpec is the wire form of exp.RunConfig.Faults: a single-run fault
+// schedule against the NVMe array. Durations are microseconds — a
+// simulated training step is a few hundred milliseconds, so millisecond
+// granularity would be too coarse for mid-step events.
+type FaultSpec struct {
+	// DeviceDeathAtUs kills array member Device (-1 = whole array) at the
+	// given simulated time.
+	DeviceDeathAtUs int64 `json:"device_death_at_us,omitempty"`
+	Device          int   `json:"device,omitempty"`
+	// WearThreshold kills the device when the array's wear fraction
+	// crosses it instead of at a fixed time.
+	WearThreshold float64 `json:"wear_threshold,omitempty"`
+	// Degrade* model a transient bandwidth degradation window.
+	DegradeAtUs   int64   `json:"degrade_at_us,omitempty"`
+	DegradeFactor float64 `json:"degrade_factor,omitempty"`
+	DegradeForUs  int64   `json:"degrade_for_us,omitempty"`
+	// Rebuild* tune the RAID-rebuild window after a member death.
+	RebuildForUs int64   `json:"rebuild_for_us,omitempty"`
+	RebuildSteal float64 `json:"rebuild_steal,omitempty"`
+}
+
+// spec converts the wire form to the harness's fault spec.
+func (f *FaultSpec) spec() faults.Spec {
+	if f == nil {
+		return faults.Spec{}
+	}
+	return faults.Spec{
+		DeviceDeathAt: time.Duration(f.DeviceDeathAtUs) * time.Microsecond,
+		Device:        f.Device,
+		WearThreshold: f.WearThreshold,
+		DegradeAt:     time.Duration(f.DegradeAtUs) * time.Microsecond,
+		DegradeFactor: f.DegradeFactor,
+		DegradeFor:    time.Duration(f.DegradeForUs) * time.Microsecond,
+		RebuildFor:    time.Duration(f.RebuildForUs) * time.Microsecond,
+		RebuildSteal:  f.RebuildSteal,
+	}
 }
 
 // runConfig resolves the request to a normalized exp.RunConfig — the
@@ -136,6 +178,7 @@ func (r PlanRequest) runConfig() (exp.RunConfig, error) {
 		PrefetchAhead:     r.PrefetchAhead,
 		AdaptiveSteps:     r.AdaptiveSteps,
 		DisableGDS:        r.DisableGDS,
+		Faults:            r.Faults.spec(),
 	}
 	return exp.Normalize(cfg)
 }

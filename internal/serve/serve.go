@@ -55,13 +55,19 @@ type Options struct {
 	// FleetCacheCapacity sizes the shared fleet profiler's cache
 	// (0 = fleet.DefaultCacheCapacity).
 	FleetCacheCapacity int
+	// RequestTimeout bounds each request end to end: the deadline is set
+	// on the request context before the handler runs, so it covers queue
+	// waits for a worker slot and the simulation itself. An expired
+	// deadline answers 503 (0 = DefaultRequestTimeout, negative = none).
+	RequestTimeout time.Duration
 }
 
 // Defaults for Options' zero values.
 const (
-	DefaultQueue         = 64
-	DefaultCacheCapacity = 1024
-	DefaultBatchWindow   = 2 * time.Millisecond
+	DefaultQueue          = 64
+	DefaultCacheCapacity  = 1024
+	DefaultBatchWindow    = 2 * time.Millisecond
+	DefaultRequestTimeout = 2 * time.Minute
 	// defaultFleetBodies bounds the rendered fleet-response LRU; fleet
 	// requests are few and bodies small, so a handful suffices.
 	defaultFleetBodies = 64
@@ -95,6 +101,12 @@ func New(opts Options) *Server {
 	}
 	if opts.CacheCapacity <= 0 {
 		opts.CacheCapacity = DefaultCacheCapacity
+	}
+	switch {
+	case opts.RequestTimeout == 0:
+		opts.RequestTimeout = DefaultRequestTimeout
+	case opts.RequestTimeout < 0:
+		opts.RequestTimeout = 0
 	}
 	switch {
 	case opts.BatchWindow == 0:
@@ -150,6 +162,13 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 	ep := s.stats.endpoint(name)
 	return func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
+		if s.opts.RequestTimeout > 0 {
+			// The deadline rides the request context into every slot wait
+			// and singleflight join below the handler.
+			ctx, cancel := context.WithTimeout(r.Context(), s.opts.RequestTimeout)
+			defer cancel()
+			r = r.WithContext(ctx)
+		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
 		h(rec, r)
 		ep.observe(rec.status, time.Since(start))
@@ -183,6 +202,21 @@ func decodeBody(w http.ResponseWriter, r *http.Request, into any) error {
 // errSaturated reports backpressure: the worker slots are busy and the
 // wait queue is full. Handlers translate it to 429 + Retry-After.
 var errSaturated = errors.New("serve: saturated, retry later")
+
+// errDeadline is the 503 body for a request whose Options.RequestTimeout
+// deadline expired while it was queued or simulating.
+var errDeadline = errors.New("serve: request deadline exceeded")
+
+// writeRunError maps a simulation-path error to its response: deadline
+// expiry is the server running out of time budget (503, retryable), not
+// a property of the config (422).
+func writeRunError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.DeadlineExceeded) {
+		writeError(w, http.StatusServiceUnavailable, errDeadline)
+		return
+	}
+	writeError(w, http.StatusUnprocessableEntity, err)
+}
 
 // writeBackpressure answers 429 + Retry-After; rejected_requests counts
 // exactly these responses, wherever the saturation was detected.
@@ -298,7 +332,7 @@ func (s *Server) planBody(ctx context.Context, cfg exp.RunConfig, viaBatch bool)
 		if viaBatch && s.batcher.window > 0 {
 			// Windowed path: the batcher claims one worker slot per
 			// flushed batch; the member waits holding nothing.
-			res, err = s.batcher.run(cfg)
+			res, err = s.batcher.run(ctx, cfg)
 		} else {
 			if err := s.acquireSlot(ctx); err != nil {
 				return nil, err
@@ -337,7 +371,7 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeRunError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -365,6 +399,9 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	flusher, _ := w.(http.Flusher)
 	for _, cfg := range cfgs {
+		if r.Context().Err() != nil {
+			return // deadline or client gone: remaining points are unwanted
+		}
 		body, err := s.planBody(r.Context(), cfg, false)
 		if err != nil {
 			// The stream is already committed at 200; a failing point
@@ -419,7 +456,7 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if err != nil {
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeRunError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
@@ -454,7 +491,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			s.writeBackpressure(w)
 			return
 		}
-		writeError(w, http.StatusUnprocessableEntity, err)
+		writeRunError(w, err)
 		return
 	}
 	out := s.runPooled([]exp.RunConfig{cfg})

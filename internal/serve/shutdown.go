@@ -1,0 +1,41 @@
+package serve
+
+import (
+	"context"
+	"errors"
+	"net"
+	"net/http"
+	"time"
+)
+
+// ServeUntil serves hs on ln until ctx is canceled, then shuts down
+// gracefully: the listener closes immediately (new connections are
+// refused), while requests already in flight get up to drain to finish
+// before their connections are torn down. It returns nil on a clean
+// drain, context.DeadlineExceeded if the drain budget expired with
+// requests still running, or the serve error if the listener failed
+// before shutdown was requested (0 drain = wait indefinitely).
+func ServeUntil(ctx context.Context, hs *http.Server, ln net.Listener, drain time.Duration) error {
+	served := make(chan error, 1)
+	go func() { served <- hs.Serve(ln) }()
+	select {
+	case err := <-served:
+		// Serve never returns nil; reaching here means the listener died
+		// out from under us before any shutdown was asked for.
+		return err
+	case <-ctx.Done():
+	}
+	sctx := context.Background()
+	if drain > 0 {
+		var cancel context.CancelFunc
+		sctx, cancel = context.WithTimeout(sctx, drain)
+		defer cancel()
+	}
+	err := hs.Shutdown(sctx)
+	// Shutdown unblocked Serve with ErrServerClosed — the expected way
+	// out. Anything else from Serve outranks the drain verdict.
+	if serr := <-served; serr != nil && !errors.Is(serr, http.ErrServerClosed) {
+		return serr
+	}
+	return err
+}

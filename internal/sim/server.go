@@ -61,6 +61,21 @@ func (s *Server) Submit(ready, dur time.Duration, done func()) time.Duration {
 	return finish
 }
 
+// StartFor returns when a job submitted now with the given ready time
+// would start, without submitting it: max(now, ready, backlog drain).
+// Callers whose job duration depends on conditions at the start time
+// (fault-degraded bandwidth) evaluate them here before Submit.
+func (s *Server) StartFor(ready time.Duration) time.Duration {
+	start := s.eng.Now()
+	if ready > start {
+		start = ready
+	}
+	if s.busyUntil > start {
+		start = s.busyUntil
+	}
+	return start
+}
+
 // BusyUntil returns when the server's current backlog drains.
 func (s *Server) BusyUntil() time.Duration { return s.busyUntil }
 

@@ -66,6 +66,12 @@ const (
 	// the allocation class.
 	KindAlloc
 	KindFree
+	// KindFault marks an injected fault window (device death, scheduled
+	// degradation) on the affected tier's track.
+	KindFault
+	// KindRebuild is RAID-rebuild background traffic stealing bandwidth
+	// from foreground transfers after a member death.
+	KindRebuild
 )
 
 // String names the kind (Chrome trace category).
@@ -95,6 +101,10 @@ func (k Kind) String() string {
 		return "alloc"
 	case KindFree:
 		return "free"
+	case KindFault:
+		return "fault"
+	case KindRebuild:
+		return "rebuild"
 	default:
 		return "span"
 	}
@@ -113,7 +123,7 @@ func (k Kind) Compute() bool {
 // tier queue).
 func (k Kind) IO() bool {
 	switch k {
-	case KindDMA, KindNVMe, KindStore, KindLoad:
+	case KindDMA, KindNVMe, KindStore, KindLoad, KindRebuild:
 		return true
 	}
 	return false

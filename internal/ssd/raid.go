@@ -3,6 +3,7 @@ package ssd
 import (
 	"time"
 
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/sim"
 	"ssdtrain/internal/units"
 )
@@ -19,6 +20,9 @@ type Array struct {
 	stripe units.Bytes
 	// rr is the round-robin cursor so successive transfers spread load.
 	rr int
+	// faults, when armed, reports which member is dead at a transfer's
+	// ready time so its stripe share is redistributed onto a survivor.
+	faults *faults.Controller
 }
 
 // NewArray builds a RAID0 array over the devices.
@@ -43,6 +47,28 @@ func (a *Array) Devices() []*Device { return a.devices }
 // devices. Member devices are reset separately by their owner (they may
 // need a rederated spec).
 func (a *Array) Reset() { a.rr = 0 }
+
+// SetFaults arms (or, with nil, disarms) fault queries for this array.
+// While a member is dead its stripe shares fold onto the next surviving
+// member; the aggregate slowdown is accounted by the owning tier, which
+// derates transfer bandwidth by the controller's Factor.
+func (a *Array) SetFaults(c *faults.Controller) { a.faults = c }
+
+// redistribute folds a dead member's stripe share onto the next
+// surviving device. The round-robin cursor advances exactly as in the
+// healthy case, so the post-rebuild transfer sequence realigns with a
+// fault-free run's member assignment.
+func (a *Array) redistribute(ready time.Duration, shares []units.Bytes) {
+	if a.faults == nil || len(a.devices) < 2 {
+		return
+	}
+	dd := a.faults.DeadDeviceAt(ready)
+	if dd < 0 || dd >= len(shares) || shares[dd] == 0 {
+		return
+	}
+	shares[(dd+1)%len(shares)] += shares[dd]
+	shares[dd] = 0
+}
 
 // AggregateWrite returns the sum of member sequential-write bandwidths,
 // the array's headline rate.
@@ -100,7 +126,9 @@ func (a *Array) shares(n units.Bytes) []units.Bytes {
 // slowest member finishes. Returns the finish time.
 func (a *Array) Write(ready time.Duration, n units.Bytes, done func()) time.Duration {
 	var finish time.Duration
-	for i, share := range a.shares(n) {
+	shares := a.shares(n)
+	a.redistribute(ready, shares)
+	for i, share := range shares {
 		if share <= 0 {
 			continue
 		}
@@ -120,7 +148,9 @@ func (a *Array) Write(ready time.Duration, n units.Bytes, done func()) time.Dura
 // Read stripes an n-byte read across members. Returns the finish time.
 func (a *Array) Read(ready time.Duration, n units.Bytes, done func()) time.Duration {
 	var finish time.Duration
-	for i, share := range a.shares(n) {
+	shares := a.shares(n)
+	a.redistribute(ready, shares)
+	for i, share := range shares {
 		if share <= 0 {
 			continue
 		}

@@ -21,7 +21,9 @@
 package ssdtrain
 
 import (
+	"ssdtrain/internal/core"
 	"ssdtrain/internal/exp"
+	"ssdtrain/internal/faults"
 	"ssdtrain/internal/fleet"
 	"ssdtrain/internal/models"
 	"ssdtrain/internal/perfmodel"
@@ -242,3 +244,38 @@ func ParseFleetPolicy(name string) (FleetPolicy, error) { return fleet.ParsePoli
 // NewFleetProfiler creates a profile cache to share across simulations
 // (0 = default capacity).
 func NewFleetProfiler(capacity int) *FleetProfiler { return fleet.NewProfiler(capacity) }
+
+// Fault injection (internal/faults): seeded, schedulable device deaths,
+// transient bandwidth degradation and node drains, deterministic end to
+// end — the same plan yields byte-identical reports and traces.
+type (
+	// FaultSpec injects faults into one training run
+	// (RunConfig.Faults): a single device death (timed or wear-triggered)
+	// and/or one bandwidth-degradation window.
+	FaultSpec = faults.Spec
+	// FaultPlan schedules fault events across a fleet simulation
+	// (FleetConfig.Faults, FleetMixConfig.FaultPlan) plus the
+	// checkpoint-restart cost model applied to killed jobs.
+	FaultPlan = faults.Plan
+	// FaultEvent is one scheduled fault: a device death, a degradation
+	// window or a node drain.
+	FaultEvent = faults.Event
+	// FaultEventKind discriminates FaultEvent.
+	FaultEventKind = faults.EventKind
+	// DeviceFailedError is the typed error a run surfaces when an
+	// injected failure removes the tier a transfer needs; sessions stay
+	// reusable after it.
+	DeviceFailedError = core.DeviceFailedError
+)
+
+// Fault event kinds.
+const (
+	FaultDeath   = faults.Death
+	FaultDegrade = faults.Degrade
+	FaultDrain   = faults.Drain
+)
+
+// ParseFaultPlan parses the textual fault-plan syntax shared by
+// cmd/fleet -faults and the /v1/fleet API (for example
+// "death@30s:node0:dev1,drain@2m:node1:5m,ckpt=25").
+func ParseFaultPlan(s string) (FaultPlan, error) { return faults.ParsePlan(s) }
