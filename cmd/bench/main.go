@@ -8,7 +8,10 @@
 // in the same invocation on the same host as the baseline), and
 // BENCH_trace.json (the flight recorder's disabled-path emit — gated
 // allocation-free — and the traced share sweep against its same-run
-// untraced baseline), so the simulator's perf trajectory is recorded
+// untraced baseline), and BENCH_steady.json (the 10k-step compiled
+// share sweep on the steady-state fast path against its same-run
+// full-simulation baseline, with result identity verified before
+// timing), so the simulator's perf trajectory is recorded
 // instead of anecdotal. The record schema lives in internal/benchfmt,
 // shared with cmd/benchcheck (the CI validator and regression gate).
 //
@@ -19,7 +22,8 @@
 // Usage:
 //
 //	bench [-o BENCH_hotpath.json] [-tier-o BENCH_tier.json] [-session-o BENCH_session.json]
-//	      [-trace-o BENCH_trace.json] [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-trace-o BENCH_trace.json] [-steady-o BENCH_steady.json]
+//	      [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -103,6 +107,7 @@ func main() {
 	tierOut := flag.String("tier-o", "BENCH_tier.json", "tiered-placement output file (- for stdout)")
 	sessionOut := flag.String("session-o", "BENCH_session.json", "session-reuse output file (- for stdout)")
 	traceOut := flag.String("trace-o", "BENCH_trace.json", "flight-recorder output file (- for stdout)")
+	steadyOut := flag.String("steady-o", "BENCH_steady.json", "steady-state fast-path output file (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the benchmarks to this file")
 	flag.Parse()
@@ -152,7 +157,7 @@ func main() {
 	})
 
 	var rows io.Writer = os.Stdout
-	if *out == "-" || *tierOut == "-" || *sessionOut == "-" || *traceOut == "-" {
+	if *out == "-" || *tierOut == "-" || *sessionOut == "-" || *traceOut == "-" || *steadyOut == "-" {
 		rows = os.Stderr
 	}
 	emit(rows, *out, report, []string{"engine_schedule", "engine_steady_state", "compiled_sweep", "compiled_share_sweep"})
@@ -230,6 +235,50 @@ func main() {
 	})
 	traceRep.Results["traced_share_sweep"] = mTraced
 	emit(rows, *traceOut, traceRep, []string{"recorder_disabled_emit", "untraced_share_sweep", "traced_share_sweep"})
+
+	// Steady-state record: what the analytic fast path buys on a long run.
+	// Both measurements drive the identical 10k-step share sweep through
+	// one compiled plan; only the SteadyState knob differs, and result
+	// identity is re-verified here before anything is timed, so the
+	// speedup is same-run, same-plan, and provably not bought with
+	// different answers. The gate requires at least 10x.
+	steadyPlan, err := hotbench.NewSteadyPlan()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := hotbench.SteadyShareSweepVerify(steadyPlan); err != nil {
+		log.Fatal(err)
+	}
+	steady := benchfmt.Report{
+		Note:    "steady-state fast path: the 4-point bandwidth-share sweep at 10000 fixed steps through one compiled plan, extrapolating analytically once the per-step event signature converges, against the same-run full simulation of the identical sweep; results verified identical before timing, so the speedup changes no answers",
+		Go:      runtime.Version(),
+		CPUs:    runtime.NumCPU(),
+		Results: map[string]benchfmt.Measurement{},
+	}
+	mFull := measure("fullsim_share_sweep_10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := hotbench.FullSimShareSweep(steadyPlan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	steady.Results["fullsim_share_sweep_10k"] = mFull
+	mSteady := measure("steady_share_sweep_10k", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := hotbench.SteadyShareSweep(steadyPlan); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	mSteady.CompareTo(benchfmt.Baseline{
+		NsPerOp:     mFull.NsPerOp,
+		AllocsPerOp: mFull.AllocsPerOp,
+		Commit:      "same-run full simulation",
+	})
+	steady.Results["steady_share_sweep_10k"] = mSteady
+	emit(rows, *steadyOut, steady, []string{"fullsim_share_sweep_10k", "steady_share_sweep_10k"})
 
 	// Pool observability: run the share sweep twice through one
 	// SessionPool (the serve-layer execution path) and print its counters,

@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"ssdtrain"
+	"ssdtrain/internal/exp"
 	"ssdtrain/internal/units"
 )
 
@@ -210,6 +211,10 @@ func runSelfcheck() int {
 	}
 	if healthy == want {
 		fail("faulted report is identical to the healthy baseline")
+	}
+	ss := exp.GlobalSteadyStats()
+	if ss.Hits == 0 {
+		fail("steady-state fast path never fired across the profiled job shapes (hits = 0)")
 	}
 	if failed {
 		return 1

@@ -49,6 +49,7 @@ import (
 	"syscall"
 	"time"
 
+	"ssdtrain/internal/exp"
 	"ssdtrain/internal/serve"
 )
 
@@ -215,11 +216,15 @@ func runSelfcheck(handler http.Handler, n, c int) int {
 	if err := checkBuildinfo(base); err != nil {
 		fail("buildinfo endpoint: %v", err)
 	}
+	steady := exp.GlobalSteadyStats()
+	if steady.Hits == 0 {
+		fail("steady-state fast path never fired across the driven plans (hits = 0)")
+	}
 	if failed {
 		return 1
 	}
-	log.Printf("selfcheck: OK (dedup %d, result-cache hits %d, session hits %d, trace + buildinfo well-formed, zero 5xx)",
-		rep.Coalesced, rep.ResultCacheHits, rep.SessionHits)
+	log.Printf("selfcheck: OK (dedup %d, result-cache hits %d, session hits %d, steady-state hits %d, trace + buildinfo well-formed, zero 5xx)",
+		rep.Coalesced, rep.ResultCacheHits, rep.SessionHits, steady.Hits)
 	return 0
 }
 

@@ -82,6 +82,26 @@ func BenchmarkTracedShareSweep(b *testing.B) {
 	hotbench.SessionSweepBench(b, hotbench.NewShareSweepSession, hotbench.SessionTracedShareSweep)
 }
 
+// BenchmarkSteadyShareSweep runs the 4-point bandwidth-share sweep at
+// 10000 fixed steps through one compiled plan on the steady-state fast
+// path: each point simulates until two consecutive steps produce
+// identical event signatures, then extrapolates the rest analytically.
+// Recorded to BENCH_steady.json by cmd/bench against the same-run full
+// simulation (gated at ≥10x with verified-identical results).
+func BenchmarkSteadyShareSweep(b *testing.B) {
+	plan, err := hotbench.NewSteadyPlan()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := hotbench.SteadyShareSweep(plan); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
 // BenchmarkDedupSweep measures the exp.Sweep dedup layer on a batch with
 // heavy repetition (16 requested points, 4 distinct), the shape fleet
 // mixes produce. Sequential workers isolate dedup from parallelism.

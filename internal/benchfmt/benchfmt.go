@@ -1,6 +1,6 @@
 // Package benchfmt defines the schema of the repo's committed benchmark
 // records (BENCH_hotpath.json, BENCH_tier.json, BENCH_session.json,
-// BENCH_trace.json), shared by cmd/bench (which emits them) and cmd/benchcheck (which
+// BENCH_trace.json, BENCH_steady.json), shared by cmd/bench (which emits them) and cmd/benchcheck (which
 // validates them in CI and gates regressions against the committed
 // numbers). One schema in one package is what keeps the emitter and the
 // gate from drifting apart — the failure mode of the inline python
@@ -76,6 +76,10 @@ type Check struct {
 	// BaselineCommit, when set, requires a baseline with exactly this
 	// commit string and positive numbers.
 	BaselineCommit string
+	// MinSpeedup, when positive, requires the result's baseline-relative
+	// speedup to be at least this factor — the floor a claimed fast path
+	// must clear, not merely a regression tolerance.
+	MinSpeedup float64
 }
 
 // Spec declares one record file's required shape.
@@ -121,6 +125,17 @@ func Specs() []Spec {
 				{Result: "traced_share_sweep", BaselineCommit: "same-run untraced Execute"},
 			},
 		},
+		{
+			File: "BENCH_steady.json",
+			Checks: []Check{
+				{Result: "fullsim_share_sweep_10k"},
+				// The steady-state fast path's contract: at least 10x over
+				// the same-run full simulation of the identical 10k-step
+				// sweep, with byte-identical results (cmd/bench verifies
+				// identity before timing; the gate defends the speedup).
+				{Result: "steady_share_sweep_10k", BaselineCommit: "same-run full simulation", MinSpeedup: 10},
+			},
+		},
 	}
 }
 
@@ -154,6 +169,9 @@ func Validate(r *Report, spec Spec) error {
 			if m.Baseline.NsPerOp <= 0 || m.Baseline.AllocsPerOp <= 0 {
 				return fmt.Errorf("benchfmt: %s: %s: baseline numbers not positive (%+v)", spec.File, c.Result, *m.Baseline)
 			}
+		}
+		if c.MinSpeedup > 0 && m.Speedup < c.MinSpeedup {
+			return fmt.Errorf("benchfmt: %s: %s: speedup %.2fx below the required %.1fx", spec.File, c.Result, m.Speedup, c.MinSpeedup)
 		}
 	}
 	return nil

@@ -91,6 +91,28 @@ func TestValidateRejects(t *testing.T) {
 	}
 }
 
+// TestValidateMinSpeedup pins the speedup floor: a result whose
+// recorded speedup is under the spec's MinSpeedup is rejected even when
+// everything else about the record is well-formed.
+func TestValidateMinSpeedup(t *testing.T) {
+	spec := Spec{File: "x", Checks: []Check{
+		{Result: "fast", BaselineCommit: "same-run full simulation", MinSpeedup: 10},
+	}}
+	bl := Baseline{NsPerOp: 10000, AllocsPerOp: 500, Commit: "same-run full simulation"}
+	record := func(speedup float64) *Report {
+		return &Report{Results: map[string]Measurement{
+			"fast": {NsPerOp: bl.NsPerOp / speedup, AllocsPerOp: 50, Baseline: &bl, Speedup: speedup},
+		}}
+	}
+	if err := Validate(record(12.5), spec); err != nil {
+		t.Errorf("12.5x rejected: %v", err)
+	}
+	err := Validate(record(9.5), spec)
+	if err == nil || !strings.Contains(err.Error(), "below the required") {
+		t.Errorf("9.5x accepted against a 10x floor: %v", err)
+	}
+}
+
 func TestGate(t *testing.T) {
 	spec := sessionSpec(t)
 	committed := wellFormed()

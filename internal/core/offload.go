@@ -146,6 +146,9 @@ type tierBase struct {
 	// per-direction queues map one-to-one onto trace tracks.
 	rec           *spans.Recorder
 	storeT, loadT spans.TrackID
+
+	// steady is the steady-state fast path's fold bookkeeping (steady.go).
+	steady tierSteady
 }
 
 // newTierBase wires the shared tier machinery onto the engine.
@@ -172,6 +175,7 @@ func (b *tierBase) reset() {
 	b.store.Reset()
 	b.storeQ.Reset()
 	b.loadQ.Reset()
+	b.steady = tierSteady{}
 }
 
 // Name implements Offloader.
@@ -223,6 +227,11 @@ type SSDOffloader struct {
 	// their computed start time. nil (the default) is the healthy path:
 	// Store/Load keep their exact fault-free arithmetic.
 	faults *faults.Controller
+
+	// lnSteady/devSteady are the steady-state fold bookkeeping for the GDS
+	// link and the member devices (steady.go).
+	lnSteady  linkSteady
+	devSteady []devSteady
 }
 
 // gdsPathRates returns the per-direction effective rates of the GDS
@@ -273,6 +282,10 @@ func (o *SSDOffloader) Reset(spec ssd.Spec) {
 	o.link.Reset()
 	o.registry.Reset()
 	o.tierBase.reset()
+	o.lnSteady = linkSteady{}
+	for i := range o.devSteady {
+		o.devSteady[i] = devSteady{}
+	}
 	o.writeBW, o.readBW = gdsPathRates(o.link, o.array)
 }
 
@@ -289,7 +302,7 @@ func (o *SSDOffloader) Arm(spec faults.Spec) {
 	}
 	devs := o.array.Devices()
 	dspec := devs[0].Spec()
-	budget := float64(ssd.NewArrayWear(dspec, len(devs)).Model.LifetimeHostWrites())
+	budget := ssd.NewArrayWear(dspec, len(devs)).Model.HostWriteBudget()
 	steal := spec.RebuildSteal
 	if steal == 0 {
 		steal = faults.DefaultRebuildSteal
@@ -421,6 +434,10 @@ type CPUOffloader struct {
 	// capacity is the pinned pool size; zero means profiling mode (grow
 	// freely and report the peak).
 	capacity units.Bytes
+
+	// lnSteady is the steady-state fold bookkeeping for the host DMA link
+	// (steady.go).
+	lnSteady linkSteady
 }
 
 // NewCPUOffloader builds a host-memory offloader. capacity of zero starts
@@ -441,6 +458,7 @@ func (o *CPUOffloader) SetCapacity(n units.Bytes) { o.capacity = n }
 func (o *CPUOffloader) Reset(capacity units.Bytes) {
 	o.link.Reset()
 	o.tierBase.reset()
+	o.lnSteady = linkSteady{}
 	o.capacity = capacity
 }
 

@@ -155,6 +155,11 @@ type TieredOffloader struct {
 	peak units.Bytes
 
 	rec *spans.Recorder
+
+	// steadyPlaced/steadyDPlaced are the steady-state fold bookkeeping for
+	// the per-tier routing totals (steady.go).
+	steadyPlaced  []units.Bytes
+	steadyDPlaced []units.Bytes
 }
 
 // NewTieredOffloader builds a hierarchy over the given tier stack
@@ -213,6 +218,8 @@ func (o *TieredOffloader) Reset(policy PlacementPolicy, tiers ...Tier) {
 		o.placed = make([]units.Bytes, len(o.tiers))
 	}
 	o.used, o.peak = 0, 0
+	o.steadyPlaced = o.steadyPlaced[:0]
+	o.steadyDPlaced = o.steadyDPlaced[:0]
 }
 
 // sameTiers reports whether the stacks hold the same tiers in order.

@@ -20,8 +20,8 @@ import (
 // of Run — the model graph template, the per-block activation and
 // backward-time vectors, and the Fig 3 offload budget — memoized so a
 // sweep that varies only the cheap knobs (Budget, Steps, Warmup,
-// SSDBandwidthShare, AdaptiveSteps, Placement, DRAMCapacity, SplitRatio)
-// pays graph construction and analysis once. A Plan is immutable after
+// SSDBandwidthShare, AdaptiveSteps, SteadyState, Placement, DRAMCapacity,
+// SplitRatio) pays graph construction and analysis once. A Plan is immutable after
 // Compile and safe for concurrent Execute calls: each execution runs on
 // its own arena (a Session), either single-use (Plan.Execute) or
 // recycled (Session.Execute via a SessionPool).
@@ -73,6 +73,9 @@ func shapeKey(cfg RunConfig) RunConfig {
 	cfg.Warmup = 0
 	cfg.SSDBandwidthShare = 0
 	cfg.AdaptiveSteps = false
+	// The steady-state fast path reproduces full simulation byte for
+	// byte, so fast and forced-full configs share one plan (and arena).
+	cfg.SteadyState = ""
 	cfg.Placement = ""
 	cfg.DRAMCapacity = 0
 	cfg.SplitRatio = 0
@@ -200,6 +203,13 @@ func validateKnobs(cfg RunConfig) error {
 	}
 	if cfg.DRAMCapacity < 0 {
 		return fmt.Errorf("exp: negative DRAM capacity %v", cfg.DRAMCapacity)
+	}
+	switch cfg.SteadyState {
+	case "", "on", "off":
+	default:
+		// Reject rather than ignore: a typo like "On" silently forcing
+		// (or skipping) full simulation would be invisible in results.
+		return fmt.Errorf("exp: unknown steady-state mode %q", cfg.SteadyState)
 	}
 	switch cfg.Strategy {
 	case HybridOffload:
@@ -367,7 +377,7 @@ func (p *Plan) BudgetComputes() int64 { return p.budgetComputes.Load() }
 // Execute runs one measurement under the plan on a fresh, single-use
 // arena. cfg must match the plan's shape in everything except the cheap
 // knobs (Budget, Steps, Warmup, SSDBandwidthShare, AdaptiveSteps,
-// Placement, DRAMCapacity, SplitRatio); Execute rejects mismatched
+// SteadyState, Placement, DRAMCapacity, SplitRatio); Execute rejects mismatched
 // configs rather than silently measuring the wrong model. Callers that
 // Execute one shape repeatedly should hold a Session (or route through a
 // SessionPool) instead: a recycled arena produces byte-identical results

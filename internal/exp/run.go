@@ -127,14 +127,34 @@ type RunConfig struct {
 	// [0, 1] are rejected by Run.
 	SSDBandwidthShare float64
 	// AdaptiveSteps stops measuring as soon as two consecutive measured
-	// steps agree exactly instead of always running all Steps — the
-	// simulator is deterministic, so a steady state repeats to the
-	// nanosecond and further steps only cost wall-clock time. Steps
-	// becomes an upper bound; at least two steps are measured. The final
-	// (Measured) metrics of a converged run are identical to the
+	// steps fold to identical state signatures instead of always running
+	// all Steps — the simulator is deterministic, so a steady state
+	// repeats to the nanosecond and further steps only cost wall-clock
+	// time. Steps becomes an upper bound; at least two steps are
+	// measured. Convergence detection is one mechanism shared with the
+	// SteadyState fast path: a per-step signature over the step's metrics,
+	// the engine's and compute queue's progress deltas, the allocator's
+	// event tail and the offload stack's per-cycle accounting. The two
+	// knobs differ only in what happens on a match — AdaptiveSteps stops
+	// and returns the short PerStep, while the fast path keeps PerStep at
+	// full length by synthesizing the remaining steps analytically. The
+	// final (Measured) metrics of a converged run are identical to the
 	// fixed-step run's; only PerStep's length differs, so leave this off
 	// when a sweep must stay byte-identical to the seed path.
 	AdaptiveSteps bool
+	// SteadyState controls the analytic steady-state fast path: once two
+	// consecutive measured steps fold to identical signatures the
+	// simulation has entered an exact cycle, so the remaining steps are
+	// extrapolated — step metrics shifted in time, tier/device byte
+	// counters (the §III-D wear ledger's inputs) and runtime counters
+	// advanced by per-cycle deltas, the memory event log replicated — with
+	// a RunResult byte-identical to full simulation. "" and "on" enable it
+	// (the default); "off" forces full simulation. Runs fall back to full
+	// simulation on their own when Trace is set (recorded spans cannot be
+	// synthesized) or a fault spec is armed (a trigger could fire inside
+	// the extrapolated region, and the wear ledger must see the real write
+	// stream). RunResult.SteadyState reports what happened.
+	SteadyState string
 	// Trace enables the flight recorder for the run: every simulated
 	// resource (compute stream, PCIe directions, NVMe devices, tier
 	// queues, allocator) records typed spans, returned on
@@ -182,6 +202,11 @@ func (c RunConfig) withDefaults() RunConfig {
 	if c.Strategy == HybridOffload && c.Placement == "" {
 		c.Placement = PlacementDRAMFirst
 	}
+	if c.SteadyState == "on" {
+		// "" and "on" are one mode; canonicalize so Sweep's dedup map and
+		// the serve result cache treat them as one config.
+		c.SteadyState = ""
+	}
 	return c
 }
 
@@ -225,6 +250,25 @@ type RunResult struct {
 	// RunConfig.Trace was set). Like Counters it is a snapshot: the
 	// recorder itself belongs to the arena.
 	Trace *spans.Trace
+	// SteadyState reports the steady-state fast path's outcome: how many
+	// measured steps were simulated, how many were synthesized by
+	// extrapolation, and the fallback reason when the run was fully
+	// simulated.
+	SteadyState SteadyStateInfo
+}
+
+// SteadyStateInfo is the per-run visibility of the steady-state fast
+// path, carried on RunResult and serialized into serve /v1/plan bodies.
+type SteadyStateInfo struct {
+	// SimulatedSteps is the number of measured steps actually simulated
+	// (warmup steps are always simulated and not counted here).
+	SimulatedSteps int `json:"simulated_steps"`
+	// ExtrapolatedSteps is the number of measured steps synthesized
+	// analytically instead of simulated.
+	ExtrapolatedSteps int `json:"extrapolated_steps"`
+	// Fallback is why the run was fully simulated ("trace", "faults",
+	// "off", "no-convergence"), or "" when the detector converged.
+	Fallback string `json:"fallback,omitempty"`
 }
 
 // TierUsage summarizes one rung of the offload hierarchy after a run.
@@ -301,8 +345,9 @@ func graphTimes(g *autograd.Graph) (fwd, bwd time.Duration) {
 
 // Run executes one measurement: Compile (hitting the shared plan cache)
 // followed by Execute. Sweeps that vary only Budget, Steps, Warmup,
-// SSDBandwidthShare, or AdaptiveSteps automatically share one compiled
-// plan; callers that want explicit control use Compile + Execute.
+// SSDBandwidthShare, AdaptiveSteps, or SteadyState automatically share
+// one compiled plan; callers that want explicit control use Compile +
+// Execute.
 func Run(cfg RunConfig) (*RunResult, error) {
 	plan, err := Compile(cfg)
 	if err != nil {

@@ -2,6 +2,7 @@ package exp
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 	"time"
 
@@ -28,8 +29,9 @@ import (
 // A Session is single-owner: it must not run two Executes concurrently.
 // Use a SessionPool to share arenas across sweep workers. The per-call
 // cheap knobs — Budget, Steps, Warmup, SSDBandwidthShare, AdaptiveSteps,
-// Placement, DRAMCapacity, SplitRatio — may differ freely between calls
-// on one session; everything else must match the plan's shape.
+// SteadyState, Placement, DRAMCapacity, SplitRatio — may differ freely
+// between calls on one session; everything else must match the plan's
+// shape.
 type Session struct {
 	plan    *Plan
 	rt      *autograd.Runtime
@@ -306,44 +308,110 @@ func runMeasurement(cfg RunConfig, rt *autograd.Runtime, exec *autograd.Executor
 		return m, nil
 	}
 
+	// One convergence mechanism serves two consumers (see steady.go): the
+	// per-step signature detector feeds AdaptiveSteps early stopping and
+	// the steady-state extrapolation fast path. Extrapolation additionally
+	// requires an untraced, fault-free run with the knob on — a traced run
+	// can't synthesize spans, and an armed fault spec could trigger inside
+	// the extrapolated region.
+	extrapolate := cfg.SteadyState != "off" && !cfg.Trace && cfg.Faults.Empty() && !cfg.AdaptiveSteps
+	var tracker *steadyTracker
+	if extrapolate || cfg.AdaptiveSteps {
+		tracker = newSteadyTracker(rt, off)
+	}
+
 	for i := 0; i < cfg.Warmup; i++ {
-		if _, err := runStep(); err != nil {
+		if tracker != nil {
+			tracker.beginStep()
+		}
+		m, err := runStep()
+		if err != nil {
 			return err
 		}
+		if tracker != nil {
+			tracker.fold(m, false)
+		}
 	}
-	if cfg.AdaptiveSteps {
-		// Adaptive steady-state detection: measure until two consecutive
-		// steps agree exactly (the simulator is deterministic, so a truly
-		// steady state repeats to the nanosecond), bounded by cfg.Steps.
-		// The converged measurement is identical to the fixed-step run's.
-		var prev StepMetrics
-		for i := 0; i < cfg.Steps; i++ {
-			m, err := runStep()
-			if err != nil {
-				return err
-			}
-			if i > 0 && stepsConverged(prev, m) {
-				break
-			}
-			prev = m
+	simulated := 0
+	converged := false
+	extrapolatable := false
+	for i := 0; i < cfg.Steps; i++ {
+		if tracker != nil {
+			tracker.beginStep()
 		}
-	} else {
-		for i := 0; i < cfg.Steps; i++ {
-			if _, err := runStep(); err != nil {
-				return err
+		m, err := runStep()
+		if err != nil {
+			return err
+		}
+		simulated++
+		if tracker == nil {
+			continue
+		}
+		if match, ok := tracker.fold(m, true); match {
+			converged, extrapolatable = true, ok
+			break
+		}
+	}
+
+	res.SteadyState.SimulatedSteps = simulated
+	switch {
+	case converged && cfg.AdaptiveSteps:
+		// Adaptive early stop: PerStep stays short, nothing is synthesized.
+		steadyGlobal.hits.Add(1)
+	case converged && !extrapolatable:
+		// Defensive: offload-stack state that cannot be advanced
+		// analytically (page-accurate FTL wear). Armed fault specs already
+		// disabled the tracker above.
+		res.SteadyState.Fallback = steadyFallbackFaults
+		steadyGlobal.fallbackFaults.Add(1)
+	case converged:
+		// The exemplar (last simulated) step is one exact cycle; synthesize
+		// the remaining steps from it. The simulator's steps are contiguous
+		// in virtual time, so the cycle period is the exemplar's duration.
+		r := cfg.Steps - simulated
+		res.SteadyState.ExtrapolatedSteps = r
+		if r > 0 {
+			ex := res.PerStep[len(res.PerStep)-1]
+			period := ex.End - ex.Start
+			rt.Alloc.ReplicateTail(tracker.allocMark, r, period)
+			if off != nil {
+				off.ExtrapolateCycles(int64(r))
+			}
+			tracker.extrapolateCounters(int64(r))
+			res.PerStep = slices.Grow(res.PerStep, r)
+			for j := 1; j <= r; j++ {
+				m := ex
+				m.Start += time.Duration(j) * period
+				m.End += time.Duration(j) * period
+				res.PerStep = append(res.PerStep, m)
 			}
 		}
+		steadyGlobal.hits.Add(1)
+		steadyGlobal.extrapolated.Add(uint64(r))
+	case cfg.Trace:
+		res.SteadyState.Fallback = steadyFallbackTrace
+		steadyGlobal.fallbackTrace.Add(1)
+	case !cfg.Faults.Empty():
+		res.SteadyState.Fallback = steadyFallbackFaults
+		steadyGlobal.fallbackFaults.Add(1)
+	case cfg.SteadyState == "off":
+		res.SteadyState.Fallback = steadyFallbackOff
+		steadyGlobal.fallbackOff.Add(1)
+	default:
+		res.SteadyState.Fallback = steadyFallbackNoConv
+		steadyGlobal.fallbackNoConv.Add(1)
 	}
 
 	rep := rt.Alloc.Finalize(true)
 	res.Mem = rep
-	for i := range res.PerStep {
-		s := &res.PerStep[i]
-		s.ActPeak = rep.ActTimeline.PeakBetween(s.Start, s.End)
-		s.TotalPeak = rep.Timeline.PeakBetween(s.Start, s.End)
-		s.Stats.ActivationPeak = s.ActPeak
-		s.Stats.TotalPeak = s.TotalPeak
-	}
+	attributePeaks(rep.ActTimeline, res.PerStep, func(s *StepMetrics, p units.Bytes) {
+		s.ActPeak = p
+		s.Stats.ActivationPeak = p
+	})
+	attributePeaks(rep.Timeline, res.PerStep, func(s *StepMetrics, p units.Bytes) {
+		s.TotalPeak = p
+		s.Stats.TotalPeak = p
+	})
 	res.Measured = res.PerStep[len(res.PerStep)-1]
 	if cache != nil && off != nil {
 		res.SSDPeak = off.PeakResident()
@@ -393,19 +461,6 @@ func hierarchyPlans(cfg RunConfig, tiers []core.Tier) []core.TierPlan {
 		plans = append(plans, tp)
 	}
 	return plans
-}
-
-// stepsConverged reports whether two consecutive measured steps are
-// behaviourally identical: the full step stats (duration, FLOPs, stall,
-// I/O volumes), host time and optimizer time. The memory-peak fields of
-// Stats are still zero at this point (they are filled from the timeline
-// after the run), so whole-struct equality is safe and strictly stronger
-// than any field subset.
-func stepsConverged(a, b StepMetrics) bool {
-	return a.Stats == b.Stats &&
-		a.HostTime == b.HostTime &&
-		a.UpdateTime == b.UpdateTime &&
-		a.IO == b.IO
 }
 
 // DefaultMaxIdleSessions bounds how many idle arenas a SessionPool

@@ -1,0 +1,245 @@
+package exp
+
+import (
+	"sync/atomic"
+	"time"
+
+	"ssdtrain/internal/autograd"
+	"ssdtrain/internal/core"
+	"ssdtrain/internal/sim"
+	"ssdtrain/internal/trace"
+	"ssdtrain/internal/units"
+)
+
+// Fallback reasons reported on RunResult.SteadyState and counted in the
+// process-wide SteadyStats.
+const (
+	// steadyFallbackTrace: a traced run is fully simulated — the flight
+	// recorder's spans cannot be synthesized.
+	steadyFallbackTrace = "trace"
+	// steadyFallbackFaults: an armed fault spec (or page-accurate FTL
+	// wear) needs the real transfer stream — a trigger could fire inside
+	// the extrapolated region.
+	steadyFallbackFaults = "faults"
+	// steadyFallbackOff: the SteadyState knob forced full simulation.
+	steadyFallbackOff = "off"
+	// steadyFallbackNoConv: no two consecutive measured steps matched
+	// within Steps.
+	steadyFallbackNoConv = "no-convergence"
+)
+
+// steadyGlobal accumulates process-wide fast-path outcomes, mirroring the
+// engine's PublishStats pattern: per-run deltas fold into package atomics
+// the serve /metrics endpoint and the selfchecks read.
+var steadyGlobal struct {
+	hits, extrapolated                                         atomic.Uint64
+	fallbackTrace, fallbackFaults, fallbackOff, fallbackNoConv atomic.Uint64
+}
+
+// SteadyStats is a snapshot of the process-wide steady-state fast-path
+// counters.
+type SteadyStats struct {
+	// Hits counts runs where the signature detector converged: the fast
+	// path extrapolated, or an AdaptiveSteps run stopped early.
+	Hits uint64 `json:"hits"`
+	// ExtrapolatedSteps is the total number of measured steps synthesized
+	// analytically instead of simulated.
+	ExtrapolatedSteps uint64 `json:"extrapolated_steps"`
+	// Fallback* count fully simulated runs by reason.
+	FallbackTrace         uint64 `json:"fallback_trace"`
+	FallbackFaults        uint64 `json:"fallback_faults"`
+	FallbackOff           uint64 `json:"fallback_off"`
+	FallbackNoConvergence uint64 `json:"fallback_no_convergence"`
+}
+
+// GlobalSteadyStats snapshots the process-wide fast-path counters.
+func GlobalSteadyStats() SteadyStats {
+	return SteadyStats{
+		Hits:                  steadyGlobal.hits.Load(),
+		ExtrapolatedSteps:     steadyGlobal.extrapolated.Load(),
+		FallbackTrace:         steadyGlobal.fallbackTrace.Load(),
+		FallbackFaults:        steadyGlobal.fallbackFaults.Load(),
+		FallbackOff:           steadyGlobal.fallbackOff.Load(),
+		FallbackNoConvergence: steadyGlobal.fallbackNoConv.Load(),
+	}
+}
+
+// steadyHorizon is a backlog horizon relative to the step origin, clamped
+// at zero — see core.SteadySupport for why stale drained-queue horizons
+// must not block convergence.
+func steadyHorizon(busyUntil, origin time.Duration) time.Duration {
+	if busyUntil <= origin {
+		return 0
+	}
+	return busyUntil - origin
+}
+
+// steadyTracker computes the per-step state signature behind both the
+// steady-state fast path and AdaptiveSteps convergence. Each executed
+// step folds (a) the step's own metrics and (b) the arena's state delta
+// since the previous step — engine event counts, compute-queue growth,
+// the allocator's event tail, counter increments, and the offload stack's
+// per-cycle accounting — all shift-invariant quantities: times enter
+// relative to the step's start, cumulative counters as deltas. Two
+// consecutive measured steps with equal signatures mean the simulation
+// has entered a cycle that repeats exactly, so the remaining steps can be
+// synthesized from the last one.
+//
+// The signature deliberately excludes warm-capacity state that differs
+// between a fresh arena and a recycled session arena (the engine's event
+// pool hit/miss split): a session-reused Execute must converge on the
+// same step as a fresh one so their RunResults stay byte-identical.
+type steadyTracker struct {
+	rt  *autograd.Runtime
+	off *core.TieredOffloader
+
+	// allocMark is the allocator event-log position at the current step's
+	// start; the tail from the mark is the step's own event block, folded
+	// into the signature and replicated verbatim on extrapolation.
+	allocMark int
+
+	prevEng  sim.Stats
+	prevBusy time.Duration
+	prevJobs int
+
+	// counterPrev/counterDelta track per-name counter snapshots and the
+	// last step's increments (replayed ×R on extrapolation).
+	counterPrev  map[string]int64
+	counterDelta map[string]int64
+
+	prevSum  uint64
+	havePrev bool
+}
+
+func newSteadyTracker(rt *autograd.Runtime, off *core.TieredOffloader) *steadyTracker {
+	return &steadyTracker{
+		rt:           rt,
+		off:          off,
+		counterPrev:  make(map[string]int64, 8),
+		counterDelta: make(map[string]int64, 8),
+	}
+}
+
+// beginStep records the allocator event-log position before the step runs.
+func (t *steadyTracker) beginStep() { t.allocMark = t.rt.Alloc.EventMark() }
+
+// fold folds one executed step. Warmup steps fold too — they advance the
+// delta snapshots so the first measured step's delta covers exactly one
+// step — but only measured steps participate in the two-consecutive-match
+// comparison. It returns whether this measured step matched the previous
+// measured one, and whether the offload stack's state can be advanced
+// analytically (false forces a fallback even on a match).
+func (t *steadyTracker) fold(m StepMetrics, measured bool) (match, extrapolatable bool) {
+	var sig sim.Sig
+	origin := m.Start
+
+	// The step's own observable metrics.
+	sig.FoldDur(m.End - m.Start)
+	sig.FoldDur(m.HostTime)
+	sig.FoldDur(m.UpdateTime)
+	sig.FoldDur(m.Stats.StepTime)
+	sig.FoldInt(int64(m.Stats.ModelFLOPs))
+	sig.FoldDur(m.Stats.ComputeStall)
+	sig.FoldInt(int64(m.Stats.OffloadedBytes))
+	sig.FoldInt(int64(m.Stats.ReloadedBytes))
+	sig.FoldInt(int64(m.Stats.ForwardedBytes))
+	sig.FoldInt(int64(m.IO.Offloaded))
+	sig.FoldInt(int64(m.IO.Kept))
+	sig.FoldInt(int64(m.IO.Forwarded))
+	sig.FoldInt(int64(m.IO.Reloaded))
+	sig.FoldInt(m.IO.Packs)
+	sig.FoldInt(m.IO.DedupHits)
+	sig.FoldInt(m.IO.Leaked)
+
+	// Engine progress: event counts as deltas, plus the live queue. The
+	// pool hit/miss split is arena-recycling state and stays out (see the
+	// type comment).
+	es := t.rt.Eng.Stats()
+	sig.Fold(es.Processed - t.prevEng.Processed)
+	sig.Fold(es.Scheduled - t.prevEng.Scheduled)
+	t.prevEng = es
+	sig.FoldInt(int64(t.rt.Eng.Pending()))
+	sig.FoldDur(steadyHorizon(t.rt.Eng.Now(), origin))
+
+	// Compute stream: busy growth, job growth, backlog horizon.
+	cb := t.rt.Compute.BusyTime()
+	sig.FoldDur(cb - t.prevBusy)
+	t.prevBusy = cb
+	cj := t.rt.Compute.Jobs()
+	sig.FoldInt(int64(cj - t.prevJobs))
+	t.prevJobs = cj
+	sig.FoldDur(steadyHorizon(t.rt.Compute.BusyUntil(), origin))
+
+	// The step's allocator event block, relative to the step start.
+	t.rt.Alloc.FoldTail(&sig, t.allocMark, origin)
+
+	// Counter increments. Map iteration order is random, so each entry
+	// hashes independently and the results combine by XOR — order-blind,
+	// deterministic.
+	var acc uint64
+	n := 0
+	t.rt.Counters.Range(func(name string, v int64) {
+		d := v - t.counterPrev[name]
+		var e sim.Sig
+		e.FoldString(name)
+		e.FoldInt(d)
+		acc ^= e.Sum()
+		n++
+		t.counterPrev[name] = v
+		t.counterDelta[name] = d
+	})
+	sig.FoldInt(int64(n))
+	sig.Fold(acc)
+
+	// The offload stack's per-cycle accounting.
+	extrapolatable = true
+	if t.off != nil {
+		extrapolatable = t.off.FoldCycle(&sig, origin)
+	}
+
+	sum := sig.Sum()
+	match = measured && t.havePrev && sum == t.prevSum
+	if measured {
+		t.prevSum = sum
+		t.havePrev = true
+	}
+	return match, extrapolatable
+}
+
+// extrapolateCounters replays the last measured step's counter increments
+// n more times onto the live counter set.
+func (t *steadyTracker) extrapolateCounters(n int64) {
+	for name, d := range t.counterDelta {
+		if d != 0 {
+			t.rt.Counters.Add(name, d*n)
+		}
+	}
+}
+
+// attributePeaks fills one peak per step window from the timeline in a
+// single merged scan: exactly PeakBetween(s.Start, s.End) for every step
+// (same carry-in semantics), but O(samples + steps) instead of
+// O(samples × steps). Step windows are contiguous and sorted, which is
+// what lets one pass over the samples serve every window; the linear cost
+// is what keeps ten-thousand-step runs feasible, fast path or not.
+func attributePeaks(tl *trace.MemTimeline, steps []StepMetrics, set func(*StepMetrics, units.Bytes)) {
+	samples := tl.Samples()
+	var level units.Bytes
+	j := 0
+	for i := range steps {
+		s := &steps[i]
+		for j < len(samples) && samples[j].At < s.Start {
+			level = samples[j].Total
+			j++
+		}
+		peak := level
+		for j < len(samples) && samples[j].At < s.End {
+			if samples[j].Total > peak {
+				peak = samples[j].Total
+			}
+			level = samples[j].Total
+			j++
+		}
+		set(s, peak)
+	}
+}

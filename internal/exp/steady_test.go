@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"ssdtrain/internal/core"
+	"ssdtrain/internal/faults"
+	"ssdtrain/internal/units"
+)
+
+// steadyVariants returns one config per strategy × placement — the same
+// coverage tracedVariants gives the flight recorder — tagged with whether
+// the consecutive-step detector is expected to converge. The split
+// placement halves each transfer's stripe count, so the RAID round-robin
+// cursor rotates with a period longer than one step and no two
+// consecutive steps fold to the same signature: the fast path must
+// detect that (the cursor decides which members eat the remainder
+// stripes, i.e. per-device wear and busy time) and fall back to full
+// simulation rather than extrapolate a misaligned cycle.
+func steadyVariants() []struct {
+	cfg       RunConfig
+	converges bool
+} {
+	var out []struct {
+		cfg       RunConfig
+		converges bool
+	}
+	for _, cfg := range tracedVariants() {
+		out = append(out, struct {
+			cfg       RunConfig
+			converges bool
+		}{cfg, cfg.Placement != PlacementSplit})
+	}
+	return out
+}
+
+// requireSteadyIdentical runs cfg twice — fast path on (default) and
+// forced full simulation — and fails unless the two RunResults are
+// byte-identical in everything but the knob echo and the fast-path
+// metadata. It returns the fast run for callers that want to assert on
+// the metadata itself.
+func requireSteadyIdentical(t *testing.T, cfg RunConfig) *RunResult {
+	t.Helper()
+	fast, err := Run(cfg)
+	if err != nil {
+		t.Fatalf("fast run: %v", err)
+	}
+	slow := cfg
+	slow.SteadyState = "off"
+	full, err := Run(slow)
+	if err != nil {
+		t.Fatalf("full run: %v", err)
+	}
+	if full.SteadyState.Fallback != steadyFallbackOff {
+		t.Fatalf("forced-full run reported fallback %q, want %q", full.SteadyState.Fallback, steadyFallbackOff)
+	}
+	full.Config.SteadyState = fast.Config.SteadyState
+	full.SteadyState = fast.SteadyState
+	if !reflect.DeepEqual(fast, full) {
+		t.Errorf("extrapolated result differs from full simulation (cfg %+v)", cfg)
+	}
+	return fast
+}
+
+// TestSteadyStateByteIdentical is the tentpole's property pin: for every
+// strategy × placement × bandwidth share × step count, the extrapolated
+// RunResult — per-step metrics, memory report, tier traffic, wear-bearing
+// byte counters — is byte-identical to the fully simulated one.
+func TestSteadyStateByteIdentical(t *testing.T) {
+	for _, v := range steadyVariants() {
+		for _, share := range []float64{0, 0.5} {
+			for _, steps := range []int{3, 50} {
+				cfg := v.cfg
+				converges := v.converges
+				cfg.SSDBandwidthShare = share
+				cfg.Steps = steps
+				name := string(cfg.Strategy) + "/" + string(cfg.Placement)
+				t.Run(name, func(t *testing.T) {
+					fast := requireSteadyIdentical(t, cfg)
+					if converges {
+						if fast.SteadyState.Fallback != "" {
+							t.Errorf("fast path fell back (%q) on a plain run", fast.SteadyState.Fallback)
+						}
+						if steps == 50 && fast.SteadyState.ExtrapolatedSteps == 0 {
+							t.Error("50-step run converged nothing: fast path never extrapolated")
+						}
+					} else if fast.SteadyState.Fallback != steadyFallbackNoConv {
+						t.Errorf("fallback %q, want %q (rotating RAID cursor must block extrapolation)",
+							fast.SteadyState.Fallback, steadyFallbackNoConv)
+					}
+					if got := fast.SteadyState.SimulatedSteps + fast.SteadyState.ExtrapolatedSteps; got != steps {
+						t.Errorf("simulated %d + extrapolated %d != %d steps",
+							fast.SteadyState.SimulatedSteps, fast.SteadyState.ExtrapolatedSteps, steps)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSteadyStateByteIdentical10k extends the property to the 10 000-step
+// scale the bench gate measures, on a representative subset (full
+// simulation at this length costs ~0.5 s per config).
+func TestSteadyStateByteIdentical10k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10k-step full-simulation baselines")
+	}
+	ssdShare := smallCfg(SSDTrain)
+	ssdShare.SSDBandwidthShare = 0.5
+	dramFirst := smallCfg(HybridOffload)
+	dramFirst.Placement = PlacementDRAMFirst
+	dramFirst.DRAMCapacity = 256 * units.MiB
+	for _, cfg := range []RunConfig{ssdShare, dramFirst} {
+		cfg.Steps = 10000
+		fast := requireSteadyIdentical(t, cfg)
+		if fast.SteadyState.ExtrapolatedSteps < 9000 {
+			t.Errorf("10k-step run extrapolated only %d steps", fast.SteadyState.ExtrapolatedSteps)
+		}
+	}
+}
+
+// TestSteadyStateSessionReuse pins the fast path on recycled arenas: a
+// session alternating extrapolated and fully simulated executions keeps
+// producing results byte-identical to fresh runs in both modes.
+func TestSteadyStateSessionReuse(t *testing.T) {
+	cfg := smallCfg(SSDTrain)
+	cfg.Steps = 50
+	refFast := requireSteadyIdentical(t, cfg)
+	slow := cfg
+	slow.SteadyState = "off"
+	refFull, err := Run(slow)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	plan, err := Compile(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sess, err := NewSession(plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 2; round++ {
+		got, err := sess.Execute(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(refFast, got) {
+			t.Errorf("round %d: session fast run differs from fresh fast run", round)
+		}
+		if got, err = sess.Execute(slow); err != nil {
+			t.Fatal(err)
+		} else if !reflect.DeepEqual(refFull, got) {
+			t.Errorf("round %d: session full run differs from fresh full run", round)
+		}
+	}
+}
+
+// TestSteadyStateNeverFiringFaults: an armed fault spec that never fires
+// forces full simulation (the extrapolated region cannot be checked
+// against triggers that have not happened yet), reported as the "faults"
+// fallback — and the result still matches the fault-free fast run.
+func TestSteadyStateNeverFiringFaults(t *testing.T) {
+	cfg := smallCfg(SSDTrain)
+	cfg.Steps = 50
+	fast, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	armed := cfg
+	armed.Faults = neverFiring()
+	got, err := Run(armed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.SteadyState.Fallback != steadyFallbackFaults {
+		t.Errorf("armed run reported fallback %q, want %q", got.SteadyState.Fallback, steadyFallbackFaults)
+	}
+	if got.SteadyState.ExtrapolatedSteps != 0 {
+		t.Errorf("armed run extrapolated %d steps", got.SteadyState.ExtrapolatedSteps)
+	}
+	got.Config = fast.Config
+	got.SteadyState = fast.SteadyState
+	if !reflect.DeepEqual(fast, got) {
+		t.Error("never-firing schedule perturbed the fast run's outputs")
+	}
+}
+
+// TestSteadyStateWearDeathInExtrapolatedRegion: a wear-triggered death
+// that would land inside the region the fast path extrapolates must not
+// be skipped over. The fault spec forces full simulation on both paths,
+// so the death fires identically whether or not the knob is on.
+func TestSteadyStateWearDeathInExtrapolatedRegion(t *testing.T) {
+	base := smallCfg(SSDTrain)
+	base.Steps = 50
+	healthy, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if healthy.SteadyState.SimulatedSteps >= base.Steps {
+		t.Fatalf("fast path did not converge (%d simulated steps); the test needs an extrapolated region",
+			healthy.SteadyState.SimulatedSteps)
+	}
+	// The extrapolated region starts after the last simulated measured
+	// step; a death inside it must surface on the fast path too.
+	regionStart := healthy.PerStep[healthy.SteadyState.SimulatedSteps-1].End
+
+	// Calibrate a threshold whose crossing lands inside that region: the
+	// wear ledger grows monotonically, so scan thresholds from low to
+	// high until the (fully simulated, faults fallback) death time passes
+	// regionStart.
+	var spec faults.Spec
+	var wantAt time.Duration
+	for thr := 1e-12; thr < 1; thr *= 2 {
+		trial := base
+		trial.Faults = faults.Spec{WearThreshold: thr, Device: -1}
+		_, err := Run(trial)
+		if err == nil {
+			break // threshold above the run's total wear: stop scanning
+		}
+		var dfe *core.DeviceFailedError
+		if !errors.As(err, &dfe) {
+			t.Fatalf("wear trial: got %v, want *core.DeviceFailedError", err)
+		}
+		if dfe.At > regionStart {
+			spec = trial.Faults
+			wantAt = dfe.At
+			break
+		}
+	}
+	if spec.Empty() {
+		t.Skip("no wear threshold crosses inside the extrapolated region for this geometry")
+	}
+
+	armed := base
+	armed.Faults = spec
+	for _, mode := range []string{"", "off"} {
+		armed.SteadyState = mode
+		_, err := Run(armed)
+		var dfe *core.DeviceFailedError
+		if !errors.As(err, &dfe) {
+			t.Fatalf("mode %q: got %v, want *core.DeviceFailedError", mode, err)
+		}
+		if dfe.At != wantAt {
+			t.Errorf("mode %q: wear death at %v, want %v", mode, dfe.At, wantAt)
+		}
+	}
+}

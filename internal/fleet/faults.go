@@ -160,7 +160,7 @@ func (s *simState) wearCrossing(node *nodeState) (float64, bool) {
 	if demand <= 0 {
 		return 0, false
 	}
-	budget := float64(node.wear.Model.LifetimeHostWrites())
+	budget := node.wear.Model.HostWriteBudget()
 	if budget <= 0 {
 		return 0, false
 	}

@@ -1,10 +1,12 @@
 package gpu
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
+	"ssdtrain/internal/sim"
 	"ssdtrain/internal/spans"
 	"ssdtrain/internal/tensor"
 	"ssdtrain/internal/trace"
@@ -73,6 +75,15 @@ type Allocator struct {
 	seq      int
 	final    bool
 
+	// repl holds a pending virtual replication (ReplicateTail): one cycle's
+	// events sorted by (at, seq), to be applied replN times at replPeriod
+	// spacing by Finalize — analytically, without ever materializing the
+	// copies. Empty when no replication is pending; a later Alloc or Free
+	// materializes the copies first so event ordering stays exact.
+	repl       []memEvent
+	replN      int
+	replPeriod time.Duration
+
 	// rec/memT emit instant alloc/free events (named by class) when the
 	// flight recorder is on. Like the hooks, the wiring survives Reset.
 	rec  *spans.Recorder
@@ -106,6 +117,8 @@ func (a *Allocator) Reset() {
 	a.seq = 0
 	a.final = false
 	a.report = nil
+	a.repl = a.repl[:0]
+	a.replN = 0
 }
 
 // Alloc records that storage s of the given class is resident from virtual
@@ -117,6 +130,7 @@ func (a *Allocator) Alloc(at time.Duration, s *tensor.Storage, class Class) {
 	if _, ok := a.live[s.Seq()]; ok {
 		panic(fmt.Sprintf("gpu: double alloc of storage %d", s.Seq()))
 	}
+	a.materializeRepl()
 	a.seq++
 	ev := memEvent{at: at, delta: s.Bytes(), class: class, seq: a.seq}
 	a.live[s.Seq()] = ev
@@ -143,6 +157,7 @@ func (a *Allocator) Free(at time.Duration, s *tensor.Storage) {
 		// allocation point. Clamp, as the CUDA caching allocator does.
 		at = ev.at
 	}
+	a.materializeRepl()
 	delete(a.live, s.Seq())
 	a.seq++
 	a.events = append(a.events, memEvent{at: at, delta: -ev.delta, class: ev.class, seq: a.seq})
@@ -164,6 +179,88 @@ func (a *Allocator) LiveBytes() units.Bytes {
 
 // LiveCount returns the number of live storages.
 func (a *Allocator) LiveCount() int { return len(a.live) }
+
+// EventMark returns a position in the event buffer; the half-open range
+// [mark, EventMark()) taken later identifies the events appended in
+// between. Marks are invalidated by Reset.
+func (a *Allocator) EventMark() int { return len(a.events) }
+
+// FoldTail folds the events appended since mark into sig, with timestamps
+// taken relative to origin, plus a summary of the live set. Two steps of a
+// periodic workload fold identically exactly when their allocation traffic
+// is a time-shifted copy — the property the steady-state fast path's
+// ReplicateTail relies on.
+func (a *Allocator) FoldTail(sig *sim.Sig, mark int, origin time.Duration) {
+	tail := a.events[mark:]
+	sig.FoldInt(int64(len(tail)))
+	for _, ev := range tail {
+		sig.Fold(uint64(ev.class))
+		sig.FoldInt(int64(ev.delta))
+		sig.FoldDur(ev.at - origin)
+	}
+	sig.FoldInt(int64(len(a.live)))
+	sig.FoldInt(int64(a.LiveBytes()))
+}
+
+// ReplicateTail records that the events appended since mark repeat n more
+// times, copy j shifted by j×period. The copies are virtual: Finalize
+// applies them analytically — one cycle's level profile is computed once
+// and every copy's samples and peaks are synthesized from it by pure
+// arithmetic — which is what makes a 10k-step extrapolated run cost a few
+// warm-up steps instead of materializing millions of identical events.
+// The synthesized outcome is byte-identical to really appending the
+// copies: within a copy the events are applied in (at, seq) order, copies
+// cannot overlap when the cycle's span fits the period, and integer level
+// arithmetic is exact. A later Alloc or Free materializes the pending
+// copies first, and a cycle whose span exceeds the period (a backdated
+// event straddling blocks) is materialized immediately so overlapping
+// copies still go through the full sort.
+// Recorder spans and hooks do not fire for the copies: replication is only
+// used when the flight recorder is off, and hook-driven accounting is
+// extrapolated by the caller from per-cycle counter deltas.
+func (a *Allocator) ReplicateTail(mark, n int, period time.Duration) {
+	if a.final {
+		panic("gpu: ReplicateTail after Finalize")
+	}
+	a.materializeRepl()
+	tail := a.events[mark:]
+	if len(tail) == 0 || n <= 0 {
+		return
+	}
+	a.repl = append(a.repl[:0], tail...)
+	slices.SortFunc(a.repl, func(x, y memEvent) int {
+		if x.at != y.at {
+			return cmp.Compare(x.at, y.at)
+		}
+		return cmp.Compare(x.seq, y.seq)
+	})
+	a.replN = n
+	a.replPeriod = period
+	if span := a.repl[len(a.repl)-1].at - a.repl[0].at; span > period {
+		a.materializeRepl()
+	}
+}
+
+// materializeRepl turns a pending virtual replication into real events in
+// recording order (Finalize then sorts everything), restoring exact
+// event-buffer semantics for the rare callers that keep allocating after
+// ReplicateTail or replicate an over-long cycle. No-op without one.
+func (a *Allocator) materializeRepl() {
+	if a.replN == 0 {
+		return
+	}
+	n, block := a.replN, a.repl
+	a.replN = 0
+	a.events = slices.Grow(a.events, n*len(block))
+	for j := 1; j <= n; j++ {
+		shift := time.Duration(j) * a.replPeriod
+		for _, ev := range block {
+			a.seq++
+			a.events = append(a.events, memEvent{at: ev.at + shift, delta: ev.delta, class: ev.class, seq: a.seq})
+		}
+	}
+	a.repl = a.repl[:0]
+}
 
 // MemReport summarizes memory behaviour over a run.
 type MemReport struct {
@@ -202,18 +299,66 @@ func (a *Allocator) Finalize(record bool) *MemReport {
 	// Sorting in place is safe: the allocator is terminal after Finalize
 	// (until Reset, which discards the buffer's contents anyway), and
 	// skipping the defensive copy keeps Finalize off the sweep allocation
-	// budget.
+	// budget. seq is unique per event, so (at, seq) is a total order and
+	// an unstable sort yields the same permutation a stable one would.
 	evs := a.events
-	sort.SliceStable(evs, func(i, j int) bool {
-		if evs[i].at != evs[j].at {
-			return evs[i].at < evs[j].at
+	slices.SortFunc(evs, func(x, y memEvent) int {
+		if x.at != y.at {
+			return cmp.Compare(x.at, y.at)
 		}
-		return evs[i].seq < evs[j].seq
+		return cmp.Compare(x.seq, y.seq)
 	})
+	// A pending virtual replication (ReplicateTail) is valid only when the
+	// copies land strictly after every real event; an event sorting past
+	// the first copy's start would interleave, so fall back to really
+	// appending the copies and re-sorting. The span-fits-period check in
+	// ReplicateTail makes this unreachable in practice.
+	if a.replN > 0 && len(evs) > 0 && evs[len(evs)-1].at > a.repl[0].at+a.replPeriod {
+		a.materializeRepl()
+		evs = a.events
+		slices.SortFunc(evs, func(x, y memEvent) int {
+			if x.at != y.at {
+				return cmp.Compare(x.at, y.at)
+			}
+			return cmp.Compare(x.seq, y.seq)
+		})
+	}
+	// One cycle's level profile: partial sums of the sorted template, from
+	// which every virtual copy's samples and peaks follow analytically
+	// (the level at position i of copy j is prefix end + (j-1)×net +
+	// cycle[i], all exact integer arithmetic).
+	var cycTotal, cycAct []trace.MemSample
+	var cycByClass [classCount]units.Bytes
+	if a.replN > 0 {
+		cycTotal = make([]trace.MemSample, 0, len(a.repl))
+		var run, runAct units.Bytes
+		for _, ev := range a.repl {
+			run += ev.delta
+			cycByClass[ev.class] += ev.delta
+			cycTotal = append(cycTotal, trace.MemSample{At: ev.at, Total: run})
+			if ev.class == ClassActivations {
+				runAct += ev.delta
+				cycAct = append(cycAct, trace.MemSample{At: ev.at, Total: runAct})
+			}
+		}
+	}
 	rep := &MemReport{
 		Capacity:    a.capacity,
 		Timeline:    trace.NewMemTimeline("total", record),
 		ActTimeline: trace.NewMemTimeline("activations", record),
+	}
+	if record {
+		// Size the sample buffers exactly: one sample per event (activation
+		// class only for the activation timeline), appended one at a time
+		// below, plus the virtual copies synthesized after the loop.
+		nAct := 0
+		for i := range evs {
+			if evs[i].class == ClassActivations {
+				nAct++
+			}
+		}
+		rep.Timeline.Grow(len(evs) + a.replN*len(cycTotal))
+		rep.ActTimeline.Grow(nAct + a.replN*len(cycAct))
 	}
 	var byClass [classCount]units.Bytes
 	var total units.Bytes
@@ -235,7 +380,65 @@ func (a *Allocator) Finalize(record bool) *MemReport {
 			}
 		}
 	}
+	if a.replN > 0 && len(cycTotal) > 0 {
+		a.replicateReport(rep, total, byClass, cycTotal, cycByClass)
+		rep.Timeline.ReplayCycles(cycTotal, a.replN, a.replPeriod)
+		rep.ActTimeline.ReplayCycles(cycAct, a.replN, a.replPeriod)
+	}
 	rep.Overflowed = rep.PeakTotal > a.capacity
 	a.report = rep
 	return rep
+}
+
+// replicateReport folds replN virtual copies of the cycle into the
+// report's peak fields exactly as the event loop above would have, by
+// closed form. Level in copy j at cycle position i is
+// total + (j-1)×net + cycle[i], so each candidate peak is maximized at
+// copy replN when its net per cycle is positive and at copy 1 otherwise;
+// the strict-> comparisons reproduce the sequential loop's
+// first-occurrence tie-breaking.
+func (a *Allocator) replicateReport(rep *MemReport, total units.Bytes, byClass [classCount]units.Bytes, cycTotal []trace.MemSample, cycByClass [classCount]units.Bytes) {
+	// The cycle's internal running maxima: the total's max with its first
+	// At and the per-class snapshot there, and each class's own max.
+	bPeak := cycTotal[0].Total
+	bPeakAt := cycTotal[0].At
+	var runByClass, bPeakSnap, bClassPeak [classCount]units.Bytes
+	runByClass[a.repl[0].class] += a.repl[0].delta
+	bPeakSnap = runByClass
+	bClassPeak = runByClass
+	for i := 1; i < len(a.repl); i++ {
+		ev := a.repl[i]
+		runByClass[ev.class] += ev.delta
+		if cycTotal[i].Total > bPeak {
+			bPeak = cycTotal[i].Total
+			bPeakAt = cycTotal[i].At
+			bPeakSnap = runByClass
+		}
+		for c := Class(0); c < classCount; c++ {
+			if runByClass[c] > bClassPeak[c] {
+				bClassPeak[c] = runByClass[c]
+			}
+		}
+	}
+	net := cycTotal[len(cycTotal)-1].Total
+	jStar := 1
+	if net > 0 {
+		jStar = a.replN
+	}
+	if cand := total + units.Bytes(jStar-1)*net + bPeak; cand > rep.PeakTotal {
+		rep.PeakTotal = cand
+		rep.PeakAt = bPeakAt + time.Duration(jStar)*a.replPeriod
+		for c := Class(0); c < classCount; c++ {
+			rep.ClassAtTotalPeak[c] = byClass[c] + units.Bytes(jStar-1)*cycByClass[c] + bPeakSnap[c]
+		}
+	}
+	for c := Class(0); c < classCount; c++ {
+		jc := 1
+		if cycByClass[c] > 0 {
+			jc = a.replN
+		}
+		if cand := byClass[c] + units.Bytes(jc-1)*cycByClass[c] + bClassPeak[c]; cand > rep.PeakByClass[c] {
+			rep.PeakByClass[c] = cand
+		}
+	}
 }

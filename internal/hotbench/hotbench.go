@@ -6,6 +6,7 @@ package hotbench
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 	"time"
 
@@ -110,6 +111,90 @@ func TieredSweep() error {
 		cfg.DRAMCapacity = units.Bytes(f * scale)
 		if _, err := plan.Execute(cfg); err != nil {
 			return err
+		}
+	}
+	return nil
+}
+
+// SteadyBase is the steady-state fast-path workload: the sweep model at
+// 10000 fixed steps with adaptive profiling off, so every step is owed
+// and the analytic extrapolation (simulate until two consecutive steps
+// produce identical event signatures, synthesize the rest) carries
+// essentially the whole run.
+func SteadyBase() exp.RunConfig {
+	base := SweepBase()
+	base.Steps = 10000
+	base.AdaptiveSteps = false
+	return base
+}
+
+// NewSteadyPlan compiles the 10k-step steady workload once, shared by
+// the fast-path and full-simulation measurements so the BENCH_steady
+// comparison is same-plan by construction.
+func NewSteadyPlan() (*exp.Plan, error) {
+	return exp.Compile(SteadyBase())
+}
+
+// steadyShareSweep runs the 4 bandwidth-share points at 10k steps
+// through one compiled plan with the given SteadyState knob.
+func steadyShareSweep(plan *exp.Plan, steady string) error {
+	base := SteadyBase()
+	base.SteadyState = steady
+	for _, sh := range shareSweepPoints {
+		cfg := base
+		cfg.SSDBandwidthShare = sh
+		if _, err := plan.Execute(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SteadyShareSweep runs the 4-point bandwidth-share sweep at 10k steps
+// on the steady-state fast path: each point simulates until its step
+// signature converges and extrapolates the remaining steps analytically.
+func SteadyShareSweep(plan *exp.Plan) error {
+	return steadyShareSweep(plan, "")
+}
+
+// FullSimShareSweep runs the same 4-point 10k-step sweep with the fast
+// path disabled — all 10000 steps of every point simulated — the
+// same-run baseline BENCH_steady.json compares against.
+func FullSimShareSweep(plan *exp.Plan) error {
+	return steadyShareSweep(plan, "off")
+}
+
+// SteadyShareSweepVerify cross-checks the record's headline claim
+// before anything is timed: every share point executed on the fast path
+// must actually have extrapolated (converged, no fallback) and must
+// produce a RunResult identical to the full simulation of the same
+// point, field for field, once the steady-state metadata that
+// necessarily differs between the two modes is neutralized.
+func SteadyShareSweepVerify(plan *exp.Plan) error {
+	base := SteadyBase()
+	for _, sh := range shareSweepPoints {
+		fast := base
+		fast.SSDBandwidthShare = sh
+		fres, err := plan.Execute(fast)
+		if err != nil {
+			return err
+		}
+		if fb := fres.SteadyState.Fallback; fb != "" {
+			return fmt.Errorf("hotbench: steady share sweep at share %v fell back to full simulation (%s)", sh, fb)
+		}
+		if fres.SteadyState.ExtrapolatedSteps == 0 {
+			return fmt.Errorf("hotbench: steady share sweep at share %v extrapolated nothing", sh)
+		}
+		slow := fast
+		slow.SteadyState = "off"
+		sres, err := plan.Execute(slow)
+		if err != nil {
+			return err
+		}
+		sres.Config.SteadyState = fres.Config.SteadyState
+		sres.SteadyState = fres.SteadyState
+		if !reflect.DeepEqual(fres, sres) {
+			return fmt.Errorf("hotbench: steady share sweep at share %v: fast-path result differs from full simulation", sh)
 		}
 	}
 	return nil

@@ -130,3 +130,9 @@ func (l *Link) DownBusyTime() time.Duration { return l.down.BusyTime() }
 
 // UpBusyTime returns cumulative busy time in the GPU direction.
 func (l *Link) UpBusyTime() time.Duration { return l.up.BusyTime() }
+
+// DownBusyUntil returns the device-direction queue's backlog horizon.
+func (l *Link) DownBusyUntil() time.Duration { return l.down.BusyUntil() }
+
+// UpBusyUntil returns the GPU-direction queue's backlog horizon.
+func (l *Link) UpBusyUntil() time.Duration { return l.up.BusyUntil() }

@@ -102,5 +102,16 @@ func (m Metrics) Prometheus() []byte {
 		fmt.Fprintf(&b, "ssdtrain_spans_dropped_total %d\n", m.Spans.Dropped)
 	})
 
+	counter("ssdtrain_steady_state_runs_total", "Steady-state fast-path outcomes, by result.", func() {
+		fmt.Fprintf(&b, "ssdtrain_steady_state_runs_total{result=\"hit\"} %d\n", m.SteadyState.Hits)
+		fmt.Fprintf(&b, "ssdtrain_steady_state_runs_total{result=\"fallback_trace\"} %d\n", m.SteadyState.FallbackTrace)
+		fmt.Fprintf(&b, "ssdtrain_steady_state_runs_total{result=\"fallback_faults\"} %d\n", m.SteadyState.FallbackFaults)
+		fmt.Fprintf(&b, "ssdtrain_steady_state_runs_total{result=\"fallback_off\"} %d\n", m.SteadyState.FallbackOff)
+		fmt.Fprintf(&b, "ssdtrain_steady_state_runs_total{result=\"fallback_no_convergence\"} %d\n", m.SteadyState.FallbackNoConvergence)
+	})
+	counter("ssdtrain_steady_state_extrapolated_steps_total", "Measured steps synthesized analytically instead of simulated.", func() {
+		fmt.Fprintf(&b, "ssdtrain_steady_state_extrapolated_steps_total %d\n", m.SteadyState.ExtrapolatedSteps)
+	})
+
 	return []byte(b.String())
 }

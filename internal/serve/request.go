@@ -224,6 +224,11 @@ type PlanResponse struct {
 	OffloadPeakBytes    int64   `json:"offload_peak_bytes,omitempty"`
 	StepsMeasured       int     `json:"steps_measured"`
 
+	// SteadyState reports the fast path's outcome for this measurement:
+	// how many steps were simulated vs extrapolated, and the fallback
+	// reason when the run was fully simulated.
+	SteadyState exp.SteadyStateInfo `json:"steady_state"`
+
 	Tiers []TierUsage `json:"tiers,omitempty"`
 }
 
@@ -252,6 +257,7 @@ func NewPlanResponse(res *exp.RunResult) PlanResponse {
 		ModelTFLOPS:         float64(res.Throughput()) / float64(units.TFLOPS),
 		OffloadPeakBytes:    int64(res.SSDPeak),
 		StepsMeasured:       len(res.PerStep),
+		SteadyState:         res.SteadyState,
 	}
 	for _, t := range res.Tiers {
 		p.Tiers = append(p.Tiers, TierUsage{

@@ -581,5 +581,6 @@ func (s *Server) Metrics() Metrics {
 		Spans:     int64(sp.Spans),
 		Dropped:   int64(sp.Dropped),
 	}
+	m.SteadyState = exp.GlobalSteadyStats()
 	return m
 }

@@ -314,6 +314,60 @@ func TestMetricsEndpoint(t *testing.T) {
 	if m.Sessions.Misses != 1 {
 		t.Errorf("sessions: %+v (want exactly one arena build)", m.Sessions)
 	}
+	// The measurement behind the plan answers must have ridden the
+	// steady-state fast path (counters are process-wide, so other tests'
+	// runs may inflate them — but never to zero).
+	if m.SteadyState.Hits == 0 || m.SteadyState.ExtrapolatedSteps == 0 {
+		t.Errorf("steady-state counters empty: %+v", m.SteadyState)
+	}
+
+	// The Prometheus rendering carries the same counters.
+	promReq, err := http.NewRequest(http.MethodGet, ts.URL+"/metrics", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	promReq.Header.Set("Accept", "text/plain")
+	presp, err := http.DefaultClient.Do(promReq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer presp.Body.Close()
+	prom, err := io.ReadAll(presp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(prom), `ssdtrain_steady_state_runs_total{result="hit"}`) {
+		t.Error("Prometheus output misses the steady-state counters")
+	}
+}
+
+// TestPlanResponseCarriesSteadyState pins the /v1/plan visibility of the
+// fast path: the body's steady_state object reports how the measurement
+// was produced.
+func TestPlanResponseCarriesSteadyState(t *testing.T) {
+	srv := New(Options{Workers: 2, BatchWindow: -1})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	req := PlanRequest{Model: smallModel(), Strategy: "ssdtrain", Steps: 20}
+	resp, body := postJSON(t, ts.URL+"/v1/plan", req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var p PlanResponse
+	if err := json.Unmarshal([]byte(body), &p); err != nil {
+		t.Fatal(err)
+	}
+	ss := p.SteadyState
+	if ss.Fallback != "" {
+		t.Errorf("plain plan fell back: %q", ss.Fallback)
+	}
+	if ss.SimulatedSteps == 0 || ss.ExtrapolatedSteps == 0 {
+		t.Errorf("steady_state not populated: %+v", ss)
+	}
+	if ss.SimulatedSteps+ss.ExtrapolatedSteps != 20 {
+		t.Errorf("steady_state steps %d+%d, want 20", ss.SimulatedSteps, ss.ExtrapolatedSteps)
+	}
 }
 
 // TestFleetEndpoint runs a small what-if through /v1/fleet twice and

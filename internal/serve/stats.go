@@ -219,6 +219,10 @@ type Metrics struct {
 	Engine EngineMetrics `json:"engine"`
 	// Spans aggregates flight-recorder activity across every arena.
 	Spans SpanMetrics `json:"spans"`
+	// SteadyState aggregates steady-state fast-path outcomes across every
+	// measurement: converged runs, steps synthesized instead of
+	// simulated, and full-simulation fallbacks by reason.
+	SteadyState exp.SteadyStats `json:"steady_state"`
 }
 
 func (e *endpointStats) metrics() EndpointMetrics {

@@ -145,6 +145,19 @@ func (b *BlockStore[K]) Written() units.Bytes { return b.written }
 // Read returns cumulative bytes read.
 func (b *BlockStore[K]) Read() units.Bytes { return b.read }
 
+// Deleted returns cumulative bytes deleted.
+func (b *BlockStore[K]) Deleted() units.Bytes { return b.deleted }
+
+// AdvanceTraffic adds analytic deltas to the cumulative traffic counters
+// without touching any file. The steady-state fast path uses it to account
+// extrapolated training cycles, whose per-cycle file churn is net-zero by
+// construction (used and peak are unchanged).
+func (b *BlockStore[K]) AdvanceTraffic(written, read, deleted units.Bytes) {
+	b.written += written
+	b.read += read
+	b.deleted += deleted
+}
+
 // Files returns the stored keys in unspecified order; callers needing a
 // stable listing sort the result.
 func (b *BlockStore[K]) Files() []K {

@@ -101,6 +101,22 @@ func (d *Device) HostWritten() units.Bytes { return d.hostWritten }
 // HostRead returns cumulative host bytes read.
 func (d *Device) HostRead() units.Bytes { return d.hostRead }
 
+// AdvanceHostTraffic adds analytic deltas to the cumulative host byte
+// counters without submitting queue work — the steady-state fast path's
+// per-cycle accounting for extrapolated steps. FTL-attached devices are
+// never extrapolated (page-accurate wear needs the real write stream), so
+// the mapper is untouched here.
+func (d *Device) AdvanceHostTraffic(written, read units.Bytes) {
+	d.hostWritten += written
+	d.hostRead += read
+}
+
+// WriteBusyUntil returns the write queue's backlog horizon.
+func (d *Device) WriteBusyUntil() time.Duration { return d.writeQ.BusyUntil() }
+
+// ReadBusyUntil returns the read queue's backlog horizon.
+func (d *Device) ReadBusyUntil() time.Duration { return d.readQ.BusyUntil() }
+
 // WriteBusyTime returns cumulative write-queue service time.
 func (d *Device) WriteBusyTime() time.Duration { return d.writeQ.BusyTime() }
 

@@ -1,6 +1,7 @@
 package ssd
 
 import (
+	"math"
 	"time"
 
 	"ssdtrain/internal/units"
@@ -45,9 +46,13 @@ func DefaultEnduranceModel() EnduranceModel {
 	}
 }
 
-// LifetimeHostWrites returns S_endurance: the host-write budget per GPU
-// under the workload assumptions.
-func (m EnduranceModel) LifetimeHostWrites() units.Bytes {
+// HostWriteBudget returns S_endurance in float64 bytes. The float form
+// exists because the budget can exceed units.Bytes' int64 range — the
+// P5800X's 292 PB rating × 86 retention relaxation × 4 drives is ~1e20 —
+// and consumers doing ratio arithmetic (wear fractions, trigger
+// thresholds, lifespan projections) must not lose the true magnitude to
+// integer truncation.
+func (m EnduranceModel) HostWriteBudget() float64 {
 	if m.WorkloadWAF <= 0 {
 		panic("ssd: workload WAF must be positive")
 	}
@@ -59,7 +64,20 @@ func (m EnduranceModel) LifetimeHostWrites() units.Bytes {
 	if m.RetentionFactor > 0 {
 		perDrive *= m.RetentionFactor
 	}
-	return units.Bytes(perDrive * float64(m.DrivesPerGPU))
+	return perDrive * float64(m.DrivesPerGPU)
+}
+
+// LifetimeHostWrites returns S_endurance: the host-write budget per GPU
+// under the workload assumptions, saturated at the units.Bytes ceiling
+// (conversion of an over-range budget used to overflow to a negative
+// value, silently disabling wear-triggered faults for Optane-class
+// geometries).
+func (m EnduranceModel) LifetimeHostWrites() units.Bytes {
+	f := m.HostWriteBudget()
+	if f >= math.MaxInt64 {
+		return units.Bytes(math.MaxInt64)
+	}
+	return units.Bytes(f)
 }
 
 // Lifespan projects drive lifetime given per-step activation volume and
@@ -70,7 +88,7 @@ func (m EnduranceModel) Lifespan(activationsPerStep units.Bytes, stepTime time.D
 		// arithmetic finite.
 		return time.Duration(100 * secondsPerYear * float64(time.Second))
 	}
-	steps := float64(m.LifetimeHostWrites()) / float64(activationsPerStep)
+	steps := m.HostWriteBudget() / float64(activationsPerStep)
 	return time.Duration(steps * float64(stepTime))
 }
 

@@ -48,6 +48,12 @@ func (a *Array) Devices() []*Device { return a.devices }
 // need a rederated spec).
 func (a *Array) Reset() { a.rr = 0 }
 
+// Cursor returns the round-robin stripe cursor. The steady-state fast
+// path folds it into the per-step signature: two steps only repeat when
+// their transfers land on the same member devices, which requires the
+// cursor to return to the same position each cycle.
+func (a *Array) Cursor() int { return a.rr }
+
 // SetFaults arms (or, with nil, disarms) fault queries for this array.
 // While a member is dead its stripe shares fold onto the next surviving
 // member; the aggregate slowdown is accounted by the owning tier, which

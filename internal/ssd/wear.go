@@ -56,11 +56,11 @@ func (w *ArrayWear) Span() time.Duration { return w.span }
 // WearFraction returns the share of the array's lifetime write budget the
 // observed writes consumed.
 func (w *ArrayWear) WearFraction() float64 {
-	budget := w.Model.LifetimeHostWrites()
+	budget := w.Model.HostWriteBudget()
 	if budget <= 0 {
 		return 0
 	}
-	return w.written / float64(budget)
+	return w.written / budget
 }
 
 // MeanWriteBandwidth returns the average write pressure over the window.

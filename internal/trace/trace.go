@@ -6,6 +6,7 @@ package trace
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 	"strings"
 	"time"
@@ -86,6 +87,15 @@ func (m *MemTimeline) compress() {
 	m.samples = s[:w]
 }
 
+// Grow reserves capacity for n further samples. A no-op unless exact
+// retention is on — under a maxSamples cap the buffer is already bounded.
+func (m *MemTimeline) Grow(n int) {
+	if !m.record || m.maxSamples != 0 {
+		return
+	}
+	m.samples = slices.Grow(m.samples, n)
+}
+
 // Add applies a delta at virtual time at. Deltas may be negative (frees).
 // Time must be monotonically non-decreasing.
 func (m *MemTimeline) Add(at time.Duration, delta units.Bytes) {
@@ -107,6 +117,70 @@ func (m *MemTimeline) Add(at time.Duration, delta units.Bytes) {
 		}
 		m.samples = append(m.samples, MemSample{At: at, Total: m.cur})
 	}
+}
+
+// ReplayCycles extends the timeline as if one periodic cycle of deltas
+// had been re-Added copies more times at period spacing. cycle[i] holds
+// the i-th event's At (unshifted) and the cycle's running partial sum
+// through it, so copy j's level at position i is cur + (j-1)×net +
+// cycle[i].Total — exact integer arithmetic, byte-identical to really
+// replaying the events. This is the steady-state fast path's timeline
+// materialization: samples are written directly instead of routing
+// millions of identical events through Add. The cycle must be sorted,
+// span at most one period, and start no earlier than one period before
+// the timeline's last sample; retention must be exact (no sample cap).
+func (m *MemTimeline) ReplayCycles(cycle []MemSample, copies int, period time.Duration) {
+	if copies <= 0 || len(cycle) == 0 {
+		return
+	}
+	if m.maxSamples != 0 {
+		panic(fmt.Sprintf("trace: %s timeline: ReplayCycles under a sample cap", m.name))
+	}
+	if cycle[0].At+period < m.last {
+		panic(fmt.Sprintf("trace: %s timeline: replayed cycle starts at %v, before last sample %v", m.name, cycle[0].At+period, m.last))
+	}
+	net := cycle[len(cycle)-1].Total
+	bPeak, bPeakAt := cycle[0].Total, cycle[0].At
+	bMin := cycle[0].Total
+	for i := 1; i < len(cycle); i++ {
+		if cycle[i].At < cycle[i-1].At {
+			panic(fmt.Sprintf("trace: %s timeline: replayed cycle not sorted", m.name))
+		}
+		if cycle[i].Total > bPeak {
+			bPeak, bPeakAt = cycle[i].Total, cycle[i].At
+		}
+		if cycle[i].Total < bMin {
+			bMin = cycle[i].Total
+		}
+	}
+	// Peak and negative-level checks mirror Add's: with positive net every
+	// copy tops the last, otherwise the first copy is the extremum (and
+	// symmetrically for the minimum level).
+	jStar, jMin := 1, 1
+	if net > 0 {
+		jStar = copies
+	} else if net < 0 {
+		jMin = copies
+	}
+	if cand := m.cur + units.Bytes(jStar-1)*net + bPeak; cand > m.peak {
+		m.peak = cand
+		m.peakAt = bPeakAt + time.Duration(jStar)*period
+	}
+	if low := m.cur + units.Bytes(jMin-1)*net + bMin; low < 0 {
+		panic(fmt.Sprintf("trace: %s timeline went negative (%v) in replayed cycle %d", m.name, low, jMin))
+	}
+	if m.record {
+		m.samples = slices.Grow(m.samples, copies*len(cycle))
+		for j := 1; j <= copies; j++ {
+			shift := time.Duration(j) * period
+			base := m.cur + units.Bytes(j-1)*net
+			for _, s := range cycle {
+				m.samples = append(m.samples, MemSample{At: s.At + shift, Total: base + s.Total})
+			}
+		}
+	}
+	m.cur += units.Bytes(copies) * net
+	m.last = cycle[len(cycle)-1].At + time.Duration(copies)*period
 }
 
 // Current returns the present byte total.
@@ -188,6 +262,15 @@ func (c *Counters) Clone() *Counters {
 
 // Get returns a counter's value (zero if never touched).
 func (c *Counters) Get(name string) int64 { return c.vals[name] }
+
+// Range calls f for every touched counter, in unspecified order. It is
+// the allocation-free alternative to Names+Get for callers (the
+// steady-state signature fold) that run once per simulated step.
+func (c *Counters) Range(f func(name string, v int64)) {
+	for k, v := range c.vals {
+		f(k, v)
+	}
+}
 
 // Names returns the sorted list of counters that have been touched.
 func (c *Counters) Names() []string {
