@@ -11,7 +11,10 @@
 // untraced baseline), and BENCH_steady.json (the 10k-step compiled
 // share sweep on the steady-state fast path against its same-run
 // full-simulation baseline, with result identity verified before
-// timing), so the simulator's perf trajectory is recorded
+// timing), and BENCH_cluster.json (the planning cluster router's
+// overhead: the per-request ring lookup, gated allocation-free, and the
+// full hedged-request path over an in-memory replica pair), so the
+// simulator's perf trajectory is recorded
 // instead of anecdotal. The record schema lives in internal/benchfmt,
 // shared with cmd/benchcheck (the CI validator and regression gate).
 //
@@ -22,7 +25,7 @@
 // Usage:
 //
 //	bench [-o BENCH_hotpath.json] [-tier-o BENCH_tier.json] [-session-o BENCH_session.json]
-//	      [-trace-o BENCH_trace.json] [-steady-o BENCH_steady.json]
+//	      [-trace-o BENCH_trace.json] [-steady-o BENCH_steady.json] [-cluster-o BENCH_cluster.json]
 //	      [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
@@ -38,6 +41,7 @@ import (
 	"testing"
 
 	"ssdtrain/internal/benchfmt"
+	"ssdtrain/internal/cluster"
 	"ssdtrain/internal/exp"
 	"ssdtrain/internal/hotbench"
 )
@@ -108,6 +112,7 @@ func main() {
 	sessionOut := flag.String("session-o", "BENCH_session.json", "session-reuse output file (- for stdout)")
 	traceOut := flag.String("trace-o", "BENCH_trace.json", "flight-recorder output file (- for stdout)")
 	steadyOut := flag.String("steady-o", "BENCH_steady.json", "steady-state fast-path output file (- for stdout)")
+	clusterOut := flag.String("cluster-o", "BENCH_cluster.json", "cluster router overhead output file (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the benchmarks to this file")
 	flag.Parse()
@@ -157,7 +162,7 @@ func main() {
 	})
 
 	var rows io.Writer = os.Stdout
-	if *out == "-" || *tierOut == "-" || *sessionOut == "-" || *traceOut == "-" || *steadyOut == "-" {
+	if *out == "-" || *tierOut == "-" || *sessionOut == "-" || *traceOut == "-" || *steadyOut == "-" || *clusterOut == "-" {
 		rows = os.Stderr
 	}
 	emit(rows, *out, report, []string{"engine_schedule", "engine_steady_state", "compiled_sweep", "compiled_share_sweep"})
@@ -279,6 +284,39 @@ func main() {
 	})
 	steady.Results["steady_share_sweep_10k"] = mSteady
 	emit(rows, *steadyOut, steady, []string{"fullsim_share_sweep_10k", "steady_share_sweep_10k"})
+
+	// Cluster-router record: what the resilient front costs per request.
+	// The ring lookup is the per-request shard decision and must stay
+	// allocation-free; the hedged-request bench drives the whole router
+	// handler — shard key decode, ring walk, primary forward, hedge fire,
+	// hedge win, stale-cache record — over an in-memory replica pair whose
+	// shard owner is rigged slow, so every request exercises the full
+	// failover machinery. Its ns/op is bounded below by the hedge delay
+	// plus the host's timer granularity (coarse-tick VMs round small
+	// timers up to ~1ms); allocs/op is the durable, machine-independent
+	// number the gate defends.
+	clusterRep := benchfmt.Report{
+		Note:    "cluster router overhead: the per-request consistent-hash lookup (owner + successor walk over 8 replicas x 128 vnodes, allocation-free) and the full hedged-request path through the router handler against an in-memory replica pair with a rigged-slow shard owner; hedged ns/op is dominated by hedge delay + timer granularity — allocs/op is the durable metric",
+		Go:      runtime.Version(),
+		CPUs:    runtime.NumCPU(),
+		Results: map[string]benchfmt.Measurement{},
+	}
+	rb := cluster.NewRingBench(8)
+	clusterRep.Results["ring_lookup"] = measure("ring_lookup", func(b *testing.B) {
+		b.ReportAllocs()
+		rb.Lookup(b.N)
+	})
+	hb, err := cluster.NewHedgeBench()
+	if err != nil {
+		log.Fatal(err)
+	}
+	clusterRep.Results["hedged_request"] = measure("hedged_request", func(b *testing.B) {
+		b.ReportAllocs()
+		if err := hb.Do(b.N); err != nil {
+			b.Fatal(err)
+		}
+	})
+	emit(rows, *clusterOut, clusterRep, []string{"ring_lookup", "hedged_request"})
 
 	// Pool observability: run the share sweep twice through one
 	// SessionPool (the serve-layer execution path) and print its counters,

@@ -1,6 +1,6 @@
 // Command benchcheck validates the repo's committed benchmark records
 // (BENCH_hotpath.json, BENCH_tier.json, BENCH_session.json,
-// BENCH_trace.json, BENCH_steady.json) and, given a
+// BENCH_trace.json, BENCH_steady.json, BENCH_cluster.json) and, given a
 // directory of freshly measured records, enforces the CI regression
 // gate: any required result whose ns_per_op or allocs_per_op worsened
 // beyond tolerance versus the committed record fails the build. It

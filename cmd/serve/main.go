@@ -30,6 +30,27 @@
 // job (singleflight dedup observed):
 //
 //	serve -selfcheck [-n 200] [-c 8]
+//
+// Cluster modes (internal/cluster). A replica in a sharded cluster
+// announces itself and its peers so cold cache misses peer-fill over
+// /v1/cachefill instead of re-simulating:
+//
+//	serve -replica-id r0 -peers http://h1:8080,http://h2:8080
+//
+// Router mode serves no simulations itself: it consistent-hash routes
+// /v1/plan, /v1/sweep, /v1/trace and /v1/fleet across the replica set,
+// health-probes and ejects/readmits replicas, retries with jittered
+// backoff under a retry budget, hedges the tail, and degrades to
+// labeled stale bodies rather than 5xx on total shard loss:
+//
+//	serve -router -replicas r0=http://h1:8080,r1=http://h2:8080
+//
+// The cluster self-check runs the full chaos drill in-process — N
+// replicas behind a router, one killed and restarted mid-wave — and
+// exits non-zero on any 5xx, any non-byte-identical body, zero hedges,
+// zero peer cache-fills, or an unlabeled stale response:
+//
+//	serve -selfcheck-cluster [-cluster-replicas 3] [-wave 2s]
 package main
 
 import (
@@ -49,9 +70,23 @@ import (
 	"syscall"
 	"time"
 
+	"strings"
+
+	"ssdtrain/internal/cluster"
 	"ssdtrain/internal/exp"
 	"ssdtrain/internal/serve"
 )
+
+// splitList parses a comma-separated flag into its non-empty entries.
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -67,7 +102,22 @@ func main() {
 	selfcheck := flag.Bool("selfcheck", false, "start on an ephemeral port, run the load generator against it, verify, exit")
 	n := flag.Int("n", 200, "selfcheck: total plan requests")
 	c := flag.Int("c", 8, "selfcheck: client concurrency")
+	replicaID := flag.String("replica-id", "", "this replica's cluster identity, echoed as "+serve.HeaderReplica+" (empty = standalone)")
+	peers := flag.String("peers", "", "comma-separated peer base URLs for cache peer-fill over /v1/cachefill")
+	staleAfter := flag.Duration("stale-after", 0, "label cached bodies older than this with "+serve.HeaderStale+" (0 = never)")
+	routerMode := flag.Bool("router", false, "run the consistent-hash cluster router instead of a planning replica (requires -replicas)")
+	replicaSet := flag.String("replicas", "", "router: comma-separated id=url replica set")
+	selfcheckCluster := flag.Bool("selfcheck-cluster", false, "run the in-process chaos drill (kill + restart a replica mid-load), verify, exit")
+	clusterReplicas := flag.Int("cluster-replicas", 3, "selfcheck-cluster: replica count")
+	wave := flag.Duration("wave", 2*time.Second, "selfcheck-cluster: load wave duration around the kill")
 	flag.Parse()
+
+	if *selfcheckCluster {
+		os.Exit(runClusterSelfcheck(*clusterReplicas, *wave))
+	}
+	if *routerMode {
+		os.Exit(runRouter(*addr, *replicaSet, *drainTimeout, *writeTimeout))
+	}
 
 	srv := serve.New(serve.Options{
 		Workers:         *workers,
@@ -76,6 +126,9 @@ func main() {
 		BatchWindow:     *batchWindow,
 		MaxIdleSessions: *maxIdle,
 		RequestTimeout:  *requestTimeout,
+		ReplicaID:       *replicaID,
+		Peers:           splitList(*peers),
+		StaleAfter:      *staleAfter,
 	})
 	handler := buildHandler(srv, *pprofOn)
 
@@ -272,6 +325,71 @@ func checkTrace(base string) error {
 	}
 	log.Printf("selfcheck: /v1/trace OK (%d events, %d bytes)", len(doc.TraceEvents), len(body))
 	return nil
+}
+
+// runRouter serves the consistent-hash cluster front: no simulations of
+// its own, every answer routed, retried, hedged or served stale from
+// the replica set.
+func runRouter(addr, replicaSet string, drainTimeout, writeTimeout time.Duration) int {
+	var replicas []cluster.Replica
+	for _, ent := range splitList(replicaSet) {
+		id, url, ok := strings.Cut(ent, "=")
+		if !ok || id == "" || url == "" {
+			log.Printf("router: bad -replicas entry %q, want id=url", ent)
+			return 1
+		}
+		replicas = append(replicas, cluster.Replica{ID: id, URL: strings.TrimSuffix(url, "/")})
+	}
+	if len(replicas) == 0 {
+		log.Printf("router: -router needs a -replicas id=url list")
+		return 1
+	}
+	rt, err := cluster.NewRouter(cluster.Options{Replicas: replicas})
+	if err != nil {
+		log.Printf("router: %v", err)
+		return 1
+	}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	rt.Start(ctx)
+	hs := &http.Server{
+		Handler:           rt.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+		ReadTimeout:       time.Minute,
+		WriteTimeout:      writeTimeout,
+		IdleTimeout:       2 * time.Minute,
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Printf("router: listen: %v", err)
+		return 1
+	}
+	log.Printf("router: fronting %d replicas on %s", len(replicas), ln.Addr())
+	switch err := serve.ServeUntil(ctx, hs, ln, drainTimeout); {
+	case err == nil:
+		log.Printf("router: drained, bye")
+		return 0
+	default:
+		log.Printf("router: %v", err)
+		return 1
+	}
+}
+
+// runClusterSelfcheck is the CI chaos gate: the full in-process drill —
+// replicas behind a router, a kill and a cold restart mid-wave — with
+// the pass/fail verdict owned by cluster.RunDrill.
+func runClusterSelfcheck(replicas int, wave time.Duration) int {
+	rep, err := cluster.RunDrill(os.Stderr, cluster.DrillOptions{
+		Replicas:     replicas,
+		WaveDuration: wave,
+	})
+	if err != nil {
+		log.Printf("selfcheck-cluster FAIL: %v", err)
+		return 1
+	}
+	log.Printf("selfcheck-cluster: OK (%d replicas, %d wave requests at %.0f req/s, p99 %dus during kill, recovery %dms, %d hedges, %d peer fills, stale serving verified)",
+		rep.Replicas, rep.WaveRequests, rep.AggregateReqPerS, rep.P99DuringKillUs, rep.RecoveryMs, rep.Hedges, rep.PeerFills)
+	return 0
 }
 
 // checkBuildinfo verifies the always-on debug endpoint answers JSON.

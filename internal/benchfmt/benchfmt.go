@@ -1,6 +1,7 @@
 // Package benchfmt defines the schema of the repo's committed benchmark
 // records (BENCH_hotpath.json, BENCH_tier.json, BENCH_session.json,
-// BENCH_trace.json, BENCH_steady.json), shared by cmd/bench (which emits them) and cmd/benchcheck (which
+// BENCH_trace.json, BENCH_steady.json, BENCH_cluster.json), shared by
+// cmd/bench (which emits them) and cmd/benchcheck (which
 // validates them in CI and gates regressions against the committed
 // numbers). One schema in one package is what keeps the emitter and the
 // gate from drifting apart — the failure mode of the inline python
@@ -123,6 +124,19 @@ func Specs() []Spec {
 				{Result: "recorder_disabled_emit", AllocFree: true},
 				{Result: "untraced_share_sweep"},
 				{Result: "traced_share_sweep", BaselineCommit: "same-run untraced Execute"},
+			},
+		},
+		{
+			File: "BENCH_cluster.json",
+			Checks: []Check{
+				// The shard lookup runs once per routed request and must
+				// stay allocation-free; the hedged-request path (shard key,
+				// ring walk, forward, hedge, stale record) may allocate but
+				// the gate keeps it lean — its ns/op is bounded below by
+				// the bench's hedge delay and the host's timer granularity,
+				// so allocs/op is the durable number.
+				{Result: "ring_lookup", AllocFree: true},
+				{Result: "hedged_request"},
 			},
 		},
 		{

@@ -1,0 +1,26 @@
+package cluster
+
+import "testing"
+
+// The Benchmark* wrappers run the same workloads cmd/bench records into
+// BENCH_cluster.json, so `go test -bench` and the committed record can
+// never measure different code.
+
+func BenchmarkRingLookup(b *testing.B) {
+	rb := NewRingBench(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	rb.Lookup(b.N)
+}
+
+func BenchmarkHedgedRequest(b *testing.B) {
+	hb, err := NewHedgeBench()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	if err := hb.Do(b.N); err != nil {
+		b.Fatal(err)
+	}
+}

@@ -1,0 +1,27 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+	"time"
+)
+
+// TestDrill runs the full chaos drill — real sockets, real kill and
+// restart — with a shortened load wave. It is the same path CI's
+// selfcheck-cluster step executes via cmd/serve.
+func TestDrill(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos drill drives seconds of real load")
+	}
+	var buf bytes.Buffer
+	rep, err := RunDrill(&buf, DrillOptions{WaveDuration: time.Second})
+	if err != nil {
+		t.Fatalf("drill failed: %v\nlog:\n%s", err, buf.String())
+	}
+	if rep.WaveRequests == 0 || rep.AggregateReqPerS == 0 {
+		t.Fatalf("drill measured no load: %+v", rep)
+	}
+	if rep.RecoveryMs <= 0 {
+		t.Fatalf("drill measured no recovery time: %+v", rep)
+	}
+}

@@ -1,0 +1,237 @@
+package cluster
+
+import (
+	"context"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"ssdtrain/internal/serve"
+)
+
+// Replica names one serve.Server process behind the router.
+type Replica struct {
+	ID  string
+	URL string
+}
+
+// ProbeOptions tunes the active health checker.
+type ProbeOptions struct {
+	// Interval between probe rounds (0 = DefaultProbeInterval,
+	// negative = active probing off; passive signals still eject).
+	Interval time.Duration
+	// Timeout bounds one /healthz probe (0 = DefaultProbeTimeout).
+	Timeout time.Duration
+	// FailThreshold is how many consecutive failures (probe or forward)
+	// eject a replica (0 = DefaultFailThreshold).
+	FailThreshold int
+	// SuccessThreshold is how many consecutive successful probes readmit
+	// an ejected replica (0 = DefaultSuccessThreshold). Readmission is
+	// stricter than ejection on purpose: flapping replicas must prove
+	// themselves before taking traffic back.
+	SuccessThreshold int
+}
+
+// Probe defaults.
+const (
+	DefaultProbeInterval    = time.Second
+	DefaultProbeTimeout     = 500 * time.Millisecond
+	DefaultFailThreshold    = 2
+	DefaultSuccessThreshold = 2
+)
+
+func (p ProbeOptions) withDefaults() ProbeOptions {
+	if p.Interval == 0 {
+		p.Interval = DefaultProbeInterval
+	}
+	if p.Timeout <= 0 {
+		p.Timeout = DefaultProbeTimeout
+	}
+	if p.FailThreshold <= 0 {
+		p.FailThreshold = DefaultFailThreshold
+	}
+	if p.SuccessThreshold <= 0 {
+		p.SuccessThreshold = DefaultSuccessThreshold
+	}
+	return p
+}
+
+// registry tracks per-replica health from two signals: active /healthz
+// probes on a timer, and passive success/failure reports from the
+// router's own forwards. Health transitions invoke onChange (the
+// router's ring rebuild) exactly once per transition.
+type registry struct {
+	replicas []*replicaState
+	client   *http.Client
+	opts     ProbeOptions
+	onChange func()
+}
+
+// replicaState is one replica's health ledger.
+type replicaState struct {
+	id, url string
+
+	mu          sync.Mutex
+	healthy     bool
+	consecFails int
+	consecOKs   int
+
+	probes       atomic.Int64
+	failures     atomic.Int64
+	ejections    atomic.Int64
+	readmissions atomic.Int64
+}
+
+func newRegistry(replicas []Replica, client *http.Client, opts ProbeOptions, onChange func()) *registry {
+	if client == nil {
+		client = &http.Client{}
+	}
+	g := &registry{client: client, opts: opts.withDefaults(), onChange: onChange}
+	for _, r := range replicas {
+		g.replicas = append(g.replicas, &replicaState{id: r.ID, url: r.URL, healthy: true})
+	}
+	return g
+}
+
+// start runs the probe loop until ctx ends. With probing disabled
+// (negative interval) it returns immediately — the passive signals from
+// forwards still drive ejection, but recovery then needs a successful
+// probe, so long-lived routers should keep probing on.
+func (g *registry) start(ctx context.Context) {
+	if g.opts.Interval < 0 {
+		return
+	}
+	go func() {
+		tick := time.NewTicker(g.opts.Interval)
+		defer tick.Stop()
+		for {
+			g.probeAll(ctx)
+			select {
+			case <-tick.C:
+			case <-ctx.Done():
+				return
+			}
+		}
+	}()
+}
+
+// probeAll probes every replica once, in parallel — a hung replica must
+// not delay its peers' probes past the shared timeout.
+func (g *registry) probeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for i := range g.replicas {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			g.probe(ctx, i)
+		}(i)
+	}
+	wg.Wait()
+}
+
+func (g *registry) probe(ctx context.Context, i int) {
+	r := g.replicas[i]
+	r.probes.Add(1)
+	ctx, cancel := context.WithTimeout(ctx, g.opts.Timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, r.url+"/healthz", nil)
+	if err != nil {
+		g.observe(i, false)
+		return
+	}
+	resp, err := g.client.Do(req)
+	if err != nil {
+		g.observe(i, false)
+		return
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 1<<10))
+	resp.Body.Close()
+	g.observe(i, resp.StatusCode == http.StatusOK)
+}
+
+// reportSuccess/reportFailure are the passive signals: the router calls
+// them for every forward outcome, so a dead replica stops taking
+// traffic after FailThreshold failed forwards even between probe rounds.
+func (g *registry) reportSuccess(i int) { g.observe(i, true) }
+func (g *registry) reportFailure(i int) { g.observe(i, false) }
+
+// observe folds one health signal into the replica's ledger, firing
+// onChange on an eject or readmit transition.
+func (g *registry) observe(i int, ok bool) {
+	r := g.replicas[i]
+	transition := false
+	r.mu.Lock()
+	if ok {
+		r.consecOKs++
+		r.consecFails = 0
+		if !r.healthy && r.consecOKs >= g.opts.SuccessThreshold {
+			r.healthy = true
+			r.readmissions.Add(1)
+			transition = true
+		}
+	} else {
+		r.failures.Add(1)
+		r.consecFails++
+		r.consecOKs = 0
+		if r.healthy && r.consecFails >= g.opts.FailThreshold {
+			r.healthy = false
+			r.ejections.Add(1)
+			transition = true
+		}
+	}
+	r.mu.Unlock()
+	if transition && g.onChange != nil {
+		g.onChange()
+	}
+}
+
+// healthyIDs returns the replica ID list with ejected replicas blanked —
+// the shape NewRing wants, preserving indices so ring lookups stay
+// positions into the registry.
+func (g *registry) healthyIDs() []string {
+	ids := make([]string, len(g.replicas))
+	for i, r := range g.replicas {
+		r.mu.Lock()
+		if r.healthy {
+			ids[i] = r.id
+		}
+		r.mu.Unlock()
+	}
+	return ids
+}
+
+// allIDs returns every replica ID — the full-ring fallback when no
+// replica is healthy (better to try dead replicas than nobody).
+func (g *registry) allIDs() []string {
+	ids := make([]string, len(g.replicas))
+	for i, r := range g.replicas {
+		ids[i] = r.id
+	}
+	return ids
+}
+
+func (g *registry) isHealthy(i int) bool {
+	r := g.replicas[i]
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.healthy
+}
+
+// snapshot renders the registry for /metrics.
+func (g *registry) snapshot() []serve.ReplicaHealthMetrics {
+	out := make([]serve.ReplicaHealthMetrics, 0, len(g.replicas))
+	for i, r := range g.replicas {
+		out = append(out, serve.ReplicaHealthMetrics{
+			ID:           r.id,
+			URL:          r.url,
+			Healthy:      g.isHealthy(i),
+			Probes:       r.probes.Load(),
+			Failures:     r.failures.Load(),
+			Ejections:    r.ejections.Load(),
+			Readmissions: r.readmissions.Load(),
+		})
+	}
+	return out
+}

@@ -1,0 +1,79 @@
+package cluster
+
+import (
+	"math/rand/v2"
+	"sync"
+	"time"
+)
+
+// Backoff is a capped exponential backoff with full jitter: attempt n
+// (0-based) sleeps a uniform random duration in [0, min(Base<<n, Max)).
+// Full jitter (rather than jittering around the midpoint) is what
+// de-correlates a thundering herd fastest: after a replica dies, every
+// router client retrying it spreads across the whole window instead of
+// arriving in a decaying pulse train.
+type Backoff struct {
+	Base time.Duration
+	Max  time.Duration
+}
+
+// Delay returns the jittered sleep before attempt n; attempt 0 is the
+// first retry.
+func (b Backoff) Delay(attempt int) time.Duration {
+	if b.Base <= 0 {
+		return 0
+	}
+	max := b.Base
+	for i := 0; i < attempt && max < b.Max; i++ {
+		max <<= 1
+	}
+	if b.Max > 0 && max > b.Max {
+		max = b.Max
+	}
+	return time.Duration(rand.Int64N(int64(max)))
+}
+
+// budget is the token-bucket retry budget: every routed request earns
+// ratio tokens, every retry or hedge spends one whole token. Bounding
+// extra attempts to a fraction of real traffic is the anti-retry-storm
+// guard — when the whole cluster browns out, retries and hedges are the
+// multiplier that turns high load into total collapse, so the budget
+// lets them amplify a few percent of traffic and no more. The bucket
+// cap keeps a long quiet period from banking an amplification burst.
+type budget struct {
+	mu     sync.Mutex
+	tokens float64
+	ratio  float64
+	cap    float64
+}
+
+func newBudget(ratio float64, cap float64) *budget {
+	if cap <= 0 {
+		cap = 10
+	}
+	// Start with a full bucket: the first requests after startup may
+	// retry freely (they carry the cluster's cold-start failures).
+	return &budget{tokens: cap, ratio: ratio, cap: cap}
+}
+
+// onRequest credits one routed request's worth of retry allowance.
+func (b *budget) onRequest() {
+	b.mu.Lock()
+	b.tokens += b.ratio
+	if b.tokens > b.cap {
+		b.tokens = b.cap
+	}
+	b.mu.Unlock()
+}
+
+// trySpend consumes one token for a retry or hedge, reporting false —
+// the attempt must not be made — when the budget is exhausted.
+func (b *budget) trySpend() bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
+}

@@ -1,0 +1,143 @@
+// Package cluster is the resilient multi-replica front for the planning
+// service: a consistent-hash router that keeps a sharded cluster of
+// serve.Server replicas answering — byte-identically and without 5xx —
+// through replica death, restart and overload.
+//
+// The pieces compose the standard availability toolkit around the
+// service's one structural advantage, determinism. A consistent-hash
+// ring over exp.ShapeHash sends every request for one plan shape to the
+// replica whose compiled plans, arenas and rendered-body cache are hot
+// for it; an active health registry ejects dead replicas (rebuilding the
+// ring over the survivors) and readmits them when they recover; failed
+// attempts retry against the ring successor under capped exponential
+// backoff, a token-bucket retry budget and a tail-latency hedge; a
+// restarted replica refills its cache from its peers instead of
+// re-simulating (serve's /v1/cachefill); and when every replica for a
+// shard is gone the router serves its last good body, labeled stale,
+// rather than a 5xx. Because every body is a pure function of the
+// normalized config, a retried, hedged, peer-filled or stale answer is
+// byte-identical to a fresh simulation — failover here trades latency,
+// never correctness. The chaos drill (Drill) proves exactly that with a
+// live kill/restart under load.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// DefaultVNodes is the virtual-node count per replica. 128 keeps the
+// largest/smallest ownership ratio within a few percent for small
+// clusters while the ring stays a couple of KB.
+const DefaultVNodes = 128
+
+// Ring is an immutable consistent-hash ring over replica indices. The
+// router swaps in a fresh Ring on every health transition; lookups are
+// lock-free reads of sorted points.
+type Ring struct {
+	points []ringPoint // sorted by hash
+	// distinct is how many distinct replicas the ring spans.
+	distinct int
+}
+
+type ringPoint struct {
+	hash    uint64
+	replica int
+}
+
+// NewRing builds a ring over the given replica IDs (positions in the
+// slice are the replica indices lookups return). A nil or all-empty id
+// list yields an empty ring; vnodes <= 0 uses DefaultVNodes. IDs hash by
+// name, so a replica owns the same arc of key space whichever process
+// builds the ring and however the survivor set shrinks — the property
+// that makes "kill one replica" move only that replica's shards.
+func NewRing(ids []string, vnodes int) *Ring {
+	if vnodes <= 0 {
+		vnodes = DefaultVNodes
+	}
+	r := &Ring{points: make([]ringPoint, 0, len(ids)*vnodes)}
+	for i, id := range ids {
+		if id == "" {
+			continue
+		}
+		r.distinct++
+		for v := 0; v < vnodes; v++ {
+			h := fnv.New64a()
+			fmt.Fprintf(h, "%s#%d", id, v)
+			// FNV over short, similar strings clusters; the finalizer
+			// spreads the points uniformly around the ring, which is what
+			// ownership balance comes from.
+			r.points = append(r.points, ringPoint{hash: mix64(h.Sum64()), replica: i})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return r
+}
+
+// Len returns how many distinct replicas the ring spans.
+func (r *Ring) Len() int { return r.distinct }
+
+// Owner returns the replica index owning key: the first virtual node at
+// or clockwise of the key's position. It returns -1 on an empty ring.
+func (r *Ring) Owner(key uint64) int {
+	if len(r.points) == 0 {
+		return -1
+	}
+	return r.points[r.at(key)].replica
+}
+
+// at locates the first point at or clockwise of key, wrapping.
+func (r *Ring) at(key uint64) int {
+	// Binary search; sort.Search allocates nothing.
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= key })
+	if i == len(r.points) {
+		return 0
+	}
+	return i
+}
+
+// SuccessorsInto appends the distinct replicas for key in ring order —
+// the owner first, then each next-distinct successor — into dst and
+// returns it. The order is the failover (and hedging) preference list:
+// removing the owner from the ring makes exactly the next entry the new
+// owner, so retrying down this list hits the replica a rebuilt ring
+// would route to anyway. dst is reused to keep the hot routing path
+// allocation-free.
+func (r *Ring) SuccessorsInto(key uint64, dst []int) []int {
+	dst = dst[:0]
+	if len(r.points) == 0 {
+		return dst
+	}
+	start := r.at(key)
+	for i := 0; i < len(r.points) && len(dst) < r.distinct; i++ {
+		rep := r.points[(start+i)%len(r.points)].replica
+		seen := false
+		for _, d := range dst {
+			if d == rep {
+				seen = true
+				break
+			}
+		}
+		if !seen {
+			dst = append(dst, rep)
+		}
+	}
+	return dst
+}
+
+// Successors is SuccessorsInto with a fresh slice.
+func (r *Ring) Successors(key uint64) []int {
+	return r.SuccessorsInto(key, make([]int, 0, r.distinct))
+}
+
+// mix64 is the splitmix64 finalizer: a full-avalanche bijection that
+// turns the clustered hashes of similar ids into uniform ring positions.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,101 @@
+package cluster
+
+import (
+	"testing"
+)
+
+func ids(n int) []string {
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('a' + i))
+	}
+	return out
+}
+
+// TestRingConsistency pins the property the failover design leans on:
+// removing one replica moves only that replica's keys, and it moves each
+// of them to exactly its first surviving successor — so a router
+// retrying down the successor list lands where a rebuilt ring would
+// route anyway.
+func TestRingConsistency(t *testing.T) {
+	full := NewRing(ids(4), 0)
+	// Remove replica 2 by blanking its id, preserving indices.
+	without := NewRing([]string{"a", "b", "", "d"}, 0)
+	moved, kept := 0, 0
+	for key := uint64(0); key < 20000; key++ {
+		k := key * 0x9e3779b97f4a7c15
+		was, now := full.Owner(k), without.Owner(k)
+		if was != 2 {
+			kept++
+			if now != was {
+				t.Fatalf("key %d moved %d -> %d though its owner survived", k, was, now)
+			}
+			continue
+		}
+		moved++
+		succ := full.Successors(k)
+		want := -1
+		for _, s := range succ {
+			if s != 2 {
+				want = s
+				break
+			}
+		}
+		if now != want {
+			t.Fatalf("key %d moved to %d, want first surviving successor %d", k, now, want)
+		}
+	}
+	if moved == 0 || kept == 0 {
+		t.Fatalf("degenerate distribution: %d moved, %d kept", moved, kept)
+	}
+}
+
+// TestSuccessorsOrder: the successor list is distinct, starts with the
+// owner and covers every replica.
+func TestSuccessorsOrder(t *testing.T) {
+	r := NewRing(ids(5), 0)
+	for key := uint64(1); key < 1000; key += 7 {
+		succ := r.Successors(key)
+		if len(succ) != 5 {
+			t.Fatalf("key %d: %d successors, want 5", key, len(succ))
+		}
+		if succ[0] != r.Owner(key) {
+			t.Fatalf("key %d: successor list starts with %d, owner is %d", key, succ[0], r.Owner(key))
+		}
+		seen := map[int]bool{}
+		for _, s := range succ {
+			if seen[s] {
+				t.Fatalf("key %d: duplicate successor %d", key, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+// TestRingBalance: with the default virtual-node count no replica owns a
+// grossly outsized share of the key space.
+func TestRingBalance(t *testing.T) {
+	r := NewRing(ids(3), 0)
+	counts := make([]int, 3)
+	const keys = 30000
+	for key := uint64(0); key < keys; key++ {
+		counts[r.Owner(key*0x9e3779b97f4a7c15)]++
+	}
+	for i, n := range counts {
+		share := float64(n) / keys
+		if share < 0.15 || share > 0.55 {
+			t.Fatalf("replica %d owns %.1f%% of the key space: %v", i, share*100, counts)
+		}
+	}
+}
+
+// TestEmptyRing: lookups on an empty ring degrade, not panic.
+func TestEmptyRing(t *testing.T) {
+	r := NewRing(nil, 0)
+	if got := r.Owner(42); got != -1 {
+		t.Fatalf("empty ring owner = %d, want -1", got)
+	}
+	if got := r.Successors(42); len(got) != 0 {
+		t.Fatalf("empty ring successors = %v, want none", got)
+	}
+}

@@ -1,0 +1,45 @@
+package exp
+
+import (
+	"fmt"
+	"hash/fnv"
+)
+
+// ShapeHash reduces cfg to a stable 64-bit shard key: the FNV-1a hash of
+// its plan identity (the normalized config with the cheap knobs zeroed —
+// see ShapeKey). Two configs hash equal exactly when they compile to the
+// same *Plan and warm the same session pool and rendered-body cache
+// entries, which makes this the routing key for a sharded planning
+// cluster: a consistent-hash ring over ShapeHash sends every request for
+// one plan shape to the replica whose arenas and caches are already hot
+// for it. The hash is deterministic for a given binary, which is the
+// contract a cluster needs — all replicas and routers run the same build.
+func ShapeHash(cfg RunConfig) (uint64, error) {
+	key, err := ShapeKey(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return hashConfig(key), nil
+}
+
+// ConfigHash hashes the full normalized config — the identity under
+// which value-identical measurements coincide (Normalize). Where
+// ShapeHash identifies which replica should answer, ConfigHash
+// identifies one exact answer: the router's last-good body cache (the
+// stale-serve fallback) keys on it.
+func ConfigHash(cfg RunConfig) (uint64, error) {
+	norm, err := Normalize(cfg)
+	if err != nil {
+		return 0, err
+	}
+	return hashConfig(norm), nil
+}
+
+// hashConfig folds the config's canonical value rendering through
+// FNV-1a. The %+v form includes every field name and value, so any two
+// distinct normalized configs render (and hash) differently.
+func hashConfig(cfg RunConfig) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%+v", cfg)
+	return h.Sum64()
+}

@@ -10,9 +10,14 @@ package lru
 import (
 	"container/list"
 	"sync"
+	"time"
 )
 
-// Cache is a concurrency-safe LRU cache.
+// Cache is a concurrency-safe LRU cache. Every entry carries the wall
+// clock of the Put that created it, so a consumer serving cached bodies
+// can label how old an answer is (the serve layer's stale-serve
+// contract) and a peer filling its cache from another replica can
+// preserve the original render time instead of laundering it as fresh.
 type Cache[K comparable, V any] struct {
 	mu           sync.Mutex
 	capacity     int
@@ -25,6 +30,9 @@ type Cache[K comparable, V any] struct {
 type entry[K comparable, V any] struct {
 	key K
 	val V
+	// at is when the value was rendered: the Put time, or the upstream
+	// stamp a PutStamped caller carried over from a peer.
+	at time.Time
 }
 
 // New creates an LRU cache holding at most capacity entries; a zero or
@@ -43,47 +51,107 @@ func New[K comparable, V any](capacity int) *Cache[K, V] {
 
 // Get returns the cached value and marks it most recently used.
 func (c *Cache[K, V]) Get(k K) (V, bool) {
+	v, _, ok := c.GetStamped(k)
+	return v, ok
+}
+
+// GetStamped is Get plus the entry's render stamp (the Put time, or the
+// carried-over stamp of a PutStamped fill).
+func (c *Cache[K, V]) GetStamped(k K) (V, time.Time, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.index[k]; ok {
 		c.ll.MoveToFront(el)
 		c.hits++
-		return el.Value.(*entry[K, V]).val, true
+		e := el.Value.(*entry[K, V])
+		return e.val, e.at, true
 	}
 	c.misses++
 	var zero V
-	return zero, false
+	return zero, time.Time{}, false
 }
 
 // GetQuiet is Get without touching the hit/miss counters, for
 // double-checked paths whose first Get already counted the lookup.
 func (c *Cache[K, V]) GetQuiet(k K) (V, bool) {
+	v, _, ok := c.GetQuietStamped(k)
+	return v, ok
+}
+
+// GetQuietStamped is GetStamped without touching the hit/miss counters.
+func (c *Cache[K, V]) GetQuietStamped(k K) (V, time.Time, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.index[k]; ok {
 		c.ll.MoveToFront(el)
-		return el.Value.(*entry[K, V]).val, true
+		e := el.Value.(*entry[K, V])
+		return e.val, e.at, true
 	}
 	var zero V
-	return zero, false
+	return zero, time.Time{}, false
 }
 
-// Put inserts or refreshes a value, evicting the least recently used
-// entry when the cache is full.
-func (c *Cache[K, V]) Put(k K, v V) {
+// Peek returns the cached value and stamp without counting the lookup or
+// promoting the entry. Peer cache-fill scans answer through it so another
+// replica's warmup traffic cannot distort this cache's recency order or
+// its hit-rate accounting.
+func (c *Cache[K, V]) Peek(k K) (V, time.Time, bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if el, ok := c.index[k]; ok {
-		el.Value.(*entry[K, V]).val = v
+		e := el.Value.(*entry[K, V])
+		return e.val, e.at, true
+	}
+	var zero V
+	return zero, time.Time{}, false
+}
+
+// Put inserts or refreshes a value stamped with the current time,
+// evicting the least recently used entry when the cache is full.
+func (c *Cache[K, V]) Put(k K, v V) {
+	c.PutStamped(k, v, time.Now())
+}
+
+// PutStamped is Put with an explicit render stamp, for fills whose value
+// was rendered elsewhere (a peer cache-fill carries the original
+// replica's stamp so staleness is measured from the render, not the
+// copy).
+func (c *Cache[K, V]) PutStamped(k K, v V, at time.Time) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.index[k]; ok {
+		e := el.Value.(*entry[K, V])
+		e.val = v
+		e.at = at
 		c.ll.MoveToFront(el)
 		return
 	}
-	c.index[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v})
+	c.index[k] = c.ll.PushFront(&entry[K, V]{key: k, val: v, at: at})
 	if c.ll.Len() > c.capacity {
 		last := c.ll.Back()
 		c.ll.Remove(last)
 		delete(c.index, last.Value.(*entry[K, V]).key)
 		c.evictions++
+	}
+}
+
+// Range calls f for every cached entry from most to least recently used,
+// stopping early when f returns false. It snapshots the entries under the
+// lock first, so f may call back into the cache (a snapshot/fill loop
+// re-Putting entries into another cache does). Values are whatever Put
+// stored — callers sharing mutable values across caches share them here
+// too.
+func (c *Cache[K, V]) Range(f func(K, V, time.Time) bool) {
+	c.mu.Lock()
+	snap := make([]entry[K, V], 0, c.ll.Len())
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		snap = append(snap, *el.Value.(*entry[K, V]))
+	}
+	c.mu.Unlock()
+	for i := range snap {
+		if !f(snap[i].key, snap[i].val, snap[i].at) {
+			return
+		}
 	}
 }
 

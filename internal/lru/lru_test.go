@@ -184,3 +184,82 @@ func TestCacheEvictionCounter(t *testing.T) {
 		t.Fatalf("len = %d, want 2", n)
 	}
 }
+
+func TestStampsCarryAndRefresh(t *testing.T) {
+	c := New[string, int](4)
+	old := time.Now().Add(-time.Hour)
+	c.PutStamped("peer-filled", 1, old)
+	if _, at, ok := c.GetStamped("peer-filled"); !ok || !at.Equal(old) {
+		t.Fatalf("GetStamped = (%v, %v), want carried-over stamp %v", at, ok, old)
+	}
+	before := time.Now()
+	c.Put("fresh", 2)
+	if _, at, ok := c.GetStamped("fresh"); !ok || at.Before(before) {
+		t.Fatalf("Put stamp %v predates the Put (%v)", at, before)
+	}
+	// Refreshing an entry refreshes its stamp too: the value was
+	// re-rendered, so its age restarts.
+	c.PutStamped("peer-filled", 3, time.Now())
+	if v, at, ok := c.GetStamped("peer-filled"); !ok || v != 3 || at.Equal(old) {
+		t.Fatalf("refresh kept the old stamp (v=%d at=%v)", v, at)
+	}
+	if _, _, ok := c.GetStamped("absent"); ok {
+		t.Fatal("GetStamped hit an absent key")
+	}
+}
+
+func TestPeekIsInvisible(t *testing.T) {
+	c := New[int, int](2)
+	c.Put(1, 1)
+	c.Put(2, 2) // LRU order now: 2 (MRU), 1 (LRU)
+	h0, m0 := c.Stats()
+	if v, _, ok := c.Peek(1); !ok || v != 1 {
+		t.Fatalf("Peek(1) = (%d, %v)", v, ok)
+	}
+	if _, _, ok := c.Peek(99); ok {
+		t.Fatal("Peek hit an absent key")
+	}
+	if h, m := c.Stats(); h != h0 || m != m0 {
+		t.Fatalf("Peek moved the counters: (%d,%d) -> (%d,%d)", h0, m0, h, m)
+	}
+	// Peek must not have promoted 1: inserting a third entry still evicts
+	// it as the least recently used.
+	c.Put(3, 3)
+	if _, _, ok := c.Peek(1); ok {
+		t.Fatal("Peek promoted the entry it peeked")
+	}
+}
+
+func TestRangeOrderAndEarlyStop(t *testing.T) {
+	c := New[int, int](3)
+	c.Put(1, 10)
+	c.Put(2, 20)
+	c.Put(3, 30)
+	c.Get(1) // promote: MRU order is now 1, 3, 2
+	var keys []int
+	c.Range(func(k, v int, at time.Time) bool {
+		if at.IsZero() {
+			t.Errorf("entry %d has a zero stamp", k)
+		}
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != 3 || keys[0] != 1 || keys[1] != 3 || keys[2] != 2 {
+		t.Fatalf("Range order = %v, want [1 3 2]", keys)
+	}
+	n := 0
+	c.Range(func(int, int, time.Time) bool { n++; return false })
+	if n != 1 {
+		t.Fatalf("Range ignored early stop: %d calls", n)
+	}
+	// Reentrant fill: Range snapshots first, so f may Put into the same
+	// cache family without deadlocking.
+	dst := New[int, int](3)
+	c.Range(func(k, v int, at time.Time) bool {
+		dst.PutStamped(k, v, at)
+		return true
+	})
+	if dst.Len() != 3 {
+		t.Fatalf("snapshot/fill copied %d entries, want 3", dst.Len())
+	}
+}

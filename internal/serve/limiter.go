@@ -51,3 +51,7 @@ func (l *limiter) acquire(ctx context.Context) bool {
 
 // release frees a slot claimed by acquire.
 func (l *limiter) release() { <-l.slots }
+
+// waiting reports how many callers are currently parked in the wait
+// queue — the load signal behind the server's Retry-After derivation.
+func (l *limiter) waiting() int { return len(l.queue) }

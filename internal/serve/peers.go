@@ -1,0 +1,160 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strconv"
+	"time"
+
+	"ssdtrain/internal/exp"
+)
+
+// Peer cache-fill: when a replica joins (or rejoins) a sharded cluster,
+// its rendered-body cache is cold for every shard the ring hands it, but
+// the surviving replicas usually still hold the bodies — they rendered
+// them before the ring moved the shard, or they were the shard's previous
+// owner. A cold miss therefore first asks the peers' /v1/cachefill
+// endpoints for an already-rendered body and only simulates when nobody
+// has one. The endpoint is lookup-only by design: it answers from the
+// cache via Peek (no LRU promotion, no hit/miss distortion) and never
+// simulates, so two replicas cold for the same key cannot ping-pong the
+// question between each other — one of them pays the simulation and the
+// other fills from it on a later miss.
+
+// cachefillRequest is the body of POST /v1/cachefill: the normalized run
+// config whose rendered body the asking replica wants. The config rides
+// the wire as plain JSON of exp.RunConfig — every field is an exported
+// value type, so the round trip is exact and the receiver re-normalizes
+// to the same cache key.
+type cachefillRequest struct {
+	Config exp.RunConfig `json:"config"`
+}
+
+// errCachefillMiss is the 404 body for a cache-fill lookup this replica
+// cannot answer; the asker treats it as "simulate it yourself".
+var errCachefillMiss = errors.New("serve: not cached here")
+
+// handleCachefill answers a peer's cache lookup: the rendered body plus
+// its original render stamp (X-SSDTrain-Rendered-At, unix nanoseconds)
+// on a hit, 404 on a miss.
+func (s *Server) handleCachefill(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, errors.New("serve: POST only"))
+		return
+	}
+	var req cachefillRequest
+	if err := decodeBody(w, r, &req); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	cfg, err := exp.Normalize(req.Config)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	body, at, ok := s.results.Peek(cfg)
+	if !ok {
+		s.stats.cachefillMisses.Add(1)
+		writeError(w, http.StatusNotFound, errCachefillMiss)
+		return
+	}
+	s.stats.cachefillHits.Add(1)
+	w.Header().Set(HeaderRenderedAt, strconv.FormatInt(at.UnixNano(), 10))
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(body)
+}
+
+// peerSet fans a replica's cold misses out to its peers' /v1/cachefill
+// endpoints.
+type peerSet struct {
+	urls    []string
+	client  *http.Client
+	timeout time.Duration
+	stats   *stats
+}
+
+func newPeerSet(urls []string, client *http.Client, timeout time.Duration, st *stats) *peerSet {
+	if client == nil {
+		client = &http.Client{}
+	}
+	return &peerSet{urls: urls, client: client, timeout: timeout, stats: st}
+}
+
+// peerHit is one peer's positive cache-fill answer.
+type peerHit struct {
+	body []byte
+	at   time.Time
+}
+
+// fill asks every peer for cfg's rendered body in parallel and returns
+// the first hit, bounded end to end by the fill timeout. A miss (every
+// peer answered 404, failed, or the timeout expired) reports false and
+// the caller simulates; fill itself never simulates and holds no worker
+// slot, so it adds at most the timeout to a cold miss and nothing to
+// anything else.
+func (p *peerSet) fill(ctx context.Context, cfg exp.RunConfig) ([]byte, time.Time, bool) {
+	blob, err := json.Marshal(cachefillRequest{Config: cfg})
+	if err != nil {
+		p.stats.peerFillMisses.Add(1)
+		return nil, time.Time{}, false
+	}
+	ctx, cancel := context.WithTimeout(ctx, p.timeout)
+	defer cancel()
+	answers := make(chan *peerHit, len(p.urls))
+	for _, url := range p.urls {
+		go func(url string) {
+			answers <- p.ask(ctx, url, blob)
+		}(url)
+	}
+	for range p.urls {
+		select {
+		case h := <-answers:
+			if h != nil {
+				p.stats.peerFilled.Add(1)
+				return h.body, h.at, true
+			}
+		case <-ctx.Done():
+			p.stats.peerFillMisses.Add(1)
+			return nil, time.Time{}, false
+		}
+	}
+	p.stats.peerFillMisses.Add(1)
+	return nil, time.Time{}, false
+}
+
+// ask performs one peer's cache-fill lookup, returning nil on any miss or
+// failure — a peer that is down or cold is simply not a source.
+func (p *peerSet) ask(ctx context.Context, base string, blob []byte) *peerHit {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, base+"/v1/cachefill", bytes.NewReader(blob))
+	if err != nil {
+		return nil
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := p.client.Do(req)
+	if err != nil {
+		return nil
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxCachefillBody))
+	if err != nil || len(body) == 0 {
+		return nil
+	}
+	at := time.Now()
+	if ns, err := strconv.ParseInt(resp.Header.Get(HeaderRenderedAt), 10, 64); err == nil {
+		// Keep the original render stamp so staleness is measured from
+		// the simulation, not from this copy.
+		at = time.Unix(0, ns)
+	}
+	return &peerHit{body: body, at: at}
+}
+
+// maxCachefillBody bounds one peer answer; rendered plan bodies are a
+// few KB.
+const maxCachefillBody = 1 << 20

@@ -59,6 +59,18 @@ func (m Metrics) Prometheus() []byte {
 	counter("ssdtrain_rejected_requests_total", "429 backpressure responses.", func() {
 		fmt.Fprintf(&b, "ssdtrain_rejected_requests_total %d\n", m.RejectedRequests)
 	})
+	counter("ssdtrain_rejected_deadline_total", "503 deadline-expiry responses (brownout, distinct from 429 saturation).", func() {
+		fmt.Fprintf(&b, "ssdtrain_rejected_deadline_total %d\n", m.RejectedDeadline)
+	})
+	counter("ssdtrain_stale_served_total", "Responses served past the staleness threshold and labeled stale.", func() {
+		fmt.Fprintf(&b, "ssdtrain_stale_served_total %d\n", m.StaleServed)
+	})
+	counter("ssdtrain_peer_fill_total", "Peer cache-fill traffic, by event.", func() {
+		fmt.Fprintf(&b, "ssdtrain_peer_fill_total{event=\"filled\"} %d\n", m.PeerFill.Filled)
+		fmt.Fprintf(&b, "ssdtrain_peer_fill_total{event=\"miss\"} %d\n", m.PeerFill.Misses)
+		fmt.Fprintf(&b, "ssdtrain_peer_fill_total{event=\"served_hit\"} %d\n", m.PeerFill.ServedHits)
+		fmt.Fprintf(&b, "ssdtrain_peer_fill_total{event=\"served_miss\"} %d\n", m.PeerFill.ServedMisses)
+	})
 	counter("ssdtrain_batch_flushes_total", "Coalescing-window flushes.", func() {
 		fmt.Fprintf(&b, "ssdtrain_batch_flushes_total %d\n", m.Batch.Flushes)
 	})
@@ -111,6 +123,81 @@ func (m Metrics) Prometheus() []byte {
 	})
 	counter("ssdtrain_steady_state_extrapolated_steps_total", "Measured steps synthesized analytically instead of simulated.", func() {
 		fmt.Fprintf(&b, "ssdtrain_steady_state_extrapolated_steps_total %d\n", m.SteadyState.ExtrapolatedSteps)
+	})
+
+	return []byte(b.String())
+}
+
+// Prometheus renders the router metrics snapshot in the Prometheus text
+// exposition format, mirroring the replica rendering above so one scrape
+// config covers both layers of a cluster.
+func (m RouterMetrics) Prometheus() []byte {
+	var b strings.Builder
+
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	counter := func(name, help string, rows func()) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		rows()
+	}
+
+	gauge("ssdtrain_router_uptime_seconds", "Seconds since the router started.", m.UptimeSeconds)
+
+	names := make([]string, 0, len(m.Endpoints))
+	for name := range m.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	counter("ssdtrain_router_requests_total", "Routed requests, by endpoint and status class.", func() {
+		for _, name := range names {
+			ep := m.Endpoints[name]
+			for _, c := range []struct {
+				class string
+				n     int64
+			}{{"2xx", ep.Status2xx}, {"4xx", ep.Status4xx}, {"5xx", ep.Status5xx}} {
+				fmt.Fprintf(&b, "ssdtrain_router_requests_total{endpoint=%q,class=%q} %d\n", name, c.class, c.n)
+			}
+		}
+	})
+
+	counter("ssdtrain_router_attempts_total", "Upstream attempts, by kind (first try, retry, hedge).", func() {
+		first := m.Attempts - m.Retries - m.Hedges
+		fmt.Fprintf(&b, "ssdtrain_router_attempts_total{kind=\"first\"} %d\n", first)
+		fmt.Fprintf(&b, "ssdtrain_router_attempts_total{kind=\"retry\"} %d\n", m.Retries)
+		fmt.Fprintf(&b, "ssdtrain_router_attempts_total{kind=\"hedge\"} %d\n", m.Hedges)
+	})
+	counter("ssdtrain_router_hedge_wins_total", "Hedged attempts whose answer arrived before the primary's.", func() {
+		fmt.Fprintf(&b, "ssdtrain_router_hedge_wins_total %d\n", m.HedgeWins)
+	})
+	counter("ssdtrain_router_retry_budget_exhausted_total", "Retries or hedges suppressed by an empty retry budget.", func() {
+		fmt.Fprintf(&b, "ssdtrain_router_retry_budget_exhausted_total %d\n", m.RetryBudgetExhausted)
+	})
+	counter("ssdtrain_router_stale_total", "Total-failure fallbacks, by outcome (served from the last-good cache, or no body to serve).", func() {
+		fmt.Fprintf(&b, "ssdtrain_router_stale_total{outcome=\"served\"} %d\n", m.StaleServed)
+		fmt.Fprintf(&b, "ssdtrain_router_stale_total{outcome=\"miss\"} %d\n", m.StaleMisses)
+	})
+
+	gauge("ssdtrain_router_ring_replicas", "Healthy replicas currently on the consistent-hash ring.", float64(m.RingReplicas))
+	counter("ssdtrain_router_ring_rebuilds_total", "Ring rebuilds triggered by replica health transitions.", func() {
+		fmt.Fprintf(&b, "ssdtrain_router_ring_rebuilds_total %d\n", m.RingRebuilds)
+	})
+
+	fmt.Fprintf(&b, "# HELP ssdtrain_router_replica_healthy Replica health as seen by the registry (1 healthy, 0 ejected).\n# TYPE ssdtrain_router_replica_healthy gauge\n")
+	for _, rep := range m.Replicas {
+		v := 0
+		if rep.Healthy {
+			v = 1
+		}
+		fmt.Fprintf(&b, "ssdtrain_router_replica_healthy{replica=%q} %d\n", rep.ID, v)
+	}
+	counter("ssdtrain_router_replica_events_total", "Per-replica registry events, by kind.", func() {
+		for _, rep := range m.Replicas {
+			fmt.Fprintf(&b, "ssdtrain_router_replica_events_total{replica=%q,kind=\"probe\"} %d\n", rep.ID, rep.Probes)
+			fmt.Fprintf(&b, "ssdtrain_router_replica_events_total{replica=%q,kind=\"failure\"} %d\n", rep.ID, rep.Failures)
+			fmt.Fprintf(&b, "ssdtrain_router_replica_events_total{replica=%q,kind=\"ejection\"} %d\n", rep.ID, rep.Ejections)
+			fmt.Fprintf(&b, "ssdtrain_router_replica_events_total{replica=%q,kind=\"readmission\"} %d\n", rep.ID, rep.Readmissions)
+		}
 	})
 
 	return []byte(b.String())

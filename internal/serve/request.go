@@ -147,9 +147,13 @@ func (f *FaultSpec) spec() faults.Spec {
 	}
 }
 
-// runConfig resolves the request to a normalized exp.RunConfig — the
+// RunConfig resolves the request to its normalized exp.RunConfig — the
 // canonical form the server's result cache, singleflight and batcher all
-// key on.
+// key on, and the identity a cluster router's shard key (exp.ShapeHash)
+// is computed from.
+func (r PlanRequest) RunConfig() (exp.RunConfig, error) { return r.runConfig() }
+
+// runConfig validates the request's knobs and normalizes the result.
 func (r PlanRequest) runConfig() (exp.RunConfig, error) {
 	model, err := r.Model.config()
 	if err != nil {

@@ -24,8 +24,10 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
 	"runtime"
+	"strconv"
 	"strings"
 	"time"
 
@@ -60,31 +62,76 @@ type Options struct {
 	// waits for a worker slot and the simulation itself. An expired
 	// deadline answers 503 (0 = DefaultRequestTimeout, negative = none).
 	RequestTimeout time.Duration
+	// ReplicaID names this replica within a sharded cluster; it is
+	// echoed on responses (X-SSDTrain-Replica) so routers and drills can
+	// attribute a body to the process that served it.
+	ReplicaID string
+	// Peers lists the base URLs of the other replicas in the cluster.
+	// With peers configured, a cold /v1/plan miss first asks their
+	// /v1/cachefill endpoints for an already-rendered body (bounded by
+	// PeerFillTimeout, inside the request's singleflight) before paying a
+	// simulation — the survivors' caches warm a rehashed or restarted
+	// shard instead of every key re-simulating from scratch.
+	Peers []string
+	// PeerFillTimeout bounds one peer cache-fill fan-out end to end
+	// (0 = DefaultPeerFillTimeout, negative = disable peer fill).
+	PeerFillTimeout time.Duration
+	// PeerClient issues the cache-fill requests (nil = a default client;
+	// tests inject in-memory transports).
+	PeerClient *http.Client
+	// StaleAfter labels responses whose cached body is older than this
+	// with the staleness headers (X-SSDTrain-Stale, X-SSDTrain-Stale-For)
+	// and counts them on /metrics. Peer-filled entries keep the render
+	// stamp of the replica that simulated them, so age survives the
+	// copy. 0 disables labeling: bodies are pure functions of the config,
+	// so age is operational information, never a correctness risk.
+	StaleAfter time.Duration
 }
 
 // Defaults for Options' zero values.
 const (
-	DefaultQueue          = 64
-	DefaultCacheCapacity  = 1024
-	DefaultBatchWindow    = 2 * time.Millisecond
-	DefaultRequestTimeout = 2 * time.Minute
+	DefaultQueue           = 64
+	DefaultCacheCapacity   = 1024
+	DefaultBatchWindow     = 2 * time.Millisecond
+	DefaultRequestTimeout  = 2 * time.Minute
+	DefaultPeerFillTimeout = 250 * time.Millisecond
 	// defaultFleetBodies bounds the rendered fleet-response LRU; fleet
 	// requests are few and bodies small, so a handful suffices.
 	defaultFleetBodies = 64
 )
+
+// Cluster wire headers: the staleness label on cache-served bodies, the
+// render stamp a cache-fill answer carries (unix nanoseconds), and the
+// replica attribution echo.
+const (
+	HeaderStale      = "X-SSDTrain-Stale"
+	HeaderStaleFor   = "X-SSDTrain-Stale-For"
+	HeaderRenderedAt = "X-SSDTrain-Rendered-At"
+	HeaderReplica    = "X-SSDTrain-Replica"
+)
+
+// stamped pairs a rendered body with its render time — the value the
+// caches, flights and peer fills move around, so staleness labeling can
+// measure age from the simulation that produced a body rather than the
+// hop that delivered it.
+type stamped struct {
+	body []byte
+	at   time.Time
+}
 
 // Server is a concurrent what-if planning service.
 type Server struct {
 	opts     Options
 	stats    *stats
 	results  *lru.Cache[exp.RunConfig, []byte]
-	flight   lru.Singleflight[exp.RunConfig, []byte]
+	flight   lru.Singleflight[exp.RunConfig, stamped]
 	fleetRes *lru.Cache[string, []byte]
-	fleetFl  lru.Singleflight[string, []byte]
+	fleetFl  lru.Singleflight[string, stamped]
 	sessions *exp.SessionPool
 	batcher  *batcher
 	limiter  *limiter
 	profiler *fleet.Profiler
+	peers    *peerSet
 	mux      *http.ServeMux
 }
 
@@ -114,9 +161,15 @@ func New(opts Options) *Server {
 	case opts.BatchWindow < 0:
 		opts.BatchWindow = 0
 	}
+	switch {
+	case opts.PeerFillTimeout == 0:
+		opts.PeerFillTimeout = DefaultPeerFillTimeout
+	case opts.PeerFillTimeout < 0:
+		opts.PeerFillTimeout = 0
+	}
 	s := &Server{
 		opts:     opts,
-		stats:    newStats(time.Now(), "plan", "sweep", "fleet", "trace", "metrics"),
+		stats:    newStats(time.Now(), "plan", "sweep", "fleet", "trace", "cachefill", "metrics"),
 		results:  lru.New[exp.RunConfig, []byte](opts.CacheCapacity),
 		fleetRes: lru.New[string, []byte](defaultFleetBodies),
 		sessions: exp.NewSessionPool(opts.MaxIdleSessions),
@@ -124,11 +177,15 @@ func New(opts Options) *Server {
 		profiler: fleet.NewProfiler(opts.FleetCacheCapacity),
 		mux:      http.NewServeMux(),
 	}
+	if len(opts.Peers) > 0 && opts.PeerFillTimeout > 0 {
+		s.peers = newPeerSet(opts.Peers, opts.PeerClient, opts.PeerFillTimeout, s.stats)
+	}
 	s.batcher = newBatcher(s.runPooled, s.limiter, opts.BatchWindow, s.stats)
 	s.mux.HandleFunc("/v1/plan", s.instrument("plan", s.handlePlan))
 	s.mux.HandleFunc("/v1/sweep", s.instrument("sweep", s.handleSweep))
 	s.mux.HandleFunc("/v1/fleet", s.instrument("fleet", s.handleFleet))
 	s.mux.HandleFunc("/v1/trace", s.instrument("trace", s.handleTrace))
+	s.mux.HandleFunc("/v1/cachefill", s.instrument("cachefill", s.handleCachefill))
 	s.mux.HandleFunc("/metrics", s.instrument("metrics", s.handleMetrics))
 	s.mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -170,6 +227,9 @@ func (s *Server) instrument(name string, h http.HandlerFunc) http.HandlerFunc {
 			r = r.WithContext(ctx)
 		}
 		rec := &statusRecorder{ResponseWriter: w, status: http.StatusOK}
+		if s.opts.ReplicaID != "" {
+			w.Header().Set(HeaderReplica, s.opts.ReplicaID)
+		}
 		h(rec, r)
 		ep.observe(rec.status, time.Since(start))
 	}
@@ -207,11 +267,33 @@ var errSaturated = errors.New("serve: saturated, retry later")
 // deadline expired while it was queued or simulating.
 var errDeadline = errors.New("serve: request deadline exceeded")
 
+// maxRetryAfterSeconds caps the load-derived Retry-After base; with the
+// jitter the header never exceeds twice this.
+const maxRetryAfterSeconds = 30
+
+// retryAfterSeconds derives the Retry-After hint from current load
+// instead of a constant: one second of hinted delay per worker-count of
+// queued waiters ahead of the caller (the time a full queue drain takes
+// if every simulation ran about a second), clamped, then jittered into
+// [base, 2*base) so a burst of rejected clients doesn't come back in
+// lockstep and re-saturate the queue on the same tick.
+func (s *Server) retryAfterSeconds() int {
+	base := 1 + s.limiter.waiting()/s.opts.Workers
+	if base > maxRetryAfterSeconds {
+		base = maxRetryAfterSeconds
+	}
+	return base + rand.IntN(base)
+}
+
 // writeRunError maps a simulation-path error to its response: deadline
-// expiry is the server running out of time budget (503, retryable), not
-// a property of the config (422).
-func writeRunError(w http.ResponseWriter, err error) {
+// expiry is the server running out of time budget (503, retryable, with
+// the same load-derived Retry-After as saturation), not a property of
+// the config (422). rejected_deadline counts the 503s so operators can
+// tell brownout from the 429 backpressure counter.
+func (s *Server) writeRunError(w http.ResponseWriter, err error) {
 	if errors.Is(err, context.DeadlineExceeded) {
+		s.stats.rejectedDeadline.Add(1)
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 		writeError(w, http.StatusServiceUnavailable, errDeadline)
 		return
 	}
@@ -222,7 +304,7 @@ func writeRunError(w http.ResponseWriter, err error) {
 // exactly these responses, wherever the saturation was detected.
 func (s *Server) writeBackpressure(w http.ResponseWriter) {
 	s.stats.rejected.Add(1)
-	w.Header().Set("Retry-After", "1")
+	w.Header().Set("Retry-After", strconv.Itoa(s.retryAfterSeconds()))
 	writeError(w, http.StatusTooManyRequests, errSaturated)
 }
 
@@ -295,14 +377,14 @@ func ownerDied(err error) bool {
 // a surviving caller becomes the new owner; and only successfully
 // shared work counts as dedup — a joiner inheriting the owner's 429 or
 // simulation error is not coalescing the selfcheck gate should credit.
-func cachedBody[K comparable](ctx context.Context, s *Server, cache *lru.Cache[K, []byte], fl *lru.Singleflight[K, []byte], key K, run func() ([]byte, error)) ([]byte, error) {
+func cachedBody[K comparable](ctx context.Context, s *Server, cache *lru.Cache[K, []byte], fl *lru.Singleflight[K, stamped], key K, run func() (stamped, error)) ([]byte, time.Time, error) {
 	for {
-		if body, ok := cache.Get(key); ok {
-			return body, nil
+		if body, at, ok := cache.GetStamped(key); ok {
+			return body, at, nil
 		}
-		body, err, shared := fl.Do(key, func() ([]byte, error) {
-			if b, ok := cache.GetQuiet(key); ok {
-				return b, nil
+		st, err, shared := fl.Do(key, func() (stamped, error) {
+			if b, at, ok := cache.GetQuietStamped(key); ok {
+				return stamped{body: b, at: at}, nil
 			}
 			return run()
 		})
@@ -312,7 +394,7 @@ func cachedBody[K comparable](ctx context.Context, s *Server, cache *lru.Cache[K
 		if shared && err == nil {
 			s.stats.coalesced.Add(1)
 		}
-		return body, err
+		return st.body, st.at, err
 	}
 }
 
@@ -325,8 +407,19 @@ func cachedBody[K comparable](ctx context.Context, s *Server, cache *lru.Cache[K
 // window — their arena reuse comes from the session pool, and a window
 // would only add its delay to every point of an already-batched
 // request.
-func (s *Server) planBody(ctx context.Context, cfg exp.RunConfig, viaBatch bool) ([]byte, error) {
-	return cachedBody(ctx, s, s.results, &s.flight, cfg, func() ([]byte, error) {
+func (s *Server) planBody(ctx context.Context, cfg exp.RunConfig, viaBatch bool) ([]byte, time.Time, error) {
+	return cachedBody(ctx, s, s.results, &s.flight, cfg, func() (stamped, error) {
+		// Peer fill first: a clustered replica asks its peers' caches
+		// before paying a simulation. The lookup is cheap (no worker slot),
+		// runs inside this flight (so concurrent identical misses fan out
+		// to the peers once), and a filled body keeps the render stamp of
+		// the replica that simulated it.
+		if s.peers != nil {
+			if body, at, ok := s.peers.fill(ctx, cfg); ok {
+				s.results.PutStamped(cfg, body, at)
+				return stamped{body: body, at: at}, nil
+			}
+		}
 		var res *exp.RunResult
 		var err error
 		if viaBatch && s.batcher.window > 0 {
@@ -335,18 +428,19 @@ func (s *Server) planBody(ctx context.Context, cfg exp.RunConfig, viaBatch bool)
 			res, err = s.batcher.run(ctx, cfg)
 		} else {
 			if err := s.acquireSlot(ctx); err != nil {
-				return nil, err
+				return stamped{}, err
 			}
 			out := s.runPooled([]exp.RunConfig{cfg})
 			s.limiter.release()
 			res, err = out[0].Result, out[0].Err
 		}
 		if err != nil {
-			return nil, err
+			return stamped{}, err
 		}
 		b := RenderPlanResult(res)
-		s.results.Put(cfg, b)
-		return b, nil
+		at := time.Now()
+		s.results.PutStamped(cfg, b, at)
+		return stamped{body: b, at: at}, nil
 	})
 }
 
@@ -360,19 +454,35 @@ func (s *Server) handlePlan(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	cfg, err := req.runConfig()
+	cfg, err := req.RunConfig()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	body, err := s.planBody(r.Context(), cfg, true)
+	body, at, err := s.planBody(r.Context(), cfg, true)
 	if errors.Is(err, errSaturated) {
 		s.writeBackpressure(w)
 		return
 	}
 	if err != nil {
-		writeRunError(w, err)
+		s.writeRunError(w, err)
 		return
+	}
+	s.writeStamped(w, body, at)
+}
+
+// writeStamped writes a rendered JSON body, labeling it with the
+// staleness headers (and counting it on /metrics) when its render stamp
+// is older than Options.StaleAfter. Bodies are pure functions of the
+// config, so the label is operational information for routers and
+// operators — never a correctness downgrade.
+func (s *Server) writeStamped(w http.ResponseWriter, body []byte, at time.Time) {
+	if s.opts.StaleAfter > 0 && !at.IsZero() {
+		if age := time.Since(at); age > s.opts.StaleAfter {
+			w.Header().Set(HeaderStale, "true")
+			w.Header().Set(HeaderStaleFor, age.Round(time.Millisecond).String())
+			s.stats.staleServed.Add(1)
+		}
 	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Write(body)
@@ -402,7 +512,7 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		if r.Context().Err() != nil {
 			return // deadline or client gone: remaining points are unwanted
 		}
-		body, err := s.planBody(r.Context(), cfg, false)
+		body, _, err := s.planBody(r.Context(), cfg, false)
 		if err != nil {
 			// The stream is already committed at 200; a failing point
 			// reports inline and the sweep continues, so one infeasible
@@ -434,33 +544,33 @@ func (s *Server) handleFleet(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	body, err := cachedBody(r.Context(), s, s.fleetRes, &s.fleetFl, key, func() ([]byte, error) {
+	body, at, err := cachedBody(r.Context(), s, s.fleetRes, &s.fleetFl, key, func() (stamped, error) {
 		if err := s.acquireSlot(r.Context()); err != nil {
-			return nil, err
+			return stamped{}, err
 		}
 		defer s.limiter.release()
 		resp, err := s.runFleetSafe(norm)
 		if err != nil {
-			return nil, err
+			return stamped{}, err
 		}
 		blob, err := json.Marshal(resp)
 		if err != nil {
-			return nil, err
+			return stamped{}, err
 		}
 		blob = append(blob, '\n')
-		s.fleetRes.Put(key, blob)
-		return blob, nil
+		renderedAt := time.Now()
+		s.fleetRes.PutStamped(key, blob, renderedAt)
+		return stamped{body: blob, at: renderedAt}, nil
 	})
 	if errors.Is(err, errSaturated) {
 		s.writeBackpressure(w)
 		return
 	}
 	if err != nil {
-		writeRunError(w, err)
+		s.writeRunError(w, err)
 		return
 	}
-	w.Header().Set("Content-Type", "application/json")
-	w.Write(body)
+	s.writeStamped(w, body, at)
 }
 
 // handleTrace answers POST /v1/trace: the same planning question as
@@ -480,7 +590,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	cfg, err := req.runConfig()
+	cfg, err := req.RunConfig()
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
@@ -491,7 +601,7 @@ func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
 			s.writeBackpressure(w)
 			return
 		}
-		writeRunError(w, err)
+		s.writeRunError(w, err)
 		return
 	}
 	out := s.runPooled([]exp.RunConfig{cfg})
@@ -540,6 +650,14 @@ func (s *Server) Metrics() Metrics {
 		Endpoints:         make(map[string]EndpointMetrics),
 		CoalescedRequests: s.stats.coalesced.Load(),
 		RejectedRequests:  s.stats.rejected.Load(),
+		RejectedDeadline:  s.stats.rejectedDeadline.Load(),
+		StaleServed:       s.stats.staleServed.Load(),
+		PeerFill: PeerFillMetrics{
+			Filled:       s.stats.peerFilled.Load(),
+			Misses:       s.stats.peerFillMisses.Load(),
+			ServedHits:   s.stats.cachefillHits.Load(),
+			ServedMisses: s.stats.cachefillMisses.Load(),
+		},
 		Batch: BatchMetrics{
 			Flushes:         s.stats.flushes.Load(),
 			BatchedRequests: s.stats.batched.Load(),

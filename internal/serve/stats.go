@@ -85,8 +85,23 @@ type stats struct {
 	// coalesced counts requests that shared another caller's in-flight
 	// simulation (singleflight dedup).
 	coalesced atomic.Int64
-	// rejected counts 429 backpressure responses.
+	// rejected counts 429 backpressure responses (saturation: slots busy
+	// and the wait queue full).
 	rejected atomic.Int64
+	// rejectedDeadline counts 503 responses whose request deadline
+	// expired while queued or simulating — brownout, not backpressure.
+	rejectedDeadline atomic.Int64
+	// staleServed counts responses served from the rendered-body cache
+	// past the staleness threshold and labeled as such.
+	staleServed atomic.Int64
+	// peerFilled/peerFillMisses count local cache misses answered (or
+	// not) from a peer replica's cache; cachefillHits/cachefillMisses
+	// count the mirror image — /v1/cachefill lookups this replica
+	// answered for its peers.
+	peerFilled      atomic.Int64
+	peerFillMisses  atomic.Int64
+	cachefillHits   atomic.Int64
+	cachefillMisses atomic.Int64
 	// flushes/batched/maxBatch describe the coalescing windows: window
 	// flushes, requests that went through them, and the largest batch.
 	flushes  atomic.Int64
@@ -182,6 +197,67 @@ type SpanMetrics struct {
 	Dropped   int64 `json:"dropped"`
 }
 
+// PeerFillMetrics describes the peer cache-fill traffic of a clustered
+// replica, both directions: Filled/Misses are this replica's own cold
+// misses it tried to answer from peers, ServedHits/ServedMisses are the
+// /v1/cachefill lookups it answered for them.
+type PeerFillMetrics struct {
+	Filled       int64 `json:"filled"`
+	Misses       int64 `json:"misses"`
+	ServedHits   int64 `json:"served_hits"`
+	ServedMisses int64 `json:"served_misses"`
+}
+
+// ReplicaHealthMetrics is one replica's registry snapshot in a router's
+// /metrics response.
+type ReplicaHealthMetrics struct {
+	ID      string `json:"id"`
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Probes counts active health checks sent; Failures counts failed
+	// probes and failed forwards (the passive signal).
+	Probes       int64 `json:"probes"`
+	Failures     int64 `json:"failures"`
+	Ejections    int64 `json:"ejections"`
+	Readmissions int64 `json:"readmissions"`
+}
+
+// RouterMetrics is the cluster router's /metrics snapshot: the retry,
+// hedging, stale-serve and replica-health counters of the consistent-hash
+// front. It lives here (not in internal/cluster) so the Prometheus
+// rendering shares one file with the replica metrics — the operator's
+// view of backpressure vs brownout spans both layers.
+type RouterMetrics struct {
+	UptimeSeconds float64                    `json:"uptime_seconds"`
+	Endpoints     map[string]EndpointMetrics `json:"endpoints"`
+	// Requests is every routed request; Attempts counts the upstream
+	// tries made for them (retries and hedges included).
+	Requests int64 `json:"requests"`
+	Attempts int64 `json:"attempts"`
+	// Retries are sequential re-tries after a failed attempt; Hedges are
+	// speculative parallel attempts fired at the next ring successor when
+	// the primary ran past the hedge delay, and HedgeWins counts hedges
+	// whose answer arrived first.
+	Retries   int64 `json:"retries"`
+	Hedges    int64 `json:"hedges"`
+	HedgeWins int64 `json:"hedge_wins"`
+	// RetryBudgetExhausted counts retries/hedges NOT fired because the
+	// retry budget was empty — the brownout-amplification guard working.
+	RetryBudgetExhausted int64 `json:"retry_budget_exhausted"`
+	// StaleServed counts requests answered from the router's last-good
+	// body cache (labeled with the staleness headers) because no replica
+	// could produce a fresh render; StaleMisses counts total failures
+	// with no last-good body to fall back to (the only path to a 5xx).
+	StaleServed int64 `json:"stale_served"`
+	StaleMisses int64 `json:"stale_misses"`
+	// RingReplicas/RingRebuilds describe the consistent-hash ring: how
+	// many healthy replicas it currently spans and how many times health
+	// transitions rebuilt it.
+	RingReplicas int                    `json:"ring_replicas"`
+	RingRebuilds int64                  `json:"ring_rebuilds"`
+	Replicas     []ReplicaHealthMetrics `json:"replicas"`
+}
+
 // FleetProfilerMetrics snapshots the shared fleet profiler.
 type FleetProfilerMetrics struct {
 	Runs        int64                `json:"runs"`
@@ -202,9 +278,20 @@ type Metrics struct {
 	// CoalescedRequests counts requests answered by another request's
 	// in-flight simulation (singleflight dedup).
 	CoalescedRequests int64 `json:"coalesced_requests"`
-	// RejectedRequests counts 429 backpressure responses.
-	RejectedRequests int64        `json:"rejected_requests"`
-	Batch            BatchMetrics `json:"batch"`
+	// RejectedRequests counts 429 backpressure responses (saturation:
+	// worker slots busy and the wait queue full).
+	RejectedRequests int64 `json:"rejected_requests"`
+	// RejectedDeadline counts 503 deadline-expiry responses — the
+	// server running out of time budget (brownout), kept separate from
+	// saturation so operators can tell the two apart.
+	RejectedDeadline int64 `json:"rejected_deadline"`
+	// StaleServed counts responses served from the rendered-body cache
+	// past Options.StaleAfter and labeled with the staleness headers.
+	StaleServed int64 `json:"stale_served"`
+	// PeerFill is the replica's peer cache-fill traffic (zero-valued
+	// when the server runs without peers).
+	PeerFill PeerFillMetrics `json:"peer_fill"`
+	Batch    BatchMetrics    `json:"batch"`
 	// PlanCache is the process-wide compiled-plan cache.
 	PlanCache CacheMetrics `json:"plan_cache"`
 	// ResultCache holds rendered /v1/plan bodies.
