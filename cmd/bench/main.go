@@ -13,8 +13,10 @@
 // full-simulation baseline, with result identity verified before
 // timing), and BENCH_cluster.json (the planning cluster router's
 // overhead: the per-request ring lookup, gated allocation-free, and the
-// full hedged-request path over an in-memory replica pair), so the
-// simulator's perf trajectory is recorded
+// full hedged-request path over an in-memory replica pair), and
+// BENCH_optim.json (the optimizer-offload residency sweep under both
+// step schedules, overlap recorded against the same-run sync baseline),
+// so the simulator's perf trajectory is recorded
 // instead of anecdotal. The record schema lives in internal/benchfmt,
 // shared with cmd/benchcheck (the CI validator and regression gate).
 //
@@ -26,7 +28,7 @@
 //
 //	bench [-o BENCH_hotpath.json] [-tier-o BENCH_tier.json] [-session-o BENCH_session.json]
 //	      [-trace-o BENCH_trace.json] [-steady-o BENCH_steady.json] [-cluster-o BENCH_cluster.json]
-//	      [-cpuprofile cpu.out] [-memprofile mem.out]
+//	      [-optim-o BENCH_optim.json] [-cpuprofile cpu.out] [-memprofile mem.out]
 package main
 
 import (
@@ -112,6 +114,7 @@ func main() {
 	sessionOut := flag.String("session-o", "BENCH_session.json", "session-reuse output file (- for stdout)")
 	traceOut := flag.String("trace-o", "BENCH_trace.json", "flight-recorder output file (- for stdout)")
 	steadyOut := flag.String("steady-o", "BENCH_steady.json", "steady-state fast-path output file (- for stdout)")
+	optimOut := flag.String("optim-o", "BENCH_optim.json", "optimizer-offload schedule output file (- for stdout)")
 	clusterOut := flag.String("cluster-o", "BENCH_cluster.json", "cluster router overhead output file (- for stdout)")
 	cpuprofile := flag.String("cpuprofile", "", "write a pprof CPU profile of the benchmark run to this file")
 	memprofile := flag.String("memprofile", "", "write a pprof heap profile taken after the benchmarks to this file")
@@ -162,7 +165,7 @@ func main() {
 	})
 
 	var rows io.Writer = os.Stdout
-	if *out == "-" || *tierOut == "-" || *sessionOut == "-" || *traceOut == "-" || *steadyOut == "-" || *clusterOut == "-" {
+	if *out == "-" || *tierOut == "-" || *sessionOut == "-" || *traceOut == "-" || *steadyOut == "-" || *clusterOut == "-" || *optimOut == "-" {
 		rows = os.Stderr
 	}
 	emit(rows, *out, report, []string{"engine_schedule", "engine_steady_state", "compiled_sweep", "compiled_share_sweep"})
@@ -284,6 +287,33 @@ func main() {
 	})
 	steady.Results["steady_share_sweep_10k"] = mSteady
 	emit(rows, *steadyOut, steady, []string{"fullsim_share_sweep_10k", "steady_share_sweep_10k"})
+
+	// Optimizer-offload record: what the step schedule costs. Both
+	// measurements drive the identical 4-point residency sweep (a fully
+	// DRAM-resident probe plus three spill fractions) on one reused
+	// session; only the Schedule knob differs, so the sync-vs-overlap
+	// ratio is same-host, same-arena by construction. Overlap trades the
+	// post-backward barrier for per-weight stalls in fwd(t+1): it wins
+	// while the working set is DRAM-resident and loses once NVMe shuttle
+	// traffic contends with the next step's gradient stores, so the
+	// recorded ratio hovers near 1 — the gate defends the sweep's cost,
+	// not a speedup.
+	optimRep := benchfmt.Report{
+		Note:    "optimizer-offload schedule cost: the 4-point residency sweep (fully resident probe + three spill fractions) under the sync barrier and again with the optimizer pipeline draining into fwd(t+1), on one reused session; the overlap baseline is the same-run sync sweep, so the ratio isolates the schedule — near 1 by design (overlap wins DRAM-resident, loses NVMe-bound)",
+		Go:      runtime.Version(),
+		CPUs:    runtime.NumCPU(),
+		Results: map[string]benchfmt.Measurement{},
+	}
+	mOptimSync := measure("optim_sync_sweep", sessionBench(hotbench.NewOptimSweepSession, hotbench.SessionOptimSyncSweep))
+	optimRep.Results["optim_sync_sweep"] = mOptimSync
+	mOptimOverlap := measure("optim_overlap_sweep", sessionBench(hotbench.NewOptimSweepSession, hotbench.SessionOptimOverlapSweep))
+	mOptimOverlap.CompareTo(benchfmt.Baseline{
+		NsPerOp:     mOptimSync.NsPerOp,
+		AllocsPerOp: mOptimSync.AllocsPerOp,
+		Commit:      "same-run sync schedule",
+	})
+	optimRep.Results["optim_overlap_sweep"] = mOptimOverlap
+	emit(rows, *optimOut, optimRep, []string{"optim_sync_sweep", "optim_overlap_sweep"})
 
 	// Cluster-router record: what the resilient front costs per request.
 	// The ring lookup is the per-request shard decision and must stay

@@ -43,6 +43,7 @@ func main() {
 	gpus := flag.Int("gpus", 0, "GPUs per node (0 = default node's 4)")
 	dramGiB := flag.Float64("dram-gib", -1, "per-node pinned host-memory budget in GiB (-1 = default node's 512, 0 = unmodeled)")
 	hybrid := flag.Float64("hybrid", 0, "fraction of SSDTrain jobs converted to dram-first hybrid tenants")
+	optim := flag.Float64("optim", 0, "fraction of SSDTrain jobs converted to optimizer-offload tenants (half sync, half overlap)")
 	jobs := flag.Int("jobs", 64, "job count")
 	seed := flag.Int64("seed", 1, "job-mix seed")
 	policies := flag.String("policies", "fifo,sjf,backfill", "comma-separated scheduling policies")
@@ -91,6 +92,7 @@ func main() {
 		SubmitSpread: *spread,
 		MaxGPUs:      node.GPUs,
 		HybridFrac:   *hybrid,
+		OptimFrac:    *optim,
 		FaultPlan:    plan,
 	})
 

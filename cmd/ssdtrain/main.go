@@ -22,8 +22,10 @@ func main() {
 	hidden := flag.Int("hidden", 12288, "hidden dimension")
 	layers := flag.Int("layers", 3, "transformer layer count")
 	batch := flag.Int("batch", 16, "micro-batch size in sequences")
-	strategy := flag.String("strategy", "ssdtrain", "placement: ssdtrain | no-offload | recompute | cpu-offload | hybrid")
+	strategy := flag.String("strategy", "ssdtrain", "placement: ssdtrain | no-offload | recompute | cpu-offload | hybrid | optim-offload")
 	placement := flag.String("placement", "", "hybrid tier policy: ssd-only | dram-first | split (default dram-first)")
+	optimKind := flag.String("optim-kind", "", "optimizer under -strategy optim-offload: adam | sgd (default adam)")
+	schedule := flag.String("schedule", "", "step schedule under -strategy optim-offload: sync | overlap (default sync)")
 	dramGiB := flag.Float64("dram-gib", 0, "pinned host-memory pool in GiB (hybrid DRAM rung / cpu-offload bound; 0 = none/unbounded)")
 	splitRatio := flag.Float64("split-ratio", 0.5, "DRAM share of offloaded bytes under -placement split")
 	steps := flag.Int("steps", 3, "measured steps after warmup")
@@ -36,6 +38,8 @@ func main() {
 		Strategy:     ssdtrain.Strategy(*strategy),
 		Placement:    ssdtrain.Placement(*placement),
 		DRAMCapacity: units.Bytes(*dramGiB * float64(units.GiB)),
+		OptimKind:    *optimKind,
+		Schedule:     *schedule,
 		Steps:        *steps,
 		Materialize:  *verify,
 		Verify:       *verify,
@@ -76,5 +80,11 @@ func main() {
 			fmt.Printf("  %-4s %-9s  written %-10s read %-10s peak %-10s cap %s\n",
 				tier.Kind, tier.Name, tier.Written, tier.Read, tier.Peak, cap)
 		}
+	}
+	if o := res.Optim; o != nil {
+		fmt.Printf("optimizer offload    %s states %s (%s schedule)\n", o.Kind, o.StateBytes, o.Schedule)
+		fmt.Printf("  resident           %s DRAM, %s NVMe\n", o.DRAMResident, o.NVMeResident)
+		fmt.Printf("  shuttle per step   %s stored, %s loaded\n", o.ShuttleWrite, o.ShuttleRead)
+		fmt.Printf("  update engine busy %v\n", o.UpdateBusy.Round(time.Microsecond))
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"ssdtrain/internal/exp"
 	"ssdtrain/internal/fleet"
+	"ssdtrain/internal/models"
 )
 
 func write(path, content string) {
@@ -40,6 +41,15 @@ func main() {
 		log.Fatal(err)
 	}
 	write("internal/exp/testdata/table3.golden", exp.Table3Table(t3).String())
+
+	osw, err := exp.OptimSweep(exp.RunConfig{
+		Model:        models.PaperConfig(models.BERT, 2048, 24, 8),
+		MicroBatches: 2,
+	}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	write("internal/exp/testdata/optim_sweep.golden", exp.OptimSweepTable(osw).String())
 
 	cluster := fleet.ClusterSpec{Nodes: 2, Node: fleet.DefaultNodeSpec()}
 	jobs := fleet.DefaultJobMix(fleet.MixConfig{Jobs: 10, Seed: 1})

@@ -67,6 +67,21 @@ func BenchmarkSessionTieredSweep(b *testing.B) {
 	hotbench.SessionSweepBench(b, hotbench.NewTieredSweepSession, hotbench.SessionTieredSweep)
 }
 
+// BenchmarkOptimSyncSweep runs the 4-point optimizer-residency sweep on
+// one reused exp.Session under the classic post-backward barrier.
+// Recorded to BENCH_optim.json by cmd/bench as the overlap schedule's
+// same-run baseline.
+func BenchmarkOptimSyncSweep(b *testing.B) {
+	hotbench.SessionSweepBench(b, hotbench.NewOptimSweepSession, hotbench.SessionOptimSyncSweep)
+}
+
+// BenchmarkOptimOverlapSweep runs the identical residency points with
+// the optimizer pipeline draining into fwd(t+1) instead of a step
+// barrier (GreedySnake's schedule).
+func BenchmarkOptimOverlapSweep(b *testing.B) {
+	hotbench.SessionSweepBench(b, hotbench.NewOptimSweepSession, hotbench.SessionOptimOverlapSweep)
+}
+
 // BenchmarkRecorderDisabledEmit measures the flight recorder's per-span
 // emit with the recorder off — the cost every simulated resource pays on
 // an untraced run. BENCH_trace.json's gate defends allocation-free.

@@ -16,6 +16,9 @@ import (
 const (
 	stallReloadWait       = "reload-wait"
 	stallCheckpointInputs = "checkpoint-inputs"
+	// stallOptimWait is fwd(t+1) waiting for a weight whose offloaded
+	// optimizer chain from step t has not uploaded the updated value yet.
+	stallOptimWait = "optim-wait"
 )
 
 // ExecConfig configures the training-step executor.
@@ -140,6 +143,16 @@ type Executor struct {
 	gradAllocated map[int64]bool
 	consumer      map[int]int // block index → forward consumer count
 
+	// optim, when set, replaces the on-GPU optimizer loop with an
+	// offloaded pipeline (ConfigureOptim). gradOps counts each weight's
+	// backward ops per micro-batch (static); gradLeft counts down during
+	// the last micro-batch so GradReady fires exactly when the weight's
+	// gradient is complete.
+	optim        OptimPipeline
+	optimOverlap bool
+	gradOps      map[int64]int
+	gradLeft     map[int64]int
+
 	// inT/gradSeedT are the recycled per-micro-batch graph input and loss
 	// gradient seed (see opRun's recycled tensors).
 	inT       *tensor.Tensor
@@ -182,6 +195,15 @@ func NewExecutor(rt *Runtime, g *Graph, hooks Hooks, cfg ExecConfig) (*Executor,
 		weights:       g.Weights(),
 		gradOf:        make(map[int64]*tensor.Tensor),
 		gradAllocated: make(map[int64]bool),
+		gradOps:       make(map[int64]int),
+		gradLeft:      make(map[int64]int),
+	}
+	for _, b := range g.Blocks {
+		for i := range b.Ops {
+			if w := b.Ops[i].Weight; w != nil {
+				e.gradOps[w.Storage().Seq()]++
+			}
+		}
 	}
 	for _, w := range e.weights {
 		rt.Life.Alloc(0, w.Storage(), gpu.ClassWeights)
@@ -204,6 +226,7 @@ func (e *Executor) Reset() {
 	e.clock = 0
 	e.seed = e.cfg.Seed
 	clear(e.gradAllocated)
+	clear(e.gradLeft)
 	for _, w := range e.weights {
 		e.rt.Life.Alloc(0, w.Storage(), gpu.ClassWeights)
 	}
@@ -347,7 +370,7 @@ func (e *Executor) Run() StepResult {
 				run.extras[k] = e.outs[src]
 				run.extraFinish[k] = e.finishes[src]
 			}
-			e.forwardBlock(run, &e.static[bi], bi, curFinish, &hostNow, &modelFLOPs)
+			e.forwardBlock(run, &e.static[bi], bi, curFinish, &hostNow, &stall, &modelFLOPs)
 			e.outs[bi] = run.out
 			e.finishes[bi] = run.ops[len(run.ops)-1].finish
 			cur, curFinish = run.out, e.finishes[bi]
@@ -366,6 +389,13 @@ func (e *Executor) Run() StepResult {
 			hostNow = bu
 		}
 		e.hooks.Phase(PhaseBackward, mb, hostNow)
+		if e.optim != nil && mb == e.cfg.MicroBatches-1 {
+			// Last micro-batch: arm the per-weight countdowns so GradReady
+			// fires at each weight's final gradient (post-accumulation).
+			for seq, n := range e.gradOps {
+				e.gradLeft[seq] = n
+			}
+		}
 		final := e.outs[len(e.outs)-1]
 		finalFinish := e.finishes[len(e.finishes)-1]
 		// Loss gradient seed, shaped like the final output.
@@ -394,15 +424,34 @@ func (e *Executor) Run() StepResult {
 	// Optimizer.
 	bwdEndAll := e.rt.Compute.BusyUntil()
 	e.hooks.Phase(PhaseOptimizer, 0, hostNow)
-	for _, w := range e.weights {
-		hostNow += e.rt.Spec.HostIssue
-		dur := e.cfg.UpdateCost(w)
-		f := e.rt.Compute.Submit(hostNow, dur, nil)
-		e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindOptimizer, -1, w.Name(), f-dur, f, 0, 0)
-	}
-	end := e.rt.Compute.BusyUntil()
-	if hostNow > end {
-		end = hostNow
+	var end time.Duration
+	if e.optim != nil {
+		// The update runs on the offloaded pipeline (its chains were
+		// dispatched from backwardBlock as gradients completed), not the
+		// GPU. Sync holds the step open until every chain drains; overlap
+		// ends at the compute horizon and lets the pipeline drain into the
+		// next step's forward, which stalls per weight as needed.
+		end = e.rt.Compute.BusyUntil()
+		if hostNow > end {
+			end = hostNow
+		}
+		if !e.optimOverlap {
+			if d := e.optim.Drain(); d > end {
+				end = d
+			}
+		}
+		e.optim.StepEnd(end)
+	} else {
+		for _, w := range e.weights {
+			hostNow += e.rt.Spec.HostIssue
+			dur := e.cfg.UpdateCost(w)
+			f := e.rt.Compute.Submit(hostNow, dur, nil)
+			e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindOptimizer, -1, w.Name(), f-dur, f, 0, 0)
+		}
+		end = e.rt.Compute.BusyUntil()
+		if hostNow > end {
+			end = hostNow
+		}
 	}
 	e.hooks.Phase(PhaseStepEnd, 0, end)
 	e.clock = end
@@ -501,7 +550,7 @@ func (e *Executor) consumeAll(saved []savedRef, at time.Duration) {
 // forwardBlock executes one block's forward pass in place on run. The
 // block input and extras (with their producing kernels' completion times)
 // are already set on run by the caller.
-func (e *Executor) forwardBlock(run *blockRun, st *blockStatic, bi int, inFinish time.Duration, hostNow *time.Duration, modelFLOPs *units.FLOPs) {
+func (e *Executor) forwardBlock(run *blockRun, st *blockStatic, bi int, inFinish time.Duration, hostNow *time.Duration, stall *time.Duration, modelFLOPs *units.FLOPs) {
 	b := run.block
 	blockIn := run.in
 	extras := run.extras
@@ -524,7 +573,24 @@ func (e *Executor) forwardBlock(run *blockRun, st *blockStatic, bi int, inFinish
 			input = run.ops[j].out
 		}
 		*hostNow += e.rt.Spec.HostIssue
-		finish := e.rt.Compute.Submit(*hostNow, op.FwdTime, nil)
+		ready := *hostNow
+		if e.optim != nil && op.Weight != nil {
+			if wr := e.optim.WeightReady(op.Weight); wr > ready {
+				// fwd(t+1) touching a weight whose updated value is still
+				// uploading from step t's offloaded optimizer: the device
+				// (not the host) waits for the chain to land.
+				base := ready
+				if bu := e.rt.Compute.BusyUntil(); bu > base {
+					base = bu
+				}
+				if wr > base {
+					*stall += wr - base
+					e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindStall, int32(bi), stallOptimWait, base, wr, 0, 0)
+				}
+				ready = wr
+			}
+		}
+		finish := e.rt.Compute.Submit(ready, op.FwdTime, nil)
 		start := finish - op.FwdTime
 		e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindForward, int32(bi), st.ops[oi].outName, start, finish, 0, 0)
 		*modelFLOPs += op.FwdFLOPs
@@ -697,11 +763,22 @@ func (e *Executor) backwardBlock(run *blockRun, st *blockStatic, gradIn *tensor.
 				e.rt.Life.Alloc(start, g.Storage(), gpu.ClassGradients)
 				e.gradAllocated[seq] = true
 			}
+			gradDone := finish
 			if mb > 0 {
 				// Accumulation read-modify-write for later micro-batches.
 				dur := e.cfg.AccumCost(op.Weight)
 				af := e.rt.Compute.Submit(finish, dur, nil)
 				e.rt.Rec.Span(e.rt.ComputeTrack, spans.KindAccum, int32(bi), op.Weight.Name(), af-dur, af, 0, 0)
+				gradDone = af
+			}
+			if e.optim != nil && mb == e.cfg.MicroBatches-1 {
+				e.gradLeft[seq]--
+				if e.gradLeft[seq] == 0 {
+					// The weight's final gradient is complete: hand it to the
+					// offloaded pipeline so the download overlaps the rest of
+					// backward.
+					e.optim.GradReady(op.Weight, gradDone)
+				}
 			}
 		}
 

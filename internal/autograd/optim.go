@@ -1,0 +1,44 @@
+package autograd
+
+import (
+	"time"
+
+	"ssdtrain/internal/tensor"
+)
+
+// OptimPipeline is an offloaded optimizer the executor drives instead of
+// the on-GPU update loop (the ZeRO-Offload / GreedySnake regime). The
+// executor announces each weight's gradient the moment backward finishes
+// producing it, so the pipeline's downloads and host-side updates overlap
+// the remaining backward; the pipeline answers when each updated weight
+// is back on the GPU, which is the ordering constraint the next step's
+// forward must respect.
+//
+// Under the sync schedule the executor ends the step at Drain(); under
+// the overlap schedule the step ends at the compute horizon and the
+// pipeline keeps draining into fwd(t+1), where forwardBlock stalls any
+// kernel whose weight has not arrived ("optim-wait").
+type OptimPipeline interface {
+	// GradReady announces that w's gradient for this step is complete at
+	// the given virtual time; the pipeline dispatches the weight's
+	// download → update → upload chain from there.
+	GradReady(w *tensor.Tensor, ready time.Duration)
+	// WeightReady returns when w's updated value is back on the GPU (zero
+	// when no chain was dispatched for it).
+	WeightReady(w *tensor.Tensor) time.Duration
+	// Drain returns when every dispatched chain completes.
+	Drain() time.Duration
+	// StepEnd tells the pipeline where the executor ended the step, so it
+	// can attribute work draining past the boundary.
+	StepEnd(end time.Duration)
+}
+
+// ConfigureOptim installs (or, with nil, removes) an offloaded-optimizer
+// pipeline for subsequent Runs. overlap selects the GreedySnake schedule:
+// the step ends at the compute horizon and the pipeline drains into the
+// next step's forward; sync (false) holds the step open until Drain().
+// Cheap per-run state — call alongside Reset when reusing the executor.
+func (e *Executor) ConfigureOptim(p OptimPipeline, overlap bool) {
+	e.optim = p
+	e.optimOverlap = overlap
+}

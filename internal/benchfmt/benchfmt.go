@@ -140,6 +140,18 @@ func Specs() []Spec {
 			},
 		},
 		{
+			File: "BENCH_optim.json",
+			Checks: []Check{
+				{Result: "optim_sync_sweep"},
+				// Overlap re-runs the identical points with the
+				// optimizer pipeline draining into fwd(t+1); its wall
+				// cost tracks the sync sweep's (the schedules trade
+				// wins across the residency range), so the gate defends
+				// the sweep cost, not a speedup.
+				{Result: "optim_overlap_sweep", BaselineCommit: "same-run sync schedule"},
+			},
+		},
+		{
 			File: "BENCH_steady.json",
 			Checks: []Check{
 				{Result: "fullsim_share_sweep_10k"},

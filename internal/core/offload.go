@@ -205,6 +205,14 @@ func (b *tierBase) Used() units.Bytes { return b.store.Used() }
 // StoreDrainTime returns when the store queue's backlog finishes.
 func (b *tierBase) StoreDrainTime() time.Duration { return b.storeQ.BusyUntil() }
 
+// Preload records a resident block on the tier without a timed transfer —
+// one-time staging (optimizer states copied in before training starts)
+// that must show up in residency and capacity accounting but not in any
+// queue, link, or device timeline.
+func (b *tierBase) Preload(id TensorID, n units.Bytes) {
+	b.store.WriteSize(id, n)
+}
+
 // writeBlock records the payload (or its size) in the block store.
 func (b *tierBase) writeBlock(id TensorID, t *tensor.Tensor, n units.Bytes) {
 	if data := t.Storage().Data(); data != nil {
@@ -227,6 +235,13 @@ type SSDOffloader struct {
 	// their computed start time. nil (the default) is the healthy path:
 	// Store/Load keep their exact fault-free arithmetic.
 	faults *faults.Controller
+
+	// SharedArray marks a secondary tier over an array another tier owns
+	// (the optimizer rung sharing the activation rung's NVMe array). The
+	// owning tier folds and extrapolates the member devices' cumulative
+	// counters — which already include this tier's traffic — so a shared
+	// tier must not, or extrapolated wear would double-count.
+	SharedArray bool
 
 	// lnSteady/devSteady are the steady-state fold bookkeeping for the GDS
 	// link and the member devices (steady.go).

@@ -121,6 +121,37 @@ type TierPlan struct {
 	Capacity       units.Bytes
 	Fraction       float64
 	Strict         bool
+	// WriteReserve/ReadReserve are per-step byte volumes competing traffic
+	// (the offloaded optimizer's gradient/state/parameter shuttles) will
+	// push through the same rung each step. The planner derates the rung's
+	// bandwidths by the slice of the step's compute window that traffic
+	// occupies before planning activations against it. Zero reserves leave
+	// the plan arithmetic untouched.
+	WriteReserve units.Bytes
+	ReadReserve  units.Bytes
+}
+
+// derate scales the rung's bandwidths down by the fraction of the window
+// its reserved traffic occupies, clamping at zero (a rung whose reserve
+// saturates the window contributes no activation budget).
+func (t TierPlan) derate(window time.Duration) TierPlan {
+	if (t.WriteReserve <= 0 && t.ReadReserve <= 0) || window <= 0 {
+		return t
+	}
+	scale := func(bw units.Bandwidth, reserve units.Bytes) units.Bandwidth {
+		if bw <= 0 || reserve <= 0 {
+			return bw
+		}
+		frac := bw.TimeFor(reserve).Seconds() / window.Seconds()
+		if frac >= 1 {
+			return 0
+		}
+		return units.Bandwidth(float64(bw) * (1 - frac))
+	}
+	t.WriteBandwidth = scale(t.WriteBandwidth, t.WriteReserve)
+	t.ReadBandwidth = scale(t.ReadBandwidth, t.ReadReserve)
+	t.WriteReserve, t.ReadReserve = 0, 0
+	return t
 }
 
 // volumeCap is the most bytes the planner expects the tier to absorb out
@@ -153,6 +184,20 @@ func (t TierPlan) volumeCap(v units.Bytes) units.Bytes {
 func PlanHierarchyBudget(in ModulePlan, tiers []TierPlan) units.Bytes {
 	if len(tiers) == 0 {
 		return 0
+	}
+	// Rungs carrying reserved competing traffic (optimizer shuttles) plan
+	// against derated bandwidths. The caller's slice is copied only when a
+	// reserve is present, so reserve-free plans keep their exact arithmetic.
+	for i := range tiers {
+		if tiers[i].WriteReserve > 0 || tiers[i].ReadReserve > 0 {
+			window := in.ForwardTime + in.BackwardTime
+			derated := make([]TierPlan, len(tiers))
+			for j, t := range tiers {
+				derated[j] = t.derate(window)
+			}
+			tiers = derated
+			break
+		}
 	}
 	var total units.Bytes
 	for _, sb := range in.SavedBytes {

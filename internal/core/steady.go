@@ -113,6 +113,13 @@ type devSteady struct {
 func (o *SSDOffloader) FoldCycle(sig *sim.Sig, origin time.Duration) bool {
 	o.tierBase.foldCycle(sig, origin)
 	o.lnSteady.fold(sig, o.link, origin)
+	if o.SharedArray {
+		// The owning tier folds the shared array's cursor and member-device
+		// counters (they include this tier's traffic); folding them here too
+		// would be harmless for convergence but would double-advance wear on
+		// extrapolation, so the shared rung folds only its own machinery.
+		return o.faults == nil
+	}
 	devs := o.array.Devices()
 	if len(o.devSteady) != len(devs) {
 		o.devSteady = make([]devSteady, len(devs))
@@ -144,6 +151,9 @@ func (o *SSDOffloader) FoldCycle(sig *sim.Sig, origin time.Duration) bool {
 // cycles of the last folded per-cycle deltas.
 func (o *SSDOffloader) ExtrapolateCycles(n int64) {
 	o.tierBase.extrapolateCycles(n)
+	if o.SharedArray {
+		return
+	}
 	devs := o.array.Devices()
 	if len(o.devSteady) != len(devs) {
 		return

@@ -49,12 +49,12 @@ func DRAMSweep(base RunConfig, fracs []float64) (*DRAMSweepResult, error) {
 	if len(fracs) == 0 {
 		fracs = []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
 	}
-	cpuCfg := base
-	cpuCfg.Strategy = CPUOffload
-	cpuCfg.Placement = ""
-	cpuCfg.DRAMCapacity = 0
-	cpuCfg.SplitRatio = 0
-	cpu, err := Run(cpuCfg)
+	cpuSpec := SpecFor(base)
+	cpuSpec.Offload.Strategy = CPUOffload
+	cpuSpec.Offload.Placement = ""
+	cpuSpec.Offload.DRAMCapacity = 0
+	cpuSpec.Offload.SplitRatio = 0
+	cpu, err := cpuSpec.Measure()
 	if err != nil {
 		return nil, err
 	}
@@ -63,17 +63,17 @@ func DRAMSweep(base RunConfig, fracs []float64) (*DRAMSweepResult, error) {
 		return nil, fmt.Errorf("exp: cpu-offload reference run offloaded nothing; nothing to sweep")
 	}
 
-	ssdCfg := cpuCfg
-	ssdCfg.Strategy = SSDTrain
-	cfgs := []RunConfig{ssdCfg}
+	ssdSpec := cpuSpec
+	ssdSpec.Offload.Strategy = SSDTrain
+	specs := []Spec{ssdSpec}
 	for _, f := range fracs {
-		cfg := cpuCfg
-		cfg.Strategy = HybridOffload
-		cfg.Placement = PlacementDRAMFirst
-		cfg.DRAMCapacity = units.Bytes(f * float64(peak))
-		cfgs = append(cfgs, cfg)
+		s := cpuSpec
+		s.Offload.Strategy = HybridOffload
+		s.Offload.Placement = PlacementDRAMFirst
+		s.Offload.DRAMCapacity = units.Bytes(f * float64(peak))
+		specs = append(specs, s)
 	}
-	results, err := Sweep(0, cfgs)
+	results, err := SweepSpecs(0, specs)
 	if err != nil {
 		return nil, err
 	}

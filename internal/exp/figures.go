@@ -41,17 +41,17 @@ func Fig6(batch int) ([]Fig6Row, error) {
 		layers int
 	}
 	var points []point
-	var cfgs []RunConfig
+	var specs []Spec
 	for _, arch := range []models.Arch{models.BERT, models.T5, models.GPT} {
 		for _, g := range models.Fig6Geometries() {
 			cfg := models.PaperConfig(arch, g[0], g[1], batch)
 			points = append(points, point{arch, g[0], g[1]})
-			cfgs = append(cfgs,
-				RunConfig{Model: cfg, Strategy: NoOffload},
-				RunConfig{Model: cfg, Strategy: SSDTrain})
+			specs = append(specs,
+				Spec{Model: cfg, Offload: OffloadSpec{Strategy: NoOffload}},
+				Spec{Model: cfg, Offload: OffloadSpec{Strategy: SSDTrain}})
 		}
 	}
-	results, err := Sweep(0, cfgs)
+	results, err := SweepSpecs(0, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -94,14 +94,17 @@ func Fig7(hidden int, batches []int) ([]ROKPoint, error) {
 		batch int
 	}
 	var points []point
-	var cfgs []RunConfig
+	var specs []Spec
 	for _, strat := range []Strategy{SSDTrain, NoOffload, Recompute} {
 		for _, b := range batches {
 			points = append(points, point{strat, b})
-			cfgs = append(cfgs, RunConfig{Model: models.PaperConfig(models.BERT, hidden, 3, b), Strategy: strat})
+			specs = append(specs, Spec{
+				Model:   models.PaperConfig(models.BERT, hidden, 3, b),
+				Offload: OffloadSpec{Strategy: strat},
+			})
 		}
 	}
-	results, err := Sweep(0, cfgs)
+	results, err := SweepSpecs(0, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -145,7 +148,7 @@ func Fig8a(batches []int) ([]Fig8aRow, error) {
 	}
 	measure := func(b int) (meas, error) {
 		cfg := models.PaperConfig(models.BERT, 12288, 3, b)
-		res, err := Run(RunConfig{Model: cfg, Strategy: NoOffload})
+		res, err := Spec{Model: cfg, Offload: OffloadSpec{Strategy: NoOffload}}.Measure()
 		if err != nil {
 			return meas{}, err
 		}
@@ -197,11 +200,14 @@ type Table3Row struct {
 // Table3 runs the BERT batch-16 measurements.
 func Table3() ([]Table3Row, error) {
 	geoms := models.Fig6Geometries()
-	cfgs := make([]RunConfig, len(geoms))
+	specs := make([]Spec, len(geoms))
 	for i, g := range geoms {
-		cfgs[i] = RunConfig{Model: models.PaperConfig(models.BERT, g[0], g[1], 16), Strategy: SSDTrain}
+		specs[i] = Spec{
+			Model:   models.PaperConfig(models.BERT, g[0], g[1], 16),
+			Offload: OffloadSpec{Strategy: SSDTrain},
+		}
 	}
-	results, err := Sweep(0, cfgs)
+	results, err := SweepSpecs(0, specs)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +219,7 @@ func Table3() ([]Table3Row, error) {
 			Hidden:    g[0],
 			Layers:    g[1],
 			Offloaded: off,
-			Estimate:  table3Estimate(cfgs[i].Model, res),
+			Estimate:  table3Estimate(specs[i].Model, res),
 			WriteBW:   units.BandwidthOf(off, res.StepTime()/2),
 		}
 	}

@@ -3,6 +3,8 @@ package exp
 import (
 	"os"
 	"testing"
+
+	"ssdtrain/internal/models"
 )
 
 // readGolden loads a byte-identity anchor captured at 370fcb2, before
@@ -58,5 +60,24 @@ func TestTable3ByteIdentical(t *testing.T) {
 	}
 	if got, want := Table3Table(rows).String(), readGolden(t, "testdata/table3.golden"); got != want {
 		t.Errorf("Table III diverged from 370fcb2:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestOptimSweepByteIdentical pins the GreedySnake-vs-SSDTrain
+// comparison: the optim-offload strategy across DRAM residency under
+// both schedules, with the activation-offload baseline alongside.
+func TestOptimSweepByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("paper-scale geometry")
+	}
+	r, err := OptimSweep(RunConfig{
+		Model:        models.PaperConfig(models.BERT, 2048, 24, 8),
+		MicroBatches: 2,
+	}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got, want := OptimSweepTable(r).String(), readGolden(t, "testdata/optim_sweep.golden"); got != want {
+		t.Errorf("optimizer sweep diverged from its anchor:\n--- got ---\n%s--- want ---\n%s", got, want)
 	}
 }

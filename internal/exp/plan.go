@@ -63,6 +63,10 @@ type budgetKey struct {
 	placement Placement
 	dramCap   units.Bytes
 	ratio     float64
+	// optim is the OptimOffload optimizer kind: it sets the state volume
+	// claimed out of the DRAM grant and the per-step shuttle reserves the
+	// planner derates activation bandwidth by.
+	optim string
 }
 
 // shapeKey reduces a defaulted config to plan identity by zeroing the
@@ -79,6 +83,10 @@ func shapeKey(cfg RunConfig) RunConfig {
 	cfg.Placement = ""
 	cfg.DRAMCapacity = 0
 	cfg.SplitRatio = 0
+	// The optimizer knobs change state sizes and the step schedule, never
+	// the graph template — the arena's optimizer rungs rebind per Execute.
+	cfg.OptimKind = ""
+	cfg.Schedule = ""
 	// Tracing observes a run without changing it, so traced and untraced
 	// configs share one plan (and one pooled arena).
 	cfg.Trace = false
@@ -98,7 +106,7 @@ func shapeKey(cfg RunConfig) RunConfig {
 func Normalize(cfg RunConfig) (RunConfig, error) {
 	cfg = cfg.withDefaults()
 	switch cfg.Strategy {
-	case NoOffload, Recompute, SSDTrain, CPUOffload, HybridOffload:
+	case NoOffload, Recompute, SSDTrain, CPUOffload, HybridOffload, OptimOffload:
 	default:
 		return RunConfig{}, fmt.Errorf("exp: unknown strategy %q", cfg.Strategy)
 	}
@@ -212,7 +220,7 @@ func validateKnobs(cfg RunConfig) error {
 		return fmt.Errorf("exp: unknown steady-state mode %q", cfg.SteadyState)
 	}
 	switch cfg.Strategy {
-	case HybridOffload:
+	case HybridOffload, OptimOffload:
 		switch cfg.Placement {
 		case PlacementSSDOnly, PlacementDRAMFirst, PlacementSplit:
 		default:
@@ -230,16 +238,36 @@ func validateKnobs(cfg RunConfig) error {
 			return fmt.Errorf("exp: DRAM capacity only applies to the %s and %s strategies", HybridOffload, CPUOffload)
 		}
 	}
-	if cfg.SplitRatio != 0 && (cfg.Strategy != HybridOffload || cfg.Placement != PlacementSplit) {
+	if cfg.SplitRatio != 0 &&
+		((cfg.Strategy != HybridOffload && cfg.Strategy != OptimOffload) || cfg.Placement != PlacementSplit) {
 		// A silently ignored ratio would still defeat Sweep's dedup
 		// (configs differing only in the dead knob measure twice).
-		return fmt.Errorf("exp: split ratio only applies to the %s strategy with %s placement", HybridOffload, PlacementSplit)
+		return fmt.Errorf("exp: split ratio only applies to the %s and %s strategies with %s placement", HybridOffload, OptimOffload, PlacementSplit)
+	}
+	if cfg.Strategy == OptimOffload {
+		switch core.OptimKind(cfg.OptimKind) {
+		case core.OptimAdam, core.OptimSGD:
+		default:
+			return fmt.Errorf("exp: unknown optimizer kind %q", cfg.OptimKind)
+		}
+		switch cfg.Schedule {
+		case ScheduleSync, ScheduleOverlap:
+		default:
+			return fmt.Errorf("exp: unknown optimizer schedule %q", cfg.Schedule)
+		}
+	} else {
+		// Same dedup argument as SplitRatio: knobs the run would never
+		// consult must be rejected, not ignored.
+		if cfg.OptimKind != "" {
+			return fmt.Errorf("exp: optimizer kind only applies to the %s strategy", OptimOffload)
+		}
+		if cfg.Schedule != "" {
+			return fmt.Errorf("exp: optimizer schedule only applies to the %s strategy", OptimOffload)
+		}
 	}
 	if !cfg.Faults.Empty() {
-		if cfg.Strategy != SSDTrain && cfg.Strategy != HybridOffload {
-			// Same dedup argument as SplitRatio: a spec the run would never
-			// consult must be rejected, not ignored.
-			return fmt.Errorf("exp: fault injection only applies to the %s and %s strategies", SSDTrain, HybridOffload)
+		if cfg.Strategy != SSDTrain && cfg.Strategy != HybridOffload && cfg.Strategy != OptimOffload {
+			return fmt.Errorf("exp: fault injection only applies to the %s, %s and %s strategies", SSDTrain, HybridOffload, OptimOffload)
 		}
 		devices := cfg.SSD.Count
 		if devices == 0 {
@@ -258,7 +286,7 @@ func compile(key RunConfig) (*Plan, error) {
 	mcfg.Checkpoint = key.Strategy == Recompute
 
 	switch key.Strategy {
-	case NoOffload, Recompute, SSDTrain, CPUOffload, HybridOffload:
+	case NoOffload, Recompute, SSDTrain, CPUOffload, HybridOffload, OptimOffload:
 	default:
 		return nil, fmt.Errorf("exp: unknown strategy %q", key.Strategy)
 	}

@@ -45,6 +45,25 @@ const (
 	// hierarchy under a placement policy (§III-A generalized: both offload
 	// targets at once instead of either).
 	HybridOffload Strategy = "hybrid"
+	// OptimOffload extends the hybrid activation hierarchy with offloaded
+	// optimizer states and gradients (the ZeRO-Offload / GreedySnake
+	// regime): FP32 master state lives on DRAM/NVMe, per-step gradient
+	// and parameter shuttles ride the same PCIe paths, and the update
+	// executes on a host-side engine. The Schedule knob selects whether
+	// the update pipeline drains before the step ends (sync) or overlaps
+	// fwd(t+1) (GreedySnake's core trick).
+	OptimOffload Strategy = "optim-offload"
+)
+
+// Optimizer schedule values for RunConfig.Schedule.
+const (
+	// ScheduleSync holds each step open until the offloaded optimizer
+	// pipeline fully drains (the ZeRO-Offload baseline).
+	ScheduleSync = "sync"
+	// ScheduleOverlap ends the step at the compute horizon and lets the
+	// pipeline drain into the next step's forward, which stalls per
+	// weight only if its updated value has not arrived (GreedySnake).
+	ScheduleOverlap = "overlap"
 )
 
 // Placement selects the tier-routing policy of the HybridOffload
@@ -77,7 +96,13 @@ func PaperArray() SSDSetup {
 	return SSDSetup{Spec: ssd.IntelP5800X16TB(), Count: 4, Stripe: 512 * units.KiB}
 }
 
-// RunConfig configures one training measurement.
+// RunConfig configures one training measurement — the flat, original
+// knob surface.
+//
+// Deprecated: new code should build the grouped Spec and flatten with
+// Spec.RunConfig (or run it directly with Spec.Measure); the two forms
+// convert losslessly in both directions via SpecFor. RunConfig remains
+// the execution currency underneath and the legacy serve wire form.
 type RunConfig struct {
 	Model    models.Config
 	Strategy Strategy
@@ -120,6 +145,15 @@ type RunConfig struct {
 	// SplitRatio is the DRAM share of offloaded bytes under
 	// PlacementSplit, in [0, 1].
 	SplitRatio float64
+	// OptimKind selects the offloaded optimizer's state layout for the
+	// OptimOffload strategy: "adam" (FP32 master + momentum + variance,
+	// 6× the FP16 parameter bytes) or "sgd" (FP32 master + momentum, 4×).
+	// Defaults to "adam"; must be empty for every other strategy.
+	OptimKind string
+	// Schedule selects the OptimOffload step schedule: "sync" (default)
+	// drains the update pipeline before the step ends, "overlap" lets it
+	// drain into fwd(t+1). Must be empty for every other strategy.
+	Schedule string
 	// SSDBandwidthShare scales the array's sequential bandwidths to model
 	// co-tenants contending for a shared NVMe array: a fleet simulation that
 	// places k equal offloading jobs on one node hands each a 1/k share.
@@ -199,8 +233,16 @@ func (c RunConfig) withDefaults() RunConfig {
 		// on the second pass.
 		c.KeepLastModules = -1
 	}
-	if c.Strategy == HybridOffload && c.Placement == "" {
+	if (c.Strategy == HybridOffload || c.Strategy == OptimOffload) && c.Placement == "" {
 		c.Placement = PlacementDRAMFirst
+	}
+	if c.Strategy == OptimOffload {
+		if c.OptimKind == "" {
+			c.OptimKind = string(core.OptimAdam)
+		}
+		if c.Schedule == "" {
+			c.Schedule = ScheduleSync
+		}
 	}
 	if c.SteadyState == "on" {
 		// "" and "on" are one mode; canonicalize so Sweep's dedup map and
@@ -240,8 +282,13 @@ type RunResult struct {
 	// tiers combined).
 	SSDPeak units.Bytes
 	// Tiers reports per-tier traffic for the offloading strategies (one
-	// entry for the single-target strategies, DRAM+NVMe for hybrid).
+	// entry for the single-target strategies, DRAM+NVMe for hybrid; the
+	// OptimOffload strategy appends its optimizer rungs after the
+	// activation rungs).
 	Tiers []TierUsage
+	// Optim reports the offloaded-optimizer pipeline's outcome (nil for
+	// every strategy but OptimOffload).
+	Optim *OptimUsage
 	// Counters is a snapshot of the runtime counter set at the end of the
 	// run (a snapshot because execution arenas are recycled: the live set
 	// belongs to the arena and is reset by its next Execute).
@@ -269,6 +316,28 @@ type SteadyStateInfo struct {
 	// Fallback is why the run was fully simulated ("trace", "faults",
 	// "off", "no-convergence"), or "" when the detector converged.
 	Fallback string `json:"fallback,omitempty"`
+}
+
+// OptimUsage summarizes the offloaded-optimizer pipeline after a run:
+// what the placement decided and what the per-step machinery cost.
+type OptimUsage struct {
+	// Kind/Schedule echo the run's effective optimizer knobs.
+	Kind     string `json:"kind"`
+	Schedule string `json:"schedule"`
+	// StateBytes is the resident FP32 optimizer state across both rungs.
+	StateBytes units.Bytes `json:"state_bytes"`
+	// DRAMResident/NVMeResident are the rung-resident volumes (states plus
+	// the per-weight gradient and parameter shuttle blocks).
+	DRAMResident units.Bytes `json:"dram_resident"`
+	NVMeResident units.Bytes `json:"nvme_resident"`
+	// ShuttleWrite/ShuttleRead are the per-step shuttle volumes the rungs'
+	// paths carry (gradients + state write-back down, state + updated
+	// parameters up).
+	ShuttleWrite units.Bytes `json:"shuttle_write_per_step"`
+	ShuttleRead  units.Bytes `json:"shuttle_read_per_step"`
+	// UpdateBusy is the host update engine's cumulative busy time over the
+	// whole run (warmup + measured).
+	UpdateBusy time.Duration `json:"update_busy"`
 }
 
 // TierUsage summarizes one rung of the offload hierarchy after a run.

@@ -50,6 +50,17 @@ type Session struct {
 	cpuTier *core.CPUOffloader
 	// stack is the per-call tier assembly scratch.
 	stack []core.Tier
+
+	// optim and its rungs exist only for the OptimOffload strategy: the
+	// offloaded-optimizer pipeline's DRAM and NVMe tiers share the arena's
+	// PCIe links and NVMe array (optimizer traffic contends with
+	// activation offload and lands in the same wear ledger) but keep their
+	// own queues, block stores, and — for NVMe — an empty GDS registry, so
+	// optimizer shuttles ride the host-mediated bounce path as
+	// ZeRO-Offload's CPU-owned update prescribes.
+	optim     *core.OptimOffloader
+	optimDRAM *core.CPUOffloader
+	optimNVMe *core.SSDOffloader
 }
 
 // NewSession builds an execution arena for the plan. The arena is fully
@@ -65,34 +76,47 @@ func NewSession(p *Plan) (*Session, error) {
 	switch shape.Strategy {
 	case NoOffload, Recompute:
 		// No offload stack: the executor keeps (or recomputes) everything.
-	case SSDTrain, CPUOffload, HybridOffload:
+	case SSDTrain, CPUOffload, HybridOffload, OptimOffload:
+		var host, link *pcie.Link
+		var array *ssd.Array
 		if shape.Strategy != SSDTrain {
 			// DRAM rung over the host DMA path. The hybrid arena builds it
 			// even though zero-grant calls exclude it from the stack: the
 			// rung is wiring, and an unused tier schedules nothing.
 			name := "pcie0"
-			if shape.Strategy == HybridOffload {
+			if shape.Strategy != CPUOffload {
 				name = "pcie-host"
 			}
-			host := pcie.NewLink(rt.Eng, name, pcie.DefaultGen4x16())
+			host = pcie.NewLink(rt.Eng, name, pcie.DefaultGen4x16())
 			s.cpuTier = core.NewCPUOffloader(rt.Eng, "/dev/shm", host, 0)
 		}
 		if shape.Strategy != CPUOffload {
 			// NVMe rung over the GDS peer-to-peer path: striped device
 			// array, malloc-hook registry. Devices are built with the base
 			// spec; Execute re-derates them per call's bandwidth share.
-			link := pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
+			link = pcie.NewLink(rt.Eng, "pcie0", pcie.DefaultGen4x16())
 			devs := make([]*ssd.Device, shape.SSD.Count)
 			for i := range devs {
 				devs[i] = ssd.NewDevice(rt.Eng, p.devName(i), shape.SSD.Spec)
 			}
-			array := ssd.NewArray(rt.Eng, "/mnt/md1", shape.SSD.Stripe, devs...)
+			array = ssd.NewArray(rt.Eng, "/mnt/md1", shape.SSD.Stripe, devs...)
 			registry := gds.NewRegistry()
 			registry.SetRecorder(rt.Rec)
 			hook := gds.NewMallocHook(registry)
 			hook.Enabled = !shape.DisableGDS
 			rt.Alloc.AddHook(hook)
 			s.ssdTier = core.NewSSDOffloader(rt.Eng, "/mnt/md1", link, array, registry)
+		}
+		if shape.Strategy == OptimOffload {
+			// Optimizer rungs: own queues and block stores over the shared
+			// physical paths. The NVMe rung's registry stays empty, so its
+			// transfers take the bounce (host-mediated) path at the derated
+			// rate, and SharedArray keeps the steady-state fast path from
+			// double-advancing the member devices' wear counters.
+			s.optimDRAM = core.NewCPUOffloader(rt.Eng, "optim-dram", host, 0)
+			s.optimNVMe = core.NewSSDOffloader(rt.Eng, "optim-nvme", link, array, gds.NewRegistry())
+			s.optimNVMe.SharedArray = true
+			s.optim = core.NewOptimOffloader(rt.Eng, s.optimDRAM, s.optimNVMe)
 		}
 		var tiers []core.Tier
 		if s.cpuTier != nil {
@@ -184,19 +208,42 @@ func (s *Session) Execute(cfg RunConfig) (*RunResult, error) {
 	if s.cache != nil {
 		// Rebind the offload stack to this call's knobs: rederated NVMe
 		// spec, this call's DRAM grant, this call's placement policy.
-		if s.ssdTier != nil {
+		if s.optimNVMe != nil || s.ssdTier != nil {
 			spec := cfg.SSD.Spec
 			if sh := cfg.SSDBandwidthShare; sh > 0 && sh < 1 {
 				spec.SeqWrite = units.Bandwidth(float64(spec.SeqWrite) * sh)
 				spec.SeqRead = units.Bandwidth(float64(spec.SeqRead) * sh)
 			}
-			s.ssdTier.Reset(spec)
-			// Always arm (or, for the empty spec, disarm): a reused arena
-			// whose previous run injected faults must not carry them over.
-			s.ssdTier.Arm(cfg.Faults)
+			// The optimizer rung resets first: both rungs reset the shared
+			// link/array/devices idempotently with the same derated spec, and
+			// resetting the activation tier last keeps its Arm the binding
+			// fault installation.
+			if s.optimNVMe != nil {
+				s.optimNVMe.Reset(spec)
+			}
+			if s.ssdTier != nil {
+				s.ssdTier.Reset(spec)
+				// Always arm (or, for the empty spec, disarm): a reused arena
+				// whose previous run injected faults must not carry them over.
+				s.ssdTier.Arm(cfg.Faults)
+			}
+		}
+		// The offloaded optimizer claims its slice of the DRAM grant first
+		// (states are hot every step; the ZeRO-Offload posture); activations
+		// get whatever pinned memory remains.
+		actDRAM := cfg.DRAMCapacity
+		var optimPlaced core.OptimPlacement
+		if s.optim != nil {
+			s.optimDRAM.Reset(0)
+			s.optim.Reset(core.OptimConfig{
+				Kind:      core.OptimKind(cfg.OptimKind),
+				DRAMGrant: cfg.DRAMCapacity,
+			})
+			optimPlaced = s.optim.Register(s.weights)
+			actDRAM -= optimPlaced.DRAMBytes
 		}
 		if s.cpuTier != nil {
-			s.cpuTier.Reset(cfg.DRAMCapacity)
+			s.cpuTier.Reset(actDRAM)
 		}
 		stack := s.stack[:0]
 		var policy core.PlacementPolicy
@@ -207,11 +254,12 @@ func (s *Session) Execute(cfg RunConfig) (*RunResult, error) {
 		case CPUOffload:
 			stack = append(stack, s.cpuTier)
 			policy = core.DRAMFirstPolicy()
-		case HybridOffload:
+		case HybridOffload, OptimOffload:
 			// DRAM rung (host DMA path) first, NVMe rung (GDS path) below
 			// it; each rung drains over its own PCIe path. A zero DRAM
-			// capacity degenerates the stack to NVMe-only.
-			if cfg.DRAMCapacity > 0 {
+			// grant — or one the optimizer states consumed entirely —
+			// degenerates the stack to NVMe-only.
+			if actDRAM > 0 {
 				stack = append(stack, s.cpuTier)
 			}
 			stack = append(stack, s.ssdTier)
@@ -230,12 +278,12 @@ func (s *Session) Execute(cfg RunConfig) (*RunResult, error) {
 		budget := cfg.Budget
 		if budget == 0 {
 			switch cfg.Strategy {
-			case HybridOffload:
-				key := budgetKey{share: cfg.SSDBandwidthShare, placement: cfg.Placement, dramCap: cfg.DRAMCapacity}
+			case HybridOffload, OptimOffload:
+				key := budgetKey{share: cfg.SSDBandwidthShare, placement: cfg.Placement, dramCap: cfg.DRAMCapacity, optim: cfg.OptimKind}
 				if cfg.Placement == PlacementSplit {
 					key.ratio = cfg.SplitRatio
 				}
-				budget = p.plannedHierarchyBudget(key, hierarchyPlans(cfg, stack))
+				budget = p.plannedHierarchyBudget(key, hierarchyPlans(cfg, stack, optimPlaced))
 			case CPUOffload:
 				// A bounded pinned pool has no spill rung, so the plan
 				// must fit it (Strict); capacity 0 reduces bit-for-bit to
@@ -263,7 +311,10 @@ func (s *Session) Execute(cfg RunConfig) (*RunResult, error) {
 	}
 
 	s.exec.Reset()
-	if err := runMeasurement(cfg, s.rt, s.exec, s.cache, s.offloader, res); err != nil {
+	if s.optim != nil {
+		s.exec.ConfigureOptim(s.optim, cfg.Schedule == ScheduleOverlap)
+	}
+	if err := runMeasurement(cfg, s.rt, s.exec, s.cache, s.offloader, s.optim, res); err != nil {
 		// Leave no armed recorder behind: the next (possibly untraced)
 		// Execute on this arena must not record.
 		s.rt.Rec.Disable()
@@ -285,7 +336,7 @@ func (s *Session) Execute(cfg RunConfig) (*RunResult, error) {
 // runMeasurement drives the warmup + measurement loop on a prepared arena
 // and fills in the result — the single code path behind both fresh and
 // session-reused Executes.
-func runMeasurement(cfg RunConfig, rt *autograd.Runtime, exec *autograd.Executor, cache *core.TensorCache, off *core.TieredOffloader, res *RunResult) error {
+func runMeasurement(cfg RunConfig, rt *autograd.Runtime, exec *autograd.Executor, cache *core.TensorCache, off *core.TieredOffloader, optim *core.OptimOffloader, res *RunResult) error {
 	runStep := func() (StepMetrics, error) {
 		sr := exec.Run()
 		m := StepMetrics{
@@ -317,7 +368,7 @@ func runMeasurement(cfg RunConfig, rt *autograd.Runtime, exec *autograd.Executor
 	extrapolate := cfg.SteadyState != "off" && !cfg.Trace && cfg.Faults.Empty() && !cfg.AdaptiveSteps
 	var tracker *steadyTracker
 	if extrapolate || cfg.AdaptiveSteps {
-		tracker = newSteadyTracker(rt, off)
+		tracker = newSteadyTracker(rt, off, optim)
 	}
 
 	for i := 0; i < cfg.Warmup; i++ {
@@ -377,6 +428,9 @@ func runMeasurement(cfg RunConfig, rt *autograd.Runtime, exec *autograd.Executor
 			if off != nil {
 				off.ExtrapolateCycles(int64(r))
 			}
+			if optim != nil {
+				optim.ExtrapolateCycles(int64(r))
+			}
 			tracker.extrapolateCounters(int64(r))
 			res.PerStep = slices.Grow(res.PerStep, r)
 			for j := 1; j <= r; j++ {
@@ -426,6 +480,31 @@ func runMeasurement(cfg RunConfig, rt *autograd.Runtime, exec *autograd.Executor
 			})
 		}
 	}
+	if optim != nil {
+		// Optimizer rungs report after the activation rungs, and the
+		// pipeline summary rides alongside them.
+		for _, t := range optim.Tiers() {
+			res.Tiers = append(res.Tiers, TierUsage{
+				Name:     t.Name(),
+				Kind:     t.Kind(),
+				Written:  t.BytesWritten(),
+				Read:     t.BytesRead(),
+				Peak:     t.PeakResident(),
+				Capacity: t.Capacity(),
+			})
+		}
+		pl := optim.Placement()
+		res.Optim = &OptimUsage{
+			Kind:         cfg.OptimKind,
+			Schedule:     cfg.Schedule,
+			StateBytes:   pl.StateBytes,
+			DRAMResident: pl.DRAMBytes,
+			NVMeResident: pl.NVMeBytes,
+			ShuttleWrite: pl.DRAMWritePerStep + pl.NVMeWritePerStep,
+			ShuttleRead:  pl.DRAMReadPerStep + pl.NVMeReadPerStep,
+			UpdateBusy:   optim.UpdateBusy(),
+		}
+	}
 	// Snapshot the counters: the live set belongs to the arena and is
 	// reset by the next Execute; the result keeps its own copy.
 	res.Counters = rt.Counters.Clone()
@@ -441,8 +520,10 @@ func runMeasurement(cfg RunConfig, rt *autograd.Runtime, exec *autograd.Executor
 // caps the DRAM rung's share at the split ratio. A zero split ratio
 // routes every byte to NVMe at runtime, so the DRAM rung must drop out
 // of the plan too (TierPlan.Fraction 0 means "no share cap", not
-// "nothing").
-func hierarchyPlans(cfg RunConfig, tiers []core.Tier) []core.TierPlan {
+// "nothing"). The optimizer placement's per-step shuttle volumes become
+// per-rung reserves, derating the activation plan's bandwidths by the
+// competing traffic; the zero placement leaves the plans untouched.
+func hierarchyPlans(cfg RunConfig, tiers []core.Tier, optim core.OptimPlacement) []core.TierPlan {
 	dramless := cfg.Placement == PlacementSSDOnly ||
 		(cfg.Placement == PlacementSplit && cfg.SplitRatio == 0)
 	plans := make([]core.TierPlan, 0, len(tiers))
@@ -455,8 +536,16 @@ func hierarchyPlans(cfg RunConfig, tiers []core.Tier) []core.TierPlan {
 			ReadBandwidth:  t.ReadBandwidth(),
 			Capacity:       t.Capacity(),
 		}
-		if cfg.Placement == PlacementSplit && t.Kind() == core.TierDRAM {
-			tp.Fraction = cfg.SplitRatio
+		switch t.Kind() {
+		case core.TierDRAM:
+			if cfg.Placement == PlacementSplit {
+				tp.Fraction = cfg.SplitRatio
+			}
+			tp.WriteReserve = optim.DRAMWritePerStep
+			tp.ReadReserve = optim.DRAMReadPerStep
+		case core.TierNVMe:
+			tp.WriteReserve = optim.NVMeWritePerStep
+			tp.ReadReserve = optim.NVMeReadPerStep
 		}
 		plans = append(plans, tp)
 	}

@@ -1,0 +1,161 @@
+package exp
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+
+	"ssdtrain/internal/faults"
+	"ssdtrain/internal/units"
+)
+
+// specVariants enumerates every strategy × placement × optimizer
+// schedule combination that Normalize accepts, each with a sprinkling of
+// ablation/measurement knobs so the round-trip covers every field group
+// rather than just the zero value.
+func specVariants() []RunConfig {
+	var out []RunConfig
+	for _, strat := range []Strategy{NoOffload, Recompute, SSDTrain, CPUOffload} {
+		out = append(out, smallCfg(strat))
+	}
+	for _, place := range []Placement{"", PlacementDRAMFirst, PlacementSSDOnly, PlacementSplit} {
+		cfg := smallCfg(HybridOffload)
+		cfg.Placement = place
+		cfg.DRAMCapacity = 256 << 20
+		if place == PlacementSplit {
+			cfg.SplitRatio = 0.5
+		}
+		out = append(out, cfg)
+	}
+	for _, kind := range []string{"", "adam", "sgd"} {
+		for _, sched := range []string{"", ScheduleSync, ScheduleOverlap} {
+			cfg := smallCfg(OptimOffload)
+			cfg.OptimKind = kind
+			cfg.Schedule = sched
+			cfg.DRAMCapacity = 128 << 20
+			out = append(out, cfg)
+		}
+	}
+	// One deliberately knob-heavy config so fields outside the strategy
+	// groups (ablations, faults, steady-state, contention) round-trip.
+	loaded := smallCfg(SSDTrain)
+	loaded.Steps = 7
+	loaded.Warmup = 1
+	loaded.MicroBatches = 3
+	loaded.PrefetchAhead = 2
+	loaded.KeepLastModules = -1
+	loaded.DisableGDS = true
+	loaded.NoForwarding = true
+	loaded.Trace = true
+	loaded.SteadyState = "off"
+	loaded.SSDBandwidthShare = 0.5
+	loaded.Faults = faults.Spec{DegradeAt: time.Millisecond, DegradeFactor: 0.5}
+	out = append(out, loaded)
+	return out
+}
+
+// TestSpecRoundTrip pins the grouped Spec as a lossless regrouping of
+// the flat RunConfig: SpecFor(cfg).RunConfig() returns cfg exactly, the
+// two forms normalize to the same canonical config, and both hashes
+// agree — for every strategy × placement × schedule combination.
+func TestSpecRoundTrip(t *testing.T) {
+	for _, cfg := range specVariants() {
+		name := string(cfg.Strategy) + "/" + string(cfg.Placement) + "/" + cfg.Schedule
+		t.Run(name, func(t *testing.T) {
+			spec := SpecFor(cfg)
+			back, err := spec.RunConfig()
+			if err != nil {
+				t.Fatalf("flatten: %v", err)
+			}
+			if !reflect.DeepEqual(back, cfg) {
+				t.Fatalf("round trip not lossless:\n got %+v\nwant %+v", back, cfg)
+			}
+
+			flatNorm, err := Normalize(cfg)
+			if err != nil {
+				t.Fatalf("flat normalize: %v", err)
+			}
+			specNorm, err := spec.Normalize()
+			if err != nil {
+				t.Fatalf("spec normalize: %v", err)
+			}
+			if !reflect.DeepEqual(specNorm, SpecFor(flatNorm)) {
+				t.Errorf("normalize(SpecFor(cfg)) != SpecFor(normalize(cfg)):\n got %+v\nwant %+v", specNorm, SpecFor(flatNorm))
+			}
+
+			flatShape, err := ShapeHash(cfg)
+			if err != nil {
+				t.Fatalf("flat shape hash: %v", err)
+			}
+			specShape, err := spec.ShapeHash()
+			if err != nil {
+				t.Fatalf("spec shape hash: %v", err)
+			}
+			if specShape != flatShape {
+				t.Errorf("shape hash mismatch: spec %#x, flat %#x", specShape, flatShape)
+			}
+			flatHash, err := ConfigHash(cfg)
+			if err != nil {
+				t.Fatalf("flat config hash: %v", err)
+			}
+			specHash, err := spec.ConfigHash()
+			if err != nil {
+				t.Fatalf("spec config hash: %v", err)
+			}
+			if specHash != flatHash {
+				t.Errorf("config hash mismatch: spec %#x, flat %#x", specHash, flatHash)
+			}
+		})
+	}
+}
+
+// TestSpecDefaultsIdempotent extends the run_test idempotence pin to
+// every spec variant, including the canonicalized spellings the new
+// strategy introduced (OptimKind/Schedule defaults, SteadyState "on",
+// KeepLastModules < 0).
+func TestSpecDefaultsIdempotent(t *testing.T) {
+	cfgs := specVariants()
+	on := smallCfg(SSDTrain)
+	on.SteadyState = "on"
+	keepNone := smallCfg(SSDTrain)
+	keepNone.KeepLastModules = -3
+	cfgs = append(cfgs, on, keepNone)
+	for _, cfg := range cfgs {
+		once := cfg.withDefaults()
+		twice := once.withDefaults()
+		if !reflect.DeepEqual(once, twice) {
+			t.Errorf("withDefaults not idempotent for %+v:\n once  %+v\n twice %+v", cfg, once, twice)
+		}
+	}
+}
+
+// TestSpecOptimizerConflicts pins the only way a Spec can fail to
+// flatten: an optimizer group that contradicts the activation strategy.
+func TestSpecOptimizerConflicts(t *testing.T) {
+	conflicting := SpecFor(smallCfg(SSDTrain))
+	conflicting.Optimizer.Offload = true
+	if _, err := conflicting.RunConfig(); err == nil || !strings.Contains(err.Error(), "conflicts") {
+		t.Errorf("optimizer.offload against strategy %q: got err %v, want conflict", SSDTrain, err)
+	}
+
+	cleared := SpecFor(smallCfg(OptimOffload))
+	cleared.Optimizer.Offload = false
+	if _, err := cleared.RunConfig(); err == nil || !strings.Contains(err.Error(), "requires optimizer.offload") {
+		t.Errorf("strategy optim-offload without optimizer.offload: got err %v, want requires", err)
+	}
+
+	// The grouped spelling alone selects the strategy.
+	grouped := Spec{Model: smallCfg(NoOffload).Model, Optimizer: OptimizerSpec{Offload: true, Schedule: ScheduleOverlap}}
+	grouped.Offload.DRAMCapacity = 64 << 20
+	cfg, err := grouped.RunConfig()
+	if err != nil {
+		t.Fatalf("grouped optimizer spelling: %v", err)
+	}
+	if cfg.Strategy != OptimOffload || cfg.Schedule != ScheduleOverlap {
+		t.Errorf("grouped spelling flattened to strategy %q schedule %q", cfg.Strategy, cfg.Schedule)
+	}
+	if cfg.DRAMCapacity != units.Bytes(64<<20) {
+		t.Errorf("grouped spelling lost DRAM capacity: %v", cfg.DRAMCapacity)
+	}
+}

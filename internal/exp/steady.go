@@ -90,8 +90,9 @@ func steadyHorizon(busyUntil, origin time.Duration) time.Duration {
 // pool hit/miss split): a session-reused Execute must converge on the
 // same step as a fresh one so their RunResults stay byte-identical.
 type steadyTracker struct {
-	rt  *autograd.Runtime
-	off *core.TieredOffloader
+	rt    *autograd.Runtime
+	off   *core.TieredOffloader
+	optim *core.OptimOffloader
 
 	// allocMark is the allocator event-log position at the current step's
 	// start; the tail from the mark is the step's own event block, folded
@@ -111,10 +112,11 @@ type steadyTracker struct {
 	havePrev bool
 }
 
-func newSteadyTracker(rt *autograd.Runtime, off *core.TieredOffloader) *steadyTracker {
+func newSteadyTracker(rt *autograd.Runtime, off *core.TieredOffloader, optim *core.OptimOffloader) *steadyTracker {
 	return &steadyTracker{
 		rt:           rt,
 		off:          off,
+		optim:        optim,
 		counterPrev:  make(map[string]int64, 8),
 		counterDelta: make(map[string]int64, 8),
 	}
@@ -195,6 +197,9 @@ func (t *steadyTracker) fold(m StepMetrics, measured bool) (match, extrapolatabl
 	extrapolatable = true
 	if t.off != nil {
 		extrapolatable = t.off.FoldCycle(&sig, origin)
+	}
+	if t.optim != nil && !t.optim.FoldCycle(&sig, origin) {
+		extrapolatable = false
 	}
 
 	sum := sig.Sum()

@@ -223,16 +223,21 @@ func dramGrant(spec NodeSpec, j Job, dramGPUs int) units.Bytes {
 }
 
 // offloadsToSSD reports whether the job can write to the node array
-// (hybrid jobs spill their DRAM overflow there).
+// (hybrid jobs spill their DRAM overflow there; optimizer-offload jobs
+// spill FP32 states and shuttle gradients/parameters through it).
 func offloadsToSSD(j Job) bool {
-	return j.Run.Strategy == exp.SSDTrain || j.Run.Strategy == exp.HybridOffload
+	switch j.Run.Strategy {
+	case exp.SSDTrain, exp.HybridOffload, exp.OptimOffload:
+		return true
+	}
+	return false
 }
 
 // wantsDRAM reports whether the job keeps a pinned host-memory rung and
 // therefore consumes the node's DRAM budget.
 func wantsDRAM(j Job) bool {
 	switch j.Run.Strategy {
-	case exp.HybridOffload:
+	case exp.HybridOffload, exp.OptimOffload:
 		return j.Run.DRAMCapacity > 0
 	case exp.CPUOffload:
 		return true

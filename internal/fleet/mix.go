@@ -31,6 +31,13 @@ type MixConfig struct {
 	// array. It draws from its own generator, so HybridFrac 0 reproduces
 	// pre-hierarchy mixes byte for byte.
 	HybridFrac float64
+	// OptimFrac converts roughly this fraction of the SSDTrain jobs to
+	// optimizer-offload tenants (half sync, half overlap): their FP32
+	// states spill to the shared array and their gradient/parameter
+	// shuttle adds steady write traffic to the wear ledger. Like
+	// HybridFrac it draws from its own generator, so OptimFrac 0 keeps
+	// existing mixes byte-identical.
+	OptimFrac float64
 	// FaultPlan rides along with the mix parameters so call sites that
 	// build a mix can thread a fault schedule to the simulation in one
 	// value (Config.Faults / PolicySweepConfig.Faults apply it).
@@ -148,6 +155,28 @@ func DefaultJobMix(cfg MixConfig) []Job {
 			j.Run.Placement = exp.PlacementDRAMFirst
 			j.Run.DRAMCapacity = pools[hrng.Intn(len(pools))]
 			j.Name += "+dram"
+		}
+	}
+	if cfg.OptimFrac > 0 {
+		// Same isolation trick as HybridFrac: a third generator, so the
+		// base mix (and any hybrid conversions) stay byte-identical.
+		orng := rand.New(rand.NewSource(cfg.Seed ^ 0x0b71a11))
+		pools := []units.Bytes{8 * units.GiB, 16 * units.GiB, 32 * units.GiB}
+		for i := range jobs {
+			j := &jobs[i]
+			if j.Run.Strategy != exp.SSDTrain || orng.Float64() >= cfg.OptimFrac {
+				continue
+			}
+			j.Run.Strategy = exp.OptimOffload
+			j.Run.Budget = 0
+			j.Run.NoForwarding = false
+			j.Run.KeepLastModules = 0
+			j.Run.DRAMCapacity = pools[orng.Intn(len(pools))]
+			j.Run.Schedule = exp.ScheduleSync
+			if orng.Float64() < 0.5 {
+				j.Run.Schedule = exp.ScheduleOverlap
+			}
+			j.Name += "+optim-" + j.Run.Schedule
 		}
 	}
 	return jobs

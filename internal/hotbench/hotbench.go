@@ -258,6 +258,67 @@ func SessionTieredSweep(s *exp.Session) error {
 	return nil
 }
 
+// optimBase is the optimizer-offload workload: the sweep model's Adam
+// FP32 states and gradient/parameter shuttle offloaded to the DRAM/NVMe
+// hierarchy. Schedule and DRAM grant are cheap knobs, so one compiled
+// plan serves both step schedules and every residency point.
+func optimBase() exp.RunConfig {
+	base := SweepBase()
+	base.Strategy = exp.OptimOffload
+	return base
+}
+
+// optimProbeGrant is a DRAM grant no optimizer working set reaches; the
+// probe run under it reports the full working set the sweep fractions.
+const optimProbeGrant = units.Bytes(1) << 50
+
+// NewOptimSweepSession binds a reusable execution arena to the
+// optimizer-offload plan.
+func NewOptimSweepSession() (*exp.Session, error) {
+	plan, err := exp.Compile(optimBase())
+	if err != nil {
+		return nil, err
+	}
+	return exp.NewSession(plan)
+}
+
+// sessionOptimSweep runs the 4-point optimizer-residency sweep once on a
+// reused session under one step schedule: a fully DRAM-resident probe
+// (doubling as the 100% point) plus three spill fractions.
+func sessionOptimSweep(s *exp.Session, schedule string) error {
+	base := optimBase()
+	base.Schedule = schedule
+	probe := base
+	probe.DRAMCapacity = optimProbeGrant
+	ref, err := s.Execute(probe)
+	if err != nil {
+		return err
+	}
+	scale := float64(ref.Optim.DRAMResident)
+	for _, f := range []float64{0, 0.25, 0.5} {
+		cfg := base
+		cfg.DRAMCapacity = units.Bytes(f * scale)
+		if _, err := s.Execute(cfg); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SessionOptimSyncSweep runs the residency sweep under the classic
+// post-backward barrier.
+func SessionOptimSyncSweep(s *exp.Session) error {
+	return sessionOptimSweep(s, exp.ScheduleSync)
+}
+
+// SessionOptimOverlapSweep runs the identical points with the optimizer
+// pipeline draining into fwd(t+1) — cmd/bench records it against the
+// same-run sync sweep, so the schedule's cost delta is same-host,
+// same-arena by construction.
+func SessionOptimOverlapSweep(s *exp.Session) error {
+	return sessionOptimSweep(s, exp.ScheduleOverlap)
+}
+
 // SessionSweepBench is the shared session-reuse benchmark body: build
 // the arena once, run one warm pass so its pools are filled, then time
 // b.N sweep passes — the record measures steady-state repeated Execute.

@@ -79,12 +79,19 @@ func (m ModelSpec) config() (models.Config, error) {
 }
 
 // PlanRequest is the body of POST /v1/plan: one what-if planning
-// question against the simulated testbed. Only Model and Strategy are
+// question against the simulated testbed. Two body shapes are accepted:
+// the flat legacy form (Model, Strategy and the knob fields below) and
+// the nested schema-v2 form — a single "spec" object mirroring the
+// grouped exp.Spec. When "spec" is present it IS the request and the
+// flat fields are ignored. In the flat form only Model and Strategy are
 // required; every other field is a knob with the experiment harness's
 // defaults.
 type PlanRequest struct {
+	// Spec is the nested v2 body; nil means the flat legacy form.
+	Spec *SpecRequest `json:"spec,omitempty"`
+
 	Model    ModelSpec `json:"model"`
-	Strategy string    `json:"strategy"` // no-offload | ssdtrain | recompute | cpu-offload | hybrid
+	Strategy string    `json:"strategy"` // no-offload | ssdtrain | recompute | cpu-offload | hybrid | optim-offload
 
 	Steps        int `json:"steps,omitempty"`
 	Warmup       int `json:"warmup,omitempty"`
@@ -104,9 +111,57 @@ type PlanRequest struct {
 	PrefetchAhead     int     `json:"prefetch_ahead,omitempty"`
 	AdaptiveSteps     bool    `json:"adaptive_steps,omitempty"`
 	DisableGDS        bool    `json:"disable_gds,omitempty"`
+	// OptimKind/Schedule configure the optim-offload strategy family
+	// (adam | sgd, sync | overlap).
+	OptimKind string `json:"optim_kind,omitempty"`
+	Schedule  string `json:"schedule,omitempty"`
 	// Faults schedules deterministic fault injection against the run's
 	// NVMe array (nil = none).
 	Faults *FaultSpec `json:"faults,omitempty"`
+}
+
+// SpecRequest is the nested v2 request body, mirroring exp.Spec group
+// for group. The machine group is deliberately absent from the wire:
+// the service always simulates its own testbed.
+type SpecRequest struct {
+	Model     ModelSpec        `json:"model"`
+	Offload   OffloadRequest   `json:"offload,omitzero"`
+	Optimizer OptimizerRequest `json:"optimizer,omitzero"`
+	Run       RunRequest       `json:"run,omitzero"`
+	Inject    InjectRequest    `json:"inject,omitzero"`
+}
+
+// OffloadRequest mirrors exp.OffloadSpec on the wire.
+type OffloadRequest struct {
+	Strategy          string  `json:"strategy,omitempty"`
+	Placement         string  `json:"placement,omitempty"`
+	DRAMCapacityBytes int64   `json:"dram_capacity_bytes,omitempty"`
+	SplitRatio        float64 `json:"split_ratio,omitempty"`
+	BudgetBytes       int64   `json:"budget_bytes,omitempty"`
+	KeepLastModules   int     `json:"keep_last_modules,omitempty"`
+	PrefetchAhead     int     `json:"prefetch_ahead,omitempty"`
+	DisableGDS        bool    `json:"disable_gds,omitempty"`
+}
+
+// OptimizerRequest mirrors exp.OptimizerSpec on the wire.
+type OptimizerRequest struct {
+	Kind     string `json:"kind,omitempty"`
+	Offload  bool   `json:"offload,omitempty"`
+	Schedule string `json:"schedule,omitempty"`
+}
+
+// RunRequest mirrors exp.RunSpec on the wire.
+type RunRequest struct {
+	Steps         int  `json:"steps,omitempty"`
+	Warmup        int  `json:"warmup,omitempty"`
+	MicroBatches  int  `json:"micro_batches,omitempty"`
+	AdaptiveSteps bool `json:"adaptive_steps,omitempty"`
+}
+
+// InjectRequest mirrors exp.InjectSpec on the wire.
+type InjectRequest struct {
+	Faults            *FaultSpec `json:"faults,omitempty"`
+	SSDBandwidthShare float64    `json:"ssd_bandwidth_share,omitempty"`
 }
 
 // FaultSpec is the wire form of exp.RunConfig.Faults: a single-run fault
@@ -155,17 +210,15 @@ func (r PlanRequest) RunConfig() (exp.RunConfig, error) { return r.runConfig() }
 
 // runConfig validates the request's knobs and normalizes the result.
 func (r PlanRequest) runConfig() (exp.RunConfig, error) {
+	if r.Spec != nil {
+		return r.Spec.runConfig()
+	}
 	model, err := r.Model.config()
 	if err != nil {
 		return exp.RunConfig{}, err
 	}
-	switch {
-	case r.Steps > maxSteps:
-		return exp.RunConfig{}, fmt.Errorf("serve: steps %d exceeds the service limit %d", r.Steps, maxSteps)
-	case r.Warmup > maxSteps:
-		return exp.RunConfig{}, fmt.Errorf("serve: warmup %d exceeds the service limit %d", r.Warmup, maxSteps)
-	case r.MicroBatches > maxMicroBatches:
-		return exp.RunConfig{}, fmt.Errorf("serve: micro_batches %d exceeds the service limit %d", r.MicroBatches, maxMicroBatches)
+	if err := checkRunCaps(r.Steps, r.Warmup, r.MicroBatches); err != nil {
+		return exp.RunConfig{}, err
 	}
 	cfg := exp.RunConfig{
 		Model:             model,
@@ -182,7 +235,71 @@ func (r PlanRequest) runConfig() (exp.RunConfig, error) {
 		PrefetchAhead:     r.PrefetchAhead,
 		AdaptiveSteps:     r.AdaptiveSteps,
 		DisableGDS:        r.DisableGDS,
+		OptimKind:         r.OptimKind,
+		Schedule:          r.Schedule,
 		Faults:            r.Faults.spec(),
+	}
+	return exp.Normalize(cfg)
+}
+
+// checkRunCaps bounds the measurement-shape knobs shared by both body
+// forms.
+func checkRunCaps(steps, warmup, microBatches int) error {
+	switch {
+	case steps > maxSteps:
+		return fmt.Errorf("serve: steps %d exceeds the service limit %d", steps, maxSteps)
+	case warmup > maxSteps:
+		return fmt.Errorf("serve: warmup %d exceeds the service limit %d", warmup, maxSteps)
+	case microBatches > maxMicroBatches:
+		return fmt.Errorf("serve: micro_batches %d exceeds the service limit %d", microBatches, maxMicroBatches)
+	}
+	return nil
+}
+
+// runConfig resolves the nested v2 body through the grouped exp.Spec,
+// so the wire form and the library form share one flattening and one
+// set of validation rules. A flat request and a spec request describing
+// the same measurement normalize to the same exp.RunConfig — the server
+// caches, coalesces and answers them identically.
+func (s *SpecRequest) runConfig() (exp.RunConfig, error) {
+	model, err := s.Model.config()
+	if err != nil {
+		return exp.RunConfig{}, err
+	}
+	if err := checkRunCaps(s.Run.Steps, s.Run.Warmup, s.Run.MicroBatches); err != nil {
+		return exp.RunConfig{}, err
+	}
+	spec := exp.Spec{
+		Model: model,
+		Offload: exp.OffloadSpec{
+			Strategy:        exp.Strategy(s.Offload.Strategy),
+			Placement:       exp.Placement(s.Offload.Placement),
+			DRAMCapacity:    units.Bytes(s.Offload.DRAMCapacityBytes),
+			SplitRatio:      s.Offload.SplitRatio,
+			Budget:          units.Bytes(s.Offload.BudgetBytes),
+			KeepLastModules: s.Offload.KeepLastModules,
+			PrefetchAhead:   s.Offload.PrefetchAhead,
+			DisableGDS:      s.Offload.DisableGDS,
+		},
+		Optimizer: exp.OptimizerSpec{
+			Kind:     s.Optimizer.Kind,
+			Offload:  s.Optimizer.Offload,
+			Schedule: s.Optimizer.Schedule,
+		},
+		Run: exp.RunSpec{
+			Steps:         s.Run.Steps,
+			Warmup:        s.Run.Warmup,
+			MicroBatches:  s.Run.MicroBatches,
+			AdaptiveSteps: s.Run.AdaptiveSteps,
+		},
+		Inject: exp.InjectSpec{
+			Faults:            s.Inject.Faults.spec(),
+			SSDBandwidthShare: s.Inject.SSDBandwidthShare,
+		},
+	}
+	cfg, err := spec.RunConfig()
+	if err != nil {
+		return exp.RunConfig{}, err
 	}
 	return exp.Normalize(cfg)
 }
@@ -202,6 +319,9 @@ type TierUsage struct {
 // budget, memory peaks and per-tier traffic of one measured
 // configuration.
 type PlanResponse struct {
+	// Schema versions the response body; "v2" marks the generation that
+	// understands nested spec requests and optimizer-offload plans.
+	Schema   string `json:"schema"`
 	Model    string `json:"model"`
 	Strategy string `json:"strategy"`
 	// Echoes of the cheap knobs that distinguish sweep points.
@@ -210,6 +330,8 @@ type PlanResponse struct {
 	DRAMCapacityBytes int64   `json:"dram_capacity_bytes,omitempty"`
 	SplitRatio        float64 `json:"split_ratio,omitempty"`
 	BudgetBytes       int64   `json:"budget_bytes,omitempty"`
+	OptimKind         string  `json:"optim_kind,omitempty"`
+	Schedule          string  `json:"schedule,omitempty"`
 
 	StepTimeNs int64  `json:"step_time_ns"`
 	StepTime   string `json:"step_time"`
@@ -234,14 +356,32 @@ type PlanResponse struct {
 	SteadyState exp.SteadyStateInfo `json:"steady_state"`
 
 	Tiers []TierUsage `json:"tiers,omitempty"`
+	// Optim summarizes the offloaded-optimizer pipeline (optim-offload
+	// strategy only).
+	Optim *OptimUsage `json:"optim,omitempty"`
+}
+
+// OptimUsage is the wire form of exp.OptimUsage.
+type OptimUsage struct {
+	Kind              string `json:"kind"`
+	Schedule          string `json:"schedule"`
+	StateBytes        int64  `json:"state_bytes"`
+	DRAMResidentBytes int64  `json:"dram_resident_bytes"`
+	NVMeResidentBytes int64  `json:"nvme_resident_bytes"`
+	ShuttleWriteBytes int64  `json:"shuttle_write_bytes_per_step"`
+	ShuttleReadBytes  int64  `json:"shuttle_read_bytes_per_step"`
+	UpdateBusyNs      int64  `json:"update_busy_ns"`
 }
 
 // NewPlanResponse projects a measurement result onto the wire schema.
 func NewPlanResponse(res *exp.RunResult) PlanResponse {
 	cfg := res.Config
 	p := PlanResponse{
+		Schema:              "v2",
 		Model:               cfg.Model.String(),
 		Strategy:            string(cfg.Strategy),
+		OptimKind:           cfg.OptimKind,
+		Schedule:            cfg.Schedule,
 		Placement:           string(cfg.Placement),
 		SSDBandwidthShare:   cfg.SSDBandwidthShare,
 		DRAMCapacityBytes:   int64(cfg.DRAMCapacity),
@@ -272,6 +412,18 @@ func NewPlanResponse(res *exp.RunResult) PlanResponse {
 			PeakBytes:     int64(t.Peak),
 			CapacityBytes: int64(t.Capacity),
 		})
+	}
+	if res.Optim != nil {
+		p.Optim = &OptimUsage{
+			Kind:              res.Optim.Kind,
+			Schedule:          res.Optim.Schedule,
+			StateBytes:        int64(res.Optim.StateBytes),
+			DRAMResidentBytes: int64(res.Optim.DRAMResident),
+			NVMeResidentBytes: int64(res.Optim.NVMeResident),
+			ShuttleWriteBytes: int64(res.Optim.ShuttleWrite),
+			ShuttleReadBytes:  int64(res.Optim.ShuttleRead),
+			UpdateBusyNs:      res.Optim.UpdateBusy.Nanoseconds(),
+		}
 	}
 	return p
 }

@@ -72,6 +72,12 @@ const (
 	// KindRebuild is RAID-rebuild background traffic stealing bandwidth
 	// from foreground transfers after a member death.
 	KindRebuild
+	// KindOptimOffload is one offloaded optimizer update executing on the
+	// host-side update engine (the ZeRO-Offload CPU optimizer).
+	KindOptimOffload
+	// KindOptimOverlap is the optimizer pipeline's drain window past a
+	// step's end — the work the overlap schedule hides behind fwd(t+1).
+	KindOptimOverlap
 )
 
 // String names the kind (Chrome trace category).
@@ -105,6 +111,10 @@ func (k Kind) String() string {
 		return "fault"
 	case KindRebuild:
 		return "rebuild"
+	case KindOptimOffload:
+		return "optim-offload"
+	case KindOptimOverlap:
+		return "optim-overlap"
 	default:
 		return "span"
 	}
@@ -119,11 +129,13 @@ func (k Kind) Compute() bool {
 	return false
 }
 
-// IO reports whether the kind occupies an I/O resource (PCIe, NVMe, or a
-// tier queue).
+// IO reports whether the kind occupies an I/O resource (PCIe, NVMe, a
+// tier queue, or the host-side optimizer engine). Offloaded optimizer
+// work classifies as I/O: it runs off the GPU, so its intersection with
+// compute-kind spans is exactly the update time hidden behind fwd(t+1).
 func (k Kind) IO() bool {
 	switch k {
-	case KindDMA, KindNVMe, KindStore, KindLoad, KindRebuild:
+	case KindDMA, KindNVMe, KindStore, KindLoad, KindRebuild, KindOptimOffload, KindOptimOverlap:
 		return true
 	}
 	return false

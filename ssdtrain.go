@@ -51,6 +51,21 @@ const (
 	// under a placement policy (RunConfig.Placement, DRAMCapacity,
 	// SplitRatio).
 	StrategyHybridOffload = exp.HybridOffload
+	// StrategyOptimOffload offloads optimizer states and gradients to the
+	// DRAM/NVMe hierarchy (à la ZeRO-Offload), with the step schedule
+	// selectable via Spec.Optimizer.Schedule.
+	StrategyOptimOffload = exp.OptimOffload
+)
+
+// Optimizer step schedules for StrategyOptimOffload.
+const (
+	// ScheduleSync is the classic barrier: the step waits for every
+	// offloaded update to drain before fwd(t+1) starts.
+	ScheduleSync = exp.ScheduleSync
+	// ScheduleOverlap drains the optimizer pipeline into the next step's
+	// forward pass (GreedySnake), stalling fwd(t+1) only on the weights
+	// whose updates have not landed yet.
+	ScheduleOverlap = exp.ScheduleOverlap
 )
 
 // Tier placement policies for StrategyHybridOffload.
@@ -101,6 +116,25 @@ type (
 	DRAMSweepResult = exp.DRAMSweepResult
 	// DRAMSweepRow is one point of a DRAM-capacity sweep.
 	DRAMSweepRow = exp.DRAMSweepRow
+	// Spec is the grouped configuration form — the same knob surface as
+	// the flat RunConfig, organized by concern; new code should prefer it.
+	Spec = exp.Spec
+	// OffloadSpec groups the activation-offload knobs of a Spec.
+	OffloadSpec = exp.OffloadSpec
+	// OptimizerSpec groups the offloaded-optimizer knobs of a Spec.
+	OptimizerSpec = exp.OptimizerSpec
+	// RunSpec groups the measurement-shape knobs of a Spec.
+	RunSpec = exp.RunSpec
+	// InjectSpec groups fault injection, tracing and contention knobs.
+	InjectSpec = exp.InjectSpec
+	// MachineSpec groups the simulated hardware of a Spec.
+	MachineSpec = exp.MachineSpec
+	// OptimUsage is the per-run optimizer-tier accounting.
+	OptimUsage = exp.OptimUsage
+	// OptimSweepResult is the GreedySnake-vs-SSDTrain comparison sweep.
+	OptimSweepResult = exp.OptimSweepResult
+	// OptimSweepRow is one residency point of an optimizer sweep.
+	OptimSweepRow = exp.OptimSweepRow
 )
 
 // PaperConfig returns the paper's §IV-A evaluation configuration for an
@@ -112,6 +146,27 @@ func PaperConfig(arch Arch, hidden, layers, batch int) ModelConfig {
 
 // Train runs one training measurement on the simulated testbed.
 func Train(cfg RunConfig) (*RunResult, error) { return exp.Run(cfg) }
+
+// SpecFor regroups a flat RunConfig into the Spec form, losslessly.
+func SpecFor(cfg RunConfig) Spec { return exp.SpecFor(cfg) }
+
+// TrainSpec runs one measurement from the grouped Spec form.
+func TrainSpec(s Spec) (*RunResult, error) { return s.Measure() }
+
+// TrainSweepSpecs is TrainSweep on grouped Specs.
+func TrainSweepSpecs(workers int, specs []Spec) ([]*RunResult, error) {
+	return exp.SweepSpecs(workers, specs)
+}
+
+// OptimSweep measures the optimizer-offload strategy across DRAM
+// residency fractions under both step schedules, with the SSDTrain
+// activation baseline alongside (nil fracs selects quarters).
+func OptimSweep(base RunConfig, fracs []float64) (*OptimSweepResult, error) {
+	return exp.OptimSweep(base, fracs)
+}
+
+// OptimSweepTable renders an optimizer sweep as text.
+func OptimSweepTable(r *OptimSweepResult) *trace.Table { return exp.OptimSweepTable(r) }
 
 // Compile builds (or fetches from the shared plan cache) the run plan
 // for a configuration; plan.Execute then measures any variant differing
